@@ -1,0 +1,49 @@
+// Command optiflow-demo is the interactive demonstration of optimistic
+// recovery for iterative dataflows (§3 of the paper): choose the
+// Connected Components or PageRank tab, pick the small hand-crafted
+// graph or a larger Twitter-like graph, schedule worker failures, and
+// watch the algorithms recover through compensation functions instead
+// of checkpoints.
+//
+// Usage:
+//
+//	optiflow-demo                 # interactive shell
+//	optiflow-demo -script "cc; fail 3 1; run; plots; quit"
+//	optiflow-demo -no-color       # disable ANSI colors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"optiflow/internal/demoapp"
+)
+
+func main() {
+	noColor := flag.Bool("no-color", false, "disable ANSI colors in graph frames")
+	script := flag.String("script", "", "semicolon-separated commands to run non-interactively")
+	delay := flag.Duration("delay", 400*time.Millisecond, "frame delay during play (the demo slows down the small graph)")
+	flag.Parse()
+
+	if *script != "" {
+		sh := demoapp.NewShell(strings.NewReader(""), os.Stdout, !*noColor)
+		for _, cmd := range strings.Split(*script, ";") {
+			cmd = strings.TrimSpace(cmd)
+			if cmd == "" {
+				continue
+			}
+			fmt.Printf("demo> %s\n", cmd)
+			if !sh.Execute(cmd) {
+				return
+			}
+		}
+		return
+	}
+
+	sh := demoapp.NewShell(os.Stdin, os.Stdout, !*noColor)
+	sh.PlayDelay = *delay
+	sh.Loop()
+}

@@ -1,0 +1,28 @@
+// Command optiflow-serve hosts the demonstration in a browser — the
+// closest substitute for the paper's GUI: pick the Connected Components
+// or PageRank tab, choose the input graph, schedule worker failures,
+// run, and step back and forth through the per-iteration frames with
+// the statistics plots rendered alongside.
+//
+// Usage:
+//
+//	optiflow-serve -addr localhost:8080
+//	# then open http://localhost:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"optiflow/internal/httpui"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Parse()
+
+	fmt.Printf("optiflow demo at http://%s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpui.NewServer().Handler()))
+}

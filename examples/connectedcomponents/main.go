@@ -1,0 +1,60 @@
+// The Figure 2/3 scenario of the paper: Connected Components on the
+// demo graph with failures in iterations 1 and 3, comparing the
+// statistics against a failure-free run — the plummet in the
+// converged-vertices series and the elevated message counts after each
+// failure are the signatures the demo GUI shows attendees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optiflow"
+)
+
+func run(name string, injector optiflow.Injector, truth map[optiflow.VertexID]optiflow.VertexID) ([]int64, error) {
+	g, _ := optiflow.DemoGraph()
+	var messages []int64
+	res, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{
+		Parallelism: 4,
+		Policy:      optiflow.OptimisticRecovery(),
+		Injector:    injector,
+		OnSample:    func(s optiflow.Sample) { messages = append(messages, s.Stats.Messages) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-14s: %d supersteps, %d failures, messages per iteration %v\n",
+		name, res.Supersteps, res.Failures, messages)
+	for v, want := range truth {
+		if res.Components[v] != want {
+			return nil, fmt.Errorf("%s: wrong component for vertex %d", name, v)
+		}
+	}
+	return messages, nil
+}
+
+func main() {
+	g, _ := optiflow.DemoGraph()
+	truth := optiflow.TrueComponents(g)
+
+	free, err := run("failure-free", optiflow.NoFailures(), truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withFailures, err := run("with failures", optiflow.ScriptedFailures(map[int][]int{0: {0}, 2: {1}}), truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var extra int64
+	for i, m := range withFailures {
+		if i < len(free) {
+			extra += m - free[i]
+		} else {
+			extra += m
+		}
+	}
+	fmt.Printf("\nrecovery effort: %d extra messages versus the failure-free run\n", extra)
+	fmt.Println("both runs converged to the identical (correct) components — no checkpoints were taken")
+}

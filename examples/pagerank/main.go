@@ -1,0 +1,71 @@
+// The Figure 4/5 scenario of the paper: PageRank on the directed demo
+// graph with a failure in iteration 5. The run prints the L1 norm of
+// the rank delta per iteration — downward trend, spike at the
+// iteration after the failure — and verifies that the fix-ranks
+// compensation (uniform redistribution of the lost probability mass)
+// still converges to the true ranks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"optiflow"
+)
+
+func main() {
+	g, _ := optiflow.DemoGraphDirected()
+
+	res, err := optiflow.PageRank(g, optiflow.PROptions{
+		Parallelism:   4,
+		MaxIterations: 40,
+		Policy:        optiflow.OptimisticRecovery(),
+		Compensation:  optiflow.FixRanks,
+		Injector:      optiflow.FailWorker(4, 1), // iteration 5 (0-based superstep 4)
+		OnSample: func(s optiflow.Sample) {
+			bar := int(math.Min(50, s.Stats.Extra["l1"]*150))
+			line := fmt.Sprintf("iteration %2d  L1=%.4f %s", s.Tick+1, s.Stats.Extra["l1"],
+				stringRepeat("▇", bar))
+			if s.Failed() {
+				line += "  ⚡ failure: lost mass redistributed over the failed partitions"
+			}
+			fmt.Println(line)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := optiflow.TruePageRank(g, 0.85)
+	maxErr := 0.0
+	sum := 0.0
+	for v, r := range res.Ranks {
+		maxErr = math.Max(maxErr, math.Abs(r-truth[v]))
+		sum += r
+	}
+	fmt.Printf("\nranks sum to %.9f (consistency invariant), max error vs power iteration %.2e\n", sum, maxErr)
+
+	type vr struct {
+		v optiflow.VertexID
+		r float64
+	}
+	top := make([]vr, 0, len(res.Ranks))
+	for v, r := range res.Ranks {
+		top = append(top, vr{v, r})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+	fmt.Println("top 5 vertices by rank:")
+	for _, t := range top[:5] {
+		fmt.Printf("  vertex %2d  rank %.5f\n", t.v, t.r)
+	}
+}
+
+func stringRepeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module optiflow
+
+go 1.24

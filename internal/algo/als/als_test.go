@@ -1,0 +1,212 @@
+package als
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
+)
+
+func synth(t *testing.T) *Ratings {
+	t.Helper()
+	r := SyntheticRatings(120, 80, 5, 0.3, 0.02, 7)
+	if r.NumRatings() < 1000 {
+		t.Fatalf("synthetic matrix too sparse: %d ratings", r.NumRatings())
+	}
+	return r
+}
+
+func TestFailureFreeConvergesToNoiseFloor(t *testing.T) {
+	r := synth(t)
+	res, err := Run(r, Options{
+		Config:        Config{Rank: 5, Lambda: 0.002, Parallelism: 4, Seed: 3},
+		MaxIterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := res.Model.LastRMSE()
+	if rmse > 0.05 {
+		t.Fatalf("RMSE %.4f did not reach the noise floor (~0.02)", rmse)
+	}
+	series := res.ExtraSeries("rmse")
+	if series[0] <= series[len(series)-1] {
+		t.Fatalf("RMSE did not decrease: %v", series)
+	}
+}
+
+func TestOptimisticRecoveryReconverges(t *testing.T) {
+	r := synth(t)
+	inj := failure.NewScripted(nil).At(5, 1)
+	var atFailure, postCompensation float64
+	res, err := Run(r, Options{
+		Config:        Config{Rank: 5, Lambda: 0.002, Parallelism: 4, Seed: 3},
+		MaxIterations: 25,
+		Injector:      inj,
+		Probe: func(job *ALS, s iterate.Sample) {
+			if s.Failed() {
+				// The probe runs after recovery: job.RMSE() sees the
+				// compensated (randomly re-initialized) factors.
+				atFailure = s.Stats.Extra["rmse"]
+				postCompensation = job.RMSE()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	// The failure visibly degrades the model...
+	if postCompensation <= atFailure {
+		t.Fatalf("compensation did not degrade the model: before %.4f, after %.4f", atFailure, postCompensation)
+	}
+	// ...and the compensated run still reaches the noise floor.
+	if final := res.Model.LastRMSE(); final > 0.05 {
+		t.Fatalf("post-failure RMSE %.4f (degraded to %.4f at the failure)", final, postCompensation)
+	}
+}
+
+func TestCheckpointRecovery(t *testing.T) {
+	r := synth(t)
+	inj := failure.NewScripted(nil).At(4, 2)
+	res, err := Run(r, Options{
+		Config:        Config{Rank: 5, Lambda: 0.002, Parallelism: 4, Seed: 3},
+		MaxIterations: 15,
+		Injector:      inj,
+		Policy:        recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks <= res.Supersteps {
+		t.Fatal("rollback should add attempts")
+	}
+	if final := res.Model.LastRMSE(); final > 0.05 {
+		t.Fatalf("RMSE after rollback %.4f", final)
+	}
+}
+
+func TestEpsilonEarlyStop(t *testing.T) {
+	r := synth(t)
+	res, err := Run(r, Options{
+		Config:        Config{Rank: 5, Lambda: 0.002, Parallelism: 4, Seed: 3},
+		MaxIterations: 100,
+		Epsilon:       1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps >= 100 {
+		t.Fatal("early stopping did not trigger")
+	}
+	if res.Supersteps < 3 {
+		t.Fatalf("stopped suspiciously early: %d", res.Supersteps)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := synth(t)
+	job := New(r, Config{Rank: 4, Parallelism: 4, Seed: 3})
+	if _, err := job.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := job.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := job.RMSE()
+	if _, err := job.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.RestoreFrom(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.RMSE(); math.Abs(got-before) > 1e-12 {
+		t.Fatalf("restore changed RMSE: %g vs %g", got, before)
+	}
+}
+
+func TestCompensationIsDeterministic(t *testing.T) {
+	r := synth(t)
+	job := New(r, Config{Rank: 4, Parallelism: 4, Seed: 9})
+	orig, _ := job.userFactors.Get(0)
+	cp := append(Factors(nil), orig...)
+	job.ClearPartitions([]int{0, 1, 2, 3})
+	if err := job.Compensate([]int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	restored, ok := job.userFactors.Get(0)
+	if !ok {
+		t.Fatal("factor not restored")
+	}
+	for i := range cp {
+		if cp[i] != restored[i] {
+			t.Fatal("compensation did not reproduce the seeded initial vector")
+		}
+	}
+}
+
+func TestSolveNormalEquationsExact(t *testing.T) {
+	// Overdetermined consistent system: x = (1, 2) recovered exactly
+	// with lambda -> 0.
+	vecs := []Factors{{1, 0}, {0, 1}, {1, 1}}
+	vals := []float64{1, 2, 3}
+	x := solveNormalEquations(vecs, vals, 1e-12)
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]-2) > 1e-6 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestRatingsIndexing(t *testing.T) {
+	r := NewRatings([]Rating{{1, 10, 5}, {1, 11, 3}, {2, 10, 1}})
+	if r.NumUsers() != 2 || r.NumItems() != 2 || r.NumRatings() != 3 {
+		t.Fatalf("counts: %d users %d items %d ratings", r.NumUsers(), r.NumItems(), r.NumRatings())
+	}
+	if len(r.byUser[1]) != 2 || len(r.byItem[10]) != 2 {
+		t.Fatal("index broken")
+	}
+}
+
+// Property: the normal-equations solver recovers a planted solution
+// from noiseless observations whenever the design is well-conditioned
+// (more observations than unknowns, random directions).
+func TestSolveNormalEquationsProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		planted := make(Factors, k)
+		for i := range planted {
+			planted[i] = rng.NormFloat64()
+		}
+		m := 4 * k
+		vecs := make([]Factors, m)
+		vals := make([]float64, m)
+		for r := range vecs {
+			vecs[r] = make(Factors, k)
+			dot := 0.0
+			for i := range vecs[r] {
+				vecs[r][i] = rng.NormFloat64()
+				dot += vecs[r][i] * planted[i]
+			}
+			vals[r] = dot
+		}
+		got := solveNormalEquations(vecs, vals, 1e-12)
+		for i := range planted {
+			if math.Abs(got[i]-planted[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

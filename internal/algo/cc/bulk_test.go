@@ -1,0 +1,95 @@
+package cc
+
+import (
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+func TestBulkMatchesUnionFind(t *testing.T) {
+	g, _ := gen.Demo()
+	truth := ref.ConnectedComponents(g)
+	res, err := RunBulk(g, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+}
+
+func TestBulkAndDeltaAgree(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Grid(6, 6),
+		gen.Components(3, 15, 0.1, 2),
+		gen.ErdosRenyi(50, 0.05, 9, false),
+	} {
+		delta, err := Run(g, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk, err := RunBulk(g, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireComponentsEqual(t, bulk.Components, delta.Components)
+	}
+}
+
+func TestBulkSendsMoreMessagesThanDelta(t *testing.T) {
+	g := gen.Grid(10, 10) // slow diffusion: many converged-early vertices
+	delta, err := Run(g, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := RunBulk(g, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltaMsgs, bulkMsgs int64
+	for _, s := range delta.Samples {
+		deltaMsgs += s.Stats.Messages
+	}
+	for _, s := range bulk.Samples {
+		bulkMsgs += s.Stats.Messages
+	}
+	// The paper's §2.1 claim: bulk recomputes converged state, so it
+	// must move strictly more data than the delta iteration.
+	if bulkMsgs <= deltaMsgs {
+		t.Fatalf("bulk %d messages <= delta %d", bulkMsgs, deltaMsgs)
+	}
+}
+
+func TestBulkOptimisticRecovery(t *testing.T) {
+	g := gen.Grid(8, 8)
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).At(3, 1)
+	res, err := RunBulk(g, Options{Parallelism: 4, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+}
+
+func TestBulkCheckpointRecovery(t *testing.T) {
+	g := gen.Grid(7, 7)
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).At(4, 0)
+	res, err := RunBulk(g, Options{
+		Parallelism: 4,
+		Injector:    inj,
+		Policy:      recovery.Restart{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+	if res.Ticks <= res.Supersteps {
+		t.Fatal("restart should re-execute supersteps")
+	}
+}

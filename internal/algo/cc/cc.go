@@ -1,0 +1,360 @@
+// Package cc implements the Connected Components algorithm of the
+// demonstration (§2.2.1): diffusion of the minimum component label
+// [PEGASUS] expressed as a delta-iteration dataflow (Fig. 1a) —
+// label-to-neighbors join, candidate-label reduce, label-update join —
+// plus the fix-components compensation function that makes the
+// computation recoverable without checkpoints: lost vertices are reset
+// to their initial labels, and they and their neighbors re-enter the
+// workset to propagate labels again.
+package cc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"optiflow/internal/dataflow"
+	"optiflow/internal/exec"
+	"optiflow/internal/graph"
+	"optiflow/internal/iterate"
+	"optiflow/internal/state"
+)
+
+// Update is both the workset item and the update record of the delta
+// iteration: vertex V changed its component label to Label.
+type Update struct {
+	V     graph.VertexID
+	Label uint64
+}
+
+// CC is a Connected Components delta iteration over a graph. It
+// implements recovery.Job.
+type CC struct {
+	g      *graph.Graph
+	par    int
+	engine *exec.Engine
+
+	labels  *state.Store[uint64]   // the solution set
+	workset *state.Workset[Update] // current workset
+	next    *state.Workset[Update] // workset under construction
+
+	owned [][]graph.VertexID // partition -> vertices, for compensation
+}
+
+// New prepares a Connected Components run on g with the given
+// parallelism: every vertex starts in its own component (label = own
+// ID) and the initial workset equals the labels input (§2.2.1).
+func New(g *graph.Graph, parallelism int) *CC {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	c := &CC{
+		g:       g,
+		par:     parallelism,
+		engine:  &exec.Engine{Parallelism: parallelism},
+		labels:  state.NewStore[uint64]("labels", parallelism),
+		workset: state.NewWorkset[Update]("workset", parallelism),
+		next:    state.NewWorkset[Update]("next-workset", parallelism),
+		owned:   graph.PartitionVertices(g, parallelism),
+	}
+	c.seedInitial()
+	return c
+}
+
+func (c *CC) seedInitial() {
+	for p, vs := range c.owned {
+		for _, v := range vs {
+			c.labels.Put(uint64(v), uint64(v))
+			c.workset.Add(p, Update{V: v, Label: uint64(v)})
+		}
+	}
+}
+
+// Name implements recovery.Job.
+func (c *CC) Name() string { return "connected-components" }
+
+// Labels returns the solution set (current component label per vertex).
+func (c *CC) Labels() *state.Store[uint64] { return c.labels }
+
+// WorksetLen returns the current workset size; the delta iteration
+// terminates when it reaches zero.
+func (c *CC) WorksetLen() int { return c.workset.Len() }
+
+// Components materialises the solution set as a map.
+func (c *CC) Components() map[graph.VertexID]graph.VertexID {
+	out := make(map[graph.VertexID]graph.VertexID, c.g.NumVertices())
+	c.labels.Range(func(k uint64, v uint64) bool {
+		out[graph.VertexID(k)] = graph.VertexID(v)
+		return true
+	})
+	return out
+}
+
+// ConvergedCount counts vertices whose current label already equals the
+// precomputed true component label — the demo's bottom-left plot.
+func (c *CC) ConvergedCount(truth map[graph.VertexID]graph.VertexID) int {
+	n := 0
+	c.labels.Range(func(k uint64, v uint64) bool {
+		if truth[graph.VertexID(k)] == graph.VertexID(v) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+type adjacencyTable struct{ g *graph.Graph }
+
+// Get implements dataflow.Table: key -> neighbor list.
+func (a adjacencyTable) Get(key uint64) (any, bool) {
+	nbrs := a.g.OutNeighbors(graph.VertexID(key))
+	if nbrs == nil {
+		return nil, false
+	}
+	return nbrs, true
+}
+
+func byVertex(rec any) uint64 { return uint64(rec.(Update).V) }
+
+// stepPlan builds the executable per-superstep dataflow: the loop body
+// of Fig. 1a with the workset cut as its entry point.
+func (c *CC) stepPlan() *dataflow.Plan {
+	plan := dataflow.NewPlan("connected-components-step")
+	adj := adjacencyTable{g: c.g}
+
+	ws := plan.Source("workset", func(part, _ int, emit dataflow.Emit) error {
+		for _, u := range c.workset.Items(part) {
+			emit(u)
+		}
+		return nil
+	})
+
+	// Candidate labels sent to neighbors — the demo's "messages".
+	msgs := ws.LookupJoin("label-to-neighbors", "graph", byVertex,
+		func(int, int) dataflow.Table { return adj },
+		func(rec any, table dataflow.Table, emit dataflow.Emit) {
+			u := rec.(Update)
+			nbrs, ok := table.Get(uint64(u.V))
+			if !ok {
+				return
+			}
+			for _, n := range nbrs.([]graph.VertexID) {
+				emit(Update{V: n, Label: u.Label})
+			}
+		})
+
+	cands := msgs.ReduceBy("candidate-label", byVertex,
+		func(key uint64, vals []any, emit dataflow.Emit) {
+			min := uint64(math.MaxUint64)
+			for _, v := range vals {
+				if l := v.(Update).Label; l < min {
+					min = l
+				}
+			}
+			emit(Update{V: graph.VertexID(key), Label: min})
+		})
+
+	// The solution-set index join: compare the candidate to the current
+	// label and update the solution set in place. Each task reads and
+	// writes only its own label partition (hash exchange aligns records
+	// with state partitioning), so the in-place Put is race-free.
+	updates := cands.LookupJoin("label-update", "labels", byVertex,
+		func(part, _ int) dataflow.Table { return c.labels.Table(part) },
+		func(rec any, table dataflow.Table, emit dataflow.Emit) {
+			u := rec.(Update)
+			cur, ok := table.Get(uint64(u.V))
+			if ok && cur.(uint64) <= u.Label {
+				return
+			}
+			c.labels.Put(uint64(u.V), u.Label)
+			emit(u)
+		})
+
+	updates.Sink("collect-workset", func(part int, rec any) error {
+		c.next.Add(part, rec.(Update))
+		return nil
+	})
+	return plan
+}
+
+// Step implements the loop body for iterate.Loop: run one superstep of
+// the delta iteration and swap in the freshly built workset.
+func (c *CC) Step(*iterate.Context) (iterate.StepStats, error) {
+	stats, err := c.engine.Run(c.stepPlan())
+	if err != nil {
+		return iterate.StepStats{}, fmt.Errorf("cc: superstep: %v", err)
+	}
+	c.workset.Swap(c.next)
+	c.next.ClearAll()
+	return iterate.StepStats{
+		Messages: stats.Outputs("label-to-neighbors"),
+		Updates:  stats.Outputs("label-update"),
+	}, nil
+}
+
+// SnapshotTo implements recovery.Job: serialise solution set + workset.
+func (c *CC) SnapshotTo(buf *bytes.Buffer) error {
+	enc := gob.NewEncoder(buf)
+	if err := c.labels.EncodeTo(enc); err != nil {
+		return err
+	}
+	return c.workset.EncodeTo(enc)
+}
+
+// RestoreFrom implements recovery.Job.
+func (c *CC) RestoreFrom(data []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := c.labels.DecodeFrom(dec); err != nil {
+		return err
+	}
+	if err := c.workset.DecodeFrom(dec); err != nil {
+		return err
+	}
+	c.next.ClearAll()
+	return nil
+}
+
+// ClearPartitions implements recovery.Job: the direct damage of a
+// worker crash — its label and workset partitions vanish.
+func (c *CC) ClearPartitions(parts []int) {
+	for _, p := range parts {
+		c.labels.ClearPartition(p)
+		c.workset.ClearPartition(p)
+	}
+}
+
+// Compensate implements recovery.Job — the fix-components compensation
+// function of Fig. 1a: re-initialise every lost vertex to its initial
+// label (which guarantees convergence to the correct solution [14]) and
+// put the restored vertices and their neighbors back into the workset
+// so labels propagate again (§3.2).
+func (c *CC) Compensate(lost []int) error {
+	lostSet := make(map[int]bool, len(lost))
+	for _, p := range lost {
+		lostSet[p] = true
+	}
+	// First restore the lost vertices themselves.
+	for _, p := range lost {
+		for _, v := range c.owned[p] {
+			c.labels.Put(uint64(v), uint64(v))
+			c.workset.Add(p, Update{V: v, Label: uint64(v)})
+		}
+	}
+	// Then re-activate surviving neighbors so they re-send their labels
+	// into the restored partitions.
+	seeded := make(map[graph.VertexID]bool)
+	for _, p := range lost {
+		for _, v := range c.owned[p] {
+			for _, n := range c.g.OutNeighbors(v) {
+				np := graph.Partition(n, c.par)
+				if lostSet[np] || seeded[n] {
+					continue
+				}
+				seeded[n] = true
+				if l, ok := c.labels.Get(uint64(n)); ok {
+					c.workset.Add(np, Update{V: n, Label: l})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionVersions implements recovery.IncrementalJob: a partition's
+// version moves whenever its labels or its workset slice change. Both
+// counters only increase, so their sum changes iff either does.
+func (c *CC) PartitionVersions() []uint64 {
+	out := make([]uint64, c.par)
+	for p := range out {
+		out[p] = c.labels.Version(p) + c.workset.Version(p)
+	}
+	return out
+}
+
+// SnapshotPartition implements recovery.IncrementalJob.
+func (c *CC) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	enc := gob.NewEncoder(buf)
+	if err := c.labels.EncodePartition(p, enc); err != nil {
+		return err
+	}
+	return c.workset.EncodePartition(p, enc)
+}
+
+// RestorePartition implements recovery.IncrementalJob.
+func (c *CC) RestorePartition(p int, data []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := c.labels.DecodePartition(p, dec); err != nil {
+		return err
+	}
+	return c.workset.DecodePartition(p, dec)
+}
+
+// SnapshotDelta implements recovery.DeltaJob: the label changes since
+// the previous delta, plus the current workset (which turns over
+// wholesale every superstep and shrinks as the iteration converges —
+// exactly like the update stream itself).
+func (c *CC) SnapshotDelta(buf *bytes.Buffer) error {
+	enc := gob.NewEncoder(buf)
+	if err := c.labels.EncodeDelta(enc); err != nil {
+		return err
+	}
+	return c.workset.EncodeTo(enc)
+}
+
+// RestoreFromChain implements recovery.DeltaJob: replay the base
+// snapshot and the ordered label deltas; the newest delta's workset
+// wins (it is a full copy, not a diff).
+func (c *CC) RestoreFromChain(base []byte, deltas [][]byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(base))
+	if err := c.labels.DecodeFrom(dec); err != nil {
+		return err
+	}
+	if err := c.workset.DecodeFrom(dec); err != nil {
+		return err
+	}
+	for i, d := range deltas {
+		dec := gob.NewDecoder(bytes.NewReader(d))
+		if err := c.labels.ApplyDelta(dec); err != nil {
+			return fmt.Errorf("cc: delta %d: %v", i, err)
+		}
+		if err := c.workset.DecodeFrom(dec); err != nil {
+			return fmt.Errorf("cc: delta %d: %v", i, err)
+		}
+	}
+	c.next.ClearAll()
+	// The state now equals the stored chain; start the next delta here.
+	c.labels.MarkClean()
+	return nil
+}
+
+// ResetToInitial implements recovery.Job: back to superstep zero.
+func (c *CC) ResetToInitial() error {
+	c.labels.ClearAll()
+	c.workset.ClearAll()
+	c.next.ClearAll()
+	c.seedInitial()
+	return nil
+}
+
+// FigurePlan reproduces Fig. 1(a): the conceptual delta-iteration
+// dataflow including the fix-components compensation map that is
+// invoked only after failures. The plan is for rendering (Explain/Dot),
+// not execution.
+func FigurePlan() *dataflow.Plan {
+	plan := dataflow.NewPlan("connected-components (Fig. 1a)")
+	noopKey := func(any) uint64 { return 0 }
+	workset := plan.Source("workset", func(int, int, dataflow.Emit) error { return nil })
+	graphSrc := plan.Source("graph", func(int, int, dataflow.Emit) error { return nil })
+	labels := plan.Source("labels", func(int, int, dataflow.Emit) error { return nil })
+
+	cand := workset.ReduceBy("candidate-label", noopKey, func(uint64, []any, dataflow.Emit) {})
+	upd := cand.Join("label-update", labels, noopKey, noopKey, dataflow.JoinInner, func(any, any, dataflow.Emit) {})
+	toNbrs := upd.Join("label-to-neighbors", graphSrc, noopKey, noopKey, dataflow.JoinInner, func(any, any, dataflow.Emit) {})
+	toNbrs.Sink("next-workset", func(int, any) error { return nil })
+
+	fix := labels.Map("fix-components", func(r any) any { return r })
+	fix.Sink("restored-labels", func(int, any) error { return nil })
+	plan.MarkCompensation("fix-components")
+	return plan
+}

@@ -1,0 +1,95 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+func requireComponentsEqual(t *testing.T, got, want map[graph.VertexID]graph.VertexID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d labeled vertices, want %d", len(got), len(want))
+	}
+	for v, w := range want {
+		if got[v] != w {
+			t.Fatalf("vertex %d: got component %d, want %d", v, got[v], w)
+		}
+	}
+}
+
+func TestFailureFreeMatchesUnionFind(t *testing.T) {
+	g, _ := gen.Demo()
+	truth := ref.ConnectedComponents(g)
+	res, err := Run(g, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+	if got := ref.NumComponents(res.Components); got != 3 {
+		t.Fatalf("demo graph should have 3 components, got %d", got)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("unexpected failures: %d", res.Failures)
+	}
+}
+
+func TestOptimisticRecoveryConvergesToCorrectResult(t *testing.T) {
+	g, _ := gen.Demo()
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).At(1, 0).At(3, 1)
+	res, err := Run(g, Options{Parallelism: 4, Injector: inj, Policy: recovery.Optimistic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 2 {
+		t.Fatalf("expected 2 failures, got %d", res.Failures)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+}
+
+func TestCheckpointRecoveryConvergesToCorrectResult(t *testing.T) {
+	g := gen.Grid(8, 8)
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).At(4, 2)
+	pol := recovery.NewCheckpoint(2, checkpoint.NewMemoryStore())
+	res, err := Run(g, Options{Parallelism: 4, Injector: inj, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+	if res.Ticks <= res.Supersteps {
+		t.Fatalf("rollback should re-execute supersteps: ticks=%d supersteps=%d", res.Ticks, res.Supersteps)
+	}
+}
+
+func TestRestartRecoveryConvergesToCorrectResult(t *testing.T) {
+	g := gen.Grid(6, 6)
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).At(3, 0)
+	res, err := Run(g, Options{Parallelism: 4, Injector: inj, Policy: recovery.Restart{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireComponentsEqual(t, res.Components, truth)
+}
+
+func TestRandomGraphsRandomFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(60, 0.03, rng.Int63(), false)
+		truth := ref.ConnectedComponents(g)
+		inj := failure.NewRandom(0.3, rng.Int63(), 3)
+		res, err := Run(g, Options{Parallelism: 4, Injector: inj})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		requireComponentsEqual(t, res.Components, truth)
+	}
+}

@@ -1,0 +1,55 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+// The central correctness property of the paper's [14]: for ANY random
+// graph, ANY random failure schedule and EVERY recovery policy, the
+// delta-iteration Connected Components converges to exactly the
+// union-find components.
+func TestAllPoliciesAllSchedulesProperty(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw, probRaw uint8) bool {
+		n := int(nRaw%40) + 20
+		edgeProb := 0.02 + float64(pRaw%10)/200.0
+		failProb := float64(probRaw%40) / 100.0
+
+		g := gen.ErdosRenyi(n, edgeProb, seed, false)
+		truth := ref.ConnectedComponents(g)
+
+		policies := []func() recovery.Policy{
+			func() recovery.Policy { return recovery.Optimistic{} },
+			func() recovery.Policy { return recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()) },
+			func() recovery.Policy { return recovery.NewIncrementalCheckpoint(2, checkpoint.NewMemoryStore()) },
+			func() recovery.Policy { return recovery.NewDeltaCheckpoint(1, checkpoint.NewMemoryLogStore()) },
+			func() recovery.Policy { return recovery.Restart{} },
+		}
+		for i, mk := range policies {
+			res, err := Run(g, Options{
+				Parallelism: 4,
+				Policy:      mk(),
+				Injector:    failure.NewRandom(failProb, seed+int64(i), 3),
+				MaxTicks:    5000,
+			})
+			if err != nil {
+				return false
+			}
+			for v, want := range truth {
+				if res.Components[v] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package cc
+
+import (
+	"optiflow/internal/cluster"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
+)
+
+// Options configure a Connected Components run.
+type Options struct {
+	// Parallelism is the number of tasks/partitions (4 if zero).
+	Parallelism int
+	// Workers is the number of cluster workers owning the partitions
+	// (defaults to Parallelism).
+	Workers int
+	// Policy is the recovery policy (Optimistic if nil).
+	Policy recovery.Policy
+	// Injector decides failures (none if nil).
+	Injector failure.Injector
+	// OnSample observes every superstep attempt.
+	OnSample func(iterate.Sample)
+	// Probe additionally receives the live job after every attempt, so
+	// callers can inspect the solution set (e.g. count converged
+	// vertices for the demo plots).
+	Probe func(job *CC, s iterate.Sample)
+	// MaxTicks bounds superstep attempts (iterate.DefaultMaxTicks if 0).
+	MaxTicks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Parallelism
+	}
+	if o.Policy == nil {
+		o.Policy = recovery.Optimistic{}
+	}
+	return o
+}
+
+// Result bundles the loop outcome with the computed components.
+type Result struct {
+	*iterate.Result
+	// Components maps every vertex to the minimum vertex ID of its
+	// connected component.
+	Components map[graph.VertexID]graph.VertexID
+	// Cluster exposes membership events for demo narration.
+	Cluster *cluster.Cluster
+}
+
+// Run executes Connected Components on g until the workset drains,
+// recovering from injected failures per the configured policy.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	job := New(g, opts.Parallelism)
+	cl := cluster.New(opts.Workers, opts.Parallelism)
+	loop := &iterate.Loop{
+		Name:     job.Name(),
+		Step:     job.Step,
+		Done:     iterate.DeltaDone(job.WorksetLen),
+		Job:      job,
+		Policy:   opts.Policy,
+		Cluster:  cl,
+		Injector: opts.Injector,
+		MaxTicks: opts.MaxTicks,
+		OnSample: func(s iterate.Sample) {
+			if opts.OnSample != nil {
+				opts.OnSample(s)
+			}
+			if opts.Probe != nil {
+				opts.Probe(job, s)
+			}
+		},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, Components: job.Components(), Cluster: cl}, nil
+}

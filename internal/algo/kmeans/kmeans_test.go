@@ -1,0 +1,150 @@
+package kmeans
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/recovery"
+)
+
+func blobs(t *testing.T) []Point {
+	t.Helper()
+	return SyntheticBlobs(600, 4, 3, 2.0, 11)
+}
+
+func TestFailureFreeClustersBlobs(t *testing.T) {
+	data := blobs(t)
+	res, err := Run(data, Options{Config: Config{K: 4, Parallelism: 4, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost must be near the noise floor: ~n * dim * spread^2.
+	noiseFloor := float64(len(data)) * 3 * 2.0 * 2.0
+	if cost := res.Model.Cost(); cost > noiseFloor*2 {
+		t.Fatalf("cost %.1f way above noise floor %.1f (bad clustering)", cost, noiseFloor)
+	}
+	if res.Supersteps >= 50 {
+		t.Fatal("did not converge within the iteration budget")
+	}
+	// The shift series must reach ~zero.
+	shifts := res.ExtraSeries("shift")
+	if shifts[len(shifts)-1] > 1e-6 {
+		t.Fatalf("final shift %g", shifts[len(shifts)-1])
+	}
+}
+
+func TestOptimisticRecoveryReachesSameCost(t *testing.T) {
+	data := blobs(t)
+	baseline, err := Run(data, Options{Config: Config{K: 4, Parallelism: 4, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := failure.NewScripted(nil).At(1, 1)
+	res, err := Run(data, Options{
+		Config:   Config{K: 4, Parallelism: 4, Seed: 5},
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	// On well-separated blobs the re-seeded run lands in the same optimum.
+	if got, want := res.Model.Cost(), baseline.Model.Cost(); math.Abs(got-want) > want*0.05 {
+		t.Fatalf("post-failure cost %.2f vs failure-free %.2f", got, want)
+	}
+}
+
+func TestCheckpointRecovery(t *testing.T) {
+	data := blobs(t)
+	inj := failure.NewScripted(nil).At(1, 0)
+	res, err := Run(data, Options{
+		Config:   Config{K: 4, Parallelism: 4, Seed: 5},
+		Injector: inj,
+		Policy:   recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks <= res.Supersteps {
+		t.Fatal("rollback should add attempts")
+	}
+	noiseFloor := float64(len(data)) * 3 * 4.0
+	if cost := res.Model.Cost(); cost > noiseFloor*2 {
+		t.Fatalf("cost after rollback %.1f", cost)
+	}
+}
+
+func TestCompensationIsDeterministic(t *testing.T) {
+	data := blobs(t)
+	job, err := New(data, Config{K: 4, Parallelism: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := job.Centroids()
+	job.ClearPartitions([]int{0, 1, 2, 3})
+	if err := job.Compensate([]int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	after := job.Centroids()
+	for c := range before {
+		for i := range before[c] {
+			if before[c][i] != after[c][i] {
+				t.Fatal("compensation did not reproduce the seeded centroid")
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	data := blobs(t)
+	job, err := New(data, Config{K: 4, Parallelism: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := job.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := job.Cost()
+	if _, err := job.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.RestoreFrom(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Cost(); math.Abs(got-before) > 1e-9 {
+		t.Fatalf("restore changed cost: %g vs %g", got, before)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New([]Point{{1, 2}}, Config{K: 4}); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, err := New([]Point{{1, 2}, {3}, {4, 5}, {6, 7}}, Config{K: 2}); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+}
+
+func TestSyntheticBlobsShape(t *testing.T) {
+	data := SyntheticBlobs(100, 5, 2, 1, 3)
+	if len(data) != 100 || len(data[0]) != 2 {
+		t.Fatalf("blobs shape: %d x %d", len(data), len(data[0]))
+	}
+	again := SyntheticBlobs(100, 5, 2, 1, 3)
+	for i := range data {
+		for j := range data[i] {
+			if data[i][j] != again[i][j] {
+				t.Fatal("blobs not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package pagerank
+
+import (
+	"optiflow/internal/graph"
+)
+
+// Compensation restores a consistent rank state after the listed
+// partitions were lost and cleared. Consistent means: every vertex has
+// a rank and all ranks sum to one — from any such state the power
+// iteration converges to the correct result [14].
+type Compensation func(pr *PR, lost []int) error
+
+// UniformRedistribution is the paper's fix-ranks compensation
+// (§2.2.2): the lost probability mass is distributed uniformly over the
+// vertices of the failed partitions; survivors keep their ranks.
+func UniformRedistribution(pr *PR, lost []int) error {
+	surviving := pr.RankSum() // lost partitions are already cleared
+	lostCount := 0
+	for _, p := range lost {
+		lostCount += len(pr.owned[p])
+	}
+	if lostCount == 0 {
+		return nil
+	}
+	share := (1 - surviving) / float64(lostCount)
+	for _, p := range lost {
+		for _, v := range pr.owned[p] {
+			pr.ranks.Put(uint64(v), share)
+		}
+	}
+	return nil
+}
+
+// ResetAllUniform is a crude alternative compensation: forget all
+// progress and reset every vertex to 1/n. Trivially consistent, but it
+// discards the survivors' converged ranks — the ablation E8 quantifies
+// how many extra iterations that costs.
+func ResetAllUniform(pr *PR, _ []int) error {
+	n := float64(pr.g.NumVertices())
+	for _, v := range pr.g.Vertices() {
+		pr.ranks.Put(uint64(v), 1/n)
+	}
+	return nil
+}
+
+// ZeroFillRenormalize is another alternative: lost vertices restart at
+// rank zero and the surviving ranks are scaled up so the total mass is
+// one again. Lost vertices regain mass through incoming contributions
+// and the teleport term.
+func ZeroFillRenormalize(pr *PR, lost []int) error {
+	surviving := pr.RankSum()
+	if surviving <= 0 {
+		// Everything was lost; fall back to a uniform restart.
+		return ResetAllUniform(pr, lost)
+	}
+	scale := 1 / surviving
+	updates := make(map[graph.VertexID]float64, pr.g.NumVertices())
+	pr.ranks.Range(func(k uint64, v float64) bool {
+		updates[graph.VertexID(k)] = v * scale
+		return true
+	})
+	for v, r := range updates {
+		pr.ranks.Put(uint64(v), r)
+	}
+	for _, p := range lost {
+		for _, v := range pr.owned[p] {
+			pr.ranks.Put(uint64(v), 0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package ref provides sequential reference implementations used as
+// ground truth: the demo paper precomputes the true connected
+// components and PageRank values to plot "vertices converged to their
+// final value" per iteration (§3.2, footnote 4). The same references
+// verify that recovered executions converge to the correct result.
+package ref
+
+import (
+	"math"
+
+	"optiflow/internal/graph"
+)
+
+// ConnectedComponents computes, via union-find, the minimum vertex ID
+// of each vertex's connected component (interpreting edges as
+// undirected) — exactly the fixpoint of the min-label diffusion
+// algorithm the demo runs.
+func ConnectedComponents(g *graph.Graph) map[graph.VertexID]graph.VertexID {
+	parent := make(map[graph.VertexID]graph.VertexID, g.NumVertices())
+	for _, v := range g.Vertices() {
+		parent[v] = v
+	}
+	var find func(v graph.VertexID) graph.VertexID
+	find = func(v graph.VertexID) graph.VertexID {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b graph.VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Union by min keeps the root the component minimum.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	g.Edges(func(e graph.Edge) { union(e.Src, e.Dst) })
+
+	out := make(map[graph.VertexID]graph.VertexID, g.NumVertices())
+	for _, v := range g.Vertices() {
+		out[v] = find(v)
+	}
+	return out
+}
+
+// NumComponents counts distinct components in a labeling.
+func NumComponents(labels map[graph.VertexID]graph.VertexID) int {
+	set := make(map[graph.VertexID]struct{}, len(labels))
+	for _, c := range labels {
+		set[c] = struct{}{}
+	}
+	return len(set)
+}
+
+// PageRankOptions configure the reference power iteration.
+type PageRankOptions struct {
+	// Damping is the damping factor d (0.85 if zero).
+	Damping float64
+	// Epsilon terminates once the L1 delta drops below it (1e-12 if
+	// zero).
+	Epsilon float64
+	// MaxIterations bounds the power iteration (1000 if zero).
+	MaxIterations int
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-12
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	return o
+}
+
+// PageRank computes steady-state ranks by sequential power iteration
+// with uniform teleport and dangling-mass redistribution. Ranks sum to
+// one. It returns the ranks and the number of iterations used.
+func PageRank(g *graph.Graph, opts PageRankOptions) (map[graph.VertexID]float64, int) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return map[graph.VertexID]float64{}, 0
+	}
+	d := opts.Damping
+	base := (1 - d) / float64(n)
+
+	cur := make(map[graph.VertexID]float64, n)
+	for _, v := range g.Vertices() {
+		cur[v] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < opts.MaxIterations; iters++ {
+		next := make(map[graph.VertexID]float64, n)
+		dangling := 0.0
+		for _, v := range g.Vertices() {
+			deg := g.OutDegree(v)
+			if deg == 0 {
+				dangling += cur[v]
+				continue
+			}
+			// Out-edge weights define transition probabilities; with
+			// unit weights this is rank/outdegree per neighbor.
+			total := 0.0
+			g.OutEdges(v, func(_ graph.VertexID, w float64) { total += w })
+			g.OutEdges(v, func(dst graph.VertexID, w float64) {
+				next[dst] += cur[v] * w / total
+			})
+		}
+		share := dangling / float64(n)
+		l1 := 0.0
+		for _, v := range g.Vertices() {
+			nv := base + d*(next[v]+share)
+			l1 += math.Abs(nv - cur[v])
+			next[v] = nv
+		}
+		cur = next
+		if l1 < opts.Epsilon {
+			iters++
+			break
+		}
+	}
+	return cur, iters
+}
+
+// L1 returns the L1 distance between two rank vectors over the keys of
+// a (both vectors should share a key set).
+func L1(a, b map[graph.VertexID]float64) float64 {
+	sum := 0.0
+	for k, av := range a {
+		sum += math.Abs(av - b[k])
+	}
+	return sum
+}
+
+// Sum returns the total mass of a rank vector.
+func Sum(a map[graph.VertexID]float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package ref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+)
+
+// bfsComponents is an independent second implementation used to verify
+// the union-find reference.
+func bfsComponents(g *graph.Graph) map[graph.VertexID]graph.VertexID {
+	out := make(map[graph.VertexID]graph.VertexID, g.NumVertices())
+	visited := make(map[graph.VertexID]bool)
+	for _, start := range g.Vertices() {
+		if visited[start] {
+			continue
+		}
+		queue := []graph.VertexID{start}
+		visited[start] = true
+		members := []graph.VertexID{start}
+		min := start
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, n := range g.OutNeighbors(v) {
+				if !visited[n] {
+					visited[n] = true
+					queue = append(queue, n)
+					members = append(members, n)
+					if n < min {
+						min = n
+					}
+				}
+			}
+		}
+		for _, m := range members {
+			out[m] = min
+		}
+	}
+	return out
+}
+
+func TestUnionFindMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := gen.ErdosRenyi(50, 0.04, rng.Int63(), false)
+		uf := ConnectedComponents(g)
+		bfs := bfsComponents(g)
+		if len(uf) != len(bfs) {
+			t.Fatalf("trial %d: %d vs %d labels", trial, len(uf), len(bfs))
+		}
+		for v, w := range bfs {
+			if uf[v] != w {
+				t.Fatalf("trial %d: vertex %d: union-find %d, bfs %d", trial, v, uf[v], w)
+			}
+		}
+	}
+}
+
+func TestComponentLabelIsComponentMinimum(t *testing.T) {
+	g, _ := gen.Demo()
+	comps := ConnectedComponents(g)
+	if comps[5] != 1 || comps[9] != 8 || comps[15] != 13 {
+		t.Fatalf("labels: %v", comps)
+	}
+	if NumComponents(comps) != 3 {
+		t.Fatalf("components = %d", NumComponents(comps))
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.BarabasiAlbert(60, 2, seed, true)
+		ranks, _ := PageRank(g, PageRankOptions{MaxIterations: 50})
+		return math.Abs(Sum(ranks)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankUniformOnSymmetricGraph(t *testing.T) {
+	// On a ring every vertex is equivalent: ranks must be uniform.
+	b := graph.NewBuilder(true)
+	const n = 10
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	ranks, _ := PageRank(b.Build(), PageRankOptions{})
+	for v, r := range ranks {
+		if math.Abs(r-1.0/n) > 1e-9 {
+			t.Fatalf("vertex %d rank %g, want %g", v, r, 1.0/n)
+		}
+	}
+}
+
+func TestPageRankHubOutranksLeaves(t *testing.T) {
+	// A star pointing at vertex 0: the hub must dominate.
+	b := graph.NewBuilder(true)
+	for i := 1; i <= 20; i++ {
+		b.AddEdge(graph.VertexID(i), 0)
+	}
+	ranks, _ := PageRank(b.Build(), PageRankOptions{})
+	for i := 1; i <= 20; i++ {
+		if ranks[0] <= ranks[graph.VertexID(i)] {
+			t.Fatalf("hub rank %g not above leaf %g", ranks[0], ranks[graph.VertexID(i)])
+		}
+	}
+	if math.Abs(Sum(ranks)-1) > 1e-9 {
+		t.Fatalf("dangling hub broke mass conservation: %g", Sum(ranks))
+	}
+}
+
+func TestPageRankConvergesAndReportsIterations(t *testing.T) {
+	g := gen.Twitter(300, 5)
+	_, iters := PageRank(g, PageRankOptions{Epsilon: 1e-10})
+	if iters <= 1 || iters >= 1000 {
+		t.Fatalf("iterations = %d", iters)
+	}
+}
+
+func TestL1(t *testing.T) {
+	a := map[graph.VertexID]float64{1: 0.5, 2: 0.5}
+	b := map[graph.VertexID]float64{1: 0.25, 2: 0.75}
+	if got := L1(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("L1 = %g", got)
+	}
+}
+
+func TestShortestPathsMatchesBFSOnUnitWeights(t *testing.T) {
+	g := gen.Grid(6, 7)
+	dist := ShortestPaths(g, 0)
+	// Manhattan distance on a grid from corner 0.
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 7; c++ {
+			v := graph.VertexID(r*7 + c)
+			if want := float64(r + c); dist[v] != want {
+				t.Fatalf("vertex %d: dist %g, want %g", v, dist[v], want)
+			}
+		}
+	}
+}
+
+func TestShortestPathsWeighted(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddWeightedEdge(0, 1, 10)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(2, 1, 2)
+	b.AddVertex(9)
+	dist := ShortestPaths(b.Build(), 0)
+	if dist[1] != 3 || dist[2] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if !math.IsInf(dist[9], 1) {
+		t.Fatalf("unreachable vertex has dist %g", dist[9])
+	}
+}
+
+func TestShortestPathsUnknownSource(t *testing.T) {
+	g := gen.Chain(3)
+	dist := ShortestPaths(g, 99)
+	for v, d := range dist {
+		if !math.IsInf(d, 1) {
+			t.Fatalf("vertex %d reachable from missing source: %g", v, d)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package ref
+
+import (
+	"container/heap"
+	"math"
+
+	"optiflow/internal/graph"
+)
+
+// ShortestPaths computes single-source shortest path distances with
+// Dijkstra's algorithm (non-negative weights), the ground truth for the
+// SSSP extension. Unreached vertices map to +Inf.
+func ShortestPaths(g *graph.Graph, source graph.VertexID) map[graph.VertexID]float64 {
+	dist := make(map[graph.VertexID]float64, g.NumVertices())
+	for _, v := range g.Vertices() {
+		dist[v] = math.Inf(1)
+	}
+	if !g.HasVertex(source) {
+		return dist
+	}
+	dist[source] = 0
+	pq := &distHeap{{v: source, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		g.OutEdges(item.v, func(dst graph.VertexID, w float64) {
+			if nd := item.d + w; nd < dist[dst] {
+				dist[dst] = nd
+				heap.Push(pq, distItem{v: dst, d: nd})
+			}
+		})
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

@@ -1,0 +1,85 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/vertexcentric"
+)
+
+func requireDistancesEqual(t *testing.T, got, want map[graph.VertexID]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d distances, want %d", len(got), len(want))
+	}
+	for v, w := range want {
+		g := got[v]
+		if math.IsInf(w, 1) && math.IsInf(g, 1) {
+			continue
+		}
+		if math.Abs(g-w) > 1e-9 {
+			t.Fatalf("vertex %d: got distance %g, want %g", v, g, w)
+		}
+	}
+}
+
+func TestFailureFreeMatchesDijkstra(t *testing.T) {
+	g := gen.Grid(7, 9)
+	truth := ref.ShortestPaths(g, 0)
+	got, res, err := Run(g, 0, vertexcentric.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDistancesEqual(t, got, truth)
+	if res.Failures != 0 {
+		t.Fatalf("unexpected failures: %d", res.Failures)
+	}
+}
+
+func TestWeightedGraph(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(2, 1, 1)
+	b.AddWeightedEdge(1, 3, 1)
+	b.AddWeightedEdge(2, 3, 10)
+	g := b.Build()
+	got, _, err := Run(g, 0, vertexcentric.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDistancesEqual(t, got, map[graph.VertexID]float64{0: 0, 1: 2, 2: 1, 3: 3})
+}
+
+func TestOptimisticRecoveryConvergesToTrueDistances(t *testing.T) {
+	g := gen.Grid(8, 8)
+	truth := ref.ShortestPaths(g, 0)
+	inj := failure.NewScripted(nil).At(3, 1)
+	got, res, err := Run(g, 0, vertexcentric.Options{Parallelism: 4, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("expected 1 failure, got %d", res.Failures)
+	}
+	requireDistancesEqual(t, got, truth)
+}
+
+func TestRandomFailuresStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		g := gen.BarabasiAlbert(80, 2, rng.Int63(), false)
+		truth := ref.ShortestPaths(g, 0)
+		inj := failure.NewRandom(0.3, rng.Int63(), 2)
+		got, _, err := Run(g, 0, vertexcentric.Options{Parallelism: 4, Injector: inj})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		requireDistancesEqual(t, got, truth)
+	}
+}

@@ -1,0 +1,167 @@
+// Package checkpoint provides the stable-storage snapshot stores used
+// by the pessimistic rollback-recovery baseline (§2.2): an in-memory
+// store (checkpointing to a replicated peer) and an on-disk store
+// (checkpointing to a distributed file system). Both report how many
+// bytes they absorbed so experiment E6 can quantify the failure-free
+// overhead that optimistic recovery avoids.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is stable storage for iteration snapshots. Save replaces any
+// previous snapshot of the same job; Load returns the latest snapshot.
+type Store interface {
+	// Save persists the snapshot taken after the given superstep.
+	Save(job string, superstep int, data []byte) error
+	// Load returns the most recent snapshot and the superstep it was
+	// taken after. ok is false if no snapshot exists.
+	Load(job string) (data []byte, superstep int, ok bool, err error)
+	// BytesWritten returns the cumulative snapshot volume, a proxy for
+	// the checkpointing overhead.
+	BytesWritten() int64
+	// Saves returns how many snapshots were taken.
+	Saves() int
+}
+
+// MemoryStore keeps snapshots in process memory.
+type MemoryStore struct {
+	mu    sync.Mutex
+	snaps map[string]memSnap
+	bytes int64
+	saves int
+}
+
+type memSnap struct {
+	data      []byte
+	superstep int
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{snaps: make(map[string]memSnap)}
+}
+
+// Save implements Store.
+func (m *MemoryStore) Save(job string, superstep int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := append([]byte(nil), data...)
+	m.snaps[job] = memSnap{data: cp, superstep: superstep}
+	m.bytes += int64(len(data))
+	m.saves++
+	return nil
+}
+
+// Load implements Store.
+func (m *MemoryStore) Load(job string) ([]byte, int, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.snaps[job]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	return append([]byte(nil), s.data...), s.superstep, true, nil
+}
+
+// BytesWritten implements Store.
+func (m *MemoryStore) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Saves implements Store.
+func (m *MemoryStore) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}
+
+// DiskStore writes snapshots to files under a directory, syncing them
+// to disk like a write to a distributed file system would.
+type DiskStore struct {
+	dir   string
+	mu    sync.Mutex
+	bytes int64
+	saves int
+	sup   map[string]int
+}
+
+// NewDiskStore creates (if needed) and uses dir for snapshot files.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %v", dir, err)
+	}
+	return &DiskStore{dir: dir, sup: make(map[string]int)}, nil
+}
+
+func (d *DiskStore) path(job string) string {
+	return filepath.Join(d.dir, job+".ckpt")
+}
+
+// Save implements Store. The write is atomic (temp file + rename) and
+// synced.
+func (d *DiskStore) Save(job string, superstep int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, job+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %v", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: writing snapshot: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: syncing snapshot: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: closing snapshot: %v", err)
+	}
+	if err := os.Rename(name, d.path(job)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: publishing snapshot: %v", err)
+	}
+	d.bytes += int64(len(data))
+	d.saves++
+	d.sup[job] = superstep
+	return nil
+}
+
+// Load implements Store.
+func (d *DiskStore) Load(job string) ([]byte, int, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := os.ReadFile(d.path(job))
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("checkpoint: reading snapshot: %v", err)
+	}
+	return data, d.sup[job], true, nil
+}
+
+// BytesWritten implements Store.
+func (d *DiskStore) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Saves implements Store.
+func (d *DiskStore) Saves() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.saves
+}

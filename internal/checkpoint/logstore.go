@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// LogStore persists a snapshot chain for delta-log checkpointing: one
+// base snapshot plus an ordered list of deltas. Replaying the deltas
+// onto the base reproduces the state at the last checkpoint.
+type LogStore interface {
+	// SaveBase replaces the chain with a fresh base snapshot (taken
+	// after the given superstep) and discards all deltas (compaction).
+	SaveBase(job string, superstep int, data []byte) error
+	// AppendDelta appends one delta taken after the given superstep.
+	AppendDelta(job string, superstep int, data []byte) error
+	// LoadChain returns the base, the ordered deltas, and the superstep
+	// of the newest element. ok is false if no base exists.
+	LoadChain(job string) (base []byte, deltas [][]byte, superstep int, ok bool, err error)
+	// DeltaCount returns the current chain length (deltas only).
+	DeltaCount(job string) int
+	// BytesWritten returns the cumulative snapshot volume.
+	BytesWritten() int64
+	// Saves returns the number of base + delta writes.
+	Saves() int
+}
+
+// MemoryLogStore keeps snapshot chains in process memory.
+type MemoryLogStore struct {
+	mu     sync.Mutex
+	chains map[string]*memChain
+	bytes  int64
+	saves  int
+}
+
+type memChain struct {
+	base      []byte
+	deltas    [][]byte
+	superstep int
+}
+
+// NewMemoryLogStore returns an empty in-memory log store.
+func NewMemoryLogStore() *MemoryLogStore {
+	return &MemoryLogStore{chains: make(map[string]*memChain)}
+}
+
+// SaveBase implements LogStore.
+func (m *MemoryLogStore) SaveBase(job string, superstep int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.chains[job] = &memChain{base: append([]byte(nil), data...), superstep: superstep}
+	m.bytes += int64(len(data))
+	m.saves++
+	return nil
+}
+
+// AppendDelta implements LogStore.
+func (m *MemoryLogStore) AppendDelta(job string, superstep int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.chains[job]
+	if !ok {
+		return fmt.Errorf("checkpoint: no base snapshot for %q", job)
+	}
+	c.deltas = append(c.deltas, append([]byte(nil), data...))
+	c.superstep = superstep
+	m.bytes += int64(len(data))
+	m.saves++
+	return nil
+}
+
+// LoadChain implements LogStore.
+func (m *MemoryLogStore) LoadChain(job string) ([]byte, [][]byte, int, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.chains[job]
+	if !ok {
+		return nil, nil, 0, false, nil
+	}
+	deltas := make([][]byte, len(c.deltas))
+	for i, d := range c.deltas {
+		deltas[i] = append([]byte(nil), d...)
+	}
+	return append([]byte(nil), c.base...), deltas, c.superstep, true, nil
+}
+
+// DeltaCount implements LogStore.
+func (m *MemoryLogStore) DeltaCount(job string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.chains[job]; ok {
+		return len(c.deltas)
+	}
+	return 0
+}
+
+// BytesWritten implements LogStore.
+func (m *MemoryLogStore) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Saves implements LogStore.
+func (m *MemoryLogStore) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}
+
+// DiskLogStore persists snapshot chains as files: job.base plus
+// job.delta-N, all synced.
+type DiskLogStore struct {
+	dir   string
+	mu    sync.Mutex
+	bytes int64
+	saves int
+	super map[string]int
+	count map[string]int
+}
+
+// NewDiskLogStore creates (if needed) and uses dir.
+func NewDiskLogStore(dir string) (*DiskLogStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %v", dir, err)
+	}
+	return &DiskLogStore{dir: dir, super: make(map[string]int), count: make(map[string]int)}, nil
+}
+
+func (d *DiskLogStore) write(path string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "log-tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// SaveBase implements LogStore.
+func (d *DiskLogStore) SaveBase(job string, superstep int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Compaction: drop the old chain.
+	for i := 0; i < d.count[job]; i++ {
+		os.Remove(filepath.Join(d.dir, fmt.Sprintf("%s.delta-%d", job, i)))
+	}
+	d.count[job] = 0
+	if err := d.write(filepath.Join(d.dir, job+".base"), data); err != nil {
+		return fmt.Errorf("checkpoint: writing base of %q: %v", job, err)
+	}
+	d.super[job] = superstep
+	d.bytes += int64(len(data))
+	d.saves++
+	return nil
+}
+
+// AppendDelta implements LogStore.
+func (d *DiskLogStore) AppendDelta(job string, superstep int, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := os.Stat(filepath.Join(d.dir, job+".base")); err != nil {
+		return fmt.Errorf("checkpoint: no base snapshot for %q", job)
+	}
+	n := d.count[job]
+	if err := d.write(filepath.Join(d.dir, fmt.Sprintf("%s.delta-%d", job, n)), data); err != nil {
+		return fmt.Errorf("checkpoint: writing delta %d of %q: %v", n, job, err)
+	}
+	d.count[job] = n + 1
+	d.super[job] = superstep
+	d.bytes += int64(len(data))
+	d.saves++
+	return nil
+}
+
+// LoadChain implements LogStore.
+func (d *DiskLogStore) LoadChain(job string) ([]byte, [][]byte, int, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base, err := os.ReadFile(filepath.Join(d.dir, job+".base"))
+	if os.IsNotExist(err) {
+		return nil, nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, nil, 0, false, fmt.Errorf("checkpoint: reading base of %q: %v", job, err)
+	}
+	deltas := make([][]byte, 0, d.count[job])
+	for i := 0; i < d.count[job]; i++ {
+		data, err := os.ReadFile(filepath.Join(d.dir, fmt.Sprintf("%s.delta-%d", job, i)))
+		if err != nil {
+			return nil, nil, 0, false, fmt.Errorf("checkpoint: reading delta %d of %q: %v", i, job, err)
+		}
+		deltas = append(deltas, data)
+	}
+	return base, deltas, d.super[job], true, nil
+}
+
+// DeltaCount implements LogStore.
+func (d *DiskLogStore) DeltaCount(job string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count[job]
+}
+
+// BytesWritten implements LogStore.
+func (d *DiskLogStore) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Saves implements LogStore.
+func (d *DiskLogStore) Saves() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.saves
+}

@@ -1,0 +1,123 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPartStore(t *testing.T, s PartStore) {
+	t.Helper()
+	if got, err := s.LoadPartitions("job"); err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	for p := 0; p < 3; p++ {
+		if err := s.SavePartition("job", p, 0, []byte(fmt.Sprintf("part-%d-v0", p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace one partition.
+	if err := s.SavePartition("job", 1, 4, []byte("part-1-v4")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadPartitions("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d partitions", len(got))
+	}
+	if string(got[0]) != "part-0-v0" || string(got[1]) != "part-1-v4" || string(got[2]) != "part-2-v0" {
+		t.Fatalf("blobs: %q %q %q", got[0], got[1], got[2])
+	}
+	// Other jobs are isolated.
+	if err := s.SavePartition("other", 0, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.LoadPartitions("job")
+	if len(got) != 3 {
+		t.Fatal("jobs collided")
+	}
+	if s.Saves() != 5 {
+		t.Fatalf("saves = %d", s.Saves())
+	}
+}
+
+func TestMemoryPartStore(t *testing.T) {
+	testPartStore(t, NewMemoryStore())
+}
+
+func TestDiskPartStore(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPartStore(t, s)
+}
+
+func testLogStore(t *testing.T, s LogStore) {
+	t.Helper()
+	if _, _, _, ok, err := s.LoadChain("job"); ok || err != nil {
+		t.Fatalf("empty chain: %v %v", ok, err)
+	}
+	// Appending without a base must fail.
+	if err := s.AppendDelta("job", 0, []byte("d0")); err == nil {
+		t.Fatal("delta without base accepted")
+	}
+	if err := s.SaveBase("job", -1, []byte("base-a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.AppendDelta("job", i, []byte(fmt.Sprintf("d%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, deltas, sup, ok, err := s.LoadChain("job")
+	if err != nil || !ok || sup != 2 {
+		t.Fatalf("chain: %v %v %v", sup, ok, err)
+	}
+	if string(base) != "base-a" || len(deltas) != 3 || string(deltas[2]) != "d2" {
+		t.Fatalf("chain content: %q %v", base, deltas)
+	}
+	if s.DeltaCount("job") != 3 {
+		t.Fatalf("delta count = %d", s.DeltaCount("job"))
+	}
+	// Compaction replaces the chain.
+	if err := s.SaveBase("job", 5, []byte("base-b")); err != nil {
+		t.Fatal(err)
+	}
+	base, deltas, sup, ok, err = s.LoadChain("job")
+	if err != nil || !ok || sup != 5 || string(base) != "base-b" || len(deltas) != 0 {
+		t.Fatalf("after compaction: %q %v %d %v %v", base, deltas, sup, ok, err)
+	}
+	if s.DeltaCount("job") != 0 {
+		t.Fatal("compaction kept deltas")
+	}
+	if s.BytesWritten() == 0 || s.Saves() != 5 {
+		t.Fatalf("accounting: %d bytes, %d saves", s.BytesWritten(), s.Saves())
+	}
+}
+
+func TestMemoryLogStore(t *testing.T) {
+	testLogStore(t, NewMemoryLogStore())
+}
+
+func TestDiskLogStore(t *testing.T) {
+	s, err := NewDiskLogStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testLogStore(t, s)
+}
+
+func TestMemoryLogStoreCopiesData(t *testing.T) {
+	s := NewMemoryLogStore()
+	buf := []byte("mutable")
+	if err := s.SaveBase("job", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	base, _, _, _, _ := s.LoadChain("job")
+	if string(base) != "mutable" {
+		t.Fatal("log store aliased caller buffer")
+	}
+}

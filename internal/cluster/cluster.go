@@ -1,0 +1,111 @@
+// Package cluster models the machines of a dataflow deployment: a set
+// of workers that own the partitions of the iteration state. Failing a
+// worker loses every partition it owns; recovery "re-assigns the lost
+// computations to newly acquired nodes" (§2.2) by provisioning a fresh
+// worker and handing it the orphaned partitions.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster tracks worker liveness and partition ownership.
+type Cluster struct {
+	alive      map[int]bool
+	owner      []int // partition -> worker
+	nextWorker int
+	events     []Event
+}
+
+// Event records a membership change, for demo narration and tests.
+type Event struct {
+	Kind       string // "fail" | "acquire"
+	Worker     int
+	Partitions []int
+}
+
+// New creates a cluster of numWorkers workers owning numPartitions
+// partitions round-robin. numWorkers must be >= 1 and <= numPartitions
+// is not required (workers may own zero partitions).
+func New(numWorkers, numPartitions int) *Cluster {
+	if numWorkers < 1 {
+		panic(fmt.Sprintf("cluster: need at least one worker, got %d", numWorkers))
+	}
+	if numPartitions < 1 {
+		panic(fmt.Sprintf("cluster: need at least one partition, got %d", numPartitions))
+	}
+	c := &Cluster{alive: make(map[int]bool), owner: make([]int, numPartitions), nextWorker: numWorkers}
+	for w := 0; w < numWorkers; w++ {
+		c.alive[w] = true
+	}
+	for p := 0; p < numPartitions; p++ {
+		c.owner[p] = p % numWorkers
+	}
+	return c
+}
+
+// NumPartitions returns the partition count.
+func (c *Cluster) NumPartitions() int { return len(c.owner) }
+
+// Workers returns the sorted IDs of live workers.
+func (c *Cluster) Workers() []int {
+	ws := make([]int, 0, len(c.alive))
+	for w, ok := range c.alive {
+		if ok {
+			ws = append(ws, w)
+		}
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+// Owner returns the worker owning partition p.
+func (c *Cluster) Owner(p int) int { return c.owner[p] }
+
+// PartitionsOf returns the sorted partitions owned by worker w.
+func (c *Cluster) PartitionsOf(w int) []int {
+	var ps []int
+	for p, o := range c.owner {
+		if o == w {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// IsAlive reports whether worker w is live.
+func (c *Cluster) IsAlive(w int) bool { return c.alive[w] }
+
+// Fail kills worker w and returns the partitions it owned (now lost).
+// Failing an unknown or dead worker returns nil.
+func (c *Cluster) Fail(w int) []int {
+	if !c.alive[w] {
+		return nil
+	}
+	delete(c.alive, w)
+	lost := c.PartitionsOf(w)
+	c.events = append(c.events, Event{Kind: "fail", Worker: w, Partitions: lost})
+	return lost
+}
+
+// Acquire provisions a fresh worker and assigns it every orphaned
+// partition (partitions whose owner is dead), returning the new
+// worker's ID and the partitions it received. This mirrors the paper's
+// re-assignment to newly acquired nodes.
+func (c *Cluster) Acquire() (worker int, adopted []int) {
+	w := c.nextWorker
+	c.nextWorker++
+	c.alive[w] = true
+	for p, o := range c.owner {
+		if !c.alive[o] {
+			c.owner[p] = w
+			adopted = append(adopted, p)
+		}
+	}
+	c.events = append(c.events, Event{Kind: "acquire", Worker: w, Partitions: adopted})
+	return w, adopted
+}
+
+// Events returns the membership change log.
+func (c *Cluster) Events() []Event { return c.events }

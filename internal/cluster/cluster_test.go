@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRoundRobinOwnership(t *testing.T) {
+	c := New(3, 7)
+	if c.NumPartitions() != 7 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+	if got := c.Workers(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("workers = %v", got)
+	}
+	if got := c.PartitionsOf(0); !reflect.DeepEqual(got, []int{0, 3, 6}) {
+		t.Fatalf("partitions of 0 = %v", got)
+	}
+	if got := c.PartitionsOf(2); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Fatalf("partitions of 2 = %v", got)
+	}
+	if c.Owner(4) != 1 {
+		t.Fatalf("owner(4) = %d", c.Owner(4))
+	}
+}
+
+func TestFailAndAcquire(t *testing.T) {
+	c := New(2, 4)
+	lost := c.Fail(1)
+	if !reflect.DeepEqual(lost, []int{1, 3}) {
+		t.Fatalf("lost = %v", lost)
+	}
+	if c.IsAlive(1) {
+		t.Fatal("worker 1 still alive")
+	}
+	if got := c.Workers(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("workers = %v", got)
+	}
+
+	// A fresh worker adopts the orphans.
+	w, adopted := c.Acquire()
+	if w != 2 {
+		t.Fatalf("new worker id = %d", w)
+	}
+	if !reflect.DeepEqual(adopted, []int{1, 3}) {
+		t.Fatalf("adopted = %v", adopted)
+	}
+	if c.Owner(1) != 2 || c.Owner(3) != 2 {
+		t.Fatal("ownership not transferred")
+	}
+	if got := c.Workers(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("workers = %v", got)
+	}
+}
+
+func TestFailDeadWorkerIsNoop(t *testing.T) {
+	c := New(2, 2)
+	c.Fail(0)
+	if lost := c.Fail(0); lost != nil {
+		t.Fatalf("double fail returned %v", lost)
+	}
+	if lost := c.Fail(99); lost != nil {
+		t.Fatalf("unknown worker fail returned %v", lost)
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	c := New(2, 2)
+	c.Fail(0)
+	c.Acquire()
+	ev := c.Events()
+	if len(ev) != 2 || ev[0].Kind != "fail" || ev[1].Kind != "acquire" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if ev[0].Worker != 0 || ev[1].Worker != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestAllWorkersCanFailAndRecover(t *testing.T) {
+	c := New(3, 6)
+	for w := 0; w < 3; w++ {
+		c.Fail(w)
+	}
+	if len(c.Workers()) != 0 {
+		t.Fatal("workers should all be dead")
+	}
+	_, adopted := c.Acquire()
+	if len(adopted) != 6 {
+		t.Fatalf("fresh worker adopted %d partitions, want all 6", len(adopted))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ w, p int }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d, %d) should panic", tc.w, tc.p)
+				}
+			}()
+			New(tc.w, tc.p)
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func noopSource(int, int, Emit) error { return nil }
+func noopSink(int, any) error         { return nil }
+func identKey(r any) uint64           { return r.(uint64) }
+
+func TestBuilderWiring(t *testing.T) {
+	p := NewPlan("wiring")
+	src := p.Source("src", noopSource)
+	mapped := src.Map("double", func(r any) any { return r.(uint64) * 2 })
+	red := mapped.ReduceBy("sum", identKey, func(_ uint64, _ []any, _ Emit) {})
+	red.Sink("out", noopSink)
+
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 4 {
+		t.Fatalf("plan has %d nodes, want 4", len(p.Nodes))
+	}
+	if got := red.Node().InExchange[0]; got != ExHash {
+		t.Fatalf("reduce input exchange = %v, want hash", got)
+	}
+	if got := mapped.Node().InExchange[0]; got != ExForward {
+		t.Fatalf("map input exchange = %v, want forward", got)
+	}
+	if p.NodeByName("double") != mapped.Node() {
+		t.Fatal("NodeByName lookup broken")
+	}
+}
+
+func TestValidateCatchesMissingUDFs(t *testing.T) {
+	cases := []func(p *Plan){
+		func(p *Plan) { p.Source("s", nil).Sink("k", noopSink) },
+		func(p *Plan) {
+			n := p.Source("s", noopSource).Map("m", func(r any) any { return r })
+			n.Node().MapFn = nil
+			n.Sink("k", noopSink)
+		},
+		func(p *Plan) {
+			d := p.Source("s", noopSource)
+			d.ReduceBy("r", nil, func(uint64, []any, Emit) {}).Sink("k", noopSink)
+		},
+	}
+	for i, build := range cases {
+		p := NewPlan("bad")
+		build(p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted an invalid plan", i)
+		}
+	}
+}
+
+func TestValidateRequiresSink(t *testing.T) {
+	p := NewPlan("sinkless")
+	p.Source("s", noopSource)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no sink") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate operator name must panic")
+		}
+	}()
+	p := NewPlan("dup")
+	p.Source("same", noopSource)
+	p.Source("same", noopSource)
+}
+
+func TestAutoNames(t *testing.T) {
+	p := NewPlan("auto")
+	d := p.Source("", noopSource)
+	if d.Node().Name == "" {
+		t.Fatal("auto name missing")
+	}
+}
+
+func TestEdgeNames(t *testing.T) {
+	p := NewPlan("edges")
+	a := p.Source("a", noopSource)
+	b := p.Source("b", noopSource)
+	j := a.Join("j", b, identKey, identKey, JoinInner, func(any, any, Emit) {})
+	j.Sink("k", noopSink)
+
+	cons := p.Consumers()
+	aEdges := cons[a.Node().ID]
+	if len(aEdges) != 1 || EdgeName(a.Node(), aEdges[0]) != "a->j#0" {
+		t.Fatalf("edge name = %q", EdgeName(a.Node(), aEdges[0]))
+	}
+	bEdges := cons[b.Node().ID]
+	if EdgeName(b.Node(), bEdges[0]) != "b->j#1" {
+		t.Fatalf("edge name = %q", EdgeName(b.Node(), bEdges[0]))
+	}
+	jEdges := cons[j.Node().ID]
+	if EdgeName(j.Node(), jEdges[0]) != "j->k" {
+		t.Fatalf("edge name = %q", EdgeName(j.Node(), jEdges[0]))
+	}
+}
+
+func TestMarkCompensation(t *testing.T) {
+	p := NewPlan("comp")
+	src := p.Source("labels", noopSource)
+	fix := src.Map("fix", func(r any) any { return r })
+	fix.Sink("restored", noopSink)
+	p.MarkCompensation("fix")
+	if !p.NodeByName("fix").Compensation {
+		t.Fatal("compensation flag not set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("marking unknown node must panic")
+		}
+	}()
+	p.MarkCompensation("missing")
+}
+
+func TestExplainShape(t *testing.T) {
+	p := NewPlan("explainable")
+	ws := p.Source("workset", noopSource)
+	red := ws.ReduceBy("candidate", identKey, func(uint64, []any, Emit) {})
+	lu := red.LookupJoin("update", "labels", identKey,
+		func(int, int) Table { return nil },
+		func(any, Table, Emit) {})
+	lu.Sink("out", noopSink)
+	fix := ws.Map("fix-things", func(r any) any { return r })
+	fix.Sink("restored", noopSink)
+	p.MarkCompensation("fix-things")
+
+	out := p.Explain()
+	for _, want := range []string{
+		`Plan "explainable"`,
+		"workset (Source)",
+		"candidate (Reduce)",
+		"update (Join)", // lookup joins render as joins, like Fig. 1
+		"<table> labels (indexed)",
+		"[compensation: invoked only after failures]",
+		"<-[hash]",
+		"<-[forward]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	if out != p.Explain() {
+		t.Fatal("Explain not deterministic")
+	}
+}
+
+func TestDotShape(t *testing.T) {
+	p := NewPlan("dotted")
+	src := p.Source("ranks", noopSource)
+	fix := src.Map("fix-ranks", func(r any) any { return r })
+	fix.Sink("restored", noopSink)
+	src.Map("step", func(r any) any { return r }).Sink("out", noopSink)
+	p.MarkCompensation("fix-ranks")
+
+	dot := p.Dot()
+	for _, want := range []string{"digraph", "fix-ranks", "dotted", "ellipse", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestUnionAndPartitionByWiring(t *testing.T) {
+	p := NewPlan("union")
+	a := p.Source("a", noopSource)
+	b := p.Source("b", noopSource)
+	u := a.Union("both", b)
+	routed := u.PartitionBy("route", identKey)
+	rebal := routed.Rebalance("spread")
+	rebal.Sink("out", noopSink)
+
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := routed.Node().InExchange[0]; got != ExHash {
+		t.Fatalf("PartitionBy exchange = %v", got)
+	}
+	if got := rebal.Node().InExchange[0]; got != ExRebalance {
+		t.Fatalf("Rebalance exchange = %v", got)
+	}
+	if len(u.Node().Inputs) != 2 {
+		t.Fatal("union should have two inputs")
+	}
+}
+
+func TestHashExchangeRequiresKey(t *testing.T) {
+	p := NewPlan("nokey")
+	src := p.Source("s", noopSource)
+	red := src.ReduceBy("r", identKey, func(uint64, []any, Emit) {})
+	red.Node().InKeys[0] = nil
+	red.Sink("k", noopSink)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "key function") {
+		t.Fatalf("err = %v", err)
+	}
+}

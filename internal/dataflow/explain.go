@@ -1,0 +1,89 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the plan as an indented operator tree annotated with
+// exchange patterns, table sides of lookup joins, and compensation
+// markers — the textual equivalent of the dataflow diagrams in Fig. 1
+// of the paper. The output is deterministic.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan %q\n", p.Name)
+	consumers := p.Consumers()
+
+	// Roots for rendering are the sinks; walk upstream.
+	var sinks []*Node
+	for _, n := range p.Nodes {
+		if n.Kind == KindSink {
+			sinks = append(sinks, n)
+		}
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i].ID < sinks[j].ID })
+
+	printed := make(map[int]bool)
+	var walk func(n *Node, depth int, via string)
+	walk = func(n *Node, depth int, via string) {
+		indent := strings.Repeat("  ", depth)
+		marker := ""
+		if n.Compensation {
+			marker = "  [compensation: invoked only after failures]"
+		}
+		shared := ""
+		if printed[n.ID] && len(consumers[n.ID]) > 1 {
+			shared = " (shared)"
+		}
+		fmt.Fprintf(&b, "%s%s%s (%s)%s%s\n", indent, via, n.Name, n.Kind, marker, shared)
+		if printed[n.ID] {
+			return
+		}
+		printed[n.ID] = true
+		if n.Kind == KindLookup && n.tableLabel != "" {
+			fmt.Fprintf(&b, "%s  <table> %s (indexed)\n", indent, n.tableLabel)
+		}
+		for i, in := range n.Inputs {
+			walk(in, depth+1, fmt.Sprintf("<-[%s] ", n.InExchange[i]))
+		}
+	}
+	for _, s := range sinks {
+		walk(s, 1, "")
+	}
+	return b.String()
+}
+
+// Dot renders the plan in Graphviz dot syntax: operators as boxes,
+// sources as ellipses, compensation functions as dotted brown boxes —
+// matching the visual language of Fig. 1.
+func (p *Plan) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n", p.Name)
+	nodes := append([]*Node(nil), p.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		shape := "box"
+		style := "filled"
+		color := "lightblue"
+		switch {
+		case n.Kind == KindSource:
+			shape, color = "ellipse", "white"
+		case n.Compensation:
+			style, color = `"filled,dotted"`, "tan"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n(%s)\" shape=%s style=%s fillcolor=%s];\n",
+			n.ID, n.Name, n.Kind, shape, style, color)
+		if n.Kind == KindLookup && n.tableLabel != "" {
+			fmt.Fprintf(&b, "  t%d [label=%q shape=ellipse style=filled fillcolor=white];\n", n.ID, n.tableLabel)
+			fmt.Fprintf(&b, "  t%d -> n%d [style=dashed label=\"indexed\"];\n", n.ID, n.ID)
+		}
+	}
+	for _, n := range nodes {
+		for i, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", in.ID, n.ID, n.InExchange[i].String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"fmt"
+)
+
+// Optimize returns a plan in which chains of record-at-a-time operators
+// (Map, Filter, FlatMap) connected by forward exchanges are fused into
+// single operators — Flink's operator chaining. Fusing removes the
+// goroutines and channel hops between chained operators without
+// changing results; the engine can apply it transparently
+// (exec.Engine.Fuse).
+//
+// A pair (up, down) fuses iff up is a Map/Filter/FlatMap with exactly
+// one consumer, down is a Map/Filter/FlatMap, the connecting exchange
+// is forward, and neither is a compensation node.
+func Optimize(p *Plan) *Plan {
+	consumers := p.Consumers()
+
+	fusable := func(n *Node) bool {
+		if n.Compensation {
+			return false
+		}
+		switch n.Kind {
+		case KindMap, KindFilter, KindFlatMap:
+			return true
+		}
+		return false
+	}
+
+	// For each fusable node whose single input is a fusable node with a
+	// single consumer over a forward edge, record the merge.
+	mergedInto := make(map[int]*Node) // upstream ID -> downstream node
+	for _, n := range p.Nodes {
+		if !fusable(n) || len(n.Inputs) != 1 || n.InExchange[0] != ExForward {
+			continue
+		}
+		up := n.Inputs[0]
+		if fusable(up) && len(consumers[up.ID]) == 1 {
+			mergedInto[up.ID] = n
+		}
+	}
+	if len(mergedInto) == 0 {
+		return p
+	}
+
+	// chainHead finds the first node of the chain ending in n.
+	inChain := make(map[int]bool)
+	for id := range mergedInto {
+		inChain[id] = true
+	}
+
+	out := NewPlan(p.Name)
+	rebuilt := make(map[int]*Node, len(p.Nodes))
+	var rebuild func(n *Node) *Node
+	rebuild = func(n *Node) *Node {
+		if r, ok := rebuilt[n.ID]; ok {
+			return r
+		}
+		if inChain[n.ID] {
+			// Handled as part of its downstream chain end.
+			panic(fmt.Sprintf("dataflow: optimize: node %q visited as chain interior", n.Name))
+		}
+		clone := *n
+		// Collect the chain of merged upstream nodes feeding this node.
+		var chain []*Node
+		cur := n
+		for len(cur.Inputs) == 1 && mergedInto[cur.Inputs[0].ID] == cur {
+			cur = cur.Inputs[0]
+			chain = append([]*Node{cur}, chain...)
+		}
+		if len(chain) > 0 {
+			chain = append(chain, n)
+			clone = fuseChain(chain)
+			// The fused node consumes what the chain head consumed.
+			head := chain[0]
+			clone.Inputs = head.Inputs
+			clone.InExchange = head.InExchange
+			clone.InKeys = head.InKeys
+		}
+		// Recurse into (possibly re-pointed) inputs.
+		newInputs := make([]*Node, len(clone.Inputs))
+		for i, in := range clone.Inputs {
+			newInputs[i] = rebuild(in)
+		}
+		clone.Inputs = newInputs
+		added := out.add(&clone)
+		rebuilt[n.ID] = added
+		return added
+	}
+
+	for _, n := range p.Nodes {
+		if inChain[n.ID] {
+			continue
+		}
+		rebuild(n)
+	}
+	return out
+}
+
+// fuseChain combines 2+ record-at-a-time nodes into one FlatMap whose
+// UDF is the composition of the chain.
+func fuseChain(chain []*Node) Node {
+	name := chain[0].Name
+	fn := asFlatMap(chain[0])
+	for _, n := range chain[1:] {
+		name += "+" + n.Name
+		up, down := fn, asFlatMap(n)
+		fn = func(rec any, emit Emit) {
+			up(rec, func(mid any) { down(mid, emit) })
+		}
+	}
+	return Node{
+		Name:       name,
+		Kind:       KindFlatMap,
+		FlatMap:    fn,
+		Inputs:     chain[0].Inputs,
+		InExchange: chain[0].InExchange,
+		InKeys:     chain[0].InKeys,
+	}
+}
+
+func asFlatMap(n *Node) FlatMapFunc {
+	switch n.Kind {
+	case KindMap:
+		fn := n.MapFn
+		return func(rec any, emit Emit) { emit(fn(rec)) }
+	case KindFilter:
+		fn := n.Filter
+		return func(rec any, emit Emit) {
+			if fn(rec) {
+				emit(rec)
+			}
+		}
+	case KindFlatMap:
+		return n.FlatMap
+	default:
+		panic(fmt.Sprintf("dataflow: cannot fuse %s operator %q", n.Kind, n.Name))
+	}
+}

@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildFusablePlan() *Plan {
+	p := NewPlan("fusable")
+	p.Source("src", noopSource).
+		Map("double", func(r any) any { return r.(uint64) * 2 }).
+		Filter("keep-small", func(r any) bool { return r.(uint64) < 100 }).
+		FlatMap("dup", func(r any, emit Emit) { emit(r); emit(r) }).
+		Sink("out", noopSink)
+	return p
+}
+
+func TestOptimizeFusesForwardChains(t *testing.T) {
+	p := buildFusablePlan()
+	opt := Optimize(p)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// src + fused(double+keep-small+dup) + sink = 3 nodes.
+	if len(opt.Nodes) != 3 {
+		t.Fatalf("optimized plan has %d nodes, want 3:\n%s", len(opt.Nodes), opt.Explain())
+	}
+	fused := opt.NodeByName("double+keep-small+dup")
+	if fused == nil || fused.Kind != KindFlatMap {
+		t.Fatalf("fused node missing:\n%s", opt.Explain())
+	}
+	// The fused UDF composes all three.
+	var got []uint64
+	fused.FlatMap(uint64(7), func(rec any) { got = append(got, rec.(uint64)) })
+	if len(got) != 2 || got[0] != 14 || got[1] != 14 {
+		t.Fatalf("fused(7) = %v, want [14 14]", got)
+	}
+	var dropped []uint64
+	fused.FlatMap(uint64(60), func(rec any) { dropped = append(dropped, rec.(uint64)) })
+	if len(dropped) != 0 {
+		t.Fatalf("fused(60) = %v, want filtered out", dropped)
+	}
+}
+
+func TestOptimizeLeavesShuffleBoundaries(t *testing.T) {
+	p := NewPlan("shuffled")
+	p.Source("src", noopSource).
+		Map("pre", func(r any) any { return r }).
+		ReduceBy("group", identKey, func(_ uint64, _ []any, emit Emit) {}).
+		Map("post", func(r any) any { return r }).
+		Map("post2", func(r any) any { return r }).
+		Sink("out", noopSink)
+	opt := Optimize(p)
+	if opt.NodeByName("group") == nil {
+		t.Fatal("reduce fused away")
+	}
+	if opt.NodeByName("post+post2") == nil {
+		t.Fatalf("post-shuffle maps not fused:\n%s", opt.Explain())
+	}
+	// "pre" feeds a hash edge: it stays separate.
+	if opt.NodeByName("pre") == nil {
+		t.Fatalf("pre-shuffle map should survive:\n%s", opt.Explain())
+	}
+}
+
+func TestOptimizeRespectsFanOut(t *testing.T) {
+	p := NewPlan("fanout")
+	src := p.Source("src", noopSource)
+	shared := src.Map("shared", func(r any) any { return r })
+	shared.Map("a", func(r any) any { return r }).Sink("outA", noopSink)
+	shared.Map("b", func(r any) any { return r }).Sink("outB", noopSink)
+	opt := Optimize(p)
+	// "shared" has two consumers and must not be fused into either.
+	if opt.NodeByName("shared") == nil {
+		t.Fatalf("shared node fused despite fan-out:\n%s", opt.Explain())
+	}
+}
+
+func TestOptimizeSkipsCompensation(t *testing.T) {
+	p := NewPlan("comp")
+	src := p.Source("src", noopSource)
+	fix := src.Map("fix", func(r any) any { return r })
+	fix.Map("after", func(r any) any { return r }).Sink("restored", noopSink)
+	src.Sink("out", noopSink)
+	p.MarkCompensation("fix")
+	opt := Optimize(p)
+	n := opt.NodeByName("fix")
+	if n == nil || !n.Compensation {
+		t.Fatalf("compensation node lost or unfused incorrectly:\n%s", opt.Explain())
+	}
+}
+
+func TestOptimizeNoopWithoutChains(t *testing.T) {
+	p := NewPlan("plain")
+	p.Source("src", noopSource).Sink("out", noopSink)
+	if opt := Optimize(p); opt != p {
+		t.Fatal("plan without chains should be returned unchanged")
+	}
+}
+
+func TestOptimizePreservesExplainability(t *testing.T) {
+	opt := Optimize(buildFusablePlan())
+	if !strings.Contains(opt.Explain(), "double+keep-small+dup") {
+		t.Fatalf("explain:\n%s", opt.Explain())
+	}
+}

@@ -1,0 +1,153 @@
+package demoapp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTMLReport renders a completed demo run as a self-contained HTML
+// page: the summary, the two statistics panes as SVG, and every
+// iteration frame with its ANSI colors converted to styled spans — a
+// shareable record of what the GUI showed.
+func (o *RunOutcome) HTMLReport() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>optiflow demo — %s</title>\n", htmlEscape(o.Config.Mode.String()))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 980px; margin: 2em auto; color: #222; }
+pre { background: #1c1c1c; color: #e8e8e8; padding: 12px; border-radius: 6px; overflow-x: auto; line-height: 1.25; }
+.frame { margin-bottom: 1.5em; }
+.failure { color: #c0392b; font-weight: bold; }
+.summary { background: #eef6ee; border-left: 4px solid #2d7d46; padding: 8px 12px; }
+svg { max-width: 100%; height: auto; border: 1px solid #ddd; margin: 6px 0; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>optiflow demonstration — %s</h1>\n", htmlEscape(o.Config.Mode.String()))
+	input := "small hand-crafted graph"
+	if o.Config.Large {
+		input = fmt.Sprintf("synthetic Twitter-like graph (%d vertices)", o.Config.withDefaults().LargeSize)
+	}
+	fmt.Fprintf(&b, "<p>input: %s &middot; parallelism %d &middot; optimistic recovery</p>\n",
+		htmlEscape(input), o.Config.withDefaults().Parallelism)
+	fmt.Fprintf(&b, "<p class=\"summary\">%s</p>\n", htmlEscape(o.Summary))
+
+	b.WriteString("<h2>Statistics</h2>\n")
+	for _, chart := range o.Charts() {
+		b.WriteString(chart.SVG())
+	}
+
+	b.WriteString("<h2>Iteration frames</h2>\n")
+	for _, f := range o.Frames {
+		b.WriteString(`<div class="frame">`)
+		if f.Failure != "" {
+			fmt.Fprintf(&b, "<p class=\"failure\">⚡ %s</p>\n", htmlEscape(f.Failure))
+		}
+		if f.Graph != "" {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", ansiToHTML(f.Graph))
+		} else {
+			fmt.Fprintf(&b, "<p>%s</p>\n", htmlEscape(f.Status))
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// ansiToHTML converts the subset of ANSI escapes the renderer emits
+// (reset, bold, 256-color foreground) into inline-styled spans.
+func ansiToHTML(s string) string {
+	var b strings.Builder
+	open := false
+	i := 0
+	flushText := func(text string) {
+		b.WriteString(htmlEscape(text))
+	}
+	for i < len(s) {
+		esc := strings.Index(s[i:], "\x1b[")
+		if esc < 0 {
+			flushText(s[i:])
+			break
+		}
+		flushText(s[i : i+esc])
+		i += esc + 2
+		end := strings.IndexByte(s[i:], 'm')
+		if end < 0 {
+			break // malformed trailing escape
+		}
+		code := s[i : i+end]
+		i += end + 1
+
+		if open {
+			b.WriteString("</span>")
+			open = false
+		}
+		style := ansiStyle(code)
+		if style != "" {
+			fmt.Fprintf(&b, `<span style="%s">`, style)
+			open = true
+		}
+	}
+	if open {
+		b.WriteString("</span>")
+	}
+	return b.String()
+}
+
+// ansiStyle translates an SGR parameter list into CSS ("" for reset).
+func ansiStyle(code string) string {
+	parts := strings.Split(code, ";")
+	var css []string
+	for j := 0; j < len(parts); j++ {
+		switch parts[j] {
+		case "", "0":
+			// reset: contributes nothing
+		case "1":
+			css = append(css, "font-weight:bold")
+		case "38":
+			if j+2 < len(parts) && parts[j+1] == "5" {
+				css = append(css, "color:"+xterm256(parts[j+2]))
+				j += 2
+			}
+		}
+	}
+	return strings.Join(css, ";")
+}
+
+// xterm256 maps an xterm-256 color index to a CSS hex color.
+func xterm256(idx string) string {
+	var n int
+	if _, err := fmt.Sscanf(idx, "%d", &n); err != nil || n < 0 || n > 255 {
+		return "#ffffff"
+	}
+	switch {
+	case n < 16:
+		basic := [16]string{
+			"#000000", "#cd0000", "#00cd00", "#cdcd00", "#0000ee", "#cd00cd", "#00cdcd", "#e5e5e5",
+			"#7f7f7f", "#ff0000", "#00ff00", "#ffff00", "#5c5cff", "#ff00ff", "#00ffff", "#ffffff",
+		}
+		return basic[n]
+	case n < 232:
+		n -= 16
+		steps := [6]int{0, 95, 135, 175, 215, 255}
+		r := steps[n/36]
+		g := steps[(n/6)%6]
+		bl := steps[n%6]
+		return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+	default:
+		v := 8 + (n-232)*10
+		return fmt.Sprintf("#%02x%02x%02x", v, v, v)
+	}
+}
+
+// HTMLEscape escapes text for HTML interpolation (exported for the
+// browser UI).
+func HTMLEscape(s string) string { return htmlEscape(s) }
+
+// ANSIToHTML converts the renderer's ANSI colors to styled spans
+// (exported for the browser UI).
+func ANSIToHTML(s string) string { return ansiToHTML(s) }

@@ -1,0 +1,242 @@
+package demoapp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"optiflow/internal/algo/cc"
+	"optiflow/internal/algo/pagerank"
+)
+
+// Shell is the interactive command loop of the demonstration — the
+// terminal stand-in for the GUI's tabs and buttons.
+type Shell struct {
+	in  *bufio.Scanner
+	out io.Writer
+
+	cfg     Config
+	outcome *RunOutcome
+	cursor  int // current frame index for step/back
+	// PlayDelay slows down small-graph playback "so that demo visitors
+	// can easily trace each iteration" (§3.1). Zero in tests.
+	PlayDelay time.Duration
+}
+
+// NewShell builds a shell reading commands from in and writing to out.
+func NewShell(in io.Reader, out io.Writer, color bool) *Shell {
+	return &Shell{
+		in:  bufio.NewScanner(in),
+		out: out,
+		cfg: Config{Color: color, Failures: map[int][]int{}},
+	}
+}
+
+func (s *Shell) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+const helpText = `commands (the GUI's tabs and buttons):
+  cc | pagerank          choose the algorithm tab
+  small | large [n]      choose the input graph (hand-crafted, or Twitter-like with n vertices)
+  fail <iter> <worker>   schedule worker <worker> to fail in iteration <iter> (1-based)
+  failures               list scheduled failures
+  run                    execute the algorithm ("play" from the start)
+  play                   replay all frames
+  step                   advance one iteration frame
+  back                   jump to the previous iteration ("backward" button)
+  plots                  show the two statistics plots
+  html <file>            write the run as a self-contained HTML report
+  explain                print the algorithm's dataflow (Fig. 1 of the paper)
+  status                 show current configuration
+  help                   this text
+  quit                   exit
+`
+
+// Loop runs the command loop until EOF or quit.
+func (s *Shell) Loop() {
+	s.printf("optiflow demo — optimistic recovery for iterative dataflows in action\n")
+	s.printf("type 'help' for the list of commands; typical session: cc, fail 3 1, run, plots\n")
+	for {
+		s.printf("demo> ")
+		if !s.in.Scan() {
+			s.printf("\n")
+			return
+		}
+		line := strings.TrimSpace(s.in.Text())
+		if line == "" {
+			continue
+		}
+		if !s.Execute(line) {
+			return
+		}
+	}
+}
+
+// Execute runs one command line; it returns false on quit.
+func (s *Shell) Execute(line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		return false
+	case "help":
+		s.printf("%s", helpText)
+	case "cc":
+		s.cfg.Mode = ModeCC
+		s.reset("tab: connected components (delta iteration)")
+	case "pagerank", "pr":
+		s.cfg.Mode = ModePageRank
+		s.reset("tab: pagerank (bulk iteration)")
+	case "small":
+		s.cfg.Large = false
+		s.reset("input: small hand-crafted graph (visualised)")
+	case "large":
+		s.cfg.Large = true
+		if len(args) > 0 {
+			if n, err := strconv.Atoi(args[0]); err == nil && n > 0 {
+				s.cfg.LargeSize = n
+			}
+		}
+		s.reset(fmt.Sprintf("input: synthetic Twitter-like graph, %d vertices (stats only)", s.cfg.withDefaults().LargeSize))
+	case "fail":
+		if len(args) != 2 {
+			s.printf("usage: fail <iteration> <worker>\n")
+			break
+		}
+		iter, err1 := strconv.Atoi(args[0])
+		worker, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || iter < 1 || worker < 0 {
+			s.printf("usage: fail <iteration>=1.. <worker>=0..%d\n", s.cfg.withDefaults().Parallelism-1)
+			break
+		}
+		// The GUI numbers iterations from 1; supersteps are 0-based.
+		s.cfg.Failures[iter-1] = append(s.cfg.Failures[iter-1], worker)
+		s.outcome = nil
+		s.printf("scheduled: worker %d fails in iteration %d\n", worker, iter)
+	case "failures":
+		if len(s.cfg.Failures) == 0 {
+			s.printf("no failures scheduled\n")
+			break
+		}
+		for iter, ws := range s.cfg.Failures {
+			s.printf("iteration %d: workers %v\n", iter+1, ws)
+		}
+	case "run", "play":
+		if s.outcome == nil || cmd == "run" {
+			if err := s.run(); err != nil {
+				s.printf("error: %v\n", err)
+				break
+			}
+		}
+		s.playAll()
+	case "step":
+		if !s.ensureRun() {
+			break
+		}
+		if s.cursor+1 >= len(s.outcome.Frames) {
+			s.printf("(already at the last iteration)\n")
+			break
+		}
+		s.cursor++
+		s.showFrame(s.cursor)
+	case "back":
+		if !s.ensureRun() {
+			break
+		}
+		if s.cursor <= 0 {
+			s.printf("(already at the initial state)\n")
+			break
+		}
+		s.cursor--
+		s.showFrame(s.cursor)
+	case "plots":
+		if !s.ensureRun() {
+			break
+		}
+		s.printf("%s", s.outcome.Plots())
+	case "html":
+		if len(args) != 1 {
+			s.printf("usage: html <file.html>\n")
+			break
+		}
+		if !s.ensureRun() {
+			break
+		}
+		if err := os.WriteFile(args[0], []byte(s.outcome.HTMLReport()), 0o644); err != nil {
+			s.printf("error: %v\n", err)
+			break
+		}
+		s.printf("wrote HTML report to %s\n", args[0])
+	case "explain":
+		if s.cfg.Mode == ModePageRank {
+			s.printf("%s", pagerank.FigurePlan().Explain())
+		} else {
+			s.printf("%s", cc.FigurePlan().Explain())
+		}
+	case "status":
+		c := s.cfg.withDefaults()
+		input := "small hand-crafted graph"
+		if c.Large {
+			input = fmt.Sprintf("Twitter-like graph (%d vertices)", c.LargeSize)
+		}
+		s.printf("tab=%s input=%s parallelism=%d scheduled failures=%d\n",
+			c.Mode, input, c.Parallelism, len(s.cfg.Failures))
+	default:
+		s.printf("unknown command %q; type 'help'\n", cmd)
+	}
+	return true
+}
+
+func (s *Shell) reset(msg string) {
+	s.outcome = nil
+	s.cursor = 0
+	s.printf("%s\n", msg)
+}
+
+func (s *Shell) run() error {
+	out, err := Run(s.cfg)
+	if err != nil {
+		return err
+	}
+	s.outcome = out
+	s.cursor = 0
+	return nil
+}
+
+func (s *Shell) ensureRun() bool {
+	if s.outcome == nil {
+		if err := s.run(); err != nil {
+			s.printf("error: %v\n", err)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Shell) showFrame(i int) {
+	f := s.outcome.Frames[i]
+	if f.Failure != "" {
+		s.printf("  ⚡ %s\n", f.Failure)
+	}
+	if f.Graph != "" {
+		s.printf("%s\n", f.Graph)
+	} else {
+		s.printf("%s\n", f.Status)
+	}
+}
+
+func (s *Shell) playAll() {
+	for i := range s.outcome.Frames {
+		s.showFrame(i)
+		s.cursor = i
+		if s.PlayDelay > 0 {
+			time.Sleep(s.PlayDelay)
+		}
+	}
+	s.printf("%s\n", s.outcome.Summary)
+}

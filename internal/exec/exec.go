@@ -1,0 +1,546 @@
+// Package exec is the parallel execution engine: it instantiates every
+// operator of a dataflow plan as P parallel tasks (goroutines) wired by
+// exchange channels, runs them to completion and reports per-edge
+// record counts — the "messages" statistic the demonstration plots.
+//
+// The engine plays the role of a Flink task manager slice: hash
+// exchanges route records with the same avalanche hash that assigns
+// vertices to state partitions, so a record keyed by vertex v is
+// processed by the task co-located with v's state partition.
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiflow/internal/dataflow"
+	"optiflow/internal/graph"
+)
+
+// DefaultBatchSize is the number of records per exchange batch.
+const DefaultBatchSize = 128
+
+// Engine executes plans with a fixed parallelism.
+type Engine struct {
+	// Parallelism is the number of parallel tasks per operator and the
+	// number of state partitions. Must be >= 1.
+	Parallelism int
+	// BatchSize overrides the records-per-batch granularity of
+	// exchanges (DefaultBatchSize when zero).
+	BatchSize int
+	// ChannelDepth is the exchange channel buffer in batches (16 when
+	// zero).
+	ChannelDepth int
+	// Fuse applies operator chaining (dataflow.Optimize) before
+	// execution: forward-connected Map/Filter/FlatMap chains run as one
+	// task instead of paying a channel hop per operator.
+	Fuse bool
+}
+
+// Stats reports what a plan execution did.
+type Stats struct {
+	// EdgeRecords counts records that crossed each plan edge, keyed by
+	// dataflow.EdgeName. Records into a shuffle are the paper's
+	// "messages".
+	EdgeRecords map[string]int64
+	// NodeOutputs counts records emitted by each operator, keyed by
+	// operator name.
+	NodeOutputs map[string]int64
+	// NodeElapsed sums the processing wall time of each operator's
+	// tasks (per operator name) — an "explain analyze" profile.
+	NodeElapsed map[string]time.Duration
+}
+
+// Records returns the count for a named edge (0 if absent).
+func (s *Stats) Records(edge string) int64 { return s.EdgeRecords[edge] }
+
+// Outputs returns the emit count for a named operator (0 if absent).
+func (s *Stats) Outputs(node string) int64 { return s.NodeOutputs[node] }
+
+// Elapsed returns the summed task time of a named operator.
+func (s *Stats) Elapsed(node string) time.Duration { return s.NodeElapsed[node] }
+
+// Profile renders an explain-analyze style report: operators sorted by
+// processing time, with emitted record counts.
+func (s *Stats) Profile() string {
+	type row struct {
+		name    string
+		elapsed time.Duration
+		out     int64
+	}
+	rows := make([]row, 0, len(s.NodeElapsed))
+	for name, d := range s.NodeElapsed {
+		rows = append(rows, row{name, d, s.NodeOutputs[name]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].elapsed != rows[j].elapsed {
+			return rows[i].elapsed > rows[j].elapsed
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s  %14s  %14s\n", "operator", "task time", "records out")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s  %14v  %14d\n", r.name, r.elapsed.Round(time.Microsecond), r.out)
+	}
+	return b.String()
+}
+
+type edge struct {
+	name    string
+	ex      dataflow.Exchange
+	key     dataflow.KeyFunc
+	chans   []chan []any
+	records atomic.Int64
+	senders sync.WaitGroup
+}
+
+type run struct {
+	p         int
+	batchSize int
+	done      chan struct{}
+	errOnce   sync.Once
+	err       error
+	tasks     sync.WaitGroup
+}
+
+func (r *run) fail(err error) {
+	r.errOnce.Do(func() {
+		r.err = err
+		close(r.done)
+	})
+}
+
+var errCancelled = fmt.Errorf("exec: cancelled by failure elsewhere in the plan")
+
+// Run executes the plan and returns its statistics. Compensation nodes
+// (Fig. 1's dotted boxes) and everything downstream of them are skipped:
+// they exist for recovery and plan rendering, not failure-free flow.
+func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
+	if e.Parallelism < 1 {
+		return nil, fmt.Errorf("exec: parallelism must be >= 1, got %d", e.Parallelism)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Fuse {
+		p = dataflow.Optimize(p)
+	}
+	P := e.Parallelism
+	batch := e.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	depth := e.ChannelDepth
+	if depth <= 0 {
+		depth = 16
+	}
+
+	skip := skippedNodes(p)
+
+	// Build edges: one per (producer, consumer-slot) pair.
+	consumers := p.Consumers()
+	outEdges := make(map[int][]*edge)      // producer ID -> edges
+	inEdges := make(map[int]map[int]*edge) // consumer ID -> slot -> edge
+	for _, n := range p.Nodes {
+		if skip[n.ID] {
+			continue
+		}
+		for _, ref := range consumers[n.ID] {
+			if skip[ref.To.ID] {
+				continue
+			}
+			ed := &edge{
+				name:  dataflow.EdgeName(n, ref),
+				ex:    ref.To.InExchange[ref.Slot],
+				key:   ref.To.InKeys[ref.Slot],
+				chans: make([]chan []any, P),
+			}
+			for i := range ed.chans {
+				ed.chans[i] = make(chan []any, depth)
+			}
+			ed.senders.Add(P)
+			go func(ed *edge) {
+				ed.senders.Wait()
+				for _, c := range ed.chans {
+					close(c)
+				}
+			}(ed)
+			outEdges[n.ID] = append(outEdges[n.ID], ed)
+			if inEdges[ref.To.ID] == nil {
+				inEdges[ref.To.ID] = make(map[int]*edge)
+			}
+			inEdges[ref.To.ID][ref.Slot] = ed
+		}
+	}
+
+	r := &run{p: P, batchSize: batch, done: make(chan struct{})}
+	nodeOut := make(map[string]*atomic.Int64, len(p.Nodes))
+	nodeNanos := make(map[string]*atomic.Int64, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if !skip[n.ID] {
+			nodeOut[n.Name] = &atomic.Int64{}
+			nodeNanos[n.Name] = &atomic.Int64{}
+		}
+	}
+
+	for _, n := range p.Nodes {
+		if skip[n.ID] {
+			continue
+		}
+		for part := 0; part < P; part++ {
+			t := &task{
+				run:    r,
+				node:   n,
+				part:   part,
+				in:     inEdges[n.ID],
+				out:    outEdges[n.ID],
+				outCnt: nodeOut[n.Name],
+				nanos:  nodeNanos[n.Name],
+			}
+			r.tasks.Add(1)
+			go t.main()
+		}
+	}
+
+	r.tasks.Wait()
+	if r.err != nil && r.err != errCancelled {
+		return nil, r.err
+	}
+	if r.err == errCancelled {
+		// Should not happen: cancellation is only triggered alongside a
+		// real error, which wins the Once.
+		return nil, r.err
+	}
+
+	stats := &Stats{
+		EdgeRecords: make(map[string]int64),
+		NodeOutputs: make(map[string]int64),
+		NodeElapsed: make(map[string]time.Duration),
+	}
+	for _, eds := range outEdges {
+		for _, ed := range eds {
+			stats.EdgeRecords[ed.name] += ed.records.Load()
+		}
+	}
+	for name, c := range nodeOut {
+		stats.NodeOutputs[name] = c.Load()
+	}
+	for name, c := range nodeNanos {
+		stats.NodeElapsed[name] = time.Duration(c.Load())
+	}
+	return stats, nil
+}
+
+// skippedNodes marks compensation nodes and their downstream closure.
+func skippedNodes(p *dataflow.Plan) map[int]bool {
+	skip := make(map[int]bool)
+	for _, n := range p.Nodes {
+		if n.Compensation {
+			skip[n.ID] = true
+		}
+	}
+	// Propagate: a node consuming any skipped input is skipped too.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.Nodes {
+			if skip[n.ID] {
+				continue
+			}
+			for _, in := range n.Inputs {
+				if skip[in.ID] {
+					skip[n.ID] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return skip
+}
+
+// task is one parallel instance of an operator.
+type task struct {
+	run    *run
+	node   *dataflow.Node
+	part   int
+	in     map[int]*edge // slot -> edge
+	out    []*edge
+	outCnt *atomic.Int64
+	nanos  *atomic.Int64
+
+	buffers [][][]any // per out-edge, per dest partition
+	rr      []int     // round-robin cursor per out-edge
+}
+
+func (t *task) main() {
+	defer t.run.tasks.Done()
+	defer func() {
+		for _, ed := range t.out {
+			ed.senders.Done()
+		}
+	}()
+	// A panicking UDF must fail the job, not the process: convert it
+	// into a task error so the run tears down cleanly and the caller
+	// gets a diagnosable message.
+	defer func() {
+		if r := recover(); r != nil {
+			t.run.fail(fmt.Errorf("exec: operator %q partition %d: UDF panic: %v\n%s",
+				t.node.Name, t.part, r, debug.Stack()))
+		}
+	}()
+	t.buffers = make([][][]any, len(t.out))
+	t.rr = make([]int, len(t.out))
+	for i := range t.buffers {
+		t.buffers[i] = make([][]any, t.run.p)
+	}
+	start := time.Now()
+	defer func() { t.nanos.Add(int64(time.Since(start))) }()
+	if err := t.process(); err != nil {
+		t.run.fail(err)
+		return
+	}
+	if err := t.flushAll(); err != nil {
+		if err != errCancelled {
+			t.run.fail(err)
+		}
+	}
+}
+
+func (t *task) emit(rec any) {
+	t.outCnt.Add(1)
+	for i, ed := range t.out {
+		switch ed.ex {
+		case dataflow.ExForward:
+			t.push(i, t.part, rec)
+		case dataflow.ExHash:
+			dest := int(graph.Hash(ed.key(rec)) % uint64(t.run.p))
+			t.push(i, dest, rec)
+		case dataflow.ExBroadcast:
+			for d := 0; d < t.run.p; d++ {
+				t.push(i, d, rec)
+			}
+		case dataflow.ExRebalance:
+			t.push(i, t.rr[i]%t.run.p, rec)
+			t.rr[i]++
+		}
+	}
+}
+
+func (t *task) push(edgeIdx, dest int, rec any) {
+	buf := append(t.buffers[edgeIdx][dest], rec)
+	t.buffers[edgeIdx][dest] = buf
+	if len(buf) >= t.run.batchSize {
+		t.flush(edgeIdx, dest)
+	}
+}
+
+func (t *task) flush(edgeIdx, dest int) {
+	buf := t.buffers[edgeIdx][dest]
+	if len(buf) == 0 {
+		return
+	}
+	ed := t.out[edgeIdx]
+	select {
+	case ed.chans[dest] <- buf:
+		ed.records.Add(int64(len(buf)))
+	case <-t.run.done:
+		// Run is being torn down; drop the batch.
+	}
+	t.buffers[edgeIdx][dest] = nil
+}
+
+func (t *task) flushAll() error {
+	for i := range t.out {
+		for d := 0; d < t.run.p; d++ {
+			t.flush(i, d)
+		}
+	}
+	return nil
+}
+
+// drain consumes an entire input slot into a slice.
+func (t *task) drain(slot int) []any {
+	ed := t.in[slot]
+	if ed == nil {
+		return nil
+	}
+	var all []any
+	for batch := range ed.chans[t.part] {
+		all = append(all, batch...)
+	}
+	return all
+}
+
+// each streams an input slot through fn.
+func (t *task) each(slot int, fn func(rec any) error) error {
+	ed := t.in[slot]
+	if ed == nil {
+		return nil
+	}
+	for batch := range ed.chans[t.part] {
+		for _, rec := range batch {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		select {
+		case <-t.run.done:
+			return errCancelled
+		default:
+		}
+	}
+	return nil
+}
+
+func (t *task) process() error {
+	n := t.node
+	emit := dataflow.Emit(t.emit)
+	switch n.Kind {
+	case dataflow.KindSource:
+		return n.Source(t.part, t.run.p, emit)
+
+	case dataflow.KindMap:
+		return t.each(0, func(rec any) error {
+			emit(n.MapFn(rec))
+			return nil
+		})
+
+	case dataflow.KindFlatMap:
+		return t.each(0, func(rec any) error {
+			n.FlatMap(rec, emit)
+			return nil
+		})
+
+	case dataflow.KindFilter:
+		return t.each(0, func(rec any) error {
+			if n.Filter(rec) {
+				emit(rec)
+			}
+			return nil
+		})
+
+	case dataflow.KindUnion:
+		for slot := range n.Inputs {
+			if err := t.each(slot, func(rec any) error {
+				emit(rec)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case dataflow.KindLookup:
+		table := n.Table(t.part, t.run.p)
+		return t.each(0, func(rec any) error {
+			n.Lookup(rec, table, emit)
+			return nil
+		})
+
+	case dataflow.KindReduce:
+		groups := make(map[uint64][]any)
+		key := n.InKeys[0]
+		if err := t.each(0, func(rec any) error {
+			k := key(rec)
+			groups[k] = append(groups[k], rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(groups) {
+			n.Reduce(k, groups[k], emit)
+		}
+		return nil
+
+	case dataflow.KindJoin:
+		// Drain both sides concurrently to stay deadlock-free on
+		// diamond-shaped plans, then hash-join build (slot 1) against
+		// probe (slot 0).
+		var probe []any
+		var pwg sync.WaitGroup
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			probe = t.drain(0)
+		}()
+		buildKey, probeKey := n.InKeys[1], n.InKeys[0]
+		build := make(map[uint64][]any)
+		for _, rec := range t.drain(1) {
+			k := buildKey(rec)
+			build[k] = append(build[k], rec)
+		}
+		pwg.Wait()
+		for _, l := range probe {
+			matches := build[probeKey(l)]
+			if len(matches) == 0 && n.JoinType == dataflow.JoinLeftOuter {
+				n.Join(l, nil, emit)
+				continue
+			}
+			for _, r := range matches {
+				n.Join(l, r, emit)
+			}
+		}
+		return nil
+
+	case dataflow.KindCoGroup:
+		var lefts, rights []any
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lefts = t.drain(0)
+		}()
+		rights = t.drain(1)
+		wg.Wait()
+		lk, rk := n.InKeys[0], n.InKeys[1]
+		lg := make(map[uint64][]any)
+		rg := make(map[uint64][]any)
+		for _, rec := range lefts {
+			k := lk(rec)
+			lg[k] = append(lg[k], rec)
+		}
+		for _, rec := range rights {
+			k := rk(rec)
+			rg[k] = append(rg[k], rec)
+		}
+		keys := make(map[uint64]struct{}, len(lg)+len(rg))
+		for k := range lg {
+			keys[k] = struct{}{}
+		}
+		for k := range rg {
+			keys[k] = struct{}{}
+		}
+		ordered := make([]uint64, 0, len(keys))
+		for k := range keys {
+			ordered = append(ordered, k)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, k := range ordered {
+			n.CoGroup(k, lg[k], rg[k], emit)
+		}
+		return nil
+
+	case dataflow.KindSink:
+		return t.each(0, func(rec any) error {
+			return n.Sink(t.part, rec)
+		})
+
+	default:
+		return fmt.Errorf("exec: unknown operator kind %v", n.Kind)
+	}
+}
+
+func sortedKeys(m map[uint64][]any) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

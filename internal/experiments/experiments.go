@@ -1,0 +1,188 @@
+// Package experiments regenerates every figure of the paper plus the
+// ablations recorded in EXPERIMENTS.md (experiment index in DESIGN.md
+// §3). Each experiment returns a textual Report with the same series
+// the paper plots and explicit shape checks ("plummet at the failure
+// iteration", "messages elevated after a failure", "zero failure-free
+// overhead") that pass or fail.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optiflow/internal/metrics"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier (E1..E9), Figure the paper
+	// artifact it regenerates.
+	ID, Figure, Title string
+	// Text is the full report body (series, charts, tables).
+	Text string
+	// Checks are the shape assertions with their outcomes.
+	Checks []Check
+	// CSVs holds exportable data series by file name (without
+	// directory), e.g. "fig2-cc.csv" -> CSV content.
+	CSVs map[string]string
+	// SVGs holds publication-style figures by file name.
+	SVGs map[string]string
+}
+
+func (r *Report) addCSV(name, content string) {
+	if r.CSVs == nil {
+		r.CSVs = make(map[string]string)
+	}
+	r.CSVs[name] = content
+}
+
+func (r *Report) addSVG(name, content string) {
+	if r.SVGs == nil {
+		r.SVGs = make(map[string]string)
+	}
+	r.SVGs[name] = content
+}
+
+// Check is one expected-shape assertion.
+type Check struct {
+	Description string
+	Pass        bool
+	Detail      string
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the report including check outcomes.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s (%s): %s ===\n\n", r.ID, r.Figure, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Checks) > 0 {
+		b.WriteString("\nshape checks (paper vs measured):\n")
+		for _, c := range r.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %s", mark, c.Description)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, " — %s", c.Detail)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func check(desc string, pass bool, detailFormat string, args ...any) Check {
+	return Check{Description: desc, Pass: pass, Detail: fmt.Sprintf(detailFormat, args...)}
+}
+
+// Config scales the experiments; the zero value uses defaults suitable
+// for a laptop run.
+type Config struct {
+	// Parallelism is the task/partition count (4 if zero).
+	Parallelism int
+	// TwitterSize is the vertex count of the synthetic Twitter graph
+	// (50000 if zero).
+	TwitterSize int
+	// Seed drives all generators (20150531 if zero).
+	Seed int64
+	// Quick shrinks workloads for unit-test budgets.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism == 0 {
+		c.Parallelism = 4
+	}
+	if c.TwitterSize == 0 {
+		c.TwitterSize = 50000
+	}
+	if c.Quick && c.TwitterSize > 5000 {
+		c.TwitterSize = 5000
+	}
+	if c.Seed == 0 {
+		c.Seed = 20150531
+	}
+	return c
+}
+
+// Runner lists and executes experiments by name.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner returns a Runner with the given configuration.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg.withDefaults()} }
+
+// Experiment names in canonical order.
+var order = []string{"fig1a", "fig1b", "fig2", "fig4", "twitter", "overhead", "recovery", "compensation", "bulkdelta", "als", "confined", "kmeans"}
+
+// Names returns the experiment names in canonical order.
+func (r *Runner) Names() []string { return append([]string(nil), order...) }
+
+// Run executes one experiment by name.
+func (r *Runner) Run(name string) (*Report, error) {
+	switch name {
+	case "fig1a":
+		return r.Fig1a(), nil
+	case "fig1b":
+		return r.Fig1b(), nil
+	case "fig2":
+		return r.Fig2()
+	case "fig4":
+		return r.Fig4()
+	case "twitter":
+		return r.Twitter()
+	case "overhead":
+		return r.Overhead()
+	case "recovery":
+		return r.RecoveryCost()
+	case "compensation":
+		return r.Compensation()
+	case "bulkdelta":
+		return r.BulkDelta()
+	case "als":
+		return r.ALS()
+	case "confined":
+		return r.Confined()
+	case "kmeans":
+		return r.KMeans()
+	default:
+		sorted := append([]string(nil), order...)
+		sort.Strings(sorted)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(sorted, ", "))
+	}
+}
+
+// RunAll executes every experiment in canonical order.
+func (r *Runner) RunAll() ([]*Report, error) {
+	var out []*Report
+	for _, name := range order {
+		rep, err := r.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// statsCSV renders a metrics collector as CSV for the -csv export.
+func statsCSV(c *metrics.Collector) string {
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		return "error: " + err.Error()
+	}
+	return b.String()
+}

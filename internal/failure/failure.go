@@ -1,0 +1,103 @@
+// Package failure injects worker failures into running iterations —
+// the programmatic equivalent of the demo GUI's "choose which
+// partitions to fail and in which iterations" buttons (§3.1).
+package failure
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Injector decides which live workers fail while a superstep executes.
+type Injector interface {
+	// FailuresAt returns the workers (a subset of alive) that fail
+	// during the given superstep attempt. superstep is the logical
+	// iteration number; tick counts attempts monotonically, so
+	// re-executed supersteps after a rollback present the same
+	// superstep with a larger tick.
+	FailuresAt(superstep, tick int, alive []int) []int
+}
+
+// None is an Injector that never fails anything.
+type None struct{}
+
+// FailuresAt implements Injector.
+func (None) FailuresAt(int, int, []int) []int { return nil }
+
+// Scripted fails specific workers at specific supersteps, each at most
+// once — the demo attendee pressing the failure button.
+type Scripted struct {
+	plan  map[int][]int // superstep -> workers
+	fired map[int]bool
+}
+
+// NewScripted builds a scripted injector from a superstep -> workers
+// plan. The map is copied.
+func NewScripted(plan map[int][]int) *Scripted {
+	cp := make(map[int][]int, len(plan))
+	for s, ws := range plan {
+		cp[s] = append([]int(nil), ws...)
+	}
+	return &Scripted{plan: cp, fired: make(map[int]bool)}
+}
+
+// At adds a failure of worker w at the given superstep and returns the
+// injector for chaining.
+func (s *Scripted) At(superstep, worker int) *Scripted {
+	s.plan[superstep] = append(s.plan[superstep], worker)
+	return s
+}
+
+// FailuresAt implements Injector. Scheduled workers that are already
+// dead are skipped.
+func (s *Scripted) FailuresAt(superstep, _ int, alive []int) []int {
+	if s.fired[superstep] {
+		return nil
+	}
+	scheduled := s.plan[superstep]
+	if len(scheduled) == 0 {
+		return nil
+	}
+	s.fired[superstep] = true
+	liveSet := make(map[int]bool, len(alive))
+	for _, w := range alive {
+		liveSet[w] = true
+	}
+	var out []int
+	for _, w := range scheduled {
+		if liveSet[w] {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Random fails a uniformly chosen live worker with probability P at
+// every superstep attempt, modeling a cluster with a given failure
+// rate. It is deterministic given the seed.
+type Random struct {
+	P   float64
+	rng *rand.Rand
+	max int // maximum number of failures to inject; 0 = unlimited
+	n   int
+}
+
+// NewRandom returns a Random injector with per-attempt probability p.
+// maxFailures bounds the total number of injected failures (0 =
+// unlimited).
+func NewRandom(p float64, seed int64, maxFailures int) *Random {
+	return &Random{P: p, rng: rand.New(rand.NewSource(seed)), max: maxFailures}
+}
+
+// FailuresAt implements Injector.
+func (r *Random) FailuresAt(_, _ int, alive []int) []int {
+	if len(alive) == 0 || (r.max > 0 && r.n >= r.max) {
+		return nil
+	}
+	if r.rng.Float64() >= r.P {
+		return nil
+	}
+	r.n++
+	return []int{alive[r.rng.Intn(len(alive))]}
+}

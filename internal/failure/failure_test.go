@@ -1,0 +1,94 @@
+package failure
+
+import (
+	"reflect"
+	"testing"
+)
+
+var alive = []int{0, 1, 2, 3}
+
+func TestNoneNeverFails(t *testing.T) {
+	var inj None
+	for i := 0; i < 100; i++ {
+		if got := inj.FailuresAt(i, i, alive); got != nil {
+			t.Fatalf("None failed workers %v", got)
+		}
+	}
+}
+
+func TestScriptedFiresOncePerSuperstep(t *testing.T) {
+	inj := NewScripted(nil).At(3, 1).At(3, 2).At(5, 0)
+	if got := inj.FailuresAt(0, 0, alive); got != nil {
+		t.Fatalf("unexpected failure %v", got)
+	}
+	if got := inj.FailuresAt(3, 3, alive); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("superstep 3: %v", got)
+	}
+	// Re-execution of superstep 3 (after rollback) must not re-fire.
+	if got := inj.FailuresAt(3, 9, alive); got != nil {
+		t.Fatalf("refired: %v", got)
+	}
+	if got := inj.FailuresAt(5, 10, alive); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("superstep 5: %v", got)
+	}
+}
+
+func TestScriptedSkipsDeadWorkers(t *testing.T) {
+	inj := NewScripted(map[int][]int{2: {7, 1}})
+	if got := inj.FailuresAt(2, 2, []int{0, 1}); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("got %v, want [1]", got)
+	}
+}
+
+func TestScriptedCopiesPlan(t *testing.T) {
+	plan := map[int][]int{1: {0}}
+	inj := NewScripted(plan)
+	plan[1][0] = 99
+	if got := inj.FailuresAt(1, 1, alive); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("plan aliased: %v", got)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := NewRandom(0.5, seed, 0)
+		var fired []int
+		for i := 0; i < 50; i++ {
+			if ws := inj.FailuresAt(i, i, alive); len(ws) > 0 {
+				fired = append(fired, i*10+ws[0])
+			}
+		}
+		return fired
+	}
+	if !reflect.DeepEqual(run(7), run(7)) {
+		t.Fatal("same seed differs")
+	}
+	if reflect.DeepEqual(run(7), run(8)) {
+		t.Fatal("different seeds agree exactly (suspicious)")
+	}
+}
+
+func TestRandomRespectsMaxFailures(t *testing.T) {
+	inj := NewRandom(1.0, 1, 3)
+	n := 0
+	for i := 0; i < 100; i++ {
+		n += len(inj.FailuresAt(i, i, alive))
+	}
+	if n != 3 {
+		t.Fatalf("fired %d times, want 3", n)
+	}
+}
+
+func TestRandomPicksOnlyLiveWorkers(t *testing.T) {
+	inj := NewRandom(1.0, 2, 0)
+	live := []int{5}
+	for i := 0; i < 10; i++ {
+		ws := inj.FailuresAt(i, i, live)
+		if len(ws) != 1 || ws[0] != 5 {
+			t.Fatalf("picked %v from %v", ws, live)
+		}
+	}
+	if got := inj.FailuresAt(0, 0, nil); got != nil {
+		t.Fatalf("empty cluster failed %v", got)
+	}
+}

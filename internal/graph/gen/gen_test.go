@@ -1,0 +1,193 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+)
+
+func TestDemoShape(t *testing.T) {
+	g, layout := Demo()
+	if g.NumVertices() != 16 {
+		t.Fatalf("demo graph has %d vertices, want 16", g.NumVertices())
+	}
+	if g.Directed() {
+		t.Fatal("demo graph must be undirected")
+	}
+	comps := ref.ConnectedComponents(g)
+	if n := ref.NumComponents(comps); n != 3 {
+		t.Fatalf("demo graph has %d components, want 3", n)
+	}
+	for _, v := range g.Vertices() {
+		if _, ok := layout[v]; !ok {
+			t.Fatalf("vertex %d missing from layout", v)
+		}
+	}
+}
+
+func TestDemoDirectedHasDanglingVertex(t *testing.T) {
+	g, _ := DemoDirected()
+	if !g.Directed() {
+		t.Fatal("must be directed")
+	}
+	if g.NumVertices() != 16 {
+		t.Fatalf("got %d vertices", g.NumVertices())
+	}
+	if d := g.OutDegree(12); d != 0 {
+		t.Fatalf("vertex 12 should be dangling, out-degree %d", d)
+	}
+	// All other vertices must have at least one out-edge.
+	for _, v := range g.Vertices() {
+		if v != 12 && g.OutDegree(v) == 0 {
+			t.Fatalf("vertex %d unexpectedly dangling", v)
+		}
+	}
+}
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 7, false)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Preferential attachment yields a giant connected component...
+	comps := ref.ConnectedComponents(g)
+	if n := ref.NumComponents(comps); n != 1 {
+		t.Fatalf("BA graph should be connected, has %d components", n)
+	}
+	// ...and a heavy tail: the max degree must far exceed the median.
+	degs := g.Degrees()
+	sort.Ints(degs)
+	median := degs[len(degs)/2]
+	maxDeg := degs[len(degs)-1]
+	if maxDeg < 5*median {
+		t.Fatalf("degree distribution not heavy-tailed: max %d, median %d", maxDeg, median)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(300, 3, 42, true)
+	b := BarabasiAlbert(300, 3, 42, true)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for _, v := range a.Vertices() {
+		an, bn := a.OutNeighbors(v), b.OutNeighbors(v)
+		if len(an) != len(bn) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("vertex %d adjacency differs: %v vs %v (seed reproducibility broken)", v, an, bn)
+			}
+		}
+	}
+	// Different seeds must attach to different targets (out-degrees are
+	// structurally fixed in directed BA, so compare adjacency).
+	c := BarabasiAlbert(300, 3, 43, true)
+	same := true
+	for _, v := range a.Vertices() {
+		an, cn := a.OutNeighbors(v), c.OutNeighbors(v)
+		if len(an) != len(cn) {
+			same = false
+			break
+		}
+		for i := range an {
+			if an[i] != cn[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 0.05, 1, true)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 8*1024 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 8*1024)
+	}
+	degs := g.Degrees()
+	sort.Ints(degs)
+	if degs[len(degs)-1] < 4*8 {
+		t.Fatalf("RMAT should be skewed, max degree %d", degs[len(degs)-1])
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(200, 0.05, 3, false)
+	if g.NumVertices() != 200 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	expected := 0.05 * 200 * 199 / 2
+	if float64(g.NumEdges()) < expected*0.7 || float64(g.NumEdges()) > expected*1.3 {
+		t.Fatalf("edges = %d, expected around %.0f", g.NumEdges(), expected)
+	}
+}
+
+func TestGridChainStar(t *testing.T) {
+	grid := Grid(4, 5)
+	if grid.NumVertices() != 20 {
+		t.Fatalf("grid vertices = %d", grid.NumVertices())
+	}
+	if grid.NumEdges() != 4*4+3*5 {
+		t.Fatalf("grid edges = %d, want %d", grid.NumEdges(), 4*4+3*5)
+	}
+	if n := ref.NumComponents(ref.ConnectedComponents(grid)); n != 1 {
+		t.Fatalf("grid components = %d", n)
+	}
+
+	chain := Chain(10)
+	if chain.NumVertices() != 10 || chain.NumEdges() != 9 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if single := Chain(1); single.NumVertices() != 1 {
+		t.Fatalf("chain(1) = %v", single)
+	}
+
+	star := Star(6)
+	if star.NumVertices() != 7 || star.OutDegree(0) != 6 {
+		t.Fatalf("star = %v", star)
+	}
+}
+
+func TestComponentsGenerator(t *testing.T) {
+	g := Components(4, 25, 0.1, 5)
+	if g.NumVertices() != 100 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if n := ref.NumComponents(ref.ConnectedComponents(g)); n != 4 {
+		t.Fatalf("components = %d, want 4", n)
+	}
+}
+
+func TestTwitterSubstituteIsDirectedPowerLaw(t *testing.T) {
+	g := Twitter(1000, 9)
+	if !g.Directed() {
+		t.Fatal("twitter substitute must be directed")
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+}
+
+func TestCircularLayoutCoversAllVertices(t *testing.T) {
+	g := Chain(12)
+	l := CircularLayout(g, 10)
+	if len(l) != 12 {
+		t.Fatalf("layout has %d entries", len(l))
+	}
+	for v, p := range l {
+		if p.X < -1 || p.X > 21 || p.Y < -1 || p.Y > 11 {
+			t.Fatalf("vertex %d out of bounds: %+v", v, p)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package graph provides the graph substrate used by the iterative
+// algorithms: an immutable compressed-sparse-row graph, a builder,
+// edge-list I/O and the hash partitioning scheme that assigns vertices
+// to state partitions.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are arbitrary uint64 values; they do
+// not need to be dense or start at zero.
+type VertexID uint64
+
+// Edge is a directed edge with an optional weight. Undirected graphs
+// store each input edge in both directions.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float64
+}
+
+// Graph is an immutable graph in compressed-sparse-row form. Construct
+// one with a Builder. For undirected graphs every edge is present in
+// both directions, so Out* methods enumerate all neighbors.
+type Graph struct {
+	directed bool
+	ids      []VertexID         // sorted vertex IDs
+	index    map[VertexID]int32 // id -> dense position
+	offsets  []int32            // CSR offsets, len = len(ids)+1
+	targets  []VertexID
+	weights  []float64 // parallel to targets; nil if all weights are 1
+	numEdges int       // logical edges (undirected edges counted once)
+}
+
+// Directed reports whether the graph was built as a directed graph.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns the number of logical edges (an undirected edge
+// counts once even though it is stored twice).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Vertices returns the sorted slice of vertex IDs. The caller must not
+// modify it.
+func (g *Graph) Vertices() []VertexID { return g.ids }
+
+// HasVertex reports whether id is a vertex of the graph.
+func (g *Graph) HasVertex(id VertexID) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
+// OutDegree returns the out-degree of v (total degree for undirected
+// graphs). It returns 0 for unknown vertices.
+func (g *Graph) OutDegree(v VertexID) int {
+	i, ok := g.index[v]
+	if !ok {
+		return 0
+	}
+	return int(g.offsets[i+1] - g.offsets[i])
+}
+
+// OutNeighbors returns the out-neighbors of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	i, ok := g.index[v]
+	if !ok {
+		return nil
+	}
+	return g.targets[g.offsets[i]:g.offsets[i+1]]
+}
+
+// OutEdges calls fn for every out-edge of v with the target vertex and
+// the edge weight.
+func (g *Graph) OutEdges(v VertexID, fn func(dst VertexID, w float64)) {
+	i, ok := g.index[v]
+	if !ok {
+		return
+	}
+	for j := g.offsets[i]; j < g.offsets[i+1]; j++ {
+		w := 1.0
+		if g.weights != nil {
+			w = g.weights[j]
+		}
+		fn(g.targets[j], w)
+	}
+}
+
+// Edges calls fn for every stored edge. For undirected graphs fn sees
+// each edge twice, once per direction, matching adjacency storage.
+func (g *Graph) Edges(fn func(e Edge)) {
+	for i, src := range g.ids {
+		for j := g.offsets[i]; j < g.offsets[i+1]; j++ {
+			w := 1.0
+			if g.weights != nil {
+				w = g.weights[j]
+			}
+			fn(Edge{Src: src, Dst: g.targets[j], Weight: w})
+		}
+	}
+}
+
+// Degrees returns a histogram-friendly slice with the out-degree of
+// every vertex, ordered like Vertices().
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.ids))
+	for i := range g.ids {
+		d[i] = int(g.offsets[i+1] - g.offsets[i])
+	}
+	return d
+}
+
+// Builder accumulates vertices and edges and produces an immutable
+// Graph. Duplicate edges are kept (multi-edges are legal); duplicate
+// vertices are merged.
+type Builder struct {
+	directed bool
+	vertices map[VertexID]struct{}
+	edges    []Edge
+	weighted bool
+}
+
+// NewBuilder returns a Builder. If directed is false, AddEdge stores
+// the edge in both directions.
+func NewBuilder(directed bool) *Builder {
+	return &Builder{
+		directed: directed,
+		vertices: make(map[VertexID]struct{}),
+	}
+}
+
+// AddVertex registers an isolated vertex. Vertices referenced by edges
+// are registered automatically.
+func (b *Builder) AddVertex(v VertexID) *Builder {
+	b.vertices[v] = struct{}{}
+	return b
+}
+
+// AddEdge adds an edge with weight 1.
+func (b *Builder) AddEdge(src, dst VertexID) *Builder {
+	return b.AddWeightedEdge(src, dst, 1)
+}
+
+// AddWeightedEdge adds an edge with an explicit weight.
+func (b *Builder) AddWeightedEdge(src, dst VertexID, w float64) *Builder {
+	b.vertices[src] = struct{}{}
+	b.vertices[dst] = struct{}{}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+	if w != 1 {
+		b.weighted = true
+	}
+	return b
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	ids := make([]VertexID, 0, len(b.vertices))
+	for v := range b.vertices {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	index := make(map[VertexID]int32, len(ids))
+	for i, v := range ids {
+		index[v] = int32(i)
+	}
+
+	stored := len(b.edges)
+	if !b.directed {
+		stored *= 2
+	}
+	counts := make([]int32, len(ids)+1)
+	for _, e := range b.edges {
+		counts[index[e.Src]+1]++
+		if !b.directed {
+			counts[index[e.Dst]+1]++
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offsets := counts
+	targets := make([]VertexID, stored)
+	var weights []float64
+	if b.weighted {
+		weights = make([]float64, stored)
+	}
+	cursor := make([]int32, len(ids))
+	copy(cursor, offsets[:len(ids)])
+	place := func(src, dst VertexID, w float64) {
+		i := index[src]
+		targets[cursor[i]] = dst
+		if weights != nil {
+			weights[cursor[i]] = w
+		}
+		cursor[i]++
+	}
+	for _, e := range b.edges {
+		place(e.Src, e.Dst, e.Weight)
+		if !b.directed {
+			place(e.Dst, e.Src, e.Weight)
+		}
+	}
+
+	return &Graph{
+		directed: b.directed,
+		ids:      ids,
+		index:    index,
+		offsets:  offsets,
+		targets:  targets,
+		weights:  weights,
+		numEdges: len(b.edges),
+	}
+}
+
+// String returns a short description such as "graph(directed, 16 vertices, 22 edges)".
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph(%s, %d vertices, %d edges)", kind, len(g.ids), g.numEdges)
+}

@@ -1,0 +1,35 @@
+package graph
+
+// Partition maps a vertex to one of n state partitions using a
+// splitmix64-style avalanche hash. Sequential vertex IDs therefore
+// spread evenly across partitions, which keeps partition sizes balanced
+// on both hand-crafted and generated graphs. The same function is used
+// by the dataflow engine to route records, so a vertex's records always
+// arrive at the task that owns the vertex's state partition.
+func Partition(v VertexID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(uint64(v)) % uint64(n))
+}
+
+// Hash is the avalanche function behind Partition, exposed so that the
+// engine's hash exchanges agree with state partitioning.
+func Hash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PartitionVertices groups the graph's vertices by partition. The result
+// has length n; element p lists the vertices owned by partition p in
+// sorted order.
+func PartitionVertices(g *Graph, n int) [][]VertexID {
+	parts := make([][]VertexID, n)
+	for _, v := range g.Vertices() {
+		p := Partition(v, n)
+		parts[p] = append(parts[p], v)
+	}
+	return parts
+}

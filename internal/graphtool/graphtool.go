@@ -1,0 +1,207 @@
+// Package graphtool backs the optiflow-graph command: generating the
+// benchmark input graphs, computing their statistics (degree
+// distribution, components, partition balance) and converting between
+// formats. The command-line tool is a thin wrapper so this logic stays
+// testable.
+package graphtool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/plot"
+)
+
+// GenSpec describes a graph to generate.
+type GenSpec struct {
+	// Type is one of demo, demo-directed, twitter, ba, rmat, er, grid,
+	// chain, star, components.
+	Type string
+	// N is the primary size parameter (vertices; rows for grid).
+	N int
+	// M is the secondary parameter (BA edges per vertex, grid columns,
+	// RMAT edge factor, component count).
+	M int
+	// P is the edge probability for er / components.
+	P float64
+	// Seed drives randomized generators.
+	Seed int64
+	// Directed applies to twitter/ba/rmat/er.
+	Directed bool
+}
+
+// Generate builds the graph described by spec.
+func Generate(spec GenSpec) (*graph.Graph, error) {
+	n, m := spec.N, spec.M
+	if n <= 0 {
+		n = 1000
+	}
+	switch spec.Type {
+	case "demo":
+		g, _ := gen.Demo()
+		return g, nil
+	case "demo-directed":
+		g, _ := gen.DemoDirected()
+		return g, nil
+	case "twitter":
+		return gen.Twitter(n, spec.Seed), nil
+	case "ba":
+		if m <= 0 {
+			m = 4
+		}
+		return gen.BarabasiAlbert(n, m, spec.Seed, spec.Directed), nil
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		if m <= 0 {
+			m = 8
+		}
+		return gen.RMAT(scale, m, 0.57, 0.19, 0.19, 0.05, spec.Seed, spec.Directed), nil
+	case "er":
+		p := spec.P
+		if p <= 0 {
+			p = 0.01
+		}
+		return gen.ErdosRenyi(n, p, spec.Seed, spec.Directed), nil
+	case "grid":
+		if m <= 0 {
+			m = n
+		}
+		return gen.Grid(n, m), nil
+	case "chain":
+		return gen.Chain(n), nil
+	case "star":
+		return gen.Star(n), nil
+	case "components":
+		if m <= 0 {
+			m = 4
+		}
+		p := spec.P
+		if p <= 0 {
+			p = 0.05
+		}
+		return gen.Components(m, n/m, p, spec.Seed), nil
+	default:
+		return nil, fmt.Errorf("graphtool: unknown graph type %q (have demo, demo-directed, twitter, ba, rmat, er, grid, chain, star, components)", spec.Type)
+	}
+}
+
+// Stats renders a statistics report for g: size, degree distribution
+// (log-scale histogram), connected components, top-degree vertices and
+// partition balance for the given parallelism.
+func Stats(g *graph.Graph, parallelism int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\n\n", g)
+
+	degs := g.Degrees()
+	sort.Ints(degs)
+	if len(degs) > 0 {
+		fmt.Fprintf(&b, "out-degree: min %d, median %d, p99 %d, max %d\n",
+			degs[0], degs[len(degs)/2], degs[len(degs)*99/100], degs[len(degs)-1])
+	}
+	if g.Directed() {
+		// In-degrees carry the heavy tail of follower-style graphs.
+		in := make(map[graph.VertexID]int)
+		g.Edges(func(e graph.Edge) { in[e.Dst]++ })
+		inDegs := make([]int, 0, g.NumVertices())
+		for _, v := range g.Vertices() {
+			inDegs = append(inDegs, in[v])
+		}
+		sort.Ints(inDegs)
+		fmt.Fprintf(&b, "in-degree:  min %d, median %d, p99 %d, max %d\n",
+			inDegs[0], inDegs[len(inDegs)/2], inDegs[len(inDegs)*99/100], inDegs[len(inDegs)-1])
+	}
+
+	// Degree histogram over power-of-two buckets.
+	buckets := map[int]int{}
+	maxBucket := 0
+	for _, d := range degs {
+		bkt := 0
+		for 1<<bkt <= d {
+			bkt++
+		}
+		buckets[bkt]++
+		if bkt > maxBucket {
+			maxBucket = bkt
+		}
+	}
+	labels := make([]string, 0, maxBucket+1)
+	values := make([]float64, 0, maxBucket+1)
+	for bkt := 0; bkt <= maxBucket; bkt++ {
+		lo := 0
+		if bkt > 0 {
+			lo = 1 << (bkt - 1)
+		}
+		hi := 1<<bkt - 1
+		labels = append(labels, fmt.Sprintf("deg %d-%d", lo, hi))
+		values = append(values, float64(buckets[bkt]))
+	}
+	b.WriteString(plot.Bars("degree distribution (vertices per bucket)", labels, values, 40))
+
+	comps := ref.ConnectedComponents(g)
+	sizes := map[graph.VertexID]int{}
+	for _, c := range comps {
+		sizes[c]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	fmt.Fprintf(&b, "\nconnected components: %d (largest holds %d of %d vertices)\n",
+		len(sizes), largest, g.NumVertices())
+
+	type vd struct {
+		v graph.VertexID
+		d int
+	}
+	top := make([]vd, 0, g.NumVertices())
+	for _, v := range g.Vertices() {
+		top = append(top, vd{v, g.OutDegree(v)})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].d != top[j].d {
+			return top[i].d > top[j].d
+		}
+		return top[i].v < top[j].v
+	})
+	b.WriteString("top-degree vertices:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		fmt.Fprintf(&b, "  %d(%d)", top[i].v, top[i].d)
+	}
+	b.WriteString("\n")
+
+	if parallelism > 1 {
+		parts := graph.PartitionVertices(g, parallelism)
+		fmt.Fprintf(&b, "\npartition balance at parallelism %d:\n", parallelism)
+		plabels := make([]string, parallelism)
+		pvalues := make([]float64, parallelism)
+		for p, vs := range parts {
+			plabels[p] = fmt.Sprintf("partition %d", p)
+			pvalues[p] = float64(len(vs))
+		}
+		b.WriteString(plot.Bars("", plabels, pvalues, 40))
+	}
+	return b.String()
+}
+
+// Convert reads an edge list and writes it back normalised (sorted
+// vertices, one edge per line), reporting what it did.
+func Convert(in io.Reader, out io.Writer, directed bool) (string, error) {
+	g, err := graph.ReadEdgeList(in, directed)
+	if err != nil {
+		return "", err
+	}
+	if err := graph.WriteEdgeList(out, g); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("normalised %v", g), nil
+}

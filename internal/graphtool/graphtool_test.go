@@ -1,0 +1,108 @@
+package graphtool
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateKnownTypes(t *testing.T) {
+	cases := []struct {
+		spec     GenSpec
+		vertices int
+	}{
+		{GenSpec{Type: "demo"}, 16},
+		{GenSpec{Type: "demo-directed"}, 16},
+		{GenSpec{Type: "twitter", N: 500, Seed: 1}, 500},
+		{GenSpec{Type: "ba", N: 300, M: 3, Seed: 1}, 300},
+		{GenSpec{Type: "er", N: 100, P: 0.05, Seed: 1}, 100},
+		{GenSpec{Type: "grid", N: 5, M: 6}, 30},
+		{GenSpec{Type: "chain", N: 12}, 12},
+		{GenSpec{Type: "star", N: 9}, 10},
+		{GenSpec{Type: "components", N: 100, M: 4, P: 0.1, Seed: 1}, 100},
+	}
+	for _, tc := range cases {
+		g, err := Generate(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec.Type, err)
+		}
+		if g.NumVertices() != tc.vertices {
+			t.Fatalf("%s: %d vertices, want %d", tc.spec.Type, g.NumVertices(), tc.vertices)
+		}
+	}
+}
+
+func TestGenerateRMATRoundsUp(t *testing.T) {
+	g, err := Generate(GenSpec{Type: "rmat", N: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("rmat vertices = %d, want 1024", g.NumVertices())
+	}
+}
+
+func TestGenerateUnknownType(t *testing.T) {
+	if _, err := Generate(GenSpec{Type: "nope"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestGenerateDefaultsSize(t *testing.T) {
+	g, err := Generate(GenSpec{Type: "twitter", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("default n = %d", g.NumVertices())
+	}
+}
+
+func TestStatsContent(t *testing.T) {
+	g, err := Generate(GenSpec{Type: "twitter", N: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Stats(g, 4)
+	for _, want := range []string{
+		"800 vertices",
+		"out-degree:",
+		"degree distribution",
+		"connected components:",
+		"top-degree vertices:",
+		"partition balance at parallelism 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsWithoutPartitions(t *testing.T) {
+	g, _ := Generate(GenSpec{Type: "chain", N: 5})
+	out := Stats(g, 1)
+	if strings.Contains(out, "partition balance") {
+		t.Fatal("partition section should be omitted at parallelism 1")
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	in := strings.NewReader("# comment\n3 1\n1 2 2.5\n")
+	var out bytes.Buffer
+	msg, err := Convert(in, &out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "2 edges") {
+		t.Fatalf("msg = %q", msg)
+	}
+	if !strings.Contains(out.String(), "1 2 2.5") {
+		t.Fatalf("weight lost: %q", out.String())
+	}
+}
+
+func TestConvertBadInput(t *testing.T) {
+	if _, err := Convert(strings.NewReader("not numbers\n"), &bytes.Buffer{}, false); err == nil {
+		t.Fatal("bad input accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package httpui serves the demonstration in a browser — the closest
+// substitute for the paper's GUI (§3.1): pick the algorithm tab and the
+// input graph, schedule worker failures per iteration, run, and step
+// through the per-iteration frames with the statistics plots rendered
+// as SVG. The server is stateless between runs; each run executes the
+// full scenario and caches the frame history for navigation.
+package httpui
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"optiflow/internal/demoapp"
+)
+
+// Server renders and caches demo runs.
+type Server struct {
+	mu      sync.Mutex
+	outcome *demoapp.RunOutcome
+	lastErr error
+}
+
+// NewServer returns a Server with no run yet.
+func NewServer() *Server { return &Server{} }
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/frame", s.handleFrame)
+	mux.HandleFunc("/report", s.handleReport)
+	return mux
+}
+
+const pageHead = `<!DOCTYPE html><html><head><meta charset="utf-8"><title>optiflow demo</title>
+<style>
+body { font-family: sans-serif; max-width: 980px; margin: 2em auto; color: #222; }
+pre { background: #1c1c1c; color: #e8e8e8; padding: 12px; border-radius: 6px; overflow-x: auto; }
+.failure { color: #c0392b; font-weight: bold; }
+.nav a { margin-right: 1em; }
+form { background: #f4f4f4; padding: 12px; border-radius: 6px; }
+label { margin-right: 1.5em; }
+svg { max-width: 100%; height: auto; border: 1px solid #ddd; }
+</style></head><body>
+`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, pageHead)
+	fmt.Fprint(w, `<h1>Optimistic Recovery for Iterative Dataflows — in action</h1>
+<p>Choose the algorithm tab and input, schedule failures (the paper's GUI buttons), and run.
+The algorithms recover through compensation functions — no checkpoints are taken.</p>
+<form action="/run" method="get">
+  <p>
+    <label><input type="radio" name="mode" value="cc" checked> Connected Components (delta iteration)</label>
+    <label><input type="radio" name="mode" value="pagerank"> PageRank (bulk iteration)</label>
+  </p>
+  <p>
+    <label><input type="radio" name="input" value="small" checked> small hand-crafted graph</label>
+    <label><input type="radio" name="input" value="large"> Twitter-like graph with
+      <input type="number" name="n" value="20000" min="100" style="width:7em"> vertices</label>
+  </p>
+  <p>
+    <label>failures (e.g. <code>3:1, 5:0</code> = worker 1 dies in iteration 3, worker 0 in iteration 5):
+      <input type="text" name="fail" value="3:1" style="width:12em"></label>
+  </p>
+  <p><button type="submit">▶ run</button></p>
+</form>
+`)
+	s.mu.Lock()
+	has := s.outcome != nil
+	s.mu.Unlock()
+	if has {
+		fmt.Fprint(w, `<p>A run is loaded: <a href="/frame?i=0">step through its frames</a> or view the <a href="/report">full report</a>.</p>`)
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+// parseFailures parses "3:1, 5:0" into {2: [1], 4: [0]} (1-based GUI
+// iterations to 0-based supersteps).
+func parseFailures(spec string) (map[int][]int, error) {
+	out := map[int][]int{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		iterStr, workerStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad failure %q (want iteration:worker)", part)
+		}
+		iter, err1 := strconv.Atoi(strings.TrimSpace(iterStr))
+		worker, err2 := strconv.Atoi(strings.TrimSpace(workerStr))
+		if err1 != nil || err2 != nil || iter < 1 || worker < 0 {
+			return nil, fmt.Errorf("bad failure %q (want iteration>=1 : worker>=0)", part)
+		}
+		out[iter-1] = append(out[iter-1], worker)
+	}
+	return out, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	mode := demoapp.ModeCC
+	if r.URL.Query().Get("mode") == "pagerank" {
+		mode = demoapp.ModePageRank
+	}
+	failures, err := parseFailures(r.URL.Query().Get("fail"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := demoapp.Config{Mode: mode, Failures: failures, Color: true}
+	if r.URL.Query().Get("input") == "large" {
+		cfg.Large = true
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 {
+			cfg.LargeSize = n
+		}
+	}
+	outcome, err := demoapp.Run(cfg)
+	s.mu.Lock()
+	s.outcome, s.lastErr = outcome, err
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/frame?i=0", http.StatusSeeOther)
+}
+
+func (s *Server) current() *demoapp.RunOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outcome
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	outcome := s.current()
+	if outcome == nil {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	i, _ := strconv.Atoi(r.URL.Query().Get("i"))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(outcome.Frames) {
+		i = len(outcome.Frames) - 1
+	}
+	f := outcome.Frames[i]
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, pageHead)
+	fmt.Fprintf(w, "<h1>%s — frame %d of %d</h1>\n", outcome.Config.Mode, i+1, len(outcome.Frames))
+	fmt.Fprint(w, `<p class="nav">`)
+	if i > 0 {
+		fmt.Fprintf(w, `<a href="/frame?i=%d">⏴ back</a>`, i-1)
+	}
+	if i+1 < len(outcome.Frames) {
+		fmt.Fprintf(w, `<a href="/frame?i=%d">step ⏵</a>`, i+1)
+	}
+	fmt.Fprint(w, `<a href="/report">full report</a><a href="/">new run</a></p>`)
+	if f.Failure != "" {
+		fmt.Fprintf(w, `<p class="failure">⚡ %s</p>`+"\n", demoapp.HTMLEscape(f.Failure))
+	}
+	if f.Graph != "" {
+		fmt.Fprintf(w, "<pre>%s</pre>\n", demoapp.ANSIToHTML(f.Graph))
+	} else {
+		fmt.Fprintf(w, "<p>%s</p>\n", demoapp.HTMLEscape(f.Status))
+	}
+	fmt.Fprint(w, "<h2>Statistics so far</h2>\n")
+	for _, chart := range outcome.Charts() {
+		fmt.Fprint(w, chart.SVG())
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	outcome := s.current()
+	if outcome == nil {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, outcome.HTMLReport())
+}

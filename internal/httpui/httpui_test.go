@@ -1,0 +1,123 @@
+package httpui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestFullSession(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Landing page shows the run form.
+	code, body := get(t, client, srv.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "Optimistic Recovery") || !strings.Contains(body, "<form") {
+		t.Fatalf("index: %d\n%s", code, body)
+	}
+
+	// Run CC with a failure in iteration 3; follow the redirect chain.
+	code, body = get(t, client, srv.URL+"/run?mode=cc&input=small&fail=3:1")
+	if code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	if !strings.Contains(body, "frame 1 of") {
+		t.Fatalf("run did not land on frame view:\n%s", body)
+	}
+
+	// Step forward to the failure frame.
+	code, body = get(t, client, srv.URL+"/frame?i=3")
+	if code != http.StatusOK || !strings.Contains(body, "failure") {
+		t.Fatalf("frame 3: %d\n%s", code, body)
+	}
+	if !strings.Contains(body, "<svg") {
+		t.Fatal("statistics SVG missing from frame view")
+	}
+	if strings.Contains(body, "\x1b") {
+		t.Fatal("ANSI escapes leaked into HTML")
+	}
+
+	// Frame index clamps.
+	code, body = get(t, client, srv.URL+"/frame?i=9999")
+	if code != http.StatusOK || !strings.Contains(body, "⏴ back") {
+		t.Fatalf("clamped frame: %d", code)
+	}
+
+	// The full report renders.
+	code, body = get(t, client, srv.URL+"/report")
+	if code != http.StatusOK || !strings.Contains(body, "CORRECT") {
+		t.Fatalf("report: %d", code)
+	}
+}
+
+func TestFrameWithoutRunRedirects(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	// Without following redirects, /frame should point home.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther || resp.Header.Get("Location") != "/" {
+		t.Fatalf("got %d -> %q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+}
+
+func TestBadFailureSpecRejected(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	code, body := get(t, srv.Client(), srv.URL+"/run?fail=nonsense")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d\n%s", code, body)
+	}
+}
+
+func TestParseFailures(t *testing.T) {
+	got, err := parseFailures(" 3:1, 5:0 ,3:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]int{2: {1, 2}, 4: {0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got, err := parseFailures(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty spec: %v %v", got, err)
+	}
+	for _, bad := range []string{"x", "0:1", "1:-2", "1:a"} {
+		if _, err := parseFailures(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	code, _ := get(t, srv.Client(), srv.URL+"/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("got %d", code)
+	}
+}

@@ -1,0 +1,253 @@
+// Package iterate drives iterative dataflow execution: it runs the
+// loop body superstep by superstep, consults the failure injector,
+// clears lost state partitions, lets the recovery policy decide where
+// to resume (compensate / roll back / restart), and reports one sample
+// per superstep attempt — exactly the per-iteration data points the
+// demo GUI plots.
+package iterate
+
+import (
+	"fmt"
+	"time"
+
+	"optiflow/internal/cluster"
+	"optiflow/internal/failure"
+	"optiflow/internal/recovery"
+)
+
+// StepStats is what one execution of the loop body reports.
+type StepStats struct {
+	// Messages counts records exchanged during the superstep — for the
+	// demo's algorithms, candidate labels or rank contributions sent to
+	// neighbors.
+	Messages int64
+	// Updates counts state entries changed by the superstep (label
+	// updates, rank writes).
+	Updates int64
+	// Extra carries algorithm-specific series, e.g. the L1 norm of the
+	// rank delta.
+	Extra map[string]float64
+}
+
+// Context describes the superstep attempt the loop body is executing.
+type Context struct {
+	// Superstep is the logical iteration number. After a rollback the
+	// same superstep number is presented again on a later attempt.
+	Superstep int
+	// Tick counts attempts monotonically; the demo plots use ticks as
+	// their x-axis so re-executed and compensated iterations show up.
+	Tick int
+	// Parallelism is the number of state partitions / parallel tasks.
+	Parallelism int
+}
+
+// Sample is the per-attempt data point handed to listeners.
+type Sample struct {
+	Tick      int
+	Superstep int
+	Stats     StepStats
+	// FailedWorkers and LostPartitions are non-empty if a failure
+	// struck during this attempt; Recovery describes the policy's
+	// reaction.
+	FailedWorkers  []int
+	LostPartitions []int
+	Recovery       string
+	Elapsed        time.Duration
+}
+
+// Failed reports whether a failure struck during this attempt.
+func (s Sample) Failed() bool { return len(s.FailedWorkers) > 0 }
+
+// Result summarises a finished loop.
+type Result struct {
+	// Supersteps is the number of logical supersteps committed when the
+	// loop terminated.
+	Supersteps int
+	// Ticks is the number of superstep attempts executed, including
+	// re-executions after rollbacks and restarts.
+	Ticks int
+	// Failures counts injected failure events.
+	Failures int
+	// Samples holds one entry per attempt, in order.
+	Samples []Sample
+	// Elapsed is the total wall time of the loop.
+	Elapsed time.Duration
+	// Overhead is the fault-tolerance cost reported by the policy.
+	Overhead recovery.Overhead
+}
+
+// MessagesSeries returns the per-tick message counts — the demo's
+// bottom-right plot for Connected Components.
+func (r *Result) MessagesSeries() []float64 {
+	out := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		out[i] = float64(s.Stats.Messages)
+	}
+	return out
+}
+
+// ExtraSeries returns the per-tick values of a named extra statistic.
+func (r *Result) ExtraSeries(name string) []float64 {
+	out := make([]float64, len(r.Samples))
+	for i, s := range r.Samples {
+		out[i] = s.Stats.Extra[name]
+	}
+	return out
+}
+
+// FailureTicks returns the ticks at which failures struck.
+func (r *Result) FailureTicks() []int {
+	var out []int
+	for _, s := range r.Samples {
+		if s.Failed() {
+			out = append(out, s.Tick)
+		}
+	}
+	return out
+}
+
+// DefaultMaxTicks bounds runaway loops.
+const DefaultMaxTicks = 100000
+
+// Loop is a configured iterative computation.
+type Loop struct {
+	// Name identifies the job (checkpoints, diagnostics).
+	Name string
+	// Step executes one superstep attempt: run the loop-body dataflow
+	// and commit its outputs into the iteration state.
+	Step func(ctx *Context) (StepStats, error)
+	// Done reports, given the number of committed supersteps, whether
+	// the iteration has terminated (empty workset for delta iterations,
+	// max-iterations/convergence for bulk iterations). It is consulted
+	// before every attempt.
+	Done func(committed int) bool
+	// Job exposes the iteration state to the recovery policy.
+	Job recovery.Job
+	// Policy is the fault-tolerance strategy (defaults to None).
+	Policy recovery.Policy
+	// Cluster models worker/partition placement. Required.
+	Cluster *cluster.Cluster
+	// Injector decides failures (defaults to no failures).
+	Injector failure.Injector
+	// OnSample, if set, observes every attempt's sample.
+	OnSample func(Sample)
+	// MaxTicks bounds the number of attempts (DefaultMaxTicks if zero).
+	MaxTicks int
+}
+
+// Run executes the loop until Done or failure of the policy.
+func (l *Loop) Run() (*Result, error) {
+	if l.Step == nil || l.Done == nil {
+		return nil, fmt.Errorf("iterate: loop %q needs Step and Done", l.Name)
+	}
+	if l.Cluster == nil {
+		return nil, fmt.Errorf("iterate: loop %q needs a cluster", l.Name)
+	}
+	if l.Job == nil {
+		return nil, fmt.Errorf("iterate: loop %q needs a job", l.Name)
+	}
+	policy := l.Policy
+	if policy == nil {
+		policy = recovery.None{}
+	}
+	injector := l.Injector
+	if injector == nil {
+		injector = failure.None{}
+	}
+	maxTicks := l.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = DefaultMaxTicks
+	}
+
+	if err := policy.Setup(l.Job); err != nil {
+		return nil, fmt.Errorf("iterate: loop %q: policy setup: %w", l.Name, err)
+	}
+
+	res := &Result{}
+	start := time.Now()
+	superstep := 0
+	for tick := 0; ; tick++ {
+		if l.Done(superstep) {
+			break
+		}
+		if tick >= maxTicks {
+			return nil, fmt.Errorf("iterate: loop %q exceeded %d superstep attempts without terminating", l.Name, maxTicks)
+		}
+
+		attemptStart := time.Now()
+		ctx := &Context{Superstep: superstep, Tick: tick, Parallelism: l.Cluster.NumPartitions()}
+		stats, err := l.Step(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("iterate: loop %q superstep %d (tick %d): %w", l.Name, superstep, tick, err)
+		}
+
+		sample := Sample{Tick: tick, Superstep: superstep, Stats: stats}
+		failed := injector.FailuresAt(superstep, tick, l.Cluster.Workers())
+		if len(failed) > 0 {
+			res.Failures++
+			var lost []int
+			for _, w := range failed {
+				lost = append(lost, l.Cluster.Fail(w)...)
+			}
+			l.Cluster.Acquire()
+			l.Job.ClearPartitions(lost)
+			resumeAt, err := policy.OnFailure(l.Job, recovery.Failure{
+				Superstep: superstep, Tick: tick,
+				Workers: failed, LostPartitions: lost,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
+			}
+			sample.FailedWorkers = failed
+			sample.LostPartitions = lost
+			sample.Recovery = describeRecovery(policy.PolicyName(), superstep, resumeAt)
+			superstep = resumeAt
+		} else {
+			if err := policy.AfterSuperstep(l.Job, superstep); err != nil {
+				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
+			}
+			superstep++
+		}
+
+		sample.Elapsed = time.Since(attemptStart)
+		res.Samples = append(res.Samples, sample)
+		res.Ticks++
+		if l.OnSample != nil {
+			l.OnSample(sample)
+		}
+	}
+
+	res.Supersteps = superstep
+	res.Elapsed = time.Since(start)
+	res.Overhead = policy.Overhead()
+	return res, nil
+}
+
+func describeRecovery(policy string, at, resumeAt int) string {
+	switch {
+	case resumeAt == at+1:
+		return fmt.Sprintf("%s: compensated, continuing with superstep %d", policy, resumeAt)
+	case resumeAt == 0:
+		return fmt.Sprintf("%s: rewound to superstep 0", policy)
+	default:
+		return fmt.Sprintf("%s: rolled back to superstep %d", policy, resumeAt)
+	}
+}
+
+// BulkDone returns a termination predicate for bulk iterations: stop
+// after maxIterations committed supersteps, or earlier once converged
+// (if non-nil) reports true.
+func BulkDone(maxIterations int, converged func(committed int) bool) func(int) bool {
+	return func(committed int) bool {
+		if committed >= maxIterations {
+			return true
+		}
+		return converged != nil && committed > 0 && converged(committed)
+	}
+}
+
+// DeltaDone returns a termination predicate for delta iterations: stop
+// once the workset is empty.
+func DeltaDone(worksetLen func() int) func(int) bool {
+	return func(int) bool { return worksetLen() == 0 }
+}

@@ -1,0 +1,290 @@
+package iterate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/cluster"
+	"optiflow/internal/failure"
+	"optiflow/internal/recovery"
+)
+
+// counterJob is a minimal iterative job: its "state" is a counter that
+// the step increments; snapshots serialise the counter.
+type counterJob struct {
+	counter int
+	cleared []int
+	comps   int
+	resets  int
+}
+
+func (c *counterJob) Name() string { return "counter" }
+
+func (c *counterJob) SnapshotTo(buf *bytes.Buffer) error {
+	_, err := fmt.Fprintf(buf, "%d", c.counter)
+	return err
+}
+
+func (c *counterJob) RestoreFrom(data []byte) error {
+	_, err := fmt.Sscanf(string(data), "%d", &c.counter)
+	return err
+}
+
+func (c *counterJob) ClearPartitions(parts []int) { c.cleared = append(c.cleared, parts...) }
+func (c *counterJob) Compensate(lost []int) error { c.comps++; return nil }
+func (c *counterJob) ResetToInitial() error       { c.counter = 0; c.resets++; return nil }
+
+func (c *counterJob) step(*Context) (StepStats, error) {
+	c.counter++
+	return StepStats{Messages: int64(c.counter), Updates: 1}, nil
+}
+
+func newLoop(job *counterJob, target int) *Loop {
+	return &Loop{
+		Name:    "counter",
+		Step:    job.step,
+		Done:    func(committed int) bool { return committed >= target },
+		Job:     job,
+		Cluster: cluster.New(4, 4),
+	}
+}
+
+func TestLoopRunsToTermination(t *testing.T) {
+	job := &counterJob{}
+	res, err := newLoop(job, 5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 5 || res.Ticks != 5 || res.Failures != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if job.counter != 5 {
+		t.Fatalf("job ran %d steps", job.counter)
+	}
+	if len(res.Samples) != 5 {
+		t.Fatalf("%d samples", len(res.Samples))
+	}
+	for i, s := range res.Samples {
+		if s.Tick != i || s.Superstep != i || s.Failed() {
+			t.Fatalf("sample %d = %+v", i, s)
+		}
+	}
+	if got := res.MessagesSeries(); got[0] != 1 || got[4] != 5 {
+		t.Fatalf("messages series = %v", got)
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	if _, err := (&Loop{}).Run(); err == nil {
+		t.Fatal("empty loop accepted")
+	}
+	job := &counterJob{}
+	l := newLoop(job, 1)
+	l.Cluster = nil
+	if _, err := l.Run(); err == nil {
+		t.Fatal("missing cluster accepted")
+	}
+	l2 := newLoop(job, 1)
+	l2.Job = nil
+	if _, err := l2.Run(); err == nil {
+		t.Fatal("missing job accepted")
+	}
+}
+
+func TestLoopMaxTicks(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 1000)
+	l.MaxTicks = 10
+	_, err := l.Run()
+	if err == nil || !strings.Contains(err.Error(), "10 superstep attempts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepErrorAborts(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	boom := errors.New("step exploded")
+	l.Step = func(ctx *Context) (StepStats, error) {
+		if ctx.Tick == 2 {
+			return StepStats{}, boom
+		}
+		return job.step(ctx)
+	}
+	_, err := l.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOptimisticFailureFlow(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Policy = recovery.Optimistic{}
+	l.Injector = failure.NewScripted(nil).At(2, 1)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimistic recovery continues: still 5 ticks, one compensated.
+	if res.Ticks != 5 || res.Failures != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if job.comps != 1 {
+		t.Fatalf("compensations = %d", job.comps)
+	}
+	if len(job.cleared) == 0 {
+		t.Fatal("lost partitions were not cleared before compensation")
+	}
+	s := res.Samples[2]
+	if !s.Failed() || len(s.LostPartitions) == 0 || !strings.Contains(s.Recovery, "compensated") {
+		t.Fatalf("failure sample = %+v", s)
+	}
+	if got := res.FailureTicks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("failure ticks = %v", got)
+	}
+	// The worker is gone; a fresh one owns its partitions.
+	if l.Cluster.IsAlive(1) {
+		t.Fatal("failed worker still alive")
+	}
+	if len(l.Cluster.Workers()) != 4 {
+		t.Fatalf("workers = %v", l.Cluster.Workers())
+	}
+}
+
+func TestCheckpointFailureRollsBack(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 6)
+	l.Policy = recovery.NewCheckpoint(2, checkpoint.NewMemoryStore())
+	l.Injector = failure.NewScripted(nil).At(4, 0)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure at superstep 4 rolls back to the snapshot taken after
+	// superstep 3, re-executing superstep 4: one extra tick.
+	if res.Supersteps != 6 {
+		t.Fatalf("supersteps = %d", res.Supersteps)
+	}
+	if res.Ticks != 7 {
+		t.Fatalf("ticks = %d, want 7 (one re-execution)", res.Ticks)
+	}
+	// The failed attempt's increment was rolled back with the restore,
+	// so the final counter equals the committed supersteps.
+	if job.counter != 6 {
+		t.Fatalf("counter = %d", job.counter)
+	}
+	if job.comps != 0 {
+		t.Fatal("rollback must not invoke compensation")
+	}
+	if !strings.Contains(res.Samples[4].Recovery, "rolled back") {
+		t.Fatalf("recovery note = %q", res.Samples[4].Recovery)
+	}
+	if res.Overhead.Checkpoints == 0 {
+		t.Fatal("overhead not reported")
+	}
+}
+
+func TestRestartFailureRewindsToZero(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 4)
+	l.Policy = recovery.Restart{}
+	l.Injector = failure.NewScripted(nil).At(2, 0)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 attempts wasted (supersteps 0..2), then 4 committed.
+	if res.Ticks != 7 || res.Supersteps != 4 {
+		t.Fatalf("res = %+v", res)
+	}
+	if job.resets != 1 {
+		t.Fatalf("resets = %d", job.resets)
+	}
+}
+
+func TestNonePolicyFailureAborts(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Injector = failure.NewScripted(nil).At(1, 0)
+	_, err := l.Run()
+	if !errors.Is(err, recovery.ErrUnrecoverable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOnSampleObservesEveryAttempt(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 3)
+	var seen []int
+	l.OnSample = func(s Sample) { seen = append(seen, s.Tick) }
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[2] != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestExtraSeries(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 3)
+	l.Step = func(ctx *Context) (StepStats, error) {
+		job.counter++
+		return StepStats{Extra: map[string]float64{"l1": float64(10 - ctx.Tick)}}, nil
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ExtraSeries("l1"); got[0] != 10 || got[2] != 8 {
+		t.Fatalf("extra series = %v", got)
+	}
+}
+
+func TestBulkDone(t *testing.T) {
+	done := BulkDone(5, nil)
+	if done(4) || !done(5) || !done(6) {
+		t.Fatal("max-iteration logic wrong")
+	}
+	converged := false
+	done = BulkDone(100, func(int) bool { return converged })
+	if done(1) {
+		t.Fatal("not converged yet")
+	}
+	converged = true
+	if !done(1) {
+		t.Fatal("convergence ignored")
+	}
+	// Convergence is never consulted before the first superstep.
+	if done(0) {
+		t.Fatal("converged before running anything")
+	}
+}
+
+func TestDeltaDone(t *testing.T) {
+	n := 3
+	done := DeltaDone(func() int { return n })
+	if done(0) {
+		t.Fatal("non-empty workset terminated")
+	}
+	n = 0
+	if !done(5) {
+		t.Fatal("empty workset not terminated")
+	}
+}
+
+func TestZeroStepLoopTerminatesImmediately(t *testing.T) {
+	job := &counterJob{}
+	res, err := newLoop(job, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 0 || job.counter != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,129 @@
+// Package metrics collects the per-iteration statistics the demo GUI
+// plots (§3.2, §3.3): named series sampled once per superstep attempt,
+// with failure annotations, exportable as CSV and renderable through
+// package plot.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Collector accumulates aligned per-tick series.
+type Collector struct {
+	order    []string
+	series   map[string][]float64
+	failures map[int]string
+	maxTick  int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		series:   make(map[string][]float64),
+		failures: make(map[int]string),
+	}
+}
+
+// Record appends value v of the named series at the given tick. Gaps
+// are padded with the previous value (or zero).
+func (c *Collector) Record(tick int, name string, v float64) {
+	s, ok := c.series[name]
+	if !ok {
+		c.order = append(c.order, name)
+	}
+	for len(s) < tick {
+		pad := 0.0
+		if len(s) > 0 {
+			pad = s[len(s)-1]
+		}
+		s = append(s, pad)
+	}
+	if len(s) == tick {
+		s = append(s, v)
+	} else {
+		s[tick] = v
+	}
+	c.series[name] = s
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// MarkFailure annotates a tick with a failure description.
+func (c *Collector) MarkFailure(tick int, desc string) {
+	c.failures[tick] = desc
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// Series returns the values of a named series (nil if unknown).
+func (c *Collector) Series(name string) []float64 { return c.series[name] }
+
+// SeriesNames returns the series names in recording order.
+func (c *Collector) SeriesNames() []string { return append([]string(nil), c.order...) }
+
+// FailureTicks returns the annotated ticks in ascending order.
+func (c *Collector) FailureTicks() []int {
+	out := make([]int, 0, len(c.failures))
+	for t := range c.failures {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailureAt returns the annotation of a tick ("" if none).
+func (c *Collector) FailureAt(tick int) string { return c.failures[tick] }
+
+// Ticks returns the number of ticks recorded (max tick + 1).
+func (c *Collector) Ticks() int {
+	if len(c.series) == 0 && len(c.failures) == 0 {
+		return 0
+	}
+	return c.maxTick + 1
+}
+
+// WriteCSV exports all series as CSV: one row per tick, one column per
+// series, plus a trailing "failure" column with the annotation.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	headers := append([]string{"tick"}, c.order...)
+	headers = append(headers, "failure")
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for t := 0; t < c.Ticks(); t++ {
+		row := make([]string, 0, len(headers))
+		row = append(row, fmt.Sprintf("%d", t))
+		for _, name := range c.order {
+			s := c.series[name]
+			if t < len(s) {
+				row = append(row, formatFloat(s[t]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		row = append(row, csvEscape(c.failures[t]))
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "msgs", 10)
+	c.Record(1, "msgs", 20)
+	c.Record(0, "conv", 3)
+	if got := c.Series("msgs"); !reflect.DeepEqual(got, []float64{10, 20}) {
+		t.Fatalf("msgs = %v", got)
+	}
+	if got := c.SeriesNames(); !reflect.DeepEqual(got, []string{"msgs", "conv"}) {
+		t.Fatalf("names = %v", got)
+	}
+	if c.Series("unknown") != nil {
+		t.Fatal("unknown series should be nil")
+	}
+	if c.Ticks() != 2 {
+		t.Fatalf("ticks = %d", c.Ticks())
+	}
+}
+
+func TestGapPadding(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "v", 5)
+	c.Record(3, "v", 8)
+	if got := c.Series("v"); !reflect.DeepEqual(got, []float64{5, 5, 5, 8}) {
+		t.Fatalf("padded series = %v", got)
+	}
+	// A series starting late pads with zero.
+	c.Record(2, "late", 1)
+	if got := c.Series("late"); !reflect.DeepEqual(got, []float64{0, 0, 1}) {
+		t.Fatalf("late series = %v", got)
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "v", 1)
+	c.Record(0, "v", 2)
+	if got := c.Series("v"); !reflect.DeepEqual(got, []float64{2}) {
+		t.Fatalf("series = %v", got)
+	}
+}
+
+func TestFailures(t *testing.T) {
+	c := NewCollector()
+	c.MarkFailure(3, "worker 1 died")
+	c.MarkFailure(1, "worker 0 died")
+	if got := c.FailureTicks(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("failure ticks = %v", got)
+	}
+	if c.FailureAt(3) != "worker 1 died" || c.FailureAt(0) != "" {
+		t.Fatal("annotations wrong")
+	}
+	if c.Ticks() != 4 {
+		t.Fatalf("ticks = %d", c.Ticks())
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.Ticks() != 0 {
+		t.Fatal("empty collector has ticks")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "tick,failure" {
+		t.Fatalf("empty CSV = %q", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, "messages", 34)
+	c.Record(1, "messages", 27.5)
+	c.Record(0, "converged", 10)
+	c.Record(1, "converged", 14)
+	c.MarkFailure(1, `lost partitions [1, 2] on "node-a"`)
+
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	if lines[0] != "tick,messages,converged,failure" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,34,10," {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,27.5,14,") || !strings.Contains(lines[2], `""node-a""`) {
+		t.Fatalf("row 1 = %q (quoting broken?)", lines[2])
+	}
+}

@@ -1,0 +1,190 @@
+// Package plot renders terminal line and bar charts — the stand-in for
+// the statistics panes of the demonstration GUI. Charts are plain text
+// (no ANSI escapes) so they survive logs, CI output and go test diffs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line is one series of a chart.
+type Line struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a multi-series line chart over tick indices, with optional
+// vertical markers (the demo marks failure iterations).
+type Chart struct {
+	Title   string
+	YLabel  string
+	Width   int // plot columns (default 60)
+	Height  int // plot rows (default 12)
+	Series  []Line
+	Markers []int // ticks to mark with a vertical '!' line
+}
+
+var symbols = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+
+	maxLen := 0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if maxLen == 0 || math.IsInf(minV, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minV == maxV {
+		minV, maxV = minV-1, maxV+1
+	}
+	if minV > 0 && minV < (maxV-minV) {
+		minV = 0 // anchor count-like series at zero
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	col := func(tick int) int {
+		if maxLen == 1 {
+			return 0
+		}
+		return tick * (width - 1) / (maxLen - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - minV) / (maxV - minV)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r
+	}
+	for _, m := range c.Markers {
+		if m < 0 || m >= maxLen {
+			continue
+		}
+		x := col(m)
+		for r := 0; r < height; r++ {
+			grid[r][x] = '!'
+		}
+	}
+	for si, s := range c.Series {
+		sym := symbols[si%len(symbols)]
+		for t, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			grid[row(v)][col(t)] = sym
+		}
+	}
+
+	yTop := formatTick(maxV)
+	yBot := formatTick(minV)
+	labelWidth := max(len(yTop), len(yBot))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = pad(yTop, labelWidth)
+		case height - 1:
+			label = pad(yBot, labelWidth)
+		case height / 2:
+			label = pad(formatTick((minV+maxV)/2), labelWidth)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  0%siteration%s%d\n",
+		strings.Repeat(" ", labelWidth),
+		strings.Repeat(" ", max(1, (width-13)/2)),
+		strings.Repeat(" ", max(1, width-13-(width-13)/2-len(fmt.Sprint(maxLen-1)))),
+		maxLen-1)
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		var legend []string
+		for si, s := range c.Series {
+			legend = append(legend, fmt.Sprintf("%c=%s", symbols[si%len(symbols)], s.Name))
+		}
+		if len(c.Markers) > 0 {
+			legend = append(legend, "!=failure")
+		}
+		fmt.Fprintf(&b, "  legend: %s\n", strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// Bars renders a horizontal bar chart: one labeled bar per value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxV := 0.0
+	labelWidth := 0
+	for i, v := range values {
+		maxV = math.Max(maxV, v)
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		fmt.Fprintf(&b, "%s |%s %s\n", pad(labels[i], labelWidth), strings.Repeat("█", n), formatTick(v))
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeriesAndMarkers(t *testing.T) {
+	c := &Chart{
+		Title:   "messages per iteration",
+		Series:  []Line{{Name: "messages", Values: []float64{30, 20, 10, 25, 5}}},
+		Markers: []int{2},
+		Width:   40, Height: 8,
+	}
+	out := c.Render()
+	for _, want := range []string{"messages per iteration", "*", "!", "legend:", "*=messages", "!=failure", "iteration"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if out != c.Render() {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestChartMultipleSeriesGetDistinctSymbols(t *testing.T) {
+	c := &Chart{
+		Series: []Line{
+			{Name: "a", Values: []float64{1, 2, 3}},
+			{Name: "b", Values: []float64{3, 2, 1}},
+		},
+		Width: 30, Height: 6,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatalf("second symbol not plotted:\n%s", out)
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	c2 := &Chart{Series: []Line{{Name: "nan", Values: nil}}}
+	if out := c2.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("nil-values chart = %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Line{{Name: "flat", Values: []float64{5, 5, 5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestChartIgnoresNaNAndInf(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	c := &Chart{Series: []Line{{Name: "mixed", Values: []float64{1, inf, 2, 3}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") || strings.Contains(out, "+Inf") {
+		t.Fatalf("inf handling broken:\n%s", out)
+	}
+}
+
+func TestChartAnchorsCountsAtZero(t *testing.T) {
+	c := &Chart{Series: []Line{{Name: "counts", Values: []float64{10, 50, 100}}}, Height: 6}
+	out := c.Render()
+	if !strings.Contains(out, "0 |") {
+		t.Fatalf("count axis should anchor at zero:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("runtimes", []string{"optimistic", "checkpoint"}, []float64{10, 40}, 20)
+	if !strings.Contains(out, "runtimes") || !strings.Contains(out, "optimistic") {
+		t.Fatalf("bars missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bars lines = %v", lines)
+	}
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a |") {
+		t.Fatalf("zero bars = %q", out)
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	c := &Chart{
+		Title:   "messages & <escaping>",
+		YLabel:  "count",
+		Series:  []Line{{Name: "a", Values: []float64{3, 1, 4, 1, 5}}, {Name: "b", Values: []float64{2, 7, 1}}},
+		Markers: []int{2},
+	}
+	out := c.SVG()
+	for _, want := range []string{
+		"<svg ", "</svg>", "polyline", "stroke-dasharray", // markers
+		"messages &amp; &lt;escaping&gt;", // title escaped
+		">a</text>", ">b</text>", "failure", "iteration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "polyline") != 2 {
+		t.Fatalf("want 2 polylines:\n%s", out)
+	}
+	if out != c.SVG() {
+		t.Fatal("SVG not deterministic")
+	}
+}
+
+func TestSVGEmptyData(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.SVG()
+	if !strings.Contains(out, "(no data)") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("empty SVG = %s", out)
+	}
+}
+
+func TestSVGSkipsNonFinite(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	c := &Chart{Series: []Line{{Name: "x", Values: []float64{1, inf, 2}}}}
+	out := c.SVG()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("non-finite leaked into SVG:\n%s", out)
+	}
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG palette: one stroke color per series, colorblind-safe-ish.
+var svgColors = []string{"#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d6a9f", "#5c5c5c"}
+
+// SVG renders the chart as a standalone SVG document — the
+// publication-ready counterpart of Render's terminal output. Series
+// become polylines, markers become dashed vertical lines, and the
+// legend sits below the plot.
+func (c *Chart) SVG() string {
+	const (
+		w, h                     = 640, 360
+		marginL, marginR         = 70, 20
+		marginT, marginB         = 40, 70
+		plotW, plotH     float64 = w - marginL - marginR, h - marginT - marginB
+	)
+
+	maxLen := 0
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(c.Title))
+	}
+	if maxLen == 0 || math.IsInf(minV, 1) {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">(no data)</text>`+"\n</svg>\n", marginL, h/2)
+		return b.String()
+	}
+	if minV == maxV {
+		minV, maxV = minV-1, maxV+1
+	}
+	if minV > 0 && minV < (maxV-minV) {
+		minV = 0
+	}
+
+	x := func(tick int) float64 {
+		if maxLen == 1 {
+			return marginL
+		}
+		return marginL + plotW*float64(tick)/float64(maxLen-1)
+	}
+	y := func(v float64) float64 {
+		frac := (v - minV) / (maxV - minV)
+		return marginT + plotH*(1-frac)
+	}
+
+	// Axes and gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.0f" stroke="#333"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#333"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for i := 0; i <= 4; i++ {
+		v := minV + (maxV-minV)*float64(i)/4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, yy, marginL+plotW, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n", marginL-6, yy, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="%d" text-anchor="middle">iteration</text>`+"\n", marginL+plotW/2, h-marginB+34)
+	fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="middle">0</text>`+"\n", marginL, marginT+plotH+16)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%d</text>`+"\n", marginL+plotW, marginT+plotH+16, maxLen-1)
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%.0f" transform="rotate(-90 16 %.0f)" text-anchor="middle">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, xmlEscape(c.YLabel))
+	}
+
+	// Failure markers.
+	for _, m := range c.Markers {
+		if m < 0 || m >= maxLen {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.0f" stroke="#d1495b" stroke-dasharray="4 3"/>`+"\n",
+			x(m), marginT, x(m), marginT+plotH)
+	}
+
+	// Series polylines.
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		var pts []string
+		for t, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(t), y(v)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+	}
+
+	// Legend.
+	lx := float64(marginL)
+	ly := float64(h) - 28.0
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, color)
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series %d", si+1)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+16, ly, xmlEscape(name))
+		lx += float64(16 + 8*len(name) + 24)
+	}
+	if len(c.Markers) > 0 {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d1495b" stroke-dasharray="4 3" stroke-width="2"/>`+"\n", lx, ly-4, lx+12, ly-4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">failure</text>`+"\n", lx+16, ly)
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

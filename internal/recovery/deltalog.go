@@ -1,0 +1,151 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"optiflow/internal/checkpoint"
+)
+
+// DeltaJob is implemented by jobs that can serialise just the state
+// changes since their previous delta snapshot. Unlike per-partition
+// incremental snapshots (IncrementalJob), a delta log shrinks with the
+// algorithm's update rate even under hash partitioning, where every
+// partition keeps receiving a trickle of updates until convergence.
+type DeltaJob interface {
+	Job
+	// SnapshotDelta serialises all changes since the previous
+	// SnapshotDelta (or since the last full SnapshotTo) and resets the
+	// change tracking.
+	SnapshotDelta(buf *bytes.Buffer) error
+	// RestoreFromChain rebuilds the state from a base snapshot followed
+	// by the ordered deltas, then marks the change tracking clean.
+	RestoreFromChain(base []byte, deltas [][]byte) error
+}
+
+// DeltaCheckpoint is rollback recovery with delta-log snapshots: a full
+// base snapshot once, then only the per-interval change sets. After
+// CompactEvery deltas the chain is compacted into a fresh base, keeping
+// recovery replay bounded.
+type DeltaCheckpoint struct {
+	// Interval is the superstep period between deltas (>= 1).
+	Interval int
+	// CompactEvery bounds the chain length (16 if zero).
+	CompactEvery int
+	// Store is the chain storage.
+	Store checkpoint.LogStore
+
+	lastSuper int
+	ckptTime  time.Duration
+}
+
+// NewDeltaCheckpoint returns the policy with the given interval and
+// store.
+func NewDeltaCheckpoint(interval int, store checkpoint.LogStore) *DeltaCheckpoint {
+	if interval < 1 {
+		interval = 1
+	}
+	return &DeltaCheckpoint{Interval: interval, CompactEvery: 16, Store: store, lastSuper: -1}
+}
+
+// PolicyName implements Policy.
+func (c *DeltaCheckpoint) PolicyName() string {
+	return fmt.Sprintf("delta-checkpoint(k=%d)", c.Interval)
+}
+
+func (c *DeltaCheckpoint) deltaJob(job Job) (DeltaJob, error) {
+	dj, ok := job.(DeltaJob)
+	if !ok {
+		return nil, fmt.Errorf("recovery: job %s does not support delta snapshots", job.Name())
+	}
+	return dj, nil
+}
+
+// Setup implements Policy: write the base snapshot of the initial
+// state.
+func (c *DeltaCheckpoint) Setup(job Job) error {
+	dj, err := c.deltaJob(job)
+	if err != nil {
+		return err
+	}
+	return c.compact(dj, -1)
+}
+
+func (c *DeltaCheckpoint) compact(dj DeltaJob, superstep int) error {
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := dj.SnapshotTo(&buf); err != nil {
+		return fmt.Errorf("recovery: base snapshot of %s: %v", dj.Name(), err)
+	}
+	// Reset delta tracking so the next delta starts from this base: a
+	// throw-away delta snapshot drains the pending change set.
+	var drain bytes.Buffer
+	if err := dj.SnapshotDelta(&drain); err != nil {
+		return fmt.Errorf("recovery: draining change set of %s: %v", dj.Name(), err)
+	}
+	if err := c.Store.SaveBase(dj.Name(), superstep, buf.Bytes()); err != nil {
+		return fmt.Errorf("recovery: saving base of %s: %v", dj.Name(), err)
+	}
+	c.lastSuper = superstep
+	c.ckptTime += time.Since(start)
+	return nil
+}
+
+// AfterSuperstep implements Policy.
+func (c *DeltaCheckpoint) AfterSuperstep(job Job, superstep int) error {
+	if (superstep+1)%c.Interval != 0 {
+		return nil
+	}
+	dj, err := c.deltaJob(job)
+	if err != nil {
+		return err
+	}
+	compactEvery := c.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = 16
+	}
+	if c.Store.DeltaCount(dj.Name()) >= compactEvery {
+		return c.compact(dj, superstep)
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := dj.SnapshotDelta(&buf); err != nil {
+		return fmt.Errorf("recovery: delta snapshot of %s: %v", dj.Name(), err)
+	}
+	if err := c.Store.AppendDelta(dj.Name(), superstep, buf.Bytes()); err != nil {
+		return fmt.Errorf("recovery: appending delta of %s: %v", dj.Name(), err)
+	}
+	c.lastSuper = superstep
+	c.ckptTime += time.Since(start)
+	return nil
+}
+
+// OnFailure implements Policy: replay base + deltas, resume after the
+// newest checkpointed superstep.
+func (c *DeltaCheckpoint) OnFailure(job Job, _ Failure) (int, error) {
+	dj, err := c.deltaJob(job)
+	if err != nil {
+		return 0, err
+	}
+	base, deltas, superstep, ok, err := c.Store.LoadChain(dj.Name())
+	if err != nil {
+		return 0, fmt.Errorf("recovery: loading chain of %s: %v", dj.Name(), err)
+	}
+	if !ok {
+		return 0, fmt.Errorf("recovery: no base snapshot for %s despite Setup", dj.Name())
+	}
+	if err := dj.RestoreFromChain(base, deltas); err != nil {
+		return 0, fmt.Errorf("recovery: replaying chain of %s: %v", dj.Name(), err)
+	}
+	return superstep + 1, nil
+}
+
+// Overhead implements Policy.
+func (c *DeltaCheckpoint) Overhead() Overhead {
+	return Overhead{
+		Checkpoints:    c.Store.Saves(),
+		BytesWritten:   c.Store.BytesWritten(),
+		CheckpointTime: c.ckptTime,
+	}
+}

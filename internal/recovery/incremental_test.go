@@ -1,0 +1,156 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"optiflow/internal/checkpoint"
+)
+
+// incrJob is a fake incremental job: each partition holds one string
+// and a version counter.
+type incrJob struct {
+	fakeJob
+	parts    []string
+	versions []uint64
+}
+
+func newIncrJob(n int) *incrJob {
+	j := &incrJob{fakeJob: fakeJob{name: "incr"}, parts: make([]string, n), versions: make([]uint64, n)}
+	for p := range j.parts {
+		j.parts[p] = fmt.Sprintf("p%d-v0", p)
+		j.versions[p] = 1
+	}
+	return j
+}
+
+func (j *incrJob) set(p int, v string) {
+	j.parts[p] = v
+	j.versions[p]++
+}
+
+func (j *incrJob) PartitionVersions() []uint64 { return append([]uint64(nil), j.versions...) }
+
+func (j *incrJob) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	_, err := buf.WriteString(j.parts[p])
+	return err
+}
+
+func (j *incrJob) RestorePartition(p int, data []byte) error {
+	j.parts[p] = string(data)
+	j.versions[p]++
+	return nil
+}
+
+func TestIncrementalCheckpointSavesOnlyChangedPartitions(t *testing.T) {
+	store := checkpoint.NewMemoryStore()
+	pol := NewIncrementalCheckpoint(1, store)
+	job := newIncrJob(4)
+
+	if err := pol.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 4 {
+		t.Fatalf("setup saved %d partitions, want all 4", store.Saves())
+	}
+
+	// Only partition 2 changes: the next checkpoint writes one blob.
+	job.set(2, "p2-v1")
+	if err := pol.AfterSuperstep(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 5 {
+		t.Fatalf("saves = %d, want 5 (one incremental)", store.Saves())
+	}
+
+	// Nothing changes: the checkpoint writes nothing.
+	if err := pol.AfterSuperstep(job, 1); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 5 {
+		t.Fatalf("saves = %d after no-op checkpoint", store.Saves())
+	}
+}
+
+func TestIncrementalCheckpointRestoreAssemblesConsistentState(t *testing.T) {
+	store := checkpoint.NewMemoryStore()
+	pol := NewIncrementalCheckpoint(1, store)
+	job := newIncrJob(3)
+	if err := pol.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+
+	job.set(0, "p0-s0")
+	if err := pol.AfterSuperstep(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	job.set(1, "p1-s1")
+	if err := pol.AfterSuperstep(job, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt everything, then recover: partition 0's blob is from
+	// superstep 0, partition 1's from superstep 1, partition 2's from
+	// setup — and since they did not change in between, the assembly is
+	// the state at the last checkpoint.
+	job.set(0, "garbage")
+	job.set(1, "garbage")
+	job.set(2, "garbage")
+	resume, err := pol.OnFailure(job, Failure{Superstep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 2 {
+		t.Fatalf("resume = %d, want 2", resume)
+	}
+	want := []string{"p0-s0", "p1-s1", "p2-v0"}
+	for p, w := range want {
+		if job.parts[p] != w {
+			t.Fatalf("partition %d = %q, want %q", p, job.parts[p], w)
+		}
+	}
+
+	// A post-restore checkpoint writes nothing: the state equals the
+	// stored blobs.
+	if saves := store.Saves(); saves != 5 {
+		t.Fatalf("saves before = %d", saves)
+	}
+	if err := pol.AfterSuperstep(job, 2); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 5 {
+		t.Fatalf("post-restore checkpoint rewrote partitions: %d saves", store.Saves())
+	}
+}
+
+func TestIncrementalCheckpointRejectsPlainJobs(t *testing.T) {
+	pol := NewIncrementalCheckpoint(1, checkpoint.NewMemoryStore())
+	if err := pol.Setup(&fakeJob{name: "plain"}); err == nil {
+		t.Fatal("plain job accepted")
+	}
+}
+
+func TestIncrementalCheckpointDiskStore(t *testing.T) {
+	store, err := checkpoint.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewIncrementalCheckpoint(1, store)
+	job := newIncrJob(2)
+	if err := pol.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	job.set(1, "disk-v1")
+	if err := pol.AfterSuperstep(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	job.set(0, "garbage")
+	job.set(1, "garbage")
+	if _, err := pol.OnFailure(job, Failure{Superstep: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if job.parts[0] != "p0-v0" || job.parts[1] != "disk-v1" {
+		t.Fatalf("restored parts = %v", job.parts)
+	}
+}

@@ -1,0 +1,207 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optiflow/internal/checkpoint"
+)
+
+// fakeJob records every recovery operation applied to it.
+type fakeJob struct {
+	name     string
+	state    string // serialised verbatim into snapshots
+	cleared  [][]int
+	comps    [][]int
+	resets   int
+	log      []string
+	failSnap bool
+}
+
+func (f *fakeJob) Name() string { return f.name }
+
+func (f *fakeJob) SnapshotTo(buf *bytes.Buffer) error {
+	if f.failSnap {
+		return errors.New("snapshot exploded")
+	}
+	_, err := buf.WriteString(f.state)
+	f.log = append(f.log, "snapshot:"+f.state)
+	return err
+}
+
+func (f *fakeJob) RestoreFrom(data []byte) error {
+	f.state = string(data)
+	f.log = append(f.log, "restore:"+f.state)
+	return nil
+}
+
+func (f *fakeJob) ClearPartitions(parts []int) {
+	f.cleared = append(f.cleared, parts)
+	f.log = append(f.log, fmt.Sprintf("clear:%v", parts))
+}
+
+func (f *fakeJob) Compensate(lost []int) error {
+	f.comps = append(f.comps, lost)
+	f.log = append(f.log, fmt.Sprintf("compensate:%v", lost))
+	return nil
+}
+
+func (f *fakeJob) ResetToInitial() error {
+	f.resets++
+	f.state = "initial"
+	f.log = append(f.log, "reset")
+	return nil
+}
+
+func TestNonePolicyAbortsOnFailure(t *testing.T) {
+	var p None
+	job := &fakeJob{name: "j"}
+	if err := p.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AfterSuperstep(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.OnFailure(job, Failure{Superstep: 2, Workers: []int{1}})
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.Overhead() != (Overhead{}) {
+		t.Fatal("None should have zero overhead")
+	}
+}
+
+func TestRestartPolicyRewindsToZero(t *testing.T) {
+	var p Restart
+	job := &fakeJob{name: "j", state: "progressed"}
+	resume, err := p.OnFailure(job, Failure{Superstep: 5})
+	if err != nil || resume != 0 {
+		t.Fatalf("resume = %d, err = %v", resume, err)
+	}
+	if job.resets != 1 || job.state != "initial" {
+		t.Fatal("job not reset")
+	}
+}
+
+func TestOptimisticPolicyCompensatesAndContinues(t *testing.T) {
+	var p Optimistic
+	job := &fakeJob{name: "j"}
+	if err := p.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	// Failure-free execution must do strictly nothing.
+	for i := 0; i < 5; i++ {
+		if err := p.AfterSuperstep(job, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(job.log) != 0 {
+		t.Fatalf("optimistic policy touched the job during failure-free run: %v", job.log)
+	}
+	resume, err := p.OnFailure(job, Failure{Superstep: 7, LostPartitions: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 8 {
+		t.Fatalf("resume = %d, want 8 (continue)", resume)
+	}
+	if !reflect.DeepEqual(job.comps, [][]int{{1, 3}}) {
+		t.Fatalf("compensated %v", job.comps)
+	}
+	if p.Overhead() != (Overhead{}) {
+		t.Fatal("optimistic must report zero overhead")
+	}
+}
+
+func TestCheckpointPolicyLifecycle(t *testing.T) {
+	store := checkpoint.NewMemoryStore()
+	p := NewCheckpoint(2, store)
+	job := &fakeJob{name: "j", state: "s0"}
+
+	// Setup takes the initial snapshot (superstep -1).
+	if err := p.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 1 {
+		t.Fatalf("saves after setup = %d", store.Saves())
+	}
+
+	// Interval-2 snapshots trigger after supersteps 1, 3, ...
+	job.state = "s1"
+	if err := p.AfterSuperstep(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 1 {
+		t.Fatal("snapshot taken off-interval")
+	}
+	if err := p.AfterSuperstep(job, 1); err != nil {
+		t.Fatal(err)
+	}
+	if store.Saves() != 2 {
+		t.Fatal("interval snapshot missing")
+	}
+
+	// Failure: restore the superstep-1 snapshot, resume at 2.
+	job.state = "s4-corrupted"
+	resume, err := p.OnFailure(job, Failure{Superstep: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 2 {
+		t.Fatalf("resume = %d, want 2", resume)
+	}
+	if job.state != "s1" {
+		t.Fatalf("restored state = %q", job.state)
+	}
+
+	oh := p.Overhead()
+	if oh.Checkpoints != 2 || oh.BytesWritten == 0 {
+		t.Fatalf("overhead = %+v", oh)
+	}
+	if !strings.Contains(p.PolicyName(), "k=2") {
+		t.Fatalf("name = %q", p.PolicyName())
+	}
+}
+
+func TestCheckpointFailureBeforeFirstIntervalRestoresInitial(t *testing.T) {
+	p := NewCheckpoint(5, checkpoint.NewMemoryStore())
+	job := &fakeJob{name: "j", state: "initial-state"}
+	if err := p.Setup(job); err != nil {
+		t.Fatal(err)
+	}
+	job.state = "mid-flight"
+	resume, err := p.OnFailure(job, Failure{Superstep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 0 || job.state != "initial-state" {
+		t.Fatalf("resume=%d state=%q", resume, job.state)
+	}
+}
+
+func TestCheckpointSnapshotErrorPropagates(t *testing.T) {
+	p := NewCheckpoint(1, checkpoint.NewMemoryStore())
+	job := &fakeJob{name: "j", failSnap: true}
+	if err := p.Setup(job); err == nil {
+		t.Fatal("snapshot error swallowed")
+	}
+}
+
+func TestCheckpointIntervalClamped(t *testing.T) {
+	p := NewCheckpoint(0, checkpoint.NewMemoryStore())
+	if p.Interval != 1 {
+		t.Fatalf("interval = %d, want clamp to 1", p.Interval)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (None{}).PolicyName() != "none" ||
+		(Restart{}).PolicyName() != "restart" ||
+		(Optimistic{}).PolicyName() != "optimistic" {
+		t.Fatal("policy names changed")
+	}
+}

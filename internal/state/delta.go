@@ -1,0 +1,129 @@
+package state
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Delta-log support: the store tracks which keys changed since the
+// last EncodeDelta, so a checkpoint can persist just the update stream.
+// Unlike per-partition incremental snapshots (see Version), delta logs
+// shrink with the algorithm's update rate even under hash partitioning,
+// where every partition keeps receiving a trickle of updates until
+// global convergence.
+
+// partDelta is the serialised change set of one partition.
+type partDelta[V any] struct {
+	// Cleared reports that the partition was wiped since the last
+	// delta; Upserts then hold its complete contents.
+	Cleared bool
+	Upserts map[uint64]V
+	Deletes []uint64
+}
+
+// markDirty records a changed key. The tracking slices are allocated
+// eagerly in NewStore: parallel tasks mutate distinct partitions
+// concurrently, so any lazy allocation of the shared slice headers here
+// would race.
+func (s *Store[V]) markDirty(p int, k uint64) {
+	if s.dirty[p] == nil {
+		s.dirty[p] = make(map[uint64]struct{})
+	}
+	s.dirty[p][k] = struct{}{}
+}
+
+func (s *Store[V]) markCleared(p int) {
+	s.cleared[p] = true
+	s.dirty[p] = nil
+}
+
+// DirtyCount returns how many keys changed since the last EncodeDelta
+// or MarkClean (cleared partitions count their full size).
+func (s *Store[V]) DirtyCount() int {
+	n := 0
+	for p := range s.parts {
+		if s.isCleared(p) {
+			n += len(s.parts[p])
+			continue
+		}
+		n += len(s.dirty[p])
+	}
+	return n
+}
+
+func (s *Store[V]) isCleared(p int) bool { return s.cleared[p] }
+
+// EncodeDelta appends the change set since the previous EncodeDelta
+// (or since creation / the last MarkClean) to a gob stream, then marks
+// the store clean. Replaying deltas in order onto the base snapshot
+// reproduces the current contents exactly.
+func (s *Store[V]) EncodeDelta(enc *gob.Encoder) error {
+	if err := enc.Encode(s.name); err != nil {
+		return fmt.Errorf("state: encoding delta of %q: %v", s.name, err)
+	}
+	deltas := make([]partDelta[V], len(s.parts))
+	for p := range s.parts {
+		d := partDelta[V]{}
+		switch {
+		case s.isCleared(p):
+			d.Cleared = true
+			d.Upserts = s.parts[p]
+		case len(s.dirty[p]) > 0:
+			d.Upserts = make(map[uint64]V, len(s.dirty[p]))
+			for k := range s.dirty[p] {
+				if v, ok := s.parts[p][k]; ok {
+					d.Upserts[k] = v
+				} else {
+					d.Deletes = append(d.Deletes, k)
+				}
+			}
+		}
+		deltas[p] = d
+	}
+	if err := enc.Encode(deltas); err != nil {
+		return fmt.Errorf("state: encoding delta of %q: %v", s.name, err)
+	}
+	s.MarkClean()
+	return nil
+}
+
+// ApplyDelta replays one change set written by EncodeDelta.
+func (s *Store[V]) ApplyDelta(dec *gob.Decoder) error {
+	var name string
+	if err := dec.Decode(&name); err != nil {
+		return fmt.Errorf("state: decoding delta: %v", err)
+	}
+	if name != s.name {
+		return fmt.Errorf("state: decoding delta: delta is of %q, want %q", name, s.name)
+	}
+	var deltas []partDelta[V]
+	if err := dec.Decode(&deltas); err != nil {
+		return fmt.Errorf("state: decoding delta of %q: %v", s.name, err)
+	}
+	if len(deltas) != len(s.parts) {
+		return fmt.Errorf("state: delta of %q has %d partitions, store has %d", s.name, len(deltas), len(s.parts))
+	}
+	for p, d := range deltas {
+		if d.Cleared {
+			s.parts[p] = make(map[uint64]V, len(d.Upserts))
+		}
+		for k, v := range d.Upserts {
+			s.parts[p][k] = v
+		}
+		for _, k := range d.Deletes {
+			delete(s.parts[p], k)
+		}
+		s.bump(p)
+	}
+	return nil
+}
+
+// MarkClean forgets all recorded changes: the next EncodeDelta starts
+// from here. Call it after restoring a snapshot chain so the next delta
+// only carries genuinely new changes.
+func (s *Store[V]) MarkClean() {
+	for p := range s.parts {
+		s.dirty[p] = nil
+		s.cleared[p] = false
+	}
+}

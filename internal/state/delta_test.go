@@ -1,0 +1,142 @@
+package state
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func encodeDelta(t *testing.T, s *Store[int]) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.EncodeDelta(gob.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func applyDelta(t *testing.T, s *Store[int], data []byte) {
+	t.Helper()
+	if err := s.ApplyDelta(gob.NewDecoder(bytes.NewReader(data))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func requireStoresEqual(t *testing.T, got, want *Store[int]) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	want.Range(func(k uint64, v int) bool {
+		g, ok := got.Get(k)
+		if !ok || g != v {
+			t.Fatalf("key %d: got %d (%v), want %d", k, g, ok, v)
+		}
+		return true
+	})
+}
+
+func TestDeltaReplayReproducesState(t *testing.T) {
+	src := NewStore[int]("s", 4)
+	replica := NewStore[int]("s", 4)
+
+	// Base: initial contents.
+	for k := uint64(0); k < 50; k++ {
+		src.Put(k, int(k))
+	}
+	var base bytes.Buffer
+	if err := src.Encode(&base); err != nil {
+		t.Fatal(err)
+	}
+	src.MarkClean()
+	if err := replica.Decode(&base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rounds of mutations, one delta each.
+	rng := rand.New(rand.NewSource(1))
+	var deltas [][]byte
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 20; i++ {
+			k := uint64(rng.Intn(80))
+			switch rng.Intn(3) {
+			case 0, 1:
+				src.Put(k, rng.Intn(1000))
+			case 2:
+				src.Delete(k)
+			}
+		}
+		deltas = append(deltas, encodeDelta(t, src))
+	}
+	for _, d := range deltas {
+		applyDelta(t, replica, d)
+	}
+	requireStoresEqual(t, replica, src)
+}
+
+func TestDeltaOnlyCarriesChanges(t *testing.T) {
+	s := NewStore[int]("s", 4)
+	for k := uint64(0); k < 1000; k++ {
+		s.Put(k, int(k))
+	}
+	full := encodeDelta(t, s) // everything dirty: effectively a full dump
+	if s.DirtyCount() != 0 {
+		t.Fatal("EncodeDelta did not reset tracking")
+	}
+	s.Put(1, 42)
+	s.Put(2, 43)
+	small := encodeDelta(t, s)
+	if len(small) >= len(full)/10 {
+		t.Fatalf("2-key delta is %d bytes, full dump %d", len(small), len(full))
+	}
+	empty := encodeDelta(t, s)
+	if len(empty) >= len(small) {
+		t.Fatalf("empty delta (%d bytes) not smaller than 2-key delta (%d)", len(empty), len(small))
+	}
+}
+
+func TestDeltaHandlesClearedPartitions(t *testing.T) {
+	src := NewStore[int]("s", 4)
+	replica := NewStore[int]("s", 4)
+	for k := uint64(0); k < 40; k++ {
+		src.Put(k, 1)
+	}
+	replica.CopyFrom(src)
+	src.MarkClean()
+
+	src.ClearPartition(2)
+	src.Put(100, 7) // may or may not land in partition 2
+	applyDelta(t, replica, encodeDelta(t, src))
+	requireStoresEqual(t, replica, src)
+	if replica.PartitionLen(2) != src.PartitionLen(2) {
+		t.Fatal("cleared partition not replicated")
+	}
+}
+
+func TestDeltaDirtyCount(t *testing.T) {
+	s := NewStore[int]("s", 2)
+	if s.DirtyCount() != 0 {
+		t.Fatal("fresh store dirty")
+	}
+	s.Put(1, 1)
+	s.Put(1, 2) // same key: still one dirty entry
+	s.Put(2, 1)
+	if got := s.DirtyCount(); got != 2 {
+		t.Fatalf("dirty = %d, want 2", got)
+	}
+	s.MarkClean()
+	if s.DirtyCount() != 0 {
+		t.Fatal("MarkClean failed")
+	}
+}
+
+func TestDeltaNameMismatch(t *testing.T) {
+	a := NewStore[int]("a", 2)
+	a.Put(1, 1)
+	data := encodeDelta(t, a)
+	b := NewStore[int]("b", 2)
+	if err := b.ApplyDelta(gob.NewDecoder(bytes.NewReader(data))); err == nil {
+		t.Fatal("delta applied across store names")
+	}
+}

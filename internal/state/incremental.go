@@ -1,0 +1,62 @@
+package state
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Version returns a counter that increases whenever partition p's
+// contents change. Incremental checkpointing uses it to skip partitions
+// that have not changed since the last snapshot — in a delta iteration
+// most partitions stop changing long before convergence.
+func (s *Store[V]) Version(p int) uint64 { return s.versions[p] }
+
+func (s *Store[V]) bump(p int) { s.versions[p]++ }
+
+// EncodePartition appends one partition's contents to a gob stream.
+func (s *Store[V]) EncodePartition(p int, enc *gob.Encoder) error {
+	if err := enc.Encode(s.parts[p]); err != nil {
+		return fmt.Errorf("state: encoding store %q partition %d: %v", s.name, p, err)
+	}
+	return nil
+}
+
+// DecodePartition replaces one partition's contents from a gob stream
+// written by EncodePartition.
+func (s *Store[V]) DecodePartition(p int, dec *gob.Decoder) error {
+	var part map[uint64]V
+	if err := dec.Decode(&part); err != nil {
+		return fmt.Errorf("state: decoding store %q partition %d: %v", s.name, p, err)
+	}
+	if part == nil {
+		part = make(map[uint64]V)
+	}
+	s.parts[p] = part
+	s.bump(p)
+	s.markCleared(p)
+	return nil
+}
+
+// Version returns the change counter of workset partition p.
+func (w *Workset[T]) Version(p int) uint64 { return w.versions[p] }
+
+func (w *Workset[T]) bump(p int) { w.versions[p]++ }
+
+// EncodePartition appends one workset partition to a gob stream.
+func (w *Workset[T]) EncodePartition(p int, enc *gob.Encoder) error {
+	if err := enc.Encode(w.parts[p]); err != nil {
+		return fmt.Errorf("state: encoding workset %q partition %d: %v", w.name, p, err)
+	}
+	return nil
+}
+
+// DecodePartition replaces one workset partition from a gob stream.
+func (w *Workset[T]) DecodePartition(p int, dec *gob.Decoder) error {
+	var part []T
+	if err := dec.Decode(&part); err != nil {
+		return fmt.Errorf("state: decoding workset %q partition %d: %v", w.name, p, err)
+	}
+	w.parts[p] = part
+	w.bump(p)
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package state holds the partitioned intermediate state of an
+// iterative computation: the solution set / rank vector partitions that
+// live on cluster workers across supersteps, and the worksets of delta
+// iterations. Failures destroy partitions of these stores (§2.2 of the
+// paper); recovery policies snapshot, restore, clear and compensate
+// them.
+package state
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"optiflow/internal/graph"
+)
+
+// Store is a keyed store hash-partitioned into nparts partitions with
+// the same partitioning function the dataflow engine uses for hash
+// exchanges, so the task at partition p only ever touches parts[p] and
+// no locking is needed during a superstep.
+type Store[V any] struct {
+	name     string
+	parts    []map[uint64]V
+	versions []uint64 // per-partition change counters (see Version)
+
+	// Delta-log tracking (see EncodeDelta): keys changed and partitions
+	// wiped since the last delta. Both allocated lazily.
+	dirty   []map[uint64]struct{}
+	cleared []bool
+}
+
+// NewStore creates an empty store with nparts partitions.
+func NewStore[V any](name string, nparts int) *Store[V] {
+	if nparts < 1 {
+		panic(fmt.Sprintf("state: store %q: nparts must be >= 1, got %d", name, nparts))
+	}
+	s := &Store[V]{
+		name:     name,
+		parts:    make([]map[uint64]V, nparts),
+		versions: make([]uint64, nparts),
+		dirty:    make([]map[uint64]struct{}, nparts),
+		cleared:  make([]bool, nparts),
+	}
+	for i := range s.parts {
+		s.parts[i] = make(map[uint64]V)
+	}
+	return s
+}
+
+// Name returns the store's name (used in snapshots and diagnostics).
+func (s *Store[V]) Name() string { return s.name }
+
+// NumPartitions returns the partition count.
+func (s *Store[V]) NumPartitions() int { return len(s.parts) }
+
+// PartitionOf returns the partition owning key k.
+func (s *Store[V]) PartitionOf(k uint64) int {
+	return graph.Partition(graph.VertexID(k), len(s.parts))
+}
+
+// Get returns the value stored under k.
+func (s *Store[V]) Get(k uint64) (V, bool) {
+	v, ok := s.parts[s.PartitionOf(k)][k]
+	return v, ok
+}
+
+// Put stores v under k in the partition owning k.
+func (s *Store[V]) Put(k uint64, v V) {
+	p := s.PartitionOf(k)
+	s.parts[p][k] = v
+	s.bump(p)
+	s.markDirty(p, k)
+}
+
+// Delete removes k.
+func (s *Store[V]) Delete(k uint64) {
+	p := s.PartitionOf(k)
+	delete(s.parts[p], k)
+	s.bump(p)
+	s.markDirty(p, k)
+}
+
+// Len returns the total number of entries.
+func (s *Store[V]) Len() int {
+	n := 0
+	for _, p := range s.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// PartitionLen returns the number of entries in partition p.
+func (s *Store[V]) PartitionLen(p int) int { return len(s.parts[p]) }
+
+// ClearPartition drops every entry of partition p — the effect of the
+// worker owning p crashing.
+func (s *Store[V]) ClearPartition(p int) {
+	s.parts[p] = make(map[uint64]V)
+	s.bump(p)
+	s.markCleared(p)
+}
+
+// ClearAll drops every entry of every partition.
+func (s *Store[V]) ClearAll() {
+	for p := range s.parts {
+		s.ClearPartition(p)
+	}
+}
+
+// Range calls fn for every entry, partition by partition, in sorted key
+// order within each partition (deterministic). fn returning false stops
+// the iteration.
+func (s *Store[V]) Range(fn func(k uint64, v V) bool) {
+	for p := range s.parts {
+		if !s.RangePartition(p, fn) {
+			return
+		}
+	}
+}
+
+// RangePartition iterates partition p in sorted key order. It reports
+// whether iteration ran to completion.
+func (s *Store[V]) RangePartition(p int, fn func(k uint64, v V) bool) bool {
+	part := s.parts[p]
+	keys := make([]uint64, 0, len(part))
+	for k := range part {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !fn(k, part[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns a deep-enough copy of the store for value types V
+// (maps are copied; V values are copied by assignment).
+func (s *Store[V]) Snapshot() *Store[V] {
+	c := NewStore[V](s.name, len(s.parts))
+	for p, part := range s.parts {
+		for k, v := range part {
+			c.parts[p][k] = v
+		}
+	}
+	return c
+}
+
+// CopyFrom replaces this store's contents with those of other.
+func (s *Store[V]) CopyFrom(other *Store[V]) {
+	if len(s.parts) != len(other.parts) {
+		panic(fmt.Sprintf("state: CopyFrom: partition count mismatch %d != %d", len(s.parts), len(other.parts)))
+	}
+	for p := range s.parts {
+		s.parts[p] = make(map[uint64]V, len(other.parts[p]))
+		for k, v := range other.parts[p] {
+			s.parts[p][k] = v
+		}
+		s.bump(p)
+		s.markCleared(p)
+	}
+}
+
+// Encode writes the store to w in gob encoding, for checkpointing.
+func (s *Store[V]) Encode(w io.Writer) error {
+	return s.EncodeTo(gob.NewEncoder(w))
+}
+
+// EncodeTo appends the store to an existing gob stream, so that a job
+// snapshot can serialise several stores into one checkpoint.
+func (s *Store[V]) EncodeTo(enc *gob.Encoder) error {
+	if err := enc.Encode(s.name); err != nil {
+		return fmt.Errorf("state: encoding store %q: %v", s.name, err)
+	}
+	if err := enc.Encode(s.parts); err != nil {
+		return fmt.Errorf("state: encoding store %q: %v", s.name, err)
+	}
+	return nil
+}
+
+// Decode replaces the store contents from a gob stream written by
+// Encode. The partition count must match.
+func (s *Store[V]) Decode(r io.Reader) error {
+	return s.DecodeFrom(gob.NewDecoder(r))
+}
+
+// DecodeFrom reads the store from an existing gob stream (counterpart
+// of EncodeTo).
+func (s *Store[V]) DecodeFrom(dec *gob.Decoder) error {
+	var name string
+	if err := dec.Decode(&name); err != nil {
+		return fmt.Errorf("state: decoding store: %v", err)
+	}
+	if name != s.name {
+		return fmt.Errorf("state: decoding store: snapshot is of %q, want %q", name, s.name)
+	}
+	var parts []map[uint64]V
+	if err := dec.Decode(&parts); err != nil {
+		return fmt.Errorf("state: decoding store %q: %v", s.name, err)
+	}
+	if len(parts) != len(s.parts) {
+		return fmt.Errorf("state: decoding store %q: snapshot has %d partitions, store has %d",
+			s.name, len(parts), len(s.parts))
+	}
+	for i, p := range parts {
+		if p == nil {
+			parts[i] = make(map[uint64]V)
+		}
+	}
+	s.parts = parts
+	for p := range s.parts {
+		s.bump(p)
+		s.markCleared(p)
+	}
+	return nil
+}
+
+// TableView adapts one partition to the dataflow Table interface for
+// lookup joins. The view is read-only by convention: lookup tasks must
+// not mutate the store mid-superstep.
+type TableView[V any] struct {
+	part map[uint64]V
+}
+
+// Get implements dataflow.Table.
+func (t TableView[V]) Get(key uint64) (any, bool) {
+	v, ok := t.part[key]
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// Table returns the Table view of partition p.
+func (s *Store[V]) Table(p int) TableView[V] {
+	return TableView[V]{part: s.parts[p]}
+}

@@ -1,0 +1,288 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"optiflow/internal/graph"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore[string]("labels", 4)
+	if s.Name() != "labels" || s.NumPartitions() != 4 {
+		t.Fatal("metadata wrong")
+	}
+	if _, ok := s.Get(7); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put(7, "seven")
+	s.Put(8, "eight")
+	if v, ok := s.Get(7); !ok || v != "seven" {
+		t.Fatalf("Get(7) = %q, %v", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Put(7, "SEVEN")
+	if v, _ := s.Get(7); v != "SEVEN" {
+		t.Fatal("overwrite failed")
+	}
+	if s.Len() != 2 {
+		t.Fatal("overwrite changed length")
+	}
+	s.Delete(7)
+	if _, ok := s.Get(7); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestStoreRoutesToOwnerPartition(t *testing.T) {
+	s := NewStore[int]("routing", 8)
+	for k := uint64(0); k < 1000; k++ {
+		s.Put(k, int(k))
+	}
+	total := 0
+	for p := 0; p < 8; p++ {
+		s.RangePartition(p, func(k uint64, _ int) bool {
+			if graph.Partition(graph.VertexID(k), 8) != p {
+				t.Fatalf("key %d stored in partition %d, owner is %d", k, p, graph.Partition(graph.VertexID(k), 8))
+			}
+			total++
+			return true
+		})
+	}
+	if total != 1000 {
+		t.Fatalf("ranged %d entries", total)
+	}
+	if s.PartitionOf(5) != graph.Partition(5, 8) {
+		t.Fatal("PartitionOf disagrees with graph.Partition")
+	}
+}
+
+func TestClearPartitionOnlyDropsThatPartition(t *testing.T) {
+	s := NewStore[int]("clear", 4)
+	for k := uint64(0); k < 100; k++ {
+		s.Put(k, 1)
+	}
+	victim := 2
+	lost := s.PartitionLen(victim)
+	if lost == 0 {
+		t.Fatal("test needs a non-empty victim partition")
+	}
+	s.ClearPartition(victim)
+	if s.PartitionLen(victim) != 0 {
+		t.Fatal("victim not cleared")
+	}
+	if s.Len() != 100-lost {
+		t.Fatalf("Len = %d, want %d", s.Len(), 100-lost)
+	}
+	s.ClearAll()
+	if s.Len() != 0 {
+		t.Fatal("ClearAll failed")
+	}
+}
+
+func TestRangeDeterministicOrder(t *testing.T) {
+	s := NewStore[int]("order", 3)
+	for k := uint64(0); k < 50; k++ {
+		s.Put(k, int(k))
+	}
+	var first, second []uint64
+	s.Range(func(k uint64, _ int) bool { first = append(first, k); return true })
+	s.Range(func(k uint64, _ int) bool { second = append(second, k); return true })
+	if len(first) != 50 || len(second) != 50 {
+		t.Fatal("range missed entries")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("range order not deterministic")
+		}
+	}
+	// Early termination.
+	n := 0
+	s.Range(func(uint64, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore[int]("snap", 2)
+	s.Put(1, 10)
+	c := s.Snapshot()
+	s.Put(1, 99)
+	s.Put(2, 20)
+	if v, _ := c.Get(1); v != 10 {
+		t.Fatalf("snapshot mutated: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("snapshot len = %d", c.Len())
+	}
+	s.CopyFrom(c)
+	if v, _ := s.Get(1); v != 10 || s.Len() != 1 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestStoreEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(keys []uint64, vals []int64) bool {
+		s := NewStore[int64]("prop", 4)
+		for i, k := range keys {
+			v := int64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			s.Put(k, v)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		d := NewStore[int64]("prop", 4)
+		if err := d.Decode(&buf); err != nil {
+			return false
+		}
+		if d.Len() != s.Len() {
+			return false
+		}
+		ok := true
+		s.Range(func(k uint64, v int64) bool {
+			got, found := d.Get(k)
+			if !found || got != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDecodeRejectsMismatch(t *testing.T) {
+	s := NewStore[int]("alpha", 2)
+	s.Put(1, 1)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongName := NewStore[int]("beta", 2)
+	if err := wrongName.Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decode accepted wrong store name")
+	}
+	wrongParts := NewStore[int]("alpha", 3)
+	if err := wrongParts.Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decode accepted wrong partition count")
+	}
+}
+
+func TestTableView(t *testing.T) {
+	s := NewStore[string]("view", 4)
+	s.Put(10, "ten")
+	p := s.PartitionOf(10)
+	tbl := s.Table(p)
+	if v, ok := tbl.Get(10); !ok || v.(string) != "ten" {
+		t.Fatalf("table get = %v, %v", v, ok)
+	}
+	if _, ok := tbl.Get(11); ok && s.PartitionOf(11) != p {
+		t.Fatal("table view leaked other partition")
+	}
+	other := (p + 1) % 4
+	if _, ok := s.Table(other).Get(10); ok {
+		t.Fatal("wrong partition sees the key")
+	}
+}
+
+func TestWorksetBasics(t *testing.T) {
+	w := NewWorkset[string]("ws", 3)
+	if w.Name() != "ws" || w.NumPartitions() != 3 {
+		t.Fatal("metadata wrong")
+	}
+	w.Add(0, "a")
+	w.Add(0, "b")
+	w.Add(2, "c")
+	if w.Len() != 3 || w.PartitionLen(0) != 2 || w.PartitionLen(1) != 0 {
+		t.Fatalf("lens wrong: %d", w.Len())
+	}
+	if items := w.Items(0); len(items) != 2 || items[0] != "a" {
+		t.Fatalf("items = %v", items)
+	}
+	w.ClearPartition(0)
+	if w.Len() != 1 {
+		t.Fatal("ClearPartition failed")
+	}
+	w.ClearAll()
+	if w.Len() != 0 {
+		t.Fatal("ClearAll failed")
+	}
+}
+
+func TestWorksetSwapKeepsNames(t *testing.T) {
+	a := NewWorkset[int]("current", 2)
+	b := NewWorkset[int]("next", 2)
+	a.Add(0, 1)
+	b.Add(1, 2)
+	b.Add(1, 3)
+	a.Swap(b)
+	if a.Name() != "current" || b.Name() != "next" {
+		t.Fatal("swap exchanged names")
+	}
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Fatalf("swap contents wrong: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestWorksetSnapshotAndEncode(t *testing.T) {
+	w := NewWorkset[int]("ws", 2)
+	w.Add(0, 1)
+	w.Add(1, 2)
+	c := w.Snapshot()
+	w.Add(0, 3)
+	if c.Len() != 2 {
+		t.Fatal("snapshot mutated")
+	}
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d := NewWorkset[int]("ws", 2)
+	if err := d.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.PartitionLen(0) != 2 {
+		t.Fatalf("decoded len = %d", d.Len())
+	}
+	bad := NewWorkset[int]("other", 2)
+	var buf2 bytes.Buffer
+	if err := w.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Decode(&buf2); err == nil {
+		t.Fatal("decode accepted wrong name")
+	}
+	w.CopyFrom(c)
+	if w.Len() != 2 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestNewStorePanicsOnBadPartitions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewStore[int]("bad", 0)
+}
+
+func TestNewWorksetPanicsOnBadPartitions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewWorkset[int]("bad", 0)
+}

@@ -1,0 +1,125 @@
+package vertexcentric
+
+import (
+	"testing"
+
+	"optiflow/internal/failure"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+func TestConfinedRecoveryCorrectness(t *testing.T) {
+	g := gen.Grid(9, 9)
+	truth := maxTruth(g)
+	for _, failAt := range []int{2, 6, 10} {
+		inj := failure.NewScripted(nil).At(failAt, 1)
+		res, err := Run(maxProgram(g), g, Options{
+			Parallelism:    4,
+			Injector:       inj,
+			Policy:         recovery.Confined{},
+			AccumulatorLog: true,
+		})
+		if err != nil {
+			t.Fatalf("fail@%d: %v", failAt, err)
+		}
+		if res.Failures != 1 {
+			t.Fatalf("fail@%d: failures = %d", failAt, res.Failures)
+		}
+		checkStates(t, res.States, truth)
+	}
+}
+
+func TestConfinedRecoveryTouchesFewerVertices(t *testing.T) {
+	// Recovery injection differs: optimistic compensation floods the
+	// lost vertices' init values to their neighbors and has neighbors
+	// re-send, so the repair superstep gathers at lost ∪ neighbors(lost);
+	// confined recovery replays one accumulator message per lost vertex,
+	// so the repair superstep gathers at the lost vertices only.
+	g := gen.Grid(12, 12)
+	failAt := 12
+	repairUpdates := func(policy recovery.Policy, acc bool) int64 {
+		inj := failure.NewScripted(nil).At(failAt, 1)
+		res, err := Run(maxProgram(g), g, Options{
+			Parallelism:    4,
+			Injector:       inj,
+			Policy:         policy,
+			AccumulatorLog: acc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStates(t, res.States, maxTruth(g))
+		for _, s := range res.Samples {
+			if s.Tick == failAt+1 {
+				return s.Stats.Updates // vertices gathered in the repair superstep
+			}
+		}
+		t.Fatalf("no repair superstep recorded")
+		return 0
+	}
+	optimistic := repairUpdates(recovery.Optimistic{}, false)
+	confined := repairUpdates(recovery.Confined{}, true)
+	if confined >= optimistic {
+		t.Fatalf("confined repair touched %d vertices, optimistic %d", confined, optimistic)
+	}
+}
+
+func TestConfinedDoubleFailureFallsBack(t *testing.T) {
+	// Killing two workers can take an accumulator replica down with its
+	// primary; the recovery must fall back to compensation and still be
+	// correct.
+	g := gen.Grid(8, 8)
+	inj := failure.NewScripted(map[int][]int{3: {0, 1}})
+	res, err := Run(maxProgram(g), g, Options{
+		Parallelism:    4,
+		Injector:       inj,
+		Policy:         recovery.Confined{},
+		AccumulatorLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStates(t, res.States, maxTruth(g))
+}
+
+func TestConfinedRepeatedFailures(t *testing.T) {
+	g := gen.Grid(8, 8)
+	inj := failure.NewScripted(nil).At(2, 0).At(5, 1).At(8, 2)
+	res, err := Run(maxProgram(g), g, Options{
+		Parallelism:    4,
+		Injector:       inj,
+		Policy:         recovery.Confined{},
+		AccumulatorLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 3 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	checkStates(t, res.States, maxTruth(g))
+}
+
+func TestConfinedRequiresAccumulatorLog(t *testing.T) {
+	g := gen.Grid(4, 4)
+	inj := failure.NewScripted(nil).At(1, 0)
+	_, err := Run(maxProgram(g), g, Options{
+		Parallelism: 2,
+		Injector:    inj,
+		Policy:      recovery.Confined{},
+		// AccumulatorLog deliberately off.
+	})
+	if err == nil {
+		t.Fatal("confined recovery without accumulator log accepted")
+	}
+}
+
+func TestAccumulatorLogRequiresCombine(t *testing.T) {
+	g := gen.Grid(4, 4)
+	prog := maxProgram(g)
+	prog.Combine = nil
+	_, err := Run(prog, g, Options{Parallelism: 2, AccumulatorLog: true})
+	if err == nil {
+		t.Fatal("accumulator log without combiner accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package viz renders per-iteration graph frames in the terminal — the
+// substitute for the demonstration GUI's graph pane (§3.2, §3.3):
+// Connected Components frames color every vertex by its current
+// component label ("areas of the same color grow as the algorithm
+// discovers larger parts of the connected components"), PageRank frames
+// scale each vertex symbol with its current rank, and vertices lost to
+// a failure are highlighted.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+)
+
+// Renderer draws frames of one graph with a fixed layout.
+type Renderer struct {
+	g      *graph.Graph
+	layout gen.Layout
+	// Color enables ANSI 256-color output; disable for logs and tests.
+	Color bool
+
+	cols, rows int
+	px         map[graph.VertexID][2]int // vertex -> canvas cell
+}
+
+const (
+	cellW = 5 // canvas columns per layout x unit
+	cellH = 2 // canvas rows per layout y unit
+)
+
+// palette holds visually distinct ANSI 256-color codes for component
+// coloring.
+var palette = []int{196, 46, 33, 226, 201, 51, 208, 93, 154, 39, 220, 129, 118, 27, 199, 87}
+
+// NewRenderer prepares a renderer for g using the given layout. Missing
+// layout entries fall back to a circular layout.
+func NewRenderer(g *graph.Graph, layout gen.Layout) *Renderer {
+	if layout == nil {
+		layout = gen.CircularLayout(g, 8)
+	}
+	r := &Renderer{g: g, layout: layout, Color: true, px: make(map[graph.VertexID][2]int)}
+	maxX, maxY := 0.0, 0.0
+	for _, v := range g.Vertices() {
+		p, ok := layout[v]
+		if !ok {
+			p = gen.Point{}
+		}
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	const margin = 3 // room for token halves at the canvas edges
+	r.cols = int(maxX)*cellW + cellW + 2*margin
+	r.rows = int(maxY)*cellH + cellH + 1
+	for _, v := range g.Vertices() {
+		p := layout[v]
+		r.px[v] = [2]int{int(p.X*cellW) + margin, int(p.Y * cellH)}
+	}
+	return r
+}
+
+type cell struct {
+	ch    rune
+	color int // 0 = none
+	bold  bool
+}
+
+type canvas struct {
+	cells [][]cell
+}
+
+func newCanvas(rows, cols int) *canvas {
+	c := &canvas{cells: make([][]cell, rows)}
+	for r := range c.cells {
+		c.cells[r] = make([]cell, cols)
+		for i := range c.cells[r] {
+			c.cells[r][i] = cell{ch: ' '}
+		}
+	}
+	return c
+}
+
+func (c *canvas) set(row, col int, ch rune, color int, bold bool) {
+	if row < 0 || row >= len(c.cells) || col < 0 || col >= len(c.cells[row]) {
+		return
+	}
+	c.cells[row][col] = cell{ch: ch, color: color, bold: bold}
+}
+
+func (c *canvas) setIfEmpty(row, col int, ch rune) {
+	if row < 0 || row >= len(c.cells) || col < 0 || col >= len(c.cells[row]) {
+		return
+	}
+	if c.cells[row][col].ch == ' ' {
+		c.cells[row][col] = cell{ch: ch}
+	}
+}
+
+func (c *canvas) render(color bool) string {
+	var b strings.Builder
+	for _, row := range c.cells {
+		line := make([]byte, 0, len(row)*4)
+		cur := 0
+		curBold := false
+		for _, cl := range row {
+			if color && (cl.color != cur || cl.bold != curBold) {
+				line = append(line, "\x1b[0m"...)
+				if cl.color != 0 {
+					line = append(line, fmt.Sprintf("\x1b[38;5;%dm", cl.color)...)
+				}
+				if cl.bold {
+					line = append(line, "\x1b[1m"...)
+				}
+				cur, curBold = cl.color, cl.bold
+			}
+			line = append(line, string(cl.ch)...)
+		}
+		if color && (cur != 0 || curBold) {
+			line = append(line, "\x1b[0m"...)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), " \n") + "\n"
+}
+
+func (r *Renderer) drawEdges(cv *canvas) {
+	r.g.Edges(func(e graph.Edge) {
+		if !r.g.Directed() && e.Src > e.Dst {
+			return
+		}
+		a, b := r.px[e.Src], r.px[e.Dst]
+		steps := max(abs(a[0]-b[0]), abs(a[1]-b[1]))
+		if steps == 0 {
+			return
+		}
+		for i := 1; i < steps; i++ {
+			col := a[0] + (b[0]-a[0])*i/steps
+			row := a[1] + (b[1]-a[1])*i/steps
+			cv.setIfEmpty(row, col, '·')
+		}
+	})
+}
+
+func (r *Renderer) drawToken(cv *canvas, v graph.VertexID, token string, color int, bold bool) {
+	p := r.px[v]
+	runes := []rune(token)
+	start := p[0] - len(runes)/2
+	if start < 0 {
+		start = 0
+	}
+	for i, ch := range runes {
+		cv.set(p[1], start+i, ch, color, bold)
+	}
+}
+
+func labelColor(label graph.VertexID) int {
+	return palette[int(graph.Hash(uint64(label))%uint64(len(palette)))]
+}
+
+// CCFrame renders a Connected Components frame: each vertex shows its
+// ID colored by its current component label; lost vertices render as
+// ✗id in bold red.
+func (r *Renderer) CCFrame(title string, labels map[graph.VertexID]graph.VertexID, lost map[graph.VertexID]bool) string {
+	cv := newCanvas(r.rows, r.cols)
+	r.drawEdges(cv)
+	for _, v := range r.g.Vertices() {
+		if lost[v] {
+			r.drawToken(cv, v, fmt.Sprintf("✗%d", v), 196, true)
+			continue
+		}
+		lab := labels[v]
+		token := fmt.Sprintf("[%d]", v)
+		r.drawToken(cv, v, token, labelColor(lab), false)
+	}
+	components := make(map[graph.VertexID]struct{})
+	for _, l := range labels {
+		components[l] = struct{}{}
+	}
+	footer := fmt.Sprintf("components (colors): %d", len(components))
+	if len(lost) > 0 {
+		footer += fmt.Sprintf("   lost vertices: %d", len(lost))
+	}
+	return title + "\n" + cv.render(r.Color) + footer + "\n"
+}
+
+// PRFrame renders a PageRank frame: each vertex symbol scales with its
+// current rank (· o O @ ●), mirroring the GUI's vertex sizing; lost
+// vertices render as ✗id.
+func (r *Renderer) PRFrame(title string, ranks map[graph.VertexID]float64, lost map[graph.VertexID]bool) string {
+	maxRank := 0.0
+	for _, v := range ranks {
+		maxRank = math.Max(maxRank, v)
+	}
+	if maxRank == 0 {
+		maxRank = 1
+	}
+	sizes := []rune{'·', 'o', 'O', '@', '●'}
+	cv := newCanvas(r.rows, r.cols)
+	r.drawEdges(cv)
+	for _, v := range r.g.Vertices() {
+		if lost[v] {
+			r.drawToken(cv, v, fmt.Sprintf("✗%d", v), 196, true)
+			continue
+		}
+		frac := ranks[v] / maxRank
+		idx := int(frac * float64(len(sizes)-1))
+		token := fmt.Sprintf("%c%d", sizes[idx], v)
+		// Shade by size: dim for small ranks, bright for large.
+		shades := []int{240, 245, 250, 220, 208}
+		r.drawToken(cv, v, token, shades[idx], idx >= 3)
+	}
+	footer := fmt.Sprintf("rank symbols: · < o < O < @ < ● (max rank %.4f)", maxRank)
+	if len(lost) > 0 {
+		footer += fmt.Sprintf("   lost vertices: %d", len(lost))
+	}
+	return title + "\n" + cv.render(r.Color) + footer + "\n"
+}
+
+// TopRanks formats the k highest-ranked vertices, the per-iteration
+// readout used for large graphs where only statistics are shown (§3.1).
+func TopRanks(ranks map[graph.VertexID]float64, k int) string {
+	type vr struct {
+		v graph.VertexID
+		r float64
+	}
+	all := make([]vr, 0, len(ranks))
+	for v, r := range ranks {
+		all = append(all, vr{v, r})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].r != all[j].r {
+			return all[i].r > all[j].r
+		}
+		return all[i].v < all[j].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "%2d. vertex %-8d rank %.6f\n", i+1, all[i].v, all[i].r)
+	}
+	return b.String()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

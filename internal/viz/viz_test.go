@@ -1,0 +1,146 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+)
+
+func demoRenderer(t *testing.T) (*Renderer, *graph.Graph) {
+	t.Helper()
+	g, layout := gen.Demo()
+	r := NewRenderer(g, layout)
+	r.Color = false
+	return r, g
+}
+
+func TestCCFrameShowsAllVertices(t *testing.T) {
+	r, g := demoRenderer(t)
+	labels := make(map[graph.VertexID]graph.VertexID)
+	for _, v := range g.Vertices() {
+		labels[v] = v
+	}
+	out := r.CCFrame("initial", labels, nil)
+	if !strings.Contains(out, "initial") {
+		t.Fatal("title missing")
+	}
+	for _, tok := range []string{"[1]", "[8]", "[16]"} {
+		if !strings.Contains(out, tok) {
+			t.Fatalf("frame missing vertex token %q:\n%s", tok, out)
+		}
+	}
+	if !strings.Contains(out, "components (colors): 16") {
+		t.Fatalf("component count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "·") {
+		t.Fatal("edges not drawn")
+	}
+}
+
+func TestCCFrameHighlightsLostVertices(t *testing.T) {
+	r, g := demoRenderer(t)
+	labels := make(map[graph.VertexID]graph.VertexID)
+	for _, v := range g.Vertices() {
+		labels[v] = 1
+	}
+	lost := map[graph.VertexID]bool{3: true, 11: true}
+	out := r.CCFrame("failure", labels, lost)
+	if !strings.Contains(out, "✗3") || !strings.Contains(out, "✗11") {
+		t.Fatalf("lost vertices not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, "lost vertices: 2") {
+		t.Fatalf("lost footer missing:\n%s", out)
+	}
+}
+
+func TestPRFrameSizesByRank(t *testing.T) {
+	r, g := demoRenderer(t)
+	ranks := make(map[graph.VertexID]float64)
+	for _, v := range g.Vertices() {
+		ranks[v] = 0.001
+	}
+	ranks[8] = 0.5 // dominant rank gets the biggest symbol
+	out := r.PRFrame("ranks", ranks, nil)
+	if !strings.Contains(out, "●8") {
+		t.Fatalf("dominant vertex not largest symbol:\n%s", out)
+	}
+	if !strings.Contains(out, "·1") {
+		t.Fatalf("small ranks not smallest symbol:\n%s", out)
+	}
+	if !strings.Contains(out, "max rank 0.5000") {
+		t.Fatalf("footer missing:\n%s", out)
+	}
+}
+
+func TestPRFrameLost(t *testing.T) {
+	r, g := demoRenderer(t)
+	ranks := make(map[graph.VertexID]float64)
+	for _, v := range g.Vertices() {
+		ranks[v] = 0.0625
+	}
+	out := r.PRFrame("failure", ranks, map[graph.VertexID]bool{5: true})
+	if !strings.Contains(out, "✗5") || !strings.Contains(out, "lost vertices: 1") {
+		t.Fatalf("lost rendering broken:\n%s", out)
+	}
+}
+
+func TestColorOutputContainsANSI(t *testing.T) {
+	g, layout := gen.Demo()
+	r := NewRenderer(g, layout)
+	r.Color = true
+	labels := make(map[graph.VertexID]graph.VertexID)
+	for _, v := range g.Vertices() {
+		labels[v] = v
+	}
+	out := r.CCFrame("colored", labels, nil)
+	if !strings.Contains(out, "\x1b[38;5;") {
+		t.Fatal("color mode produced no ANSI sequences")
+	}
+	plain := NewRenderer(g, layout)
+	plain.Color = false
+	if strings.Contains(plain.CCFrame("plain", labels, nil), "\x1b[") {
+		t.Fatal("no-color mode leaked ANSI sequences")
+	}
+}
+
+func TestNilLayoutFallsBackToCircle(t *testing.T) {
+	g := gen.Chain(6)
+	r := NewRenderer(g, nil)
+	r.Color = false
+	labels := map[graph.VertexID]graph.VertexID{}
+	for _, v := range g.Vertices() {
+		labels[v] = 0
+	}
+	out := r.CCFrame("circle", labels, nil)
+	if !strings.Contains(out, "[0]") || !strings.Contains(out, "[5]") {
+		t.Fatalf("circular layout broken:\n%s", out)
+	}
+}
+
+func TestSameLabelSameColor(t *testing.T) {
+	if labelColor(3) != labelColor(3) {
+		t.Fatal("label color not deterministic")
+	}
+}
+
+func TestTopRanks(t *testing.T) {
+	ranks := map[graph.VertexID]float64{1: 0.1, 2: 0.5, 3: 0.3, 4: 0.05, 5: 0.05}
+	out := TopRanks(ranks, 3)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("top ranks = %v", lines)
+	}
+	if !strings.Contains(lines[0], "vertex 2") || !strings.Contains(lines[1], "vertex 3") {
+		t.Fatalf("ordering wrong:\n%s", out)
+	}
+	// Ties break by vertex ID for determinism.
+	out2 := TopRanks(ranks, 5)
+	if !strings.Contains(strings.Split(out2, "\n")[3], "vertex 4") {
+		t.Fatalf("tie-break wrong:\n%s", out2)
+	}
+	if got := TopRanks(ranks, 100); len(strings.Split(strings.TrimSpace(got), "\n")) != 5 {
+		t.Fatal("k clamp broken")
+	}
+}

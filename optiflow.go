@@ -1,0 +1,463 @@
+// Package optiflow is an iterative dataflow runtime with optimistic,
+// compensation-based recovery — a from-scratch Go reproduction of the
+// system demonstrated in "Optimistic Recovery for Iterative Dataflows
+// in Action" (SIGMOD 2015), which showcases the recovery mechanism of
+// Schelter et al., CIKM 2013, on Apache Flink.
+//
+// The library contains a parallel dataflow engine (Map/Reduce/Join/
+// CoGroup operators over hash exchanges, with operator fusion), bulk
+// and delta iterations with partitioned state, a cluster model whose
+// worker failures destroy state partitions, and seven fault-tolerance
+// policies:
+//
+//   - Optimistic (the paper's contribution): no checkpoints; after a
+//     failure a compensation function restores a consistent state and
+//     the fixpoint iteration converges to the correct result anyway.
+//   - Checkpoint: classic rollback recovery with periodic snapshots
+//     (memory, disk, or gzip-compressed stores).
+//   - IncrementalCheckpoint / DeltaCheckpoint: per-partition and
+//     per-key incremental snapshot variants.
+//   - Confined: CoRAL-style accumulator replay for monotone vertex
+//     programs.
+//   - Restart: restart the iteration from scratch (the lineage
+//     fallback for iterative jobs).
+//   - None: abort on failure.
+//
+// Ready-made algorithms: Connected Components (delta and bulk
+// iterations with fix-components compensation), PageRank (bulk
+// iteration with fix-ranks), single-source shortest paths, ALS matrix
+// factorization, k-means clustering, and a generic Pregel-style
+// vertex-centric layer with pluggable compensation.
+//
+// Quick start:
+//
+//	g, _ := optiflow.DemoGraph()
+//	res, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{
+//		Parallelism: 4,
+//		Policy:      optiflow.OptimisticRecovery(),
+//		Injector:    optiflow.FailWorker(3, 1), // kill worker 1 in superstep 3
+//	})
+package optiflow
+
+import (
+	"io"
+
+	"optiflow/internal/algo/als"
+	"optiflow/internal/algo/cc"
+	"optiflow/internal/algo/kmeans"
+	"optiflow/internal/algo/pagerank"
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/algo/sssp"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/cluster"
+	"optiflow/internal/dataflow"
+	"optiflow/internal/exec"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
+	"optiflow/internal/vertexcentric"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable CSR graph; build one with NewGraphBuilder
+	// or a generator.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges into a Graph.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Edge is a directed, optionally weighted edge.
+	Edge = graph.Edge
+	// Layout maps vertices to 2-D points for visualisation.
+	Layout = gen.Layout
+)
+
+// Iteration and recovery types.
+type (
+	// Sample is the per-superstep-attempt data point (messages, updates,
+	// failure annotations) — what the demo GUI plots.
+	Sample = iterate.Sample
+	// LoopResult summarises a finished iterative job.
+	LoopResult = iterate.Result
+	// StepStats is what one superstep reports.
+	StepStats = iterate.StepStats
+	// Policy is a fault-tolerance strategy.
+	Policy = recovery.Policy
+	// Overhead quantifies failure-free fault-tolerance cost.
+	Overhead = recovery.Overhead
+	// Injector decides which workers fail in which supersteps.
+	Injector = failure.Injector
+	// Cluster models workers owning state partitions.
+	Cluster = cluster.Cluster
+	// CheckpointStore is stable storage for rollback recovery.
+	CheckpointStore = checkpoint.Store
+)
+
+// Dataflow construction types, for building custom iterative jobs.
+type (
+	// Emit hands a record to the downstream operators.
+	Emit = dataflow.Emit
+	// KeyFunc extracts a record's partitioning/grouping key.
+	KeyFunc = dataflow.KeyFunc
+	// SourceFunc produces the records of one partition.
+	SourceFunc = dataflow.SourceFunc
+	// SinkFunc consumes the records of one partition.
+	SinkFunc = dataflow.SinkFunc
+	// Plan is a DAG of dataflow operators.
+	Plan = dataflow.Plan
+	// Dataset is an operator output handle during plan building.
+	Dataset = dataflow.Dataset
+	// Engine executes plans with fixed parallelism.
+	Engine = exec.Engine
+	// EngineStats reports per-edge record counts of a plan execution.
+	EngineStats = exec.Stats
+	// Loop drives an iterative job superstep by superstep.
+	Loop = iterate.Loop
+)
+
+// NewGraphBuilder returns a builder for a directed or undirected graph.
+func NewGraphBuilder(directed bool) *GraphBuilder { return graph.NewBuilder(directed) }
+
+// ReadEdgeList parses a whitespace-separated edge list ("src dst
+// [weight]" lines, #-comments allowed).
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// WriteEdgeList writes g as a parseable edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// NewPlan returns an empty dataflow plan.
+func NewPlan(name string) *Plan { return dataflow.NewPlan(name) }
+
+// Graph generators.
+
+// DemoGraph returns the paper's small hand-crafted demo graph
+// (undirected, three connected components) and its fixed layout.
+func DemoGraph() (*Graph, Layout) { return gen.Demo() }
+
+// DemoGraphDirected returns the directed demo variant used by the
+// PageRank tab (includes one dangling vertex).
+func DemoGraphDirected() (*Graph, Layout) { return gen.DemoDirected() }
+
+// TwitterGraph generates the synthetic stand-in for the paper's Twitter
+// follower snapshot: a directed Barabási–Albert power-law graph with n
+// vertices.
+func TwitterGraph(n int, seed int64) *Graph { return gen.Twitter(n, seed) }
+
+// BarabasiAlbertGraph generates a scale-free graph by preferential
+// attachment with m edges per new vertex.
+func BarabasiAlbertGraph(n, m int, seed int64, directed bool) *Graph {
+	return gen.BarabasiAlbert(n, m, seed, directed)
+}
+
+// RMATGraph generates a recursive-matrix graph with 2^scale vertices.
+func RMATGraph(scale, edgeFactor int, seed int64, directed bool) *Graph {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, 0.05, seed, directed)
+}
+
+// ErdosRenyiGraph generates a G(n, p) random graph.
+func ErdosRenyiGraph(n int, p float64, seed int64, directed bool) *Graph {
+	return gen.ErdosRenyi(n, p, seed, directed)
+}
+
+// GridGraph generates a rows x cols lattice.
+func GridGraph(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// Recovery policies.
+
+// OptimisticRecovery returns the paper's checkpoint-free policy: zero
+// failure-free overhead; on failure the algorithm's compensation
+// function restores a consistent state and execution continues.
+func OptimisticRecovery() Policy { return recovery.Optimistic{} }
+
+// CheckpointRecovery returns pessimistic rollback recovery: snapshot
+// every interval supersteps into store, restore-and-redo on failure.
+func CheckpointRecovery(interval int, store CheckpointStore) Policy {
+	return recovery.NewCheckpoint(interval, store)
+}
+
+// IncrementalCheckpointRecovery returns rollback recovery with
+// per-partition incremental snapshots: only partitions whose contents
+// changed since the previous checkpoint are re-written. Note the
+// documented limitation: under hash partitioning every partition tends
+// to stay hot, so this rarely beats full checkpoints — prefer
+// DeltaCheckpointRecovery. The job must support per-partition
+// snapshots (the built-in algorithms do).
+func IncrementalCheckpointRecovery(interval int, store CheckpointStore) Policy {
+	ps, ok := store.(checkpoint.PartStore)
+	if !ok {
+		panic("optiflow: store does not support per-partition snapshots")
+	}
+	return recovery.NewIncrementalCheckpoint(interval, ps)
+}
+
+// CheckpointLogStore is stable storage for delta-log snapshot chains.
+type CheckpointLogStore = checkpoint.LogStore
+
+// NewMemoryCheckpointLogStore returns an in-memory snapshot-chain
+// store.
+func NewMemoryCheckpointLogStore() CheckpointLogStore { return checkpoint.NewMemoryLogStore() }
+
+// NewDiskCheckpointLogStore returns a snapshot-chain store writing
+// synced files under dir.
+func NewDiskCheckpointLogStore(dir string) (CheckpointLogStore, error) {
+	return checkpoint.NewDiskLogStore(dir)
+}
+
+// DeltaCheckpointRecovery returns rollback recovery with per-key delta
+// logs: a base snapshot once, then only the state changes per interval,
+// compacted periodically. On delta iterations this tracks the shrinking
+// update stream and writes a fraction of what full checkpoints cost.
+func DeltaCheckpointRecovery(interval int, store CheckpointLogStore) Policy {
+	return recovery.NewDeltaCheckpoint(interval, store)
+}
+
+// ConfinedRecovery rebuilds lost vertices in place from accumulator
+// replicas logged during failure-free execution — recovery touches only
+// the lost vertices, at the cost of one combine per delivered message
+// while nothing fails. Supported by vertex-centric programs with a
+// Combine function and AccumulatorLog enabled; sound when Compute is a
+// monotone fold of combined messages (min/max style).
+func ConfinedRecovery() Policy { return recovery.Confined{} }
+
+// RestartRecovery restarts the iteration from superstep zero on
+// failure.
+func RestartRecovery() Policy { return recovery.Restart{} }
+
+// NoRecovery aborts the job on the first failure.
+func NoRecovery() Policy { return recovery.None{} }
+
+// NewMemoryCheckpointStore returns an in-memory checkpoint store.
+func NewMemoryCheckpointStore() CheckpointStore { return checkpoint.NewMemoryStore() }
+
+// NewDiskCheckpointStore returns a checkpoint store writing synced
+// snapshot files under dir.
+func NewDiskCheckpointStore(dir string) (CheckpointStore, error) {
+	return checkpoint.NewDiskStore(dir)
+}
+
+// CompressedCheckpointStore wraps a store with gzip compression:
+// snapshots shrink several-fold at the cost of checkpoint CPU time.
+func CompressedCheckpointStore(inner CheckpointStore) CheckpointStore {
+	return checkpoint.Compressed(inner)
+}
+
+// Failure injection.
+
+// FailWorker schedules worker to fail during the given superstep —
+// the API equivalent of the demo GUI's failure button.
+func FailWorker(superstep, worker int) *failure.Scripted {
+	return failure.NewScripted(nil).At(superstep, worker)
+}
+
+// ScriptedFailures builds an injector from a superstep -> workers plan.
+func ScriptedFailures(plan map[int][]int) *failure.Scripted {
+	return failure.NewScripted(plan)
+}
+
+// RandomFailures fails a random live worker with probability p per
+// superstep, at most maxFailures times (0 = unlimited). Deterministic
+// given seed.
+func RandomFailures(p float64, seed int64, maxFailures int) Injector {
+	return failure.NewRandom(p, seed, maxFailures)
+}
+
+// NoFailures returns an injector that never fails anything.
+func NoFailures() Injector { return failure.None{} }
+
+// Algorithms.
+
+// CCOptions configure ConnectedComponents.
+type CCOptions = cc.Options
+
+// CCResult is the outcome of ConnectedComponents.
+type CCResult = cc.Result
+
+// ConnectedComponents runs the delta-iteration Connected Components of
+// Fig. 1a (min-label diffusion with fix-components compensation).
+func ConnectedComponents(g *Graph, opts CCOptions) (*CCResult, error) { return cc.Run(g, opts) }
+
+// PROptions configure PageRank.
+type PROptions = pagerank.Options
+
+// PRResult is the outcome of PageRank.
+type PRResult = pagerank.Result
+
+// PRCompensation selects the compensation function of a PageRank run.
+type PRCompensation = pagerank.Compensation
+
+// PageRank runs the bulk-iteration PageRank of Fig. 1b (with fix-ranks
+// compensation: lost probability mass is uniformly redistributed over
+// the lost vertices).
+func PageRank(g *Graph, opts PROptions) (*PRResult, error) { return pagerank.Run(g, opts) }
+
+// PageRank compensation variants (experiment E8).
+var (
+	// FixRanks is the paper's compensation: redistribute the lost mass
+	// uniformly over the lost vertices.
+	FixRanks PRCompensation = pagerank.UniformRedistribution
+	// ResetAllUniform resets every rank to 1/n.
+	ResetAllUniform PRCompensation = pagerank.ResetAllUniform
+	// ZeroFillRenormalize zeroes lost ranks and rescales survivors.
+	ZeroFillRenormalize PRCompensation = pagerank.ZeroFillRenormalize
+)
+
+// ConnectedComponentsBulk runs Connected Components as a *bulk*
+// iteration, recomputing every label each superstep — the baseline that
+// motivates delta iterations in §2.1. Results are identical to
+// ConnectedComponents; the message volume is not.
+func ConnectedComponentsBulk(g *Graph, opts CCOptions) (*CCResult, error) { return cc.RunBulk(g, opts) }
+
+// ALS types: matrix factorization with alternating least squares, the
+// third algorithm class of the underlying CIKM'13 work.
+type (
+	// Rating is one observed entry of a rating matrix.
+	Rating = als.Rating
+	// Ratings is an indexed sparse rating matrix.
+	Ratings = als.Ratings
+	// ALSConfig parameterises the factorization model.
+	ALSConfig = als.Config
+	// ALSOptions configure an ALS training run.
+	ALSOptions = als.Options
+	// ALSResult is the outcome of an ALS run.
+	ALSResult = als.Result
+	// ALSModel is the trained factorization.
+	ALSModel = als.ALS
+)
+
+// NewRatings indexes a list of rating entries.
+func NewRatings(entries []Rating) *Ratings { return als.NewRatings(entries) }
+
+// SyntheticRatings generates a rating matrix with known low-rank
+// structure plus Gaussian noise — the stand-in for a real
+// recommendation dataset.
+func SyntheticRatings(numUsers, numItems, rank int, density, noise float64, seed int64) *Ratings {
+	return als.SyntheticRatings(numUsers, numItems, rank, density, noise, seed)
+}
+
+// ALSFactorize trains a low-rank factorization with alternating least
+// squares under the configured recovery policy; the compensation
+// function re-initializes lost factor vectors with seeded random
+// values.
+func ALSFactorize(ratings *Ratings, opts ALSOptions) (*ALSResult, error) {
+	return als.Run(ratings, opts)
+}
+
+// VertexProgramOptions configure a vertex-centric run.
+type VertexProgramOptions = vertexcentric.Options
+
+// ShortestPaths computes single-source shortest path distances as a
+// vertex-centric delta iteration with compensation-based recovery.
+// Unreached vertices map to +Inf.
+func ShortestPaths(g *Graph, source VertexID, opts VertexProgramOptions) (map[VertexID]float64, error) {
+	dist, _, err := sssp.Run(g, source, opts)
+	return dist, err
+}
+
+// Ground truth helpers (the demo precomputes true values to plot
+// convergence, §3.2 footnote 4).
+
+// TrueComponents computes the exact component labeling via union-find.
+func TrueComponents(g *Graph) map[VertexID]VertexID { return ref.ConnectedComponents(g) }
+
+// TruePageRank computes exact ranks via sequential power iteration.
+func TruePageRank(g *Graph, damping float64) map[VertexID]float64 {
+	ranks, _ := ref.PageRank(g, ref.PageRankOptions{Damping: damping})
+	return ranks
+}
+
+// TrueShortestPaths computes exact distances via Dijkstra.
+func TrueShortestPaths(g *Graph, source VertexID) map[VertexID]float64 {
+	return ref.ShortestPaths(g, source)
+}
+
+// Figure plans (Fig. 1 of the paper, for Explain/Dot rendering).
+
+// CCFigurePlan returns the conceptual Connected Components dataflow of
+// Fig. 1a, including the fix-components compensation node.
+func CCFigurePlan() *Plan { return cc.FigurePlan() }
+
+// PRFigurePlan returns the conceptual PageRank dataflow of Fig. 1b,
+// including the fix-ranks compensation node.
+func PRFigurePlan() *Plan { return pagerank.FigurePlan() }
+
+// Vertex-centric programming: write your own recoverable fixpoint
+// algorithm by supplying Init/Compute plus the recovery hooks
+// (Compensate / Reactivate, optionally Combine for confined recovery).
+type (
+	// VertexProgram defines a Pregel-style computation with recovery
+	// hooks; S is the vertex state type, M the message type.
+	VertexProgram[S, M any] = vertexcentric.Program[S, M]
+	// VertexMessage is a message in flight to a vertex.
+	VertexMessage[M any] = vertexcentric.Outbound[M]
+	// VertexResult is the outcome of a vertex-centric run.
+	VertexResult[S, M any] = vertexcentric.Result[S, M]
+)
+
+// RunVertexProgram executes a vertex-centric program until no messages
+// remain, recovering from injected failures per the configured policy.
+func RunVertexProgram[S, M any](prog VertexProgram[S, M], g *Graph, opts VertexProgramOptions) (*VertexResult[S, M], error) {
+	return vertexcentric.Run(prog, g, opts)
+}
+
+// K-Means types: Lloyd's algorithm as a bulk iteration, with centroid
+// re-seeding compensation.
+type (
+	// KMeansPoint is a dense feature vector.
+	KMeansPoint = kmeans.Point
+	// KMeansConfig parameterises the clustering model.
+	KMeansConfig = kmeans.Config
+	// KMeansOptions configure a clustering run.
+	KMeansOptions = kmeans.Options
+	// KMeansResult is the outcome of a clustering run.
+	KMeansResult = kmeans.Result
+	// KMeansModel is the trained clustering.
+	KMeansModel = kmeans.KMeans
+)
+
+// KMeansCluster runs Lloyd's algorithm under the configured recovery
+// policy; the compensation function re-seeds lost centroids with
+// deterministically chosen data points.
+func KMeansCluster(data []KMeansPoint, opts KMeansOptions) (*KMeansResult, error) {
+	return kmeans.Run(data, opts)
+}
+
+// SyntheticBlobs generates points around k well-separated Gaussian
+// blobs — clusterable ground truth for the k-means experiments.
+func SyntheticBlobs(n, k, dim int, spread float64, seed int64) []KMeansPoint {
+	return kmeans.SyntheticBlobs(n, k, dim, spread, seed)
+}
+
+// Custom iterative jobs: implement RecoveryJob, drive it with a Loop,
+// and pick any Policy — the same machinery the built-in algorithms use.
+type (
+	// RecoveryJob is the surface a recovery policy operates on:
+	// snapshot, restore, clear, compensate, reset.
+	RecoveryJob = recovery.Job
+	// RecoveryFailure describes one failure event as seen by a policy.
+	RecoveryFailure = recovery.Failure
+	// LoopContext describes the superstep attempt a loop body executes.
+	LoopContext = iterate.Context
+)
+
+// NewCluster models numWorkers workers owning numPartitions state
+// partitions round-robin, for driving a custom Loop.
+func NewCluster(numWorkers, numPartitions int) *Cluster {
+	return cluster.New(numWorkers, numPartitions)
+}
+
+// BulkTermination returns a Loop termination predicate for bulk
+// iterations (max supersteps, optional convergence test).
+func BulkTermination(maxIterations int, converged func(committed int) bool) func(int) bool {
+	return iterate.BulkDone(maxIterations, converged)
+}
+
+// DeltaTermination returns a Loop termination predicate for delta
+// iterations (stop on empty workset).
+func DeltaTermination(worksetLen func() int) func(int) bool {
+	return iterate.DeltaDone(worksetLen)
+}
