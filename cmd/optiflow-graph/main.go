@@ -1,5 +1,6 @@
 // Command optiflow-graph generates, inspects and converts the graphs
-// used by the demonstration and benchmarks.
+// used by the demonstration and benchmarks, and renders the dataflow
+// plans the algorithms build.
 //
 // Usage:
 //
@@ -7,6 +8,9 @@
 //	optiflow-graph stats -p 4 < twitter.el
 //	optiflow-graph stats -type grid -n 30 -m 30
 //	optiflow-graph convert -directed < raw.el > normalised.el
+//	optiflow-graph plan -name cc-figure
+//	optiflow-graph plan -name pagerank-step -format dot
+//	optiflow-graph plan -list
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail("usage: optiflow-graph gen|stats|convert [flags]")
+		fail("usage: optiflow-graph gen|stats|convert|plan [flags]")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 
@@ -31,7 +35,10 @@ func main() {
 	p := fs.Float64("prob", 0, "edge probability (er, components)")
 	seed := fs.Int64("seed", 20150531, "generator seed")
 	directed := fs.Bool("directed", false, "treat/generate the graph as directed")
-	par := fs.Int("p", 4, "parallelism for partition balance (stats)")
+	par := fs.Int("p", 4, "parallelism for partition balance (stats); plan parallelism (plan)")
+	name := fs.String("name", "", "plan to render (plan; see -list)")
+	format := fs.String("format", "explain", "plan output format: explain or dot")
+	list := fs.Bool("list", false, "list available plan names (plan)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -73,8 +80,24 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, msg)
 
+	case "plan":
+		if *list {
+			for _, n := range planNames() {
+				fmt.Println(n)
+			}
+			return
+		}
+		if *name == "" {
+			fail("plan: -name is required (or -list to see the catalogue)")
+		}
+		out, err := renderPlan(*name, *format, *par)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(out)
+
 	default:
-		fail("unknown command %q (want gen, stats or convert)", cmd)
+		fail("unknown command %q (want gen, stats, convert or plan)", cmd)
 	}
 }
 

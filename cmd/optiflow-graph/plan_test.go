@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderPlanAllNamesAllFormats(t *testing.T) {
+	for _, name := range planNames() {
+		for _, format := range []string{"explain", "dot"} {
+			out, err := renderPlan(name, format, 2)
+			if err != nil {
+				t.Fatalf("renderPlan(%s, %s): %v", name, format, err)
+			}
+			if out == "" {
+				t.Fatalf("renderPlan(%s, %s): empty output", name, format)
+			}
+			if format == "dot" && !strings.HasPrefix(out, "digraph") {
+				t.Fatalf("renderPlan(%s, dot) is not a digraph:\n%s", name, out)
+			}
+		}
+	}
+}
+
+func TestRenderPlanCarriesDiagnostics(t *testing.T) {
+	// Step plans declare external compensation; the Info diagnostic must
+	// surface in the rendered output so the tool is a lint viewer too.
+	out, err := renderPlan("pagerank-step", "explain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "comp-external") {
+		t.Fatalf("explain output missing comp-external diagnostic:\n%s", out)
+	}
+}
+
+func TestRenderPlanErrors(t *testing.T) {
+	if _, err := renderPlan("no-such-plan", "explain", 2); err == nil {
+		t.Fatal("unknown plan name did not error")
+	}
+	if _, err := renderPlan("cc-figure", "svg", 2); err == nil {
+		t.Fatal("unknown format did not error")
+	}
+}

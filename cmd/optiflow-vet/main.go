@@ -1,0 +1,44 @@
+// Command optiflow-vet lints the repository's Go sources for the
+// invariants that keep optimistic recovery sound and the engine
+// deterministic — checks go vet cannot express (see internal/srclint
+// for the rule catalogue).
+//
+// Usage:
+//
+//	optiflow-vet ./...
+//	optiflow-vet internal/... cmd/...
+//
+// It prints one finding per line in go-vet style and exits nonzero if
+// any rule fired.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"optiflow/internal/srclint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optiflow-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := srclint.Check(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optiflow-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "optiflow-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -224,7 +224,7 @@ type block struct {
 
 // halfStepPlan builds the dataflow of one half-step: solve every
 // entity of one side against the fixed factors of the other side.
-func (a *ALS) halfStepPlan(users bool) *dataflow.Plan {
+func (a *ALS) HalfStepPlan(users bool) *dataflow.Plan {
 	side := "items"
 	if users {
 		side = "users"
@@ -285,6 +285,8 @@ func (a *ALS) halfStepPlan(users bool) *dataflow.Plan {
 		solved.Put(fr.id, fr.vec)
 		return nil
 	})
+	plan.MarkState("store-factors")
+	plan.CompensateExternally("factor re-initialisation via recovery.Job.Compensate")
 	return plan
 }
 
@@ -296,11 +298,11 @@ type factorRec struct {
 // Step implements the loop body: one full ALS iteration (user
 // half-step, then item half-step), followed by the RMSE measurement.
 func (a *ALS) Step(*iterate.Context) (iterate.StepStats, error) {
-	statsU, err := a.engine.Run(a.halfStepPlan(true))
+	statsU, err := a.engine.Run(a.HalfStepPlan(true))
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("als: user half-step: %v", err)
 	}
-	statsI, err := a.engine.Run(a.halfStepPlan(false))
+	statsI, err := a.engine.Run(a.HalfStepPlan(false))
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("als: item half-step: %v", err)
 	}

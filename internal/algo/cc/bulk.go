@@ -72,7 +72,7 @@ func (b *BulkCC) Components() map[graph.VertexID]graph.VertexID {
 // nothing.
 func (b *BulkCC) Converged() bool { return b.lastUpdates == 0 }
 
-func (b *BulkCC) stepPlan() *dataflow.Plan {
+func (b *BulkCC) StepPlan() *dataflow.Plan {
 	plan := dataflow.NewPlan("connected-components-bulk-step")
 	adj := adjacencyTable{g: b.g}
 
@@ -121,12 +121,14 @@ func (b *BulkCC) stepPlan() *dataflow.Plan {
 		})
 
 	updates.Sink("count-updates", func(int, any) error { return nil })
+	plan.MarkState("label-update")
+	plan.CompensateExternally("fix-components via recovery.Job.Compensate")
 	return plan
 }
 
 // Step implements the loop body for iterate.Loop.
 func (b *BulkCC) Step(*iterate.Context) (iterate.StepStats, error) {
-	stats, err := b.engine.Run(b.stepPlan())
+	stats, err := b.engine.Run(b.StepPlan())
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("cc: bulk superstep: %v", err)
 	}

@@ -117,9 +117,10 @@ func (a adjacencyTable) Get(key uint64) (any, bool) {
 
 func byVertex(rec any) uint64 { return uint64(rec.(Update).V) }
 
-// stepPlan builds the executable per-superstep dataflow: the loop body
-// of Fig. 1a with the workset cut as its entry point.
-func (c *CC) stepPlan() *dataflow.Plan {
+// StepPlan builds the executable per-superstep dataflow: the loop body
+// of Fig. 1a with the workset cut as its entry point. Exported for the
+// plan tooling (optiflow-graph) and the planlint test sweep.
+func (c *CC) StepPlan() *dataflow.Plan {
 	plan := dataflow.NewPlan("connected-components-step")
 	adj := adjacencyTable{g: c.g}
 
@@ -175,13 +176,15 @@ func (c *CC) stepPlan() *dataflow.Plan {
 		c.next.Add(part, rec.(Update))
 		return nil
 	})
+	plan.MarkState("label-update")
+	plan.CompensateExternally("fix-components via recovery.Job.Compensate")
 	return plan
 }
 
 // Step implements the loop body for iterate.Loop: run one superstep of
 // the delta iteration and swap in the freshly built workset.
 func (c *CC) Step(*iterate.Context) (iterate.StepStats, error) {
-	stats, err := c.engine.Run(c.stepPlan())
+	stats, err := c.engine.Run(c.StepPlan())
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("cc: superstep: %v", err)
 	}
@@ -355,6 +358,7 @@ func FigurePlan() *dataflow.Plan {
 
 	fix := labels.Map("fix-components", func(r any) any { return r })
 	fix.Sink("restored-labels", func(int, any) error { return nil })
+	plan.MarkState("labels")
 	plan.MarkCompensation("fix-components")
 	return plan
 }

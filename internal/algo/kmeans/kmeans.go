@@ -211,7 +211,7 @@ type assignment struct {
 
 func byCluster(rec any) uint64 { return rec.(assignment).cluster }
 
-func (km *KMeans) stepPlan() *dataflow.Plan {
+func (km *KMeans) StepPlan() *dataflow.Plan {
 	plan := dataflow.NewPlan("kmeans-step")
 
 	points := plan.Source("points", func(part, _ int, emit dataflow.Emit) error {
@@ -256,6 +256,8 @@ func (km *KMeans) stepPlan() *dataflow.Plan {
 		km.counts.Put(a.cluster, a.count)
 		return nil
 	})
+	plan.MarkState("collect-centroids")
+	plan.CompensateExternally("centroid re-seeding via recovery.Job.Compensate")
 	return plan
 }
 
@@ -263,7 +265,7 @@ func (km *KMeans) stepPlan() *dataflow.Plan {
 func (km *KMeans) Step(*iterate.Context) (iterate.StepStats, error) {
 	km.sums.ClearAll()
 	km.counts.ClearAll()
-	stats, err := km.engine.Run(km.stepPlan())
+	stats, err := km.engine.Run(km.StepPlan())
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("kmeans: superstep: %v", err)
 	}

@@ -154,8 +154,10 @@ func (a adjacencyTable) Get(key uint64) (any, bool) {
 func byDst(rec any) uint64 { return uint64(rec.(Contrib).Dst) }
 func byV(rec any) uint64   { return uint64(rec.(RankRec).V) }
 
-// stepPlan builds the executable bulk-iteration body of Fig. 1b.
-func (pr *PR) stepPlan() *dataflow.Plan {
+// StepPlan builds the executable bulk-iteration body of Fig. 1b.
+// Exported for the plan tooling (optiflow-graph) and the planlint
+// test sweep.
+func (pr *PR) StepPlan() *dataflow.Plan {
 	plan := dataflow.NewPlan("pagerank-step")
 	adj := adjacencyTable{g: pr.g}
 	n := float64(pr.g.NumVertices())
@@ -221,6 +223,8 @@ func (pr *PR) stepPlan() *dataflow.Plan {
 		pr.sums.Put(uint64(r.V), r.Rank)
 		return nil
 	})
+	plan.MarkState("collect-ranks")
+	plan.CompensateExternally("fix-ranks via recovery.Job.Compensate")
 	return plan
 }
 
@@ -239,7 +243,7 @@ func (pr *PR) Step(*iterate.Context) (iterate.StepStats, error) {
 	share := pr.d * danglingMass / n
 
 	pr.sums.ClearAll()
-	stats, err := pr.engine.Run(pr.stepPlan())
+	stats, err := pr.engine.Run(pr.StepPlan())
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("pagerank: superstep: %v", err)
 	}
@@ -348,6 +352,7 @@ func FigurePlan() *dataflow.Plan {
 
 	fix := ranks.Map("fix-ranks", func(r any) any { return r })
 	fix.Sink("restored-ranks", func(int, any) error { return nil })
+	plan.MarkState("ranks")
 	plan.MarkCompensation("fix-ranks")
 	return plan
 }

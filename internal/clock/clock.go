@@ -1,0 +1,47 @@
+// Package clock is the single time source for the deterministic replay
+// paths of the engine (recovery, iteration driving, checkpointing).
+// Those packages must not read the wall clock directly — optimistic
+// recovery replays supersteps, and a replay that observes a different
+// "now" than the original attempt can diverge in timing-dependent
+// decisions and in recorded overhead. Routing every read through this
+// package keeps the indirection in one place and lets tests substitute
+// a deterministic source. The optiflow-vet linter enforces the ban on
+// direct time.Now/time.Since in the replay packages.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu  sync.RWMutex
+	now = time.Now
+)
+
+// Now returns the current time from the configured source (the wall
+// clock unless a test substituted it).
+func Now() time.Time {
+	mu.RLock()
+	defer mu.RUnlock()
+	return now()
+}
+
+// Since returns the elapsed time since t according to the configured
+// source.
+func Since(t time.Time) time.Duration { return Now().Sub(t) }
+
+// SetSource replaces the time source and returns a function restoring
+// the previous one. Tests use it to make replay paths fully
+// deterministic; production code never calls it.
+func SetSource(src func() time.Time) (restore func()) {
+	mu.Lock()
+	prev := now
+	now = src
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		now = prev
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,30 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultSourceIsWallClock(t *testing.T) {
+	before := time.Now()
+	got := Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSetSourceAndRestore(t *testing.T) {
+	fixed := time.Date(2015, 5, 31, 12, 0, 0, 0, time.UTC)
+	restore := SetSource(func() time.Time { return fixed })
+	if got := Now(); !got.Equal(fixed) {
+		t.Fatalf("Now() = %v, want %v", got, fixed)
+	}
+	if got := Since(fixed.Add(-time.Minute)); got != time.Minute {
+		t.Fatalf("Since = %v, want 1m", got)
+	}
+	restore()
+	if Now().Equal(fixed) {
+		t.Fatal("restore did not reinstate the wall clock")
+	}
+}

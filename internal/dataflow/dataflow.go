@@ -168,6 +168,12 @@ type Node struct {
 	// are rendered by Explain but skipped by the engine.
 	Compensation bool
 
+	// State marks the node as carrying or mutating iteration state (a
+	// solution set, rank vector, workset, ...). Optimistic recovery is
+	// only safe when every such node is covered by a compensation
+	// function; package planlint checks exactly that.
+	State bool
+
 	// tableLabel names the table side of a lookup join in explains
 	// (e.g. "labels", "graph", "links" in Fig. 1).
 	tableLabel string
@@ -181,8 +187,15 @@ type Plan struct {
 	Name  string
 	Nodes []*Node
 
-	nextID int
-	byName map[string]*Node
+	// ExternalCompensation documents that the iteration state mutated by
+	// this plan is compensated outside the plan (typically by the job's
+	// recovery.Job.Compensate). Set via CompensateExternally; read by
+	// package planlint to downgrade the missing-compensation error.
+	ExternalCompensation string
+
+	nextID   int
+	byName   map[string]*Node
+	markErrs []error
 }
 
 // NewPlan returns an empty plan.
@@ -354,20 +367,53 @@ func (d *Dataset) Sink(name string, fn SinkFunc) *Node {
 	})
 }
 
-// MarkCompensation marks the most recently added node with the given
-// name as a compensation function (rendered dotted in explains, skipped
-// during failure-free execution).
+// MarkCompensation marks the node with the given name as a compensation
+// function (rendered dotted in explains, skipped during failure-free
+// execution). Marking an unknown operator is recorded and reported by
+// Validate rather than panicking, so a typo in a compensation wiring is
+// caught before the plan runs, not mid-recovery.
 func (p *Plan) MarkCompensation(name string) {
 	n := p.byName[name]
 	if n == nil {
-		panic(fmt.Sprintf("dataflow: MarkCompensation: no operator %q", name))
+		p.markErrs = append(p.markErrs,
+			fmt.Errorf("dataflow: MarkCompensation: no operator %q in plan %q", name, p.Name))
+		return
 	}
 	n.Compensation = true
 }
 
+// MarkState marks the node with the given name as carrying or mutating
+// iteration state. Like MarkCompensation, an unknown operator name is
+// reported by Validate.
+func (p *Plan) MarkState(name string) {
+	n := p.byName[name]
+	if n == nil {
+		p.markErrs = append(p.markErrs,
+			fmt.Errorf("dataflow: MarkState: no operator %q in plan %q", name, p.Name))
+		return
+	}
+	n.State = true
+}
+
+// CompensateExternally documents that the iteration state this plan
+// mutates is restored by machinery outside the plan (the job-level
+// compensation function invoked by the recovery policy), with a short
+// note naming it. planlint then reports the absence of an in-plan
+// compensation operator as informational instead of an error.
+func (p *Plan) CompensateExternally(note string) {
+	p.ExternalCompensation = note
+}
+
 // Validate checks structural invariants: per-input metadata arity, UDF
-// presence, at least one sink, and key functions on hash edges.
+// presence, at least one sink, key functions on hash edges, acyclicity,
+// and that every MarkCompensation/MarkState named an existing operator.
 func (p *Plan) Validate() error {
+	if len(p.markErrs) > 0 {
+		return p.markErrs[0]
+	}
+	if err := p.checkAcyclic(); err != nil {
+		return err
+	}
 	sinks := 0
 	for _, n := range p.Nodes {
 		if len(n.Inputs) != len(n.InExchange) || len(n.Inputs) != len(n.InKeys) {
@@ -423,6 +469,51 @@ func (p *Plan) Validate() error {
 	}
 	if sinks == 0 {
 		return fmt.Errorf("dataflow: plan %q has no sink", p.Name)
+	}
+	return nil
+}
+
+// checkAcyclic rejects self-loops and cycles explicitly. The Dataset
+// API cannot create them, but hand-assembled or mutated plans can, and
+// before this check they only surfaced as topo-sort panics deep inside
+// the engine.
+func (p *Plan) checkAcyclic() error {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	color := make(map[int]int, len(p.Nodes))
+	var path []string
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch color[n.ID] {
+		case visiting:
+			return fmt.Errorf("dataflow: plan %q has a cycle through %q (path %s)",
+				p.Name, n.Name, strings.Join(append(path, n.Name), " -> "))
+		case done:
+			return nil
+		}
+		for _, in := range n.Inputs {
+			if in == n {
+				return fmt.Errorf("dataflow: plan %q: operator %q is a self-loop", p.Name, n.Name)
+			}
+		}
+		color[n.ID] = visiting
+		path = append(path, n.Name)
+		for _, in := range n.Inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		path = path[:len(path)-1]
+		color[n.ID] = done
+		return nil
+	}
+	for _, n := range p.Nodes {
+		if err := visit(n); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -113,12 +113,84 @@ func TestMarkCompensation(t *testing.T) {
 	if !p.NodeByName("fix").Compensation {
 		t.Fatal("compensation flag not set")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("marking unknown node must panic")
-		}
-	}()
-	p.MarkCompensation("missing")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestMarkCompensationUnknownIsValidationError(t *testing.T) {
+	p := NewPlan("comp-typo")
+	p.Source("labels", noopSource).Sink("out", noopSink)
+	p.MarkCompensation("fix-labels") // typo: no such operator
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), `MarkCompensation: no operator "fix-labels"`) {
+		t.Fatalf("err = %v, want MarkCompensation validation error", err)
+	}
+}
+
+func TestMarkStateUnknownIsValidationError(t *testing.T) {
+	p := NewPlan("state-typo")
+	p.Source("labels", noopSource).Sink("out", noopSink)
+	p.MarkState("label") // typo
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), `MarkState: no operator "label"`) {
+		t.Fatalf("err = %v, want MarkState validation error", err)
+	}
+}
+
+func TestMarkStateSetsFlagAndExplainMarker(t *testing.T) {
+	p := NewPlan("stateful")
+	p.Source("labels", noopSource).Sink("out", noopSink)
+	p.MarkState("labels")
+	if !p.NodeByName("labels").State {
+		t.Fatal("state flag not set")
+	}
+	if out := p.Explain(); !strings.Contains(out, "[iteration state]") {
+		t.Fatalf("Explain missing state marker:\n%s", out)
+	}
+	if dot := p.Dot(); !strings.Contains(dot, "khaki") {
+		t.Fatalf("Dot missing state fill:\n%s", dot)
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	p := NewPlan("selfloop")
+	src := p.Source("s", noopSource)
+	m := src.Map("m", func(r any) any { return r })
+	m.Sink("k", noopSink)
+	// Hand-mutate the plan: m feeds itself.
+	m.Node().Inputs[0] = m.Node()
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "self-loop") {
+		t.Fatalf("err = %v, want self-loop rejection", err)
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	p := NewPlan("cyclic")
+	src := p.Source("s", noopSource)
+	a := src.Map("a", func(r any) any { return r })
+	b := a.Map("b", func(r any) any { return r })
+	b.Sink("k", noopSink)
+	// Hand-mutate the plan: a consumes b, closing the a->b->a cycle.
+	a.Node().Inputs[0] = b.Node()
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want cycle rejection", err)
+	}
+}
+
+func TestExplainWithNotes(t *testing.T) {
+	p := NewPlan("notes")
+	src := p.Source("s", noopSource)
+	src.Sink("k", noopSink)
+	notes := map[int][]string{src.Node().ID: {"error: something is off"}}
+	if out := p.ExplainWith(notes); !strings.Contains(out, "! error: something is off") {
+		t.Fatalf("ExplainWith missing note:\n%s", out)
+	}
+	if dot := p.DotWith(notes); !strings.Contains(dot, "color=red") {
+		t.Fatalf("DotWith missing red outline:\n%s", dot)
+	}
 }
 
 func TestExplainShape(t *testing.T) {

@@ -10,7 +10,13 @@ import (
 // exchange patterns, table sides of lookup joins, and compensation
 // markers — the textual equivalent of the dataflow diagrams in Fig. 1
 // of the paper. The output is deterministic.
-func (p *Plan) Explain() string {
+func (p *Plan) Explain() string { return p.ExplainWith(nil) }
+
+// ExplainWith renders like Explain but additionally prints the given
+// per-node annotation lines (keyed by node ID) beneath each operator,
+// prefixed with "!". Package planlint uses this to weave its
+// diagnostics into the plan rendering.
+func (p *Plan) ExplainWith(notes map[int][]string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Plan %q\n", p.Name)
 	consumers := p.Consumers()
@@ -29,8 +35,11 @@ func (p *Plan) Explain() string {
 	walk = func(n *Node, depth int, via string) {
 		indent := strings.Repeat("  ", depth)
 		marker := ""
+		if n.State {
+			marker += "  [iteration state]"
+		}
 		if n.Compensation {
-			marker = "  [compensation: invoked only after failures]"
+			marker += "  [compensation: invoked only after failures]"
 		}
 		shared := ""
 		if printed[n.ID] && len(consumers[n.ID]) > 1 {
@@ -41,6 +50,9 @@ func (p *Plan) Explain() string {
 			return
 		}
 		printed[n.ID] = true
+		for _, note := range notes[n.ID] {
+			fmt.Fprintf(&b, "%s  ! %s\n", indent, note)
+		}
 		if n.Kind == KindLookup && n.tableLabel != "" {
 			fmt.Fprintf(&b, "%s  <table> %s (indexed)\n", indent, n.tableLabel)
 		}
@@ -55,9 +67,15 @@ func (p *Plan) Explain() string {
 }
 
 // Dot renders the plan in Graphviz dot syntax: operators as boxes,
-// sources as ellipses, compensation functions as dotted brown boxes —
-// matching the visual language of Fig. 1.
-func (p *Plan) Dot() string {
+// sources as ellipses, iteration-state operators in khaki, compensation
+// functions as dotted brown boxes — matching the visual language of
+// Fig. 1.
+func (p *Plan) Dot() string { return p.DotWith(nil) }
+
+// DotWith renders like Dot but appends the given per-node annotation
+// lines (keyed by node ID) to node labels and outlines annotated nodes
+// in red, so plan diagnostics are visible in the rendered graph.
+func (p *Plan) DotWith(notes map[int][]string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n", p.Name)
 	nodes := append([]*Node(nil), p.Nodes...)
@@ -72,8 +90,19 @@ func (p *Plan) Dot() string {
 		case n.Compensation:
 			style, color = `"filled,dotted"`, "tan"
 		}
-		fmt.Fprintf(&b, "  n%d [label=\"%s\\n(%s)\" shape=%s style=%s fillcolor=%s];\n",
-			n.ID, n.Name, n.Kind, shape, style, color)
+		if n.State {
+			color = "khaki"
+		}
+		label := fmt.Sprintf("%s\\n(%s)", n.Name, n.Kind)
+		extra := ""
+		if len(notes[n.ID]) > 0 {
+			for _, note := range notes[n.ID] {
+				label += "\\n! " + strings.ReplaceAll(note, `"`, `\"`)
+			}
+			extra = " color=red penwidth=2"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\" shape=%s style=%s fillcolor=%s%s];\n",
+			n.ID, label, shape, style, color, extra)
 		if n.Kind == KindLookup && n.tableLabel != "" {
 			fmt.Fprintf(&b, "  t%d [label=%q shape=ellipse style=filled fillcolor=white];\n", n.ID, n.tableLabel)
 			fmt.Fprintf(&b, "  t%d -> n%d [style=dashed label=\"indexed\"];\n", n.ID, n.ID)

@@ -18,7 +18,9 @@ func Optimize(p *Plan) *Plan {
 	consumers := p.Consumers()
 
 	fusable := func(n *Node) bool {
-		if n.Compensation {
+		// Compensation and iteration-state nodes keep their identity so
+		// recovery wiring and planlint provenance survive optimization.
+		if n.Compensation || n.State {
 			return false
 		}
 		switch n.Kind {
@@ -51,6 +53,7 @@ func Optimize(p *Plan) *Plan {
 	}
 
 	out := NewPlan(p.Name)
+	out.ExternalCompensation = p.ExternalCompensation
 	rebuilt := make(map[int]*Node, len(p.Nodes))
 	var rebuild func(n *Node) *Node
 	rebuild = func(n *Node) *Node {

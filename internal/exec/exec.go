@@ -20,6 +20,7 @@ import (
 
 	"optiflow/internal/dataflow"
 	"optiflow/internal/graph"
+	"optiflow/internal/planlint"
 )
 
 // DefaultBatchSize is the number of records per exchange batch.
@@ -40,6 +41,12 @@ type Engine struct {
 	// execution: forward-connected Map/Filter/FlatMap chains run as one
 	// task instead of paying a channel hop per operator.
 	Fuse bool
+	// AllowLintErrors runs plans even when planlint reports
+	// Error-severity diagnostics (e.g. iteration state without a
+	// compensation operator). By default such plans are refused before
+	// any task starts, because the defect would otherwise only surface
+	// mid-recovery.
+	AllowLintErrors bool
 }
 
 // Stats reports what a plan execution did.
@@ -127,6 +134,14 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if errs := planlint.Errors(planlint.Lint(p)); len(errs) > 0 && !e.AllowLintErrors {
+		var b strings.Builder
+		fmt.Fprintf(&b, "exec: plan %q refused by static analysis (%d error(s); set AllowLintErrors to run anyway):", p.Name, len(errs))
+		for _, d := range errs {
+			b.WriteString("\n  " + d.String())
+		}
+		return nil, fmt.Errorf("%s", b.String())
 	}
 	if e.Fuse {
 		p = dataflow.Optimize(p)

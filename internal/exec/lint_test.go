@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"optiflow/internal/dataflow"
+)
+
+// uncompensatedIterPlan builds an executable plan whose declared
+// iteration state has no compensation operator — the exact defect
+// optimistic recovery cannot survive. Sink tasks run in parallel, so
+// the record count is an atomic.
+func uncompensatedIterPlan() (*dataflow.Plan, *atomic.Int64) {
+	var got atomic.Int64
+	p := dataflow.NewPlan("uncompensated")
+	src := p.Source("labels", func(part, nparts int, emit dataflow.Emit) error {
+		for i := uint64(0); i < 8; i++ {
+			if int(i)%nparts == part {
+				emit(i)
+			}
+		}
+		return nil
+	})
+	src.Sink("out", func(part int, rec any) error {
+		got.Add(1)
+		return nil
+	})
+	p.MarkState("labels")
+	return p, &got
+}
+
+func TestRunRefusesLintErrorPlans(t *testing.T) {
+	p, _ := uncompensatedIterPlan()
+	e := &Engine{Parallelism: 1}
+	_, err := e.Run(p)
+	if err == nil {
+		t.Fatal("Run accepted a plan with Error-severity lint diagnostics")
+	}
+	if !strings.Contains(err.Error(), "comp-missing") ||
+		!strings.Contains(err.Error(), "AllowLintErrors") {
+		t.Fatalf("refusal error should name the rule and the escape hatch, got: %v", err)
+	}
+}
+
+func TestAllowLintErrorsEscapeHatch(t *testing.T) {
+	p, got := uncompensatedIterPlan()
+	e := &Engine{Parallelism: 1, AllowLintErrors: true}
+	stats, err := e.Run(p)
+	if err != nil {
+		t.Fatalf("Run with AllowLintErrors failed: %v", err)
+	}
+	if got.Load() != 8 {
+		t.Fatalf("plan did not execute fully: got %d records", got.Load())
+	}
+	if stats.Outputs("labels") != 8 {
+		t.Fatalf("stats.Outputs(labels) = %d, want 8", stats.Outputs("labels"))
+	}
+}
+
+func TestExternallyCompensatedPlanRunsByDefault(t *testing.T) {
+	p, _ := uncompensatedIterPlan()
+	p.CompensateExternally("job-level Compensate (test)")
+	e := &Engine{Parallelism: 2}
+	if _, err := e.Run(p); err != nil {
+		t.Fatalf("externally compensated plan refused: %v", err)
+	}
+}

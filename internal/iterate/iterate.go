@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"optiflow/internal/clock"
 	"optiflow/internal/cluster"
 	"optiflow/internal/failure"
 	"optiflow/internal/recovery"
@@ -164,7 +165,7 @@ func (l *Loop) Run() (*Result, error) {
 	}
 
 	res := &Result{}
-	start := time.Now()
+	start := clock.Now()
 	superstep := 0
 	for tick := 0; ; tick++ {
 		if l.Done(superstep) {
@@ -174,7 +175,7 @@ func (l *Loop) Run() (*Result, error) {
 			return nil, fmt.Errorf("iterate: loop %q exceeded %d superstep attempts without terminating", l.Name, maxTicks)
 		}
 
-		attemptStart := time.Now()
+		attemptStart := clock.Now()
 		ctx := &Context{Superstep: superstep, Tick: tick, Parallelism: l.Cluster.NumPartitions()}
 		stats, err := l.Step(ctx)
 		if err != nil {
@@ -209,7 +210,7 @@ func (l *Loop) Run() (*Result, error) {
 			superstep++
 		}
 
-		sample.Elapsed = time.Since(attemptStart)
+		sample.Elapsed = clock.Since(attemptStart)
 		res.Samples = append(res.Samples, sample)
 		res.Ticks++
 		if l.OnSample != nil {
@@ -218,7 +219,7 @@ func (l *Loop) Run() (*Result, error) {
 	}
 
 	res.Supersteps = superstep
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clock.Since(start)
 	res.Overhead = policy.Overhead()
 	return res, nil
 }

@@ -1,0 +1,478 @@
+// Package planlint is a semantic static analyzer for dataflow plans.
+// Plan.Validate checks structural invariants (arity, UDF presence,
+// acyclicity); planlint goes further and checks the properties that
+// make optimistic recovery safe and execution sensible:
+//
+//   - every operator marked as iteration state (Plan.MarkState) is
+//     covered by a reachable compensation operator — the paper's core
+//     precondition: optimistic recovery is only correct when a
+//     compensation function can restore every piece of lost state;
+//   - compensation operators hang off state paths, not off static
+//     inputs where they would restore nothing;
+//   - equi-joins route both sides consistently (no hash on one side
+//     and forward on the other);
+//   - no operator is dead (unable to reach any sink);
+//   - no wasteful re-partitioning (hash exchange re-shuffling the
+//     output of an identically-keyed reduce, broadcast feeding a
+//     grouped reduce);
+//   - the plan is acyclic (reported as a diagnostic rather than a
+//     bare error, so tooling can render it).
+//
+// exec.Run refuses plans with Error-severity diagnostics unless the
+// engine's AllowLintErrors escape hatch is set.
+package planlint
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"optiflow/internal/dataflow"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	// Info marks advisory findings (optimization hints, notes about
+	// externally compensated state).
+	Info Severity = iota
+	// Warn marks likely mistakes that do not make execution unsafe.
+	Warn
+	// Error marks defects that make the plan unsafe to run; exec.Run
+	// refuses such plans unless AllowLintErrors is set.
+	Error
+)
+
+// String names the severity as rendered in diagnostics.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding of the analyzer, with operator provenance.
+type Diagnostic struct {
+	// Rule identifies the check that fired (e.g. "comp-missing").
+	Rule string
+	// Severity ranks the finding.
+	Severity Severity
+	// Node and NodeID identify the operator the finding is anchored to;
+	// NodeID is -1 for plan-level findings.
+	Node   string
+	NodeID int
+	// Message is the human-readable description.
+	Message string
+}
+
+// String renders the diagnostic as a single line.
+func (d Diagnostic) String() string {
+	if d.NodeID < 0 {
+		return fmt.Sprintf("%s: [%s] %s", d.Severity, d.Rule, d.Message)
+	}
+	return fmt.Sprintf("%s: [%s] operator %q: %s", d.Severity, d.Rule, d.Node, d.Message)
+}
+
+// Errors filters the Error-severity diagnostics.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Lint runs every rule over the plan and returns the findings in
+// deterministic order (by node ID, then rule). A cyclic plan reports
+// the cycle and skips the reachability-based rules.
+func Lint(p *dataflow.Plan) []Diagnostic {
+	var diags []Diagnostic
+	add := func(rule string, sev Severity, n *dataflow.Node, format string, args ...any) {
+		d := Diagnostic{Rule: rule, Severity: sev, NodeID: -1, Message: fmt.Sprintf(format, args...)}
+		if n != nil {
+			d.Node, d.NodeID = n.Name, n.ID
+		}
+		diags = append(diags, d)
+	}
+
+	if cyc := findCycle(p); cyc != nil {
+		add("cycle", Error, cyc, "plan is cyclic through this operator; iteration must be expressed via iterate.Loop, not plan edges")
+		sortDiags(diags)
+		return diags
+	}
+
+	if err := p.Validate(); err != nil {
+		add("validate", Error, nil, "%v", err)
+	}
+
+	checkCompensation(p, add)
+	checkKeyMismatch(p, add)
+	checkDeadCode(p, add)
+	checkRepartition(p, add)
+
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].NodeID != diags[j].NodeID {
+			return diags[i].NodeID < diags[j].NodeID
+		}
+		if diags[i].Severity != diags[j].Severity {
+			return diags[i].Severity > diags[j].Severity
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+}
+
+// findCycle returns a node on a cycle (or a self-loop), or nil.
+func findCycle(p *dataflow.Plan) *dataflow.Node {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	color := make(map[int]int, len(p.Nodes))
+	var found *dataflow.Node
+	var visit func(n *dataflow.Node)
+	visit = func(n *dataflow.Node) {
+		if found != nil || color[n.ID] == done {
+			return
+		}
+		color[n.ID] = visiting
+		for _, in := range n.Inputs {
+			switch {
+			case in == n:
+				found = n
+				return
+			case color[in.ID] == visiting:
+				found = in
+				return
+			default:
+				visit(in)
+			}
+		}
+		color[n.ID] = done
+	}
+	for _, n := range p.Nodes {
+		if color[n.ID] == unvisited {
+			visit(n)
+		}
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// descendants returns the IDs reachable downstream of n (excluding n).
+func descendants(p *dataflow.Plan, n *dataflow.Node) map[int]bool {
+	consumers := p.Consumers()
+	out := make(map[int]bool)
+	stack := []*dataflow.Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ref := range consumers[cur.ID] {
+			if !out[ref.To.ID] {
+				out[ref.To.ID] = true
+				stack = append(stack, ref.To)
+			}
+		}
+	}
+	return out
+}
+
+// ancestors returns the IDs reachable upstream of n (excluding n).
+func ancestors(n *dataflow.Node) map[int]bool {
+	out := make(map[int]bool)
+	stack := append([]*dataflow.Node(nil), n.Inputs...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[cur.ID] {
+			continue
+		}
+		out[cur.ID] = true
+		stack = append(stack, cur.Inputs...)
+	}
+	return out
+}
+
+type addFunc func(rule string, sev Severity, n *dataflow.Node, format string, args ...any)
+
+// checkCompensation enforces the paper's safety precondition: mutated
+// iteration state must be covered by a compensation function. State is
+// declared with Plan.MarkState; plans whose compensation lives at the
+// job level (recovery.Job.Compensate) declare that with
+// Plan.CompensateExternally and get an Info note instead of an Error.
+func checkCompensation(p *dataflow.Plan, add addFunc) {
+	var stateNodes, compNodes []*dataflow.Node
+	for _, n := range p.Nodes {
+		if n.State {
+			stateNodes = append(stateNodes, n)
+		}
+		if n.Compensation {
+			compNodes = append(compNodes, n)
+		}
+	}
+
+	if len(stateNodes) == 0 {
+		for _, c := range compNodes {
+			add("comp-no-state", Warn, c,
+				"plan has a compensation operator but no operator is marked as iteration state (Plan.MarkState); coverage cannot be checked")
+		}
+		return
+	}
+
+	if len(compNodes) == 0 {
+		for _, s := range stateNodes {
+			if p.ExternalCompensation != "" {
+				add("comp-external", Info, s,
+					"iteration state compensated outside the plan: %s", p.ExternalCompensation)
+			} else {
+				add("comp-missing", Error, s,
+					"iteration state has no compensation operator; a failure during this plan's iteration is unrecoverable under optimistic recovery")
+			}
+		}
+		return
+	}
+
+	// Compensation operators restore state they can observe: each state
+	// node must reach at least one compensation operator downstream.
+	for _, s := range stateNodes {
+		desc := descendants(p, s)
+		covered := false
+		for _, c := range compNodes {
+			if desc[c.ID] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			add("comp-unreachable", Error, s,
+				"no compensation operator is reachable from this iteration state; its partitions cannot be restored after a failure")
+		}
+	}
+
+	// And each compensation operator must actually sit on a state path;
+	// one attached to a static input restores nothing.
+	for _, c := range compNodes {
+		anc := ancestors(c)
+		attached := false
+		for _, s := range stateNodes {
+			if anc[s.ID] || s == c {
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			add("comp-misattached", Error, c,
+				"compensation operator is attached to a non-state path; it would not restore any iteration state")
+		}
+	}
+}
+
+// keyPointer identifies a KeyFunc by its code pointer, so identical
+// key functions can be recognized across edges.
+func keyPointer(k dataflow.KeyFunc) uintptr {
+	if k == nil {
+		return 0
+	}
+	return reflect.ValueOf(k).Pointer()
+}
+
+// sourcesFeeding returns the IDs of the source nodes upstream of n
+// (including n itself if it is a source).
+func sourcesFeeding(n *dataflow.Node) map[int]bool {
+	out := make(map[int]bool)
+	seen := map[int]bool{}
+	var walk func(m *dataflow.Node)
+	walk = func(m *dataflow.Node) {
+		if seen[m.ID] {
+			return
+		}
+		seen[m.ID] = true
+		if len(m.Inputs) == 0 {
+			out[m.ID] = true
+		}
+		for _, in := range m.Inputs {
+			walk(in)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// checkKeyMismatch flags equi-joins whose two sides are routed
+// inconsistently. A Join/CoGroup only meets matching keys when both
+// sides are hash-routed (or one side is broadcast); hash on one side
+// and forward/rebalance on the other silently drops matches. When both
+// sides are hash-routed from the same lineage with different key
+// functions, the partitioning disagrees — likely a copy-paste mistake.
+func checkKeyMismatch(p *dataflow.Plan, add addFunc) {
+	for _, n := range p.Nodes {
+		if n.Kind != dataflow.KindJoin && n.Kind != dataflow.KindCoGroup {
+			continue
+		}
+		if len(n.Inputs) != 2 || len(n.InExchange) != 2 {
+			continue // Validate reports the arity problem
+		}
+		l, r := n.InExchange[0], n.InExchange[1]
+		hashes := 0
+		if l == dataflow.ExHash {
+			hashes++
+		}
+		if r == dataflow.ExHash {
+			hashes++
+		}
+		if hashes == 1 {
+			other := r
+			if l != dataflow.ExHash {
+				other = l
+			}
+			if other != dataflow.ExBroadcast {
+				add("key-mismatch", Error, n,
+					"one input is hash-routed and the other is %s-routed; records with equal keys land in different partitions and matches are lost", other)
+			}
+			continue
+		}
+		if hashes == 2 && len(n.InKeys) == 2 {
+			lp, rp := keyPointer(n.InKeys[0]), keyPointer(n.InKeys[1])
+			if lp != 0 && rp != 0 && lp != rp {
+				ls, rs := sourcesFeeding(n.Inputs[0]), sourcesFeeding(n.Inputs[1])
+				sameLineage := false
+				for id := range ls {
+					if rs[id] {
+						sameLineage = true
+						break
+					}
+				}
+				if sameLineage {
+					add("key-mismatch", Warn, n,
+						"both inputs derive from the same source but are hash-routed by different key functions; verify the sides agree on the join key")
+				}
+			}
+		}
+	}
+}
+
+// checkDeadCode flags operators from which no sink is reachable: their
+// output is computed and dropped. Compensation-path operators are
+// exempt from the failure-free notion of deadness but still need a
+// terminating sink.
+func checkDeadCode(p *dataflow.Plan, add addFunc) {
+	// Reverse-reachability from sinks.
+	live := make(map[int]bool)
+	var stack []*dataflow.Node
+	for _, n := range p.Nodes {
+		if n.Kind == dataflow.KindSink {
+			live[n.ID] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range cur.Inputs {
+			if !live[in.ID] {
+				live[in.ID] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	for _, n := range p.Nodes {
+		if !live[n.ID] {
+			add("dead-code", Warn, n,
+				"no sink is reachable from this operator; its output is dropped")
+		}
+	}
+}
+
+// checkRepartition flags wasteful or duplicating exchange patterns.
+func checkRepartition(p *dataflow.Plan, add addFunc) {
+	for _, n := range p.Nodes {
+		if len(n.InExchange) != len(n.Inputs) || len(n.InKeys) != len(n.Inputs) {
+			continue // Validate reports the arity problem
+		}
+		for i, in := range n.Inputs {
+			ex := n.InExchange[i]
+			// Hash exchange re-shuffling the output of a reduce that was
+			// already hash-partitioned by the same key: the records are
+			// already in the owning partition.
+			if ex == dataflow.ExHash && in.Kind == dataflow.KindReduce &&
+				len(in.InExchange) == 1 && len(in.InKeys) == 1 &&
+				in.InExchange[0] == dataflow.ExHash &&
+				keyPointer(in.InKeys[0]) != 0 &&
+				keyPointer(in.InKeys[0]) == keyPointer(n.InKeys[i]) {
+				add("repartition", Info, n,
+					"hash exchange re-shuffles the output of reduce %q, which is already partitioned by the same key; a forward exchange would avoid the routing work", in.Name)
+			}
+			// Broadcast into a grouped reduce: every partition receives
+			// every record, so every partition reduces the full groups
+			// and the output is duplicated parallelism-fold.
+			if ex == dataflow.ExBroadcast && n.Kind == dataflow.KindReduce {
+				add("repartition", Warn, n,
+					"broadcast feeds a grouped reduce; every partition reduces full copies of each group and the output is duplicated per partition")
+			}
+		}
+	}
+}
+
+// Notes converts diagnostics into the per-node annotation map consumed
+// by Plan.ExplainWith and Plan.DotWith. Plan-level diagnostics (NodeID
+// -1) are omitted; render them separately (see Report).
+func Notes(diags []Diagnostic) map[int][]string {
+	out := make(map[int][]string)
+	for _, d := range diags {
+		if d.NodeID < 0 {
+			continue
+		}
+		out[d.NodeID] = append(out[d.NodeID], fmt.Sprintf("%s [%s]: %s", d.Severity, d.Rule, d.Message))
+	}
+	return out
+}
+
+// Explain renders the plan with diagnostics woven in: per-node findings
+// beneath their operators, plan-level findings appended.
+func Explain(p *dataflow.Plan) string {
+	diags := Lint(p)
+	out := p.ExplainWith(Notes(diags))
+	return out + planLevelReport(diags)
+}
+
+// Dot renders the plan in Graphviz syntax with per-node diagnostics in
+// node labels and offending nodes outlined in red.
+func Dot(p *dataflow.Plan) string {
+	return p.DotWith(Notes(Lint(p)))
+}
+
+// Report renders all diagnostics, one per line (empty string if none).
+func Report(diags []Diagnostic) string {
+	out := ""
+	for _, d := range diags {
+		out += d.String() + "\n"
+	}
+	return out
+}
+
+func planLevelReport(diags []Diagnostic) string {
+	out := ""
+	for _, d := range diags {
+		if d.NodeID < 0 {
+			out += d.String() + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package planlint
+
+import (
+	"strings"
+	"testing"
+
+	"optiflow/internal/dataflow"
+)
+
+func noopSource(int, int, dataflow.Emit) error { return nil }
+func noopSink(int, any) error                  { return nil }
+func keyA(r any) uint64                        { return r.(uint64) }
+func keyB(r any) uint64                        { return r.(uint64) + 1 }
+
+func rules(diags []Diagnostic) map[string][]Diagnostic {
+	out := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		out[d.Rule] = append(out[d.Rule], d)
+	}
+	return out
+}
+
+func wantRule(t *testing.T, diags []Diagnostic, rule string, sev Severity, node string) Diagnostic {
+	t.Helper()
+	for _, d := range diags {
+		if d.Rule == rule && d.Severity == sev && d.Node == node {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic [%s] on node %q in:\n%s", sev, rule, node, Report(diags))
+	return Diagnostic{}
+}
+
+// iterPlan builds a minimal iteration-shaped plan: a state source, a
+// reduce, a sink — and optionally a compensation map attached to the
+// state (or to a static side input when misattach is set).
+func iterPlan(withComp, misattach bool) *dataflow.Plan {
+	p := dataflow.NewPlan("iter")
+	st := p.Source("labels", noopSource)
+	static := p.Source("graph", noopSource)
+	joined := st.Join("probe", static, keyA, keyA, dataflow.JoinInner,
+		func(any, any, dataflow.Emit) {})
+	joined.Sink("out", noopSink)
+	p.MarkState("labels")
+	if withComp {
+		from := st
+		if misattach {
+			from = static
+		}
+		fix := from.Map("fix", func(r any) any { return r })
+		fix.Sink("restored", noopSink)
+		p.MarkCompensation("fix")
+	}
+	return p
+}
+
+func TestStateWithoutCompensationIsError(t *testing.T) {
+	diags := Lint(iterPlan(false, false))
+	wantRule(t, diags, "comp-missing", Error, "labels")
+}
+
+func TestExternalCompensationDowngradesToInfo(t *testing.T) {
+	p := iterPlan(false, false)
+	p.CompensateExternally("job-level Compensate via recovery policy")
+	diags := Lint(p)
+	if len(Errors(diags)) != 0 {
+		t.Fatalf("unexpected errors:\n%s", Report(Errors(diags)))
+	}
+	wantRule(t, diags, "comp-external", Info, "labels")
+}
+
+func TestCoveredStateIsClean(t *testing.T) {
+	diags := Lint(iterPlan(true, false))
+	if errs := Errors(diags); len(errs) != 0 {
+		t.Fatalf("unexpected errors:\n%s", Report(errs))
+	}
+}
+
+func TestMisattachedCompensationIsError(t *testing.T) {
+	diags := Lint(iterPlan(true, true))
+	wantRule(t, diags, "comp-misattached", Error, "fix")
+	// The state itself is also uncovered.
+	wantRule(t, diags, "comp-unreachable", Error, "labels")
+}
+
+func TestCompensationWithoutStateWarns(t *testing.T) {
+	p := dataflow.NewPlan("nostate")
+	src := p.Source("ranks", noopSource)
+	fix := src.Map("fix-ranks", func(r any) any { return r })
+	fix.Sink("restored", noopSink)
+	src.Sink("out", noopSink)
+	p.MarkCompensation("fix-ranks")
+	wantRule(t, Lint(p), "comp-no-state", Warn, "fix-ranks")
+}
+
+func TestMixedRoutingJoinIsError(t *testing.T) {
+	p := dataflow.NewPlan("mixed")
+	a := p.Source("a", noopSource)
+	b := p.Source("b", noopSource)
+	j := a.Join("j", b, keyA, keyA, dataflow.JoinInner, func(any, any, dataflow.Emit) {})
+	j.Node().InExchange[1] = dataflow.ExForward // hand-break the routing
+	j.Sink("out", noopSink)
+	wantRule(t, Lint(p), "key-mismatch", Error, "j")
+}
+
+func TestBroadcastJoinSideIsAccepted(t *testing.T) {
+	p := dataflow.NewPlan("bcast-join")
+	a := p.Source("a", noopSource)
+	b := p.Source("b", noopSource)
+	j := a.Join("j", b, keyA, keyA, dataflow.JoinInner, func(any, any, dataflow.Emit) {})
+	j.Node().InExchange[1] = dataflow.ExBroadcast // broadcast join: legit
+	j.Sink("out", noopSink)
+	if ds := rules(Lint(p))["key-mismatch"]; len(ds) != 0 {
+		t.Fatalf("broadcast join flagged: %v", ds)
+	}
+}
+
+func TestSameLineageDifferentKeysWarns(t *testing.T) {
+	p := dataflow.NewPlan("selfjoin")
+	src := p.Source("events", noopSource)
+	left := src.Map("l", func(r any) any { return r })
+	right := src.Map("r", func(r any) any { return r })
+	j := left.Join("selfjoin", right, keyA, keyB, dataflow.JoinInner,
+		func(any, any, dataflow.Emit) {})
+	j.Sink("out", noopSink)
+	wantRule(t, Lint(p), "key-mismatch", Warn, "selfjoin")
+}
+
+func TestDeadOperatorWarns(t *testing.T) {
+	p := dataflow.NewPlan("dead")
+	src := p.Source("s", noopSource)
+	src.Sink("out", noopSink)
+	src.Map("dangling", func(r any) any { return r }) // no sink downstream
+	wantRule(t, Lint(p), "dead-code", Warn, "dangling")
+}
+
+func TestRedundantHashAfterReduceIsInfo(t *testing.T) {
+	p := dataflow.NewPlan("rehash")
+	src := p.Source("s", noopSource)
+	red := src.ReduceBy("sum", keyA, func(uint64, []any, dataflow.Emit) {})
+	red.PartitionBy("rehash", keyA).Sink("out", noopSink)
+	wantRule(t, Lint(p), "repartition", Info, "rehash")
+}
+
+func TestBroadcastIntoGroupedReduceWarns(t *testing.T) {
+	p := dataflow.NewPlan("bcast")
+	src := p.Source("s", noopSource)
+	red := src.ReduceBy("sum", keyA, func(uint64, []any, dataflow.Emit) {})
+	red.Node().InExchange[0] = dataflow.ExBroadcast
+	red.Sink("out", noopSink)
+	wantRule(t, Lint(p), "repartition", Warn, "sum")
+}
+
+func TestCyclicPlanReportsCycleOnly(t *testing.T) {
+	p := dataflow.NewPlan("cyclic")
+	src := p.Source("s", noopSource)
+	a := src.Map("a", func(r any) any { return r })
+	b := a.Map("b", func(r any) any { return r })
+	b.Sink("out", noopSink)
+	a.Node().Inputs[0] = b.Node()
+	diags := Lint(p)
+	if len(diags) != 1 || diags[0].Rule != "cycle" || diags[0].Severity != Error {
+		t.Fatalf("diags = %v, want a single cycle error", diags)
+	}
+}
+
+func TestValidateFailureSurfacesAsDiagnostic(t *testing.T) {
+	p := dataflow.NewPlan("invalid")
+	p.Source("s", nil).Sink("out", noopSink) // missing SourceFunc
+	wantRule(t, Lint(p), "validate", Error, "")
+}
+
+func TestExplainWeavesDiagnostics(t *testing.T) {
+	out := Explain(iterPlan(false, false))
+	if !strings.Contains(out, "! error [comp-missing]") {
+		t.Fatalf("annotated explain missing diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "[iteration state]") {
+		t.Fatalf("annotated explain missing state marker:\n%s", out)
+	}
+}
+
+func TestDotOutlinesOffenders(t *testing.T) {
+	out := Dot(iterPlan(false, false))
+	if !strings.Contains(out, "color=red") {
+		t.Fatalf("annotated dot missing red outline:\n%s", out)
+	}
+}
+
+func TestLintIsDeterministic(t *testing.T) {
+	p := iterPlan(true, true)
+	first := Report(Lint(p))
+	for i := 0; i < 5; i++ {
+		if got := Report(Lint(p)); got != first {
+			t.Fatalf("Lint order not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"optiflow/internal/checkpoint"
+	"optiflow/internal/clock"
 )
 
 // DeltaJob is implemented by jobs that can serialise just the state
@@ -73,7 +74,7 @@ func (c *DeltaCheckpoint) Setup(job Job) error {
 }
 
 func (c *DeltaCheckpoint) compact(dj DeltaJob, superstep int) error {
-	start := time.Now()
+	start := clock.Now()
 	var buf bytes.Buffer
 	if err := dj.SnapshotTo(&buf); err != nil {
 		return fmt.Errorf("recovery: base snapshot of %s: %v", dj.Name(), err)
@@ -88,7 +89,7 @@ func (c *DeltaCheckpoint) compact(dj DeltaJob, superstep int) error {
 		return fmt.Errorf("recovery: saving base of %s: %v", dj.Name(), err)
 	}
 	c.lastSuper = superstep
-	c.ckptTime += time.Since(start)
+	c.ckptTime += clock.Since(start)
 	return nil
 }
 
@@ -108,7 +109,7 @@ func (c *DeltaCheckpoint) AfterSuperstep(job Job, superstep int) error {
 	if c.Store.DeltaCount(dj.Name()) >= compactEvery {
 		return c.compact(dj, superstep)
 	}
-	start := time.Now()
+	start := clock.Now()
 	var buf bytes.Buffer
 	if err := dj.SnapshotDelta(&buf); err != nil {
 		return fmt.Errorf("recovery: delta snapshot of %s: %v", dj.Name(), err)
@@ -117,7 +118,7 @@ func (c *DeltaCheckpoint) AfterSuperstep(job Job, superstep int) error {
 		return fmt.Errorf("recovery: appending delta of %s: %v", dj.Name(), err)
 	}
 	c.lastSuper = superstep
-	c.ckptTime += time.Since(start)
+	c.ckptTime += clock.Since(start)
 	return nil
 }
 

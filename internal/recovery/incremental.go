@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"optiflow/internal/checkpoint"
+	"optiflow/internal/clock"
 )
 
 // IncrementalJob is implemented by jobs whose state supports
@@ -92,7 +93,7 @@ func (c *IncrementalCheckpoint) AfterSuperstep(job Job, superstep int) error {
 }
 
 func (c *IncrementalCheckpoint) snapshot(ij IncrementalJob, superstep int) error {
-	start := time.Now()
+	start := clock.Now()
 	versions := ij.PartitionVersions()
 	for p, v := range versions {
 		if v == c.saved[p] {
@@ -108,7 +109,7 @@ func (c *IncrementalCheckpoint) snapshot(ij IncrementalJob, superstep int) error
 		c.saved[p] = v
 	}
 	c.lastSuper = superstep
-	c.ckptTime += time.Since(start)
+	c.ckptTime += clock.Since(start)
 	return nil
 }
 

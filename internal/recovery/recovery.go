@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"optiflow/internal/checkpoint"
+	"optiflow/internal/clock"
 )
 
 // Job is the recovery-relevant surface of an iterative computation: the
@@ -201,7 +202,7 @@ func (c *Checkpoint) AfterSuperstep(job Job, superstep int) error {
 }
 
 func (c *Checkpoint) snapshot(job Job, superstep int) error {
-	start := time.Now()
+	start := clock.Now()
 	var buf bytes.Buffer
 	if err := job.SnapshotTo(&buf); err != nil {
 		return fmt.Errorf("recovery: snapshotting %s after superstep %d: %v", job.Name(), superstep, err)
@@ -209,7 +210,7 @@ func (c *Checkpoint) snapshot(job Job, superstep int) error {
 	if err := c.Store.Save(job.Name(), superstep, buf.Bytes()); err != nil {
 		return fmt.Errorf("recovery: saving checkpoint of %s: %v", job.Name(), err)
 	}
-	c.ckptTime += time.Since(start)
+	c.ckptTime += clock.Since(start)
 	return nil
 }
 

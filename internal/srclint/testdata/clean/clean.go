@@ -1,0 +1,18 @@
+// Fixture: a file that follows every rule, used to assert the linter
+// is quiet on conforming code under the strictest rel paths.
+package recovery
+
+import "optiflow/internal/clock"
+
+var table = []int{1, 2, 3} // read-only package-level var
+
+func ok(n int) int {
+	if n < 0 {
+		panic("recovery: negative input")
+	}
+	start := clock.Now()
+	_ = clock.Since(start)
+	local := 0
+	local++
+	return table[n%len(table)] + local
+}

@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads and math/rand in a replay package. Seeded
+// violations for the determinism rule.
+package recovery
+
+import (
+	"math/rand" // want determinism
+	"time"
+)
+
+func snapshotStamp() (time.Time, time.Duration, int) {
+	start := time.Now()          // want determinism
+	elapsed := time.Since(start) // want determinism
+	return start, elapsed, rand.Int()
+}

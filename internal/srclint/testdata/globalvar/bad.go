@@ -1,0 +1,18 @@
+// Fixture: a mutated package-level var in an algo package. Seeded
+// violations for the globalvar rule.
+package pagerank
+
+import "math"
+
+var iterations int    // mutated below: finding
+var Inf = math.Inf(1) // read-only: no finding
+var damping = 0.85    // shadowed local assigned below: no finding
+var callCount int     // mutated with ++ below: finding
+
+func step() float64 {
+	iterations = 3 // want globalvar
+	callCount++    // want globalvar
+	damping := 0.5 // local shadow; assigning it is fine
+	damping = 0.6
+	return damping * Inf
+}

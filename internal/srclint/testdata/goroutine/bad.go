@@ -1,0 +1,12 @@
+// Fixture: a `go` statement in a package that is not internal/exec or
+// internal/cluster. Seeded violation for the goroutine rule.
+package iterate
+
+func spawn(fn func()) {
+	go fn() // want goroutine
+	done := make(chan struct{})
+	go func() { // want goroutine
+		close(done)
+	}()
+	<-done
+}

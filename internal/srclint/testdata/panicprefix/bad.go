@@ -1,0 +1,18 @@
+// Fixture: panic messages missing the package-name prefix. Seeded
+// violations for the panicprefix rule.
+package state
+
+import "fmt"
+
+func guard(n int) {
+	if n < 0 {
+		panic("negative partition count") // want panicprefix
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("absurd partition count %d", n)) // want panicprefix
+	}
+	if n == 13 {
+		panic("state: unlucky partition count") // correctly prefixed: no finding
+	}
+	panic(fmt.Errorf("state: count %d", n)) // correctly prefixed: no finding
+}

@@ -137,7 +137,7 @@ type gathered[M any] struct {
 	msgs []M
 }
 
-func (r *Runner[S, M]) stepPlan() *dataflow.Plan {
+func (r *Runner[S, M]) StepPlan() *dataflow.Plan {
 	plan := dataflow.NewPlan(r.prog.Name + "-superstep")
 
 	msgs := plan.Source("inbox", func(part, _ int, emit dataflow.Emit) error {
@@ -194,12 +194,14 @@ func (r *Runner[S, M]) stepPlan() *dataflow.Plan {
 		}
 		return nil
 	})
+	plan.MarkState("compute")
+	plan.CompensateExternally("program-level compensation / confined recovery")
 	return plan
 }
 
 // Step implements the loop body for iterate.Loop.
 func (r *Runner[S, M]) Step(*iterate.Context) (iterate.StepStats, error) {
-	stats, err := r.engine.Run(r.stepPlan())
+	stats, err := r.engine.Run(r.StepPlan())
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("vertexcentric: superstep of %s: %v", r.prog.Name, err)
 	}
