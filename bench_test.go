@@ -242,10 +242,22 @@ func BenchmarkCompensation_ZeroFillRenormalize(b *testing.B) {
 	benchCompensation(b, optiflow.ZeroFillRenormalize)
 }
 
-// Engine microbenchmarks: the substrate behind every experiment.
+// Engine microbenchmarks: the substrate behind every experiment. Test
+// records are boxed into []any outside the timed region so the numbers
+// measure engine allocations, not the harness's interface conversions.
+
+// benchRecords boxes n sequential uint64s once, outside the timer.
+func benchRecords(n int) []any {
+	data := make([]any, n)
+	for j := range data {
+		data[j] = uint64(j)
+	}
+	return data
+}
 
 func BenchmarkEngine_ShuffleReduce(b *testing.B) {
 	const records = 100000
+	data := benchRecords(records)
 	eng := &exec.Engine{Parallelism: 4}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -253,7 +265,7 @@ func BenchmarkEngine_ShuffleReduce(b *testing.B) {
 		plan := dataflow.NewPlan("shuffle-bench")
 		src := plan.Source("numbers", func(part, nparts int, emit dataflow.Emit) error {
 			for j := part; j < records; j += nparts {
-				emit(uint64(j))
+				emit(data[j])
 			}
 			return nil
 		})
@@ -275,8 +287,48 @@ func BenchmarkEngine_ShuffleReduce(b *testing.B) {
 	b.SetBytes(int64(records * 8))
 }
 
+// BenchmarkEngine_ShuffleCombine is the same workload through the
+// streaming hash-aggregation path: per-key accumulators folded as
+// records arrive, no group materialization.
+func BenchmarkEngine_ShuffleCombine(b *testing.B) {
+	const records = 100000
+	data := benchRecords(records)
+	eng := &exec.Engine{Parallelism: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := dataflow.NewPlan("combine-bench")
+		src := plan.Source("numbers", func(part, nparts int, emit dataflow.Emit) error {
+			for j := part; j < records; j += nparts {
+				emit(data[j])
+			}
+			return nil
+		})
+		red := src.ReduceByCombining("sum-mod-1000",
+			func(r any) uint64 { return r.(uint64) % 1000 },
+			func(acc, rec any) any {
+				if acc == nil {
+					s := rec.(uint64)
+					return &s
+				}
+				*acc.(*uint64) += rec.(uint64)
+				return acc
+			},
+			func(key uint64, acc any, emit dataflow.Emit) {
+				emit(*acc.(*uint64))
+			})
+		var sink int64
+		red.Sink("count", func(int, any) error { sink++; return nil })
+		if _, err := eng.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(records * 8))
+}
+
 func BenchmarkEngine_HashJoin(b *testing.B) {
 	const rows = 50000
+	data := benchRecords(rows)
 	eng := &exec.Engine{Parallelism: 4}
 	key := func(r any) uint64 { return r.(uint64) }
 	b.ReportAllocs()
@@ -285,13 +337,13 @@ func BenchmarkEngine_HashJoin(b *testing.B) {
 		plan := dataflow.NewPlan("join-bench")
 		left := plan.Source("left", func(part, nparts int, emit dataflow.Emit) error {
 			for j := part; j < rows; j += nparts {
-				emit(uint64(j))
+				emit(data[j])
 			}
 			return nil
 		})
 		right := plan.Source("right", func(part, nparts int, emit dataflow.Emit) error {
 			for j := part; j < rows; j += nparts {
-				emit(uint64(j))
+				emit(data[j])
 			}
 			return nil
 		})

@@ -4,12 +4,18 @@
 // shape checks (plummet at the failure iteration, elevated recovery
 // messages, L1 spike, zero failure-free checkpoint overhead, ...).
 //
+// It doubles as the benchmark-artifact pipeline: with -gobench it runs
+// the repo's `go test -bench` suites and writes a BENCH_*.json artifact
+// (ns/op, B/op, allocs/op per benchmark) so every PR has a perf
+// trajectory to compare against.
+//
 // Usage:
 //
 //	optiflow-bench                 # run everything
 //	optiflow-bench -exp fig2       # one experiment (fig1a fig1b fig2 fig4 twitter overhead
 //	                               #   recovery compensation bulkdelta als confined kmeans)
 //	optiflow-bench -n 100000 -p 8  # scale the Twitter-like graph and parallelism
+//	optiflow-bench -gobench 'BenchmarkEngine|BenchmarkTwitter' -benchtime 3x -json BENCH_PR2.json
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"optiflow/internal/benchart"
 	"optiflow/internal/experiments"
 )
 
@@ -28,7 +35,16 @@ func main() {
 	seed := flag.Int64("seed", 20150531, "generator seed")
 	csvDir := flag.String("csv", "", "directory to export per-experiment CSV series into")
 	svgDir := flag.String("svg", "", "directory to export figure SVGs into")
+	gobench := flag.String("gobench", "", "run `go test -bench` with this regexp and emit a JSON artifact instead of the experiments")
+	benchtime := flag.String("benchtime", "", "-benchtime passed through to go test (e.g. 3x, 1s)")
+	jsonPath := flag.String("json", "BENCH.json", "artifact path for -gobench results")
+	benchDir := flag.String("benchdir", ".", "directory containing the benchmarked package")
 	flag.Parse()
+
+	if *gobench != "" {
+		runGoBench(*benchDir, *gobench, *benchtime, *jsonPath)
+		return
+	}
 
 	runner := experiments.NewRunner(experiments.Config{
 		Parallelism: *p,
@@ -70,6 +86,29 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runGoBench executes the Go benchmark suites and writes the committed
+// perf artifact. The raw `go test` output streams to stdout so failures
+// stay diagnosable in CI logs.
+func runGoBench(dir, bench, benchtime, jsonPath string) {
+	results, raw, err := benchart.RunGo(dir, bench, benchtime)
+	fmt.Print(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optiflow-bench: %v\n", err)
+		os.Exit(1)
+	}
+	art := benchart.Artifact{
+		Pkg:       "optiflow",
+		Bench:     bench,
+		Benchtime: benchtime,
+		Results:   results,
+	}
+	if err := benchart.WriteJSON(jsonPath, art); err != nil {
+		fmt.Fprintf(os.Stderr, "optiflow-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", jsonPath, len(results))
 }
 
 func writeAll(dir string, files map[string]string) {

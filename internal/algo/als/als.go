@@ -88,6 +88,14 @@ type ALS struct {
 	userParts   [][]uint64 // partition -> user IDs
 	itemParts   [][]uint64 // partition -> item IDs
 
+	// Per-half-step caches: the rating blocks are derived from the
+	// immutable ratings, and the plans read factor state at run time,
+	// so both survive across supersteps.
+	userBlocks [][]block // partition -> user-side rating blocks
+	itemBlocks [][]block
+	preparedU  *exec.Prepared
+	preparedI  *exec.Prepared
+
 	lastRMSE float64
 }
 
@@ -234,29 +242,18 @@ func (a *ALS) HalfStepPlan(users bool) *dataflow.Plan {
 	byEntity := func(rec any) uint64 { return rec.(block).id }
 	var fixed *state.Store[Factors]
 	var solved *state.Store[Factors]
-	var grouped map[uint64][]Rating
 	if users {
-		fixed, solved, grouped = a.itemFactors, a.userFactors, a.ratings.byUser
+		fixed, solved = a.itemFactors, a.userFactors
 	} else {
-		fixed, solved, grouped = a.userFactors, a.itemFactors, a.ratings.byItem
+		fixed, solved = a.userFactors, a.itemFactors
 	}
 
+	// Build (or fetch) the per-partition blocks here, while plan
+	// construction is still single-threaded: the source UDF below runs
+	// as P concurrent tasks and must only read the finished slice.
+	perPart := a.ratingBlocks(users)
 	blocks := plan.Source("rating-blocks", func(part, nparts int, emit dataflow.Emit) error {
-		ids := a.userParts[part]
-		if !users {
-			ids = a.itemParts[part]
-		}
-		for _, id := range ids {
-			rs := grouped[id]
-			b := block{id: id, others: make([]uint64, len(rs)), values: make([]float64, len(rs))}
-			for j, r := range rs {
-				other := r.Item
-				if !users {
-					other = r.User
-				}
-				b.others[j] = other
-				b.values[j] = r.Value
-			}
+		for _, b := range perPart[part] {
 			emit(b)
 		}
 		return nil
@@ -295,14 +292,65 @@ type factorRec struct {
 	vec Factors
 }
 
+// ratingBlocks returns one side's per-partition rating blocks, building
+// them on first use. The blocks depend only on the immutable ratings,
+// so every later superstep reuses them instead of re-deriving the
+// slices from the rating index. Not safe for concurrent first calls:
+// callers invoke it during plan construction, never from plan tasks.
+func (a *ALS) ratingBlocks(users bool) [][]block {
+	cached := &a.itemBlocks
+	parts, grouped := a.itemParts, a.ratings.byItem
+	if users {
+		cached = &a.userBlocks
+		parts, grouped = a.userParts, a.ratings.byUser
+	}
+	if *cached != nil {
+		return *cached
+	}
+	out := make([][]block, len(parts))
+	for part, ids := range parts {
+		bs := make([]block, 0, len(ids))
+		for _, id := range ids {
+			rs := grouped[id]
+			b := block{id: id, others: make([]uint64, len(rs)), values: make([]float64, len(rs))}
+			for j, r := range rs {
+				other := r.Item
+				if !users {
+					other = r.User
+				}
+				b.others[j] = other
+				b.values[j] = r.Value
+			}
+			bs = append(bs, b)
+		}
+		out[part] = bs
+	}
+	*cached = out
+	return out
+}
+
 // Step implements the loop body: one full ALS iteration (user
 // half-step, then item half-step), followed by the RMSE measurement.
 func (a *ALS) Step(*iterate.Context) (iterate.StepStats, error) {
-	statsU, err := a.engine.Run(a.HalfStepPlan(true))
+	if a.preparedU == nil {
+		p, err := a.engine.Prepare(a.HalfStepPlan(true))
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("als: user half-step: %v", err)
+		}
+		a.preparedU = p
+	}
+	if a.preparedI == nil {
+		p, err := a.engine.Prepare(a.HalfStepPlan(false))
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("als: item half-step: %v", err)
+		}
+		a.preparedI = p
+	}
+	statsU, err := a.preparedU.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("als: user half-step: %v", err)
 	}
-	statsI, err := a.engine.Run(a.HalfStepPlan(false))
+	statsI, err := a.preparedI.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("als: item half-step: %v", err)
 	}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"math"
 
 	"optiflow/internal/cluster"
 	"optiflow/internal/dataflow"
@@ -23,9 +22,10 @@ import (
 // labels; the next superstep recomputes everything anyway, so no
 // workset re-seeding is needed.
 type BulkCC struct {
-	g      *graph.Graph
-	par    int
-	engine *exec.Engine
+	g        *graph.Graph
+	par      int
+	engine   *exec.Engine
+	prepared *exec.Prepared // step plan, compiled once and reused
 
 	labels      *state.Store[uint64]
 	owned       [][]graph.VertexID
@@ -97,15 +97,21 @@ func (b *BulkCC) StepPlan() *dataflow.Plan {
 			}
 		})
 
-	cands := msgs.ReduceBy("candidate-label", byVertex,
-		func(key uint64, vals []any, emit dataflow.Emit) {
-			min := uint64(math.MaxUint64)
-			for _, v := range vals {
-				if l := v.(Update).Label; l < min {
-					min = l
-				}
+	// Same incremental min-fold as the delta iteration's step plan.
+	cands := msgs.ReduceByCombining("candidate-label", byVertex,
+		func(acc, rec any) any {
+			u := rec.(Update)
+			if acc == nil {
+				return &u
 			}
-			emit(Update{V: graph.VertexID(key), Label: min})
+			a := acc.(*Update)
+			if u.Label < a.Label {
+				a.Label = u.Label
+			}
+			return a
+		},
+		func(key uint64, acc any, emit dataflow.Emit) {
+			emit(Update{V: graph.VertexID(key), Label: acc.(*Update).Label})
 		})
 
 	updates := cands.LookupJoin("label-update", "labels", byVertex,
@@ -126,9 +132,17 @@ func (b *BulkCC) StepPlan() *dataflow.Plan {
 	return plan
 }
 
-// Step implements the loop body for iterate.Loop.
+// Step implements the loop body for iterate.Loop. The plan reads label
+// state at run time, so it is prepared once and reused every superstep.
 func (b *BulkCC) Step(*iterate.Context) (iterate.StepStats, error) {
-	stats, err := b.engine.Run(b.StepPlan())
+	if b.prepared == nil {
+		p, err := b.engine.Prepare(b.StepPlan())
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("cc: bulk superstep: %v", err)
+		}
+		b.prepared = p
+	}
+	stats, err := b.prepared.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("cc: bulk superstep: %v", err)
 	}

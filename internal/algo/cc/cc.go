@@ -12,7 +12,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"math"
 
 	"optiflow/internal/dataflow"
 	"optiflow/internal/exec"
@@ -31,9 +30,10 @@ type Update struct {
 // CC is a Connected Components delta iteration over a graph. It
 // implements recovery.Job.
 type CC struct {
-	g      *graph.Graph
-	par    int
-	engine *exec.Engine
+	g        *graph.Graph
+	par      int
+	engine   *exec.Engine
+	prepared *exec.Prepared // step plan, compiled once and reused
 
 	labels  *state.Store[uint64]   // the solution set
 	workset *state.Workset[Update] // current workset
@@ -145,15 +145,23 @@ func (c *CC) StepPlan() *dataflow.Plan {
 			}
 		})
 
-	cands := msgs.ReduceBy("candidate-label", byVertex,
-		func(key uint64, vals []any, emit dataflow.Emit) {
-			min := uint64(math.MaxUint64)
-			for _, v := range vals {
-				if l := v.(Update).Label; l < min {
-					min = l
-				}
+	// Min is associative and commutative, so the candidate label folds
+	// incrementally: the engine keeps one *Update accumulator per
+	// vertex instead of materializing every message.
+	cands := msgs.ReduceByCombining("candidate-label", byVertex,
+		func(acc, rec any) any {
+			u := rec.(Update)
+			if acc == nil {
+				return &u
 			}
-			emit(Update{V: graph.VertexID(key), Label: min})
+			a := acc.(*Update)
+			if u.Label < a.Label {
+				a.Label = u.Label
+			}
+			return a
+		},
+		func(key uint64, acc any, emit dataflow.Emit) {
+			emit(Update{V: graph.VertexID(key), Label: acc.(*Update).Label})
 		})
 
 	// The solution-set index join: compare the candidate to the current
@@ -182,9 +190,18 @@ func (c *CC) StepPlan() *dataflow.Plan {
 }
 
 // Step implements the loop body for iterate.Loop: run one superstep of
-// the delta iteration and swap in the freshly built workset.
+// the delta iteration and swap in the freshly built workset. The step
+// plan's operators read the workset and label state at run time, so the
+// prepared plan is built once and reused across supersteps.
 func (c *CC) Step(*iterate.Context) (iterate.StepStats, error) {
-	stats, err := c.engine.Run(c.StepPlan())
+	if c.prepared == nil {
+		p, err := c.engine.Prepare(c.StepPlan())
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("cc: superstep: %v", err)
+		}
+		c.prepared = p
+	}
+	stats, err := c.prepared.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("cc: superstep: %v", err)
 	}

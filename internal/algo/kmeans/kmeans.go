@@ -30,12 +30,13 @@ type Point []float64
 
 // KMeans is a k-means clustering job. It implements recovery.Job.
 type KMeans struct {
-	points [][]Point // partition -> points owned by that partition
-	k      int
-	dim    int
-	par    int
-	seed   int64
-	engine *exec.Engine
+	points   [][]Point // partition -> points owned by that partition
+	k        int
+	dim      int
+	par      int
+	seed     int64
+	engine   *exec.Engine
+	prepared *exec.Prepared // step plan, compiled once and reused
 
 	centroids *state.Store[Point] // key = cluster id 0..k-1
 	sums      *state.Store[Point] // scratch: per-cluster vector sums
@@ -237,17 +238,28 @@ func (km *KMeans) StepPlan() *dataflow.Plan {
 		return nil
 	})
 
-	recompute := points.ReduceBy("recompute-centroids", byCluster,
-		func(key uint64, vals []any, emit dataflow.Emit) {
-			total := assignment{cluster: key, sum: make(Point, km.dim)}
-			for _, v := range vals {
-				a := v.(assignment)
-				total.count += a.count
-				for i := range a.sum {
-					total.sum[i] += a.sum[i]
+	// Partial sums merge incrementally as they arrive; the first
+	// partial is copied so the accumulator never aliases a record.
+	recompute := points.ReduceByCombining("recompute-centroids", byCluster,
+		func(acc, rec any) any {
+			a := rec.(assignment)
+			if acc == nil {
+				return &assignment{
+					cluster: a.cluster,
+					sum:     append(Point(nil), a.sum...),
+					count:   a.count,
 				}
 			}
-			emit(total)
+			t := acc.(*assignment)
+			t.count += a.count
+			for i := range a.sum {
+				t.sum[i] += a.sum[i]
+			}
+			return t
+		},
+		func(key uint64, acc any, emit dataflow.Emit) {
+			t := acc.(*assignment)
+			emit(assignment{cluster: key, sum: t.sum, count: t.count})
 		})
 
 	recompute.Sink("collect-centroids", func(_ int, rec any) error {
@@ -265,7 +277,16 @@ func (km *KMeans) StepPlan() *dataflow.Plan {
 func (km *KMeans) Step(*iterate.Context) (iterate.StepStats, error) {
 	km.sums.ClearAll()
 	km.counts.ClearAll()
-	stats, err := km.engine.Run(km.StepPlan())
+	// The plan reads centroid state at run time, so it is prepared
+	// once and reused every superstep.
+	if km.prepared == nil {
+		p, err := km.engine.Prepare(km.StepPlan())
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("kmeans: superstep: %v", err)
+		}
+		km.prepared = p
+	}
+	stats, err := km.prepared.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("kmeans: superstep: %v", err)
 	}

@@ -39,10 +39,11 @@ const DefaultDamping = 0.85
 // PR is a PageRank bulk iteration over a directed graph. It implements
 // recovery.Job.
 type PR struct {
-	g      *graph.Graph
-	par    int
-	engine *exec.Engine
-	d      float64
+	g        *graph.Graph
+	par      int
+	engine   *exec.Engine
+	prepared *exec.Prepared // step plan, compiled once and reused
+	d        float64
 
 	ranks *state.Store[float64] // current rank vector
 	sums  *state.Store[float64] // per-superstep scratch: damped contribution sums
@@ -58,8 +59,14 @@ type PR struct {
 // SetLocalCombine toggles the pre-shuffle combiner: contributions to
 // the same target vertex are summed inside the producing partition
 // before crossing the exchange, trading a little CPU for much less
-// shuffle volume on skewed graphs.
-func (pr *PR) SetLocalCombine(on bool) { pr.combine = on }
+// shuffle volume on skewed graphs. Toggling changes the plan shape, so
+// the cached prepared plan is invalidated.
+func (pr *PR) SetLocalCombine(on bool) {
+	if on != pr.combine {
+		pr.prepared = nil
+	}
+	pr.combine = on
+}
 
 // New prepares a PageRank run with uniform initial ranks 1/n.
 func New(g *graph.Graph, parallelism int, damping float64, comp Compensation) *PR {
@@ -190,24 +197,37 @@ func (pr *PR) StepPlan() *dataflow.Plan {
 			})
 		})
 
+	// Contribution sums fold incrementally as records arrive: the
+	// engine keeps one accumulator per target vertex instead of
+	// materializing every contribution. The fold applies additions in
+	// the same arrival order the materializing reducer summed in, so
+	// results are unchanged.
 	if pr.combine {
-		contribs = contribs.LocalReduceBy("combine-contribs", byDst,
-			func(key uint64, vals []any, emit dataflow.Emit) {
-				s := 0.0
-				for _, v := range vals {
-					s += v.(Contrib).Val
+		contribs = contribs.LocalReduceByCombining("combine-contribs", byDst,
+			func(acc, rec any) any {
+				c := rec.(Contrib)
+				if acc == nil {
+					return &c
 				}
-				emit(Contrib{Dst: graph.VertexID(key), Val: s})
+				acc.(*Contrib).Val += c.Val
+				return acc
+			},
+			func(key uint64, acc any, emit dataflow.Emit) {
+				emit(Contrib{Dst: graph.VertexID(key), Val: acc.(*Contrib).Val})
 			})
 	}
 
-	newRanks := contribs.ReduceBy("recompute-ranks", byDst,
-		func(key uint64, vals []any, emit dataflow.Emit) {
-			s := 0.0
-			for _, v := range vals {
-				s += v.(Contrib).Val
+	newRanks := contribs.ReduceByCombining("recompute-ranks", byDst,
+		func(acc, rec any) any {
+			c := rec.(Contrib)
+			if acc == nil {
+				return &c
 			}
-			emit(RankRec{V: graph.VertexID(key), Rank: base + pr.d*s})
+			acc.(*Contrib).Val += c.Val
+			return acc
+		},
+		func(key uint64, acc any, emit dataflow.Emit) {
+			emit(RankRec{V: graph.VertexID(key), Rank: base + pr.d*acc.(*Contrib).Val})
 		})
 
 	// Compare against the previous rank; the dangling share is added by
@@ -243,7 +263,16 @@ func (pr *PR) Step(*iterate.Context) (iterate.StepStats, error) {
 	share := pr.d * danglingMass / n
 
 	pr.sums.ClearAll()
-	stats, err := pr.engine.Run(pr.StepPlan())
+	// The plan reads rank state at run time, so it is prepared once
+	// and reused every superstep (until SetLocalCombine reshapes it).
+	if pr.prepared == nil {
+		p, err := pr.engine.Prepare(pr.StepPlan())
+		if err != nil {
+			return iterate.StepStats{}, fmt.Errorf("pagerank: superstep: %v", err)
+		}
+		pr.prepared = p
+	}
+	stats, err := pr.prepared.Run()
 	if err != nil {
 		return iterate.StepStats{}, fmt.Errorf("pagerank: superstep: %v", err)
 	}

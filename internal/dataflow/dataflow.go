@@ -35,7 +35,24 @@ type FlatMapFunc func(rec any, emit Emit)
 type FilterFunc func(rec any) bool
 
 // ReduceFunc folds all records of a group into zero or more records.
+// The vals slice is owned by the engine and only valid for the duration
+// of the call: implementations must not retain it (or a reslice of it)
+// after returning — copy the records out instead (see the exchange
+// memory model in DESIGN.md; optiflow-vet enforces this).
 type ReduceFunc func(key uint64, vals []any, emit Emit)
+
+// CombineFunc incrementally folds one record into a group's running
+// accumulator — the streaming alternative to ReduceFunc for
+// aggregations that do not need the whole group at once (min, sum,
+// count, ...). acc is nil for the first record of a group; the returned
+// value becomes the new accumulator. Records arrive in exchange order,
+// so a CombineFunc must be insensitive to record order to keep results
+// deterministic (associative + commutative folds qualify).
+type CombineFunc func(acc any, rec any) any
+
+// FinishFunc converts a group's final accumulator into zero or more
+// output records once the input is exhausted.
+type FinishFunc func(key uint64, acc any, emit Emit)
 
 // JoinFunc combines one record from each side of an equi-join.
 type JoinFunc func(left, right any, emit Emit)
@@ -155,6 +172,8 @@ type Node struct {
 	FlatMap  FlatMapFunc
 	Filter   FilterFunc
 	Reduce   ReduceFunc
+	Combine  CombineFunc // streaming alternative to Reduce (with Finish)
+	Finish   FinishFunc
 	Join     JoinFunc
 	JoinType JoinType
 	CoGroup  CoGroupFunc
@@ -272,6 +291,21 @@ func (d *Dataset) ReduceBy(name string, key KeyFunc, fn ReduceFunc) *Dataset {
 	return &Dataset{plan: d.plan, node: n}
 }
 
+// ReduceByCombining is ReduceBy for order-insensitive aggregations: it
+// hash-partitions records by key and folds each group incrementally
+// through combine as records arrive, emitting results via finish once
+// the input is exhausted. Unlike ReduceBy it never materialises a
+// group's records, so memory stays proportional to the number of
+// distinct keys instead of the number of records — the streaming
+// hash-aggregation path of the engine.
+func (d *Dataset) ReduceByCombining(name string, key KeyFunc, combine CombineFunc, finish FinishFunc) *Dataset {
+	n := d.plan.add(&Node{
+		Name: name, Kind: KindReduce, Combine: combine, Finish: finish,
+		Inputs: []*Node{d.node}, InExchange: []Exchange{ExHash}, InKeys: []KeyFunc{key},
+	})
+	return &Dataset{plan: d.plan, node: n}
+}
+
 // LocalReduceBy folds groups within each producing partition, without
 // a shuffle — a combiner. Placing one before a ReduceBy on the same key
 // pre-aggregates records before they cross the network, cutting
@@ -279,6 +313,18 @@ func (d *Dataset) ReduceBy(name string, key KeyFunc, fn ReduceFunc) *Dataset {
 func (d *Dataset) LocalReduceBy(name string, key KeyFunc, fn ReduceFunc) *Dataset {
 	n := d.plan.add(&Node{
 		Name: name, Kind: KindReduce, Reduce: fn,
+		Inputs: []*Node{d.node}, InExchange: []Exchange{ExForward}, InKeys: []KeyFunc{key},
+	})
+	return &Dataset{plan: d.plan, node: n}
+}
+
+// LocalReduceByCombining is LocalReduceBy with the streaming
+// accumulator interface of ReduceByCombining: a pre-shuffle combiner
+// that folds records as they arrive instead of materialising each
+// partition-local group.
+func (d *Dataset) LocalReduceByCombining(name string, key KeyFunc, combine CombineFunc, finish FinishFunc) *Dataset {
+	n := d.plan.add(&Node{
+		Name: name, Kind: KindReduce, Combine: combine, Finish: finish,
 		Inputs: []*Node{d.node}, InExchange: []Exchange{ExForward}, InKeys: []KeyFunc{key},
 	})
 	return &Dataset{plan: d.plan, node: n}
@@ -445,8 +491,11 @@ func (p *Plan) Validate() error {
 				return fmt.Errorf("dataflow: filter %q: missing FilterFunc", n.Name)
 			}
 		case KindReduce:
-			if n.Reduce == nil {
-				return fmt.Errorf("dataflow: reduce %q: missing ReduceFunc", n.Name)
+			if n.Reduce == nil && (n.Combine == nil || n.Finish == nil) {
+				return fmt.Errorf("dataflow: reduce %q: needs a ReduceFunc or a Combine+Finish pair", n.Name)
+			}
+			if n.Reduce != nil && n.Combine != nil {
+				return fmt.Errorf("dataflow: reduce %q: ReduceFunc and CombineFunc are mutually exclusive", n.Name)
 			}
 		case KindJoin:
 			if n.Join == nil || len(n.Inputs) != 2 {

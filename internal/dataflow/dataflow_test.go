@@ -55,6 +55,67 @@ func TestValidateCatchesMissingUDFs(t *testing.T) {
 	}
 }
 
+func TestValidateCombinerRules(t *testing.T) {
+	combine := func(acc any, rec any) any {
+		if acc == nil {
+			return rec
+		}
+		return acc
+	}
+	finish := func(key uint64, acc any, emit Emit) { emit(acc) }
+
+	// A well-formed combiner reduce validates.
+	p := NewPlan("combiner-ok")
+	p.Source("s", noopSource).
+		ReduceByCombining("agg", identKey, combine, finish).
+		Sink("k", noopSink)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid combiner plan rejected: %v", err)
+	}
+
+	// Combine without Finish (and vice versa) is not a usable reduce.
+	for _, tweak := range []func(n *Node){
+		func(n *Node) { n.Finish = nil },
+		func(n *Node) { n.Combine = nil },
+	} {
+		p := NewPlan("combiner-half")
+		d := p.Source("s", noopSource).ReduceByCombining("agg", identKey, combine, finish)
+		d.Sink("k", noopSink)
+		tweak(d.Node())
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("Validate accepted a reduce with half a Combine+Finish pair")
+		}
+		if !strings.Contains(err.Error(), "Combine+Finish") {
+			t.Fatalf("unhelpful error for half a combiner pair: %v", err)
+		}
+	}
+
+	// Materialising and streaming UDFs on one node are ambiguous.
+	p = NewPlan("combiner-both")
+	d := p.Source("s", noopSource).ReduceByCombining("agg", identKey, combine, finish)
+	d.Sink("k", noopSink)
+	d.Node().Reduce = func(uint64, []any, Emit) {}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a reduce with both ReduceFunc and CombineFunc")
+	}
+	if !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("unhelpful error for ambiguous reduce: %v", err)
+	}
+
+	// The local (pre-shuffle) variant wires ExForward, not ExHash.
+	p = NewPlan("combiner-local")
+	d = p.Source("s", noopSource).LocalReduceByCombining("pre", identKey, combine, finish)
+	d.Sink("k", noopSink)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Node().InExchange[0]; got != ExForward {
+		t.Fatalf("local combiner exchange = %v, want forward", got)
+	}
+}
+
 func TestValidateRequiresSink(t *testing.T) {
 	p := NewPlan("sinkless")
 	p.Source("s", noopSource)

@@ -47,13 +47,38 @@ type Engine struct {
 	// any task starts, because the defect would otherwise only surface
 	// mid-recovery.
 	AllowLintErrors bool
+
+	// pool recycles exchange batches across all runs of this engine, so
+	// an iterative job reuses the same backing arrays superstep after
+	// superstep instead of leaving every flushed batch to the GC. See
+	// DESIGN.md "Exchange memory model" for the ownership rules.
+	poolOnce sync.Once
+	pool     *sync.Pool
+}
+
+// batchPool lazily creates the engine-wide batch pool. The capacity of
+// pooled batches is fixed by the first run's batch size; later runs
+// with a larger BatchSize fall back to fresh allocations (getBatch
+// checks capacity), which keeps the pool correct if a caller mutates
+// the engine between runs.
+func (e *Engine) batchPool(batchSize int) *sync.Pool {
+	e.poolOnce.Do(func() {
+		e.pool = &sync.Pool{New: func() any {
+			b := make([]any, 0, batchSize)
+			return &b
+		}}
+	})
+	return e.pool
 }
 
 // Stats reports what a plan execution did.
 type Stats struct {
 	// EdgeRecords counts records that crossed each plan edge, keyed by
 	// dataflow.EdgeName. Records into a shuffle are the paper's
-	// "messages".
+	// "messages". Counts are exact for successful runs: a batch is
+	// counted when it is handed to its exchange channel, and batches are
+	// only ever dropped during teardown of a failing run — whose stats
+	// are never returned (Run yields an error instead).
 	EdgeRecords map[string]int64
 	// NodeOutputs counts records emitted by each operator, keyed by
 	// operator name.
@@ -102,7 +127,7 @@ type edge struct {
 	name    string
 	ex      dataflow.Exchange
 	key     dataflow.KeyFunc
-	chans   []chan []any
+	chans   []chan *[]any
 	records atomic.Int64
 	senders sync.WaitGroup
 }
@@ -110,6 +135,7 @@ type edge struct {
 type run struct {
 	p         int
 	batchSize int
+	pool      *sync.Pool
 	done      chan struct{}
 	errOnce   sync.Once
 	err       error
@@ -123,12 +149,52 @@ func (r *run) fail(err error) {
 	})
 }
 
+// getBatch takes a recycled batch from the pool (or a fresh one if the
+// pooled batch is too small for this run's batch size).
+func (r *run) getBatch() *[]any {
+	bp := r.pool.Get().(*[]any)
+	if cap(*bp) < r.batchSize {
+		b := make([]any, 0, r.batchSize)
+		return &b
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// putBatch returns a drained batch to the pool. Record references are
+// cleared first so the pool does not pin records beyond their lifetime.
+// After putBatch the batch belongs to the pool: the caller must not
+// touch it (or its backing array) again.
+func (r *run) putBatch(bp *[]any) {
+	b := *bp
+	clear(b)
+	*bp = b[:0]
+	r.pool.Put(bp)
+}
+
+// errCancelled is the task-internal teardown sentinel: a task that
+// observes run.done closed stops producing and returns it. It never
+// becomes the run's error — fail() is only ever invoked with the real
+// error, which wins the errOnce before done is closed.
 var errCancelled = fmt.Errorf("exec: cancelled by failure elsewhere in the plan")
 
-// Run executes the plan and returns its statistics. Compensation nodes
-// (Fig. 1's dotted boxes) and everything downstream of them are skipped:
-// they exist for recovery and plan rendering, not failure-free flow.
-func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
+// Prepared is a plan that has been validated, linted and (when the
+// engine fuses) optimized once, bound to its engine. Iterative drivers
+// prepare the loop body a single time and run it every superstep,
+// skipping the per-iteration analysis cost that Engine.Run would pay
+// on each call.
+type Prepared struct {
+	e    *Engine
+	plan *dataflow.Plan
+}
+
+// Plan returns the plan as it will execute (post-fusion if the engine
+// fuses).
+func (pp *Prepared) Plan() *dataflow.Plan { return pp.plan }
+
+// Prepare validates and lints the plan, applies fusion if configured,
+// and returns a handle that can be run repeatedly.
+func (e *Engine) Prepare(p *dataflow.Plan) (*Prepared, error) {
 	if e.Parallelism < 1 {
 		return nil, fmt.Errorf("exec: parallelism must be >= 1, got %d", e.Parallelism)
 	}
@@ -146,6 +212,25 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 	if e.Fuse {
 		p = dataflow.Optimize(p)
 	}
+	return &Prepared{e: e, plan: p}, nil
+}
+
+// Run executes the plan and returns its statistics. Compensation nodes
+// (Fig. 1's dotted boxes) and everything downstream of them are skipped:
+// they exist for recovery and plan rendering, not failure-free flow.
+func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
+	pp, err := e.Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return pp.Run()
+}
+
+// Run executes the prepared plan once. It may be called any number of
+// times; exchange batches are recycled through the engine's pool across
+// runs.
+func (pp *Prepared) Run() (*Stats, error) {
+	e, p := pp.e, pp.plan
 	P := e.Parallelism
 	batch := e.BatchSize
 	if batch <= 0 {
@@ -174,10 +259,10 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 				name:  dataflow.EdgeName(n, ref),
 				ex:    ref.To.InExchange[ref.Slot],
 				key:   ref.To.InKeys[ref.Slot],
-				chans: make([]chan []any, P),
+				chans: make([]chan *[]any, P),
 			}
 			for i := range ed.chans {
-				ed.chans[i] = make(chan []any, depth)
+				ed.chans[i] = make(chan *[]any, depth)
 			}
 			ed.senders.Add(P)
 			go func(ed *edge) {
@@ -194,7 +279,7 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 		}
 	}
 
-	r := &run{p: P, batchSize: batch, done: make(chan struct{})}
+	r := &run{p: P, batchSize: batch, pool: e.batchPool(batch), done: make(chan struct{})}
 	nodeOut := make(map[string]*atomic.Int64, len(p.Nodes))
 	nodeNanos := make(map[string]*atomic.Int64, len(p.Nodes))
 	for _, n := range p.Nodes {
@@ -224,12 +309,7 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 	}
 
 	r.tasks.Wait()
-	if r.err != nil && r.err != errCancelled {
-		return nil, r.err
-	}
-	if r.err == errCancelled {
-		// Should not happen: cancellation is only triggered alongside a
-		// real error, which wins the Once.
+	if r.err != nil {
 		return nil, r.err
 	}
 
@@ -289,8 +369,10 @@ type task struct {
 	outCnt *atomic.Int64
 	nanos  *atomic.Int64
 
-	buffers [][][]any // per out-edge, per dest partition
-	rr      []int     // round-robin cursor per out-edge
+	buffers   [][]*[]any      // per out-edge, per dest partition; pooled
+	routes    []func(rec any) // per out-edge routing, bound at task start
+	rr        []int           // round-robin cursor per out-edge
+	cancelled bool            // set once a flush observes teardown
 }
 
 func (t *task) main() {
@@ -309,101 +391,153 @@ func (t *task) main() {
 				t.node.Name, t.part, r, debug.Stack()))
 		}
 	}()
-	t.buffers = make([][][]any, len(t.out))
-	t.rr = make([]int, len(t.out))
-	for i := range t.buffers {
-		t.buffers[i] = make([][]any, t.run.p)
-	}
+	t.bindRoutes()
 	start := time.Now()
 	defer func() { t.nanos.Add(int64(time.Since(start))) }()
-	if err := t.process(); err != nil {
-		t.run.fail(err)
-		return
+	err := t.process()
+	if err == nil {
+		err = t.flushAll()
 	}
-	if err := t.flushAll(); err != nil {
-		if err != errCancelled {
-			t.run.fail(err)
+	if err != nil && err != errCancelled {
+		t.run.fail(err)
+	}
+}
+
+// bindRoutes precomputes one routing function per out-edge, so emit
+// pays the exchange-pattern dispatch once per task instead of once per
+// record per edge.
+func (t *task) bindRoutes() {
+	P := t.run.p
+	t.buffers = make([][]*[]any, len(t.out))
+	t.rr = make([]int, len(t.out))
+	t.routes = make([]func(any), len(t.out))
+	for i, ed := range t.out {
+		t.buffers[i] = make([]*[]any, P)
+		i := i
+		switch {
+		case P == 1:
+			// Every exchange pattern degenerates to a forward into
+			// partition 0; skip the hash entirely.
+			t.routes[i] = func(rec any) { t.push(i, 0, rec) }
+		case ed.ex == dataflow.ExForward:
+			part := t.part
+			t.routes[i] = func(rec any) { t.push(i, part, rec) }
+		case ed.ex == dataflow.ExHash:
+			key := ed.key
+			t.routes[i] = func(rec any) {
+				t.push(i, int(graph.Hash(key(rec))%uint64(P)), rec)
+			}
+		case ed.ex == dataflow.ExBroadcast:
+			t.routes[i] = func(rec any) {
+				for d := 0; d < P; d++ {
+					t.push(i, d, rec)
+				}
+			}
+		default: // dataflow.ExRebalance
+			t.routes[i] = func(rec any) {
+				t.push(i, t.rr[i]%P, rec)
+				t.rr[i]++
+			}
 		}
 	}
 }
 
 func (t *task) emit(rec any) {
 	t.outCnt.Add(1)
-	for i, ed := range t.out {
-		switch ed.ex {
-		case dataflow.ExForward:
-			t.push(i, t.part, rec)
-		case dataflow.ExHash:
-			dest := int(graph.Hash(ed.key(rec)) % uint64(t.run.p))
-			t.push(i, dest, rec)
-		case dataflow.ExBroadcast:
-			for d := 0; d < t.run.p; d++ {
-				t.push(i, d, rec)
-			}
-		case dataflow.ExRebalance:
-			t.push(i, t.rr[i]%t.run.p, rec)
-			t.rr[i]++
-		}
+	for _, route := range t.routes {
+		route(rec)
 	}
 }
 
 func (t *task) push(edgeIdx, dest int, rec any) {
-	buf := append(t.buffers[edgeIdx][dest], rec)
-	t.buffers[edgeIdx][dest] = buf
-	if len(buf) >= t.run.batchSize {
-		t.flush(edgeIdx, dest)
+	if t.cancelled {
+		return // teardown observed: stop producing immediately
+	}
+	bp := t.buffers[edgeIdx][dest]
+	if bp == nil {
+		bp = t.run.getBatch()
+		t.buffers[edgeIdx][dest] = bp
+	}
+	*bp = append(*bp, rec)
+	if len(*bp) >= t.run.batchSize {
+		// The flush error is sticky in t.cancelled; emit callers that
+		// cannot propagate it stop at the next push.
+		_ = t.flush(edgeIdx, dest)
 	}
 }
 
-func (t *task) flush(edgeIdx, dest int) {
-	buf := t.buffers[edgeIdx][dest]
-	if len(buf) == 0 {
-		return
-	}
-	ed := t.out[edgeIdx]
-	select {
-	case ed.chans[dest] <- buf:
-		ed.records.Add(int64(len(buf)))
-	case <-t.run.done:
-		// Run is being torn down; drop the batch.
-	}
-	t.buffers[edgeIdx][dest] = nil
-}
-
-func (t *task) flushAll() error {
-	for i := range t.out {
-		for d := 0; d < t.run.p; d++ {
-			t.flush(i, d)
-		}
-	}
-	return nil
-}
-
-// drain consumes an entire input slot into a slice.
-func (t *task) drain(slot int) []any {
-	ed := t.in[slot]
-	if ed == nil {
+// flush hands the buffered batch of one (edge, dest) pair to its
+// exchange channel, transferring ownership to the consumer. During
+// teardown (run.done closed) the batch is recycled, the task marked
+// cancelled, and errCancelled returned so callers stop producing; the
+// dropped records are unobservable because a torn-down run reports an
+// error instead of stats.
+func (t *task) flush(edgeIdx, dest int) error {
+	bp := t.buffers[edgeIdx][dest]
+	if bp == nil || len(*bp) == 0 {
 		return nil
 	}
-	var all []any
-	for batch := range ed.chans[t.part] {
-		all = append(all, batch...)
+	t.buffers[edgeIdx][dest] = nil
+	ed := t.out[edgeIdx]
+	// Count before the send: once the consumer has the batch it may
+	// recycle it concurrently, so len(*bp) must not be read after.
+	n := int64(len(*bp))
+	select {
+	case ed.chans[dest] <- bp:
+		ed.records.Add(n)
+		return nil
+	case <-t.run.done:
+		t.run.putBatch(bp)
+		t.cancelled = true
+		return errCancelled
 	}
-	return all
 }
 
-// each streams an input slot through fn.
+// flushAll drains every buffered batch at end of task and reports the
+// first teardown/cancellation encountered instead of silently dropping.
+func (t *task) flushAll() error {
+	var first error
+	for i := range t.out {
+		for d := 0; d < t.run.p; d++ {
+			if err := t.flush(i, d); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// collect consumes an entire input slot as whole batches, returning
+// them with the total record count (so consumers can pre-size hash
+// tables). Ownership of every returned batch passes to the caller,
+// which must recycle each one via run.putBatch after copying the
+// records out.
+func (t *task) collect(slot int) (batches []*[]any, n int) {
+	ed := t.in[slot]
+	if ed == nil {
+		return nil, 0
+	}
+	for bp := range ed.chans[t.part] {
+		batches = append(batches, bp)
+		n += len(*bp)
+	}
+	return batches, n
+}
+
+// each streams an input slot through fn, recycling every drained batch.
 func (t *task) each(slot int, fn func(rec any) error) error {
 	ed := t.in[slot]
 	if ed == nil {
 		return nil
 	}
-	for batch := range ed.chans[t.part] {
-		for _, rec := range batch {
+	for bp := range ed.chans[t.part] {
+		for _, rec := range *bp {
 			if err := fn(rec); err != nil {
+				t.run.putBatch(bp)
 				return err
 			}
 		}
+		t.run.putBatch(bp)
 		select {
 		case <-t.run.done:
 			return errCancelled
@@ -459,70 +593,198 @@ func (t *task) process() error {
 		})
 
 	case dataflow.KindReduce:
-		groups := make(map[uint64][]any)
 		key := n.InKeys[0]
-		if err := t.each(0, func(rec any) error {
-			k := key(rec)
-			groups[k] = append(groups[k], rec)
+		if n.Combine != nil {
+			// Streaming hash aggregation: fold each record into its
+			// key's accumulator as it arrives instead of materializing
+			// the whole group. Emission order stays deterministic via
+			// sortedKeys, exactly like the materializing path.
+			accs := make(map[uint64]any)
+			if err := t.each(0, func(rec any) error {
+				k := key(rec)
+				accs[k] = n.Combine(accs[k], rec)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for _, k := range sortedKeys(accs) {
+				n.Finish(k, accs[k], emit)
+			}
 			return nil
-		}); err != nil {
-			return err
 		}
-		for _, k := range sortedKeys(groups) {
-			n.Reduce(k, groups[k], emit)
+		// Materializing path via counting scatter over the collected
+		// input batches: one keying pass to count group sizes, then a
+		// scatter pass regrouping records into a single contiguous
+		// slice via a per-key offset table. Costs O(1) allocations
+		// instead of one slice per group, and each group handed to
+		// the UDF is a contiguous view in arrival order. The views
+		// are engine-owned scratch — ReduceFunc documents that vals
+		// must not be retained.
+		batches, total := t.collect(0)
+		keys := make([]uint64, 0, total)
+		counts := make(map[uint64]int)
+		for _, bp := range batches {
+			for _, rec := range *bp {
+				k := key(rec)
+				keys = append(keys, k)
+				counts[k]++
+			}
+		}
+		ordered := sortedKeys(counts)
+		offs := make(map[uint64]int, len(counts))
+		pos := 0
+		for _, k := range ordered {
+			offs[k] = pos
+			pos += counts[k]
+		}
+		grouped := make([]any, total)
+		i := 0
+		for _, bp := range batches {
+			for _, rec := range *bp {
+				k := keys[i]
+				grouped[offs[k]] = rec
+				offs[k]++
+				i++
+			}
+			t.run.putBatch(bp)
+		}
+		// After the scatter, offs[k] is one past the end of k's group.
+		for _, k := range ordered {
+			end := offs[k]
+			start := end - counts[k]
+			n.Reduce(k, grouped[start:end:end], emit)
 		}
 		return nil
 
 	case dataflow.KindJoin:
-		// Drain both sides concurrently to stay deadlock-free on
-		// diamond-shaped plans, then hash-join build (slot 1) against
-		// probe (slot 0).
-		var probe []any
-		var pwg sync.WaitGroup
-		pwg.Add(1)
+		// Hash-join build (slot 1) against probe (slot 0). The build
+		// side must finish before probing can start, but the probe
+		// channel has to be consumed concurrently the whole time to
+		// stay deadlock-free on diamond-shaped plans (a shared
+		// upstream blocking on a full probe channel would never feed
+		// the build side). A helper goroutine buffers probe batches
+		// that arrive during the build phase; once the build map is
+		// ready we replay the buffer and stream the rest of the probe
+		// side batch-by-batch without materializing it.
+		probeCh := t.in[0].chans[t.part]
+		buildDone := make(chan struct{})
+		bufDone := make(chan struct{})
+		var buffered []*[]any
+		probeClosed := false
 		go func() {
-			defer pwg.Done()
-			probe = t.drain(0)
+			defer close(bufDone)
+			for {
+				select {
+				case bp, ok := <-probeCh:
+					if !ok {
+						probeClosed = true
+						return
+					}
+					buffered = append(buffered, bp)
+				case <-buildDone:
+					return
+				}
+			}
 		}()
 		buildKey, probeKey := n.InKeys[1], n.InKeys[0]
-		build := make(map[uint64][]any)
-		for _, rec := range t.drain(1) {
-			k := buildKey(rec)
-			build[k] = append(build[k], rec)
-		}
-		pwg.Wait()
-		for _, l := range probe {
-			matches := build[probeKey(l)]
-			if len(matches) == 0 && n.JoinType == dataflow.JoinLeftOuter {
-				n.Join(l, nil, emit)
-				continue
+		// Build table via counting scatter (same layout as Reduce):
+		// one contiguous record slice regrouped by key with an offset
+		// table, instead of a map[uint64][]any costing one slice
+		// allocation per key. Pre-sized from the collected count.
+		batches, nBuild := t.collect(1)
+		recs := make([]any, 0, nBuild)
+		keys := make([]uint64, 0, nBuild)
+		counts := make(map[uint64]int, nBuild)
+		for _, bp := range batches {
+			for _, rec := range *bp {
+				k := buildKey(rec)
+				recs = append(recs, rec)
+				keys = append(keys, k)
+				counts[k]++
 			}
-			for _, r := range matches {
+			t.run.putBatch(bp)
+		}
+		offs := make(map[uint64]int, len(counts))
+		pos := 0
+		for k, c := range counts {
+			offs[k] = pos
+			pos += c
+		}
+		grouped := make([]any, len(recs))
+		for i, rec := range recs {
+			k := keys[i]
+			grouped[offs[k]] = rec
+			offs[k]++
+		}
+		close(buildDone)
+		// The helper's close(bufDone) happens-before this receive, so
+		// reading buffered/probeClosed afterwards is race-free.
+		<-bufDone
+		probeOne := func(l any) {
+			k := probeKey(l)
+			// After the scatter, offs[k] is one past the end of k's
+			// group and counts[k] its length.
+			end, ok := offs[k]
+			if !ok {
+				if n.JoinType == dataflow.JoinLeftOuter {
+					n.Join(l, nil, emit)
+				}
+				return
+			}
+			for _, r := range grouped[end-counts[k] : end] {
 				n.Join(l, r, emit)
+			}
+		}
+		for _, bp := range buffered {
+			for _, l := range *bp {
+				probeOne(l)
+			}
+			t.run.putBatch(bp)
+		}
+		if !probeClosed {
+			for bp := range probeCh {
+				for _, l := range *bp {
+					probeOne(l)
+				}
+				t.run.putBatch(bp)
+				select {
+				case <-t.run.done:
+					return errCancelled
+				default:
+				}
 			}
 		}
 		return nil
 
 	case dataflow.KindCoGroup:
-		var lefts, rights []any
+		// Collect both sides concurrently (deadlock-freedom, as for
+		// Join) and pre-size the group maps from the record counts.
+		var lBatches []*[]any
+		var nLeft int
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lefts = t.drain(0)
+			lBatches, nLeft = t.collect(0)
 		}()
-		rights = t.drain(1)
+		rBatches, nRight := t.collect(1)
 		wg.Wait()
 		lk, rk := n.InKeys[0], n.InKeys[1]
-		lg := make(map[uint64][]any)
-		rg := make(map[uint64][]any)
-		for _, rec := range lefts {
-			k := lk(rec)
-			lg[k] = append(lg[k], rec)
+		lg := make(map[uint64][]any, nLeft)
+		rg := make(map[uint64][]any, nRight)
+		for _, bp := range lBatches {
+			for _, rec := range *bp {
+				k := lk(rec)
+				lg[k] = append(lg[k], rec)
+			}
+			t.run.putBatch(bp)
 		}
-		for _, rec := range rights {
-			k := rk(rec)
-			rg[k] = append(rg[k], rec)
+		for _, bp := range rBatches {
+			for _, rec := range *bp {
+				k := rk(rec)
+				rg[k] = append(rg[k], rec)
+			}
+			t.run.putBatch(bp)
 		}
 		keys := make(map[uint64]struct{}, len(lg)+len(rg))
 		for k := range lg {
@@ -551,7 +813,7 @@ func (t *task) process() error {
 	}
 }
 
-func sortedKeys(m map[uint64][]any) []uint64 {
+func sortedKeys[V any](m map[uint64]V) []uint64 {
 	ks := make([]uint64, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)

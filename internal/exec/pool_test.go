@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"optiflow/internal/dataflow"
+)
+
+// These tests target the pooled-batch exchange paths and are meant to
+// run under -race: they put many producer tasks, small batches, and
+// shallow channels on every exchange kind so recycled batches that
+// still alias an in-flight reader show up as data races or corrupted
+// multisets.
+
+// TestRebalanceFromManyProducers drives the round-robin exchange from
+// every producer task at once. Each producer distributes its own
+// records round-robin, so with N divisible by P every partition must
+// receive exactly P*N/P records — an exact count, not a tolerance.
+func TestRebalanceFromManyProducers(t *testing.T) {
+	const P = 4
+	const perProducer = 400 // divisible by P
+	var mu sync.Mutex
+	perPart := make([]int, P)
+	plan := dataflow.NewPlan("rebalance-many")
+	plan.Source("all-skewed", func(part, nparts int, emit dataflow.Emit) error {
+		for i := 0; i < perProducer; i++ {
+			emit(uint64(part*perProducer + i))
+		}
+		return nil
+	}).
+		Rebalance("spread").
+		Sink("out", func(part int, _ any) error {
+			mu.Lock()
+			perPart[part]++
+			mu.Unlock()
+			return nil
+		})
+	stats, err := (&Engine{Parallelism: P, BatchSize: 3, ChannelDepth: 1}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range perPart {
+		if c != perProducer {
+			t.Fatalf("partition %d got %d records, want %d: %v", p, c, perProducer, perPart)
+		}
+	}
+	if got := stats.Records("all-skewed->spread"); got != P*perProducer {
+		t.Fatalf("rebalance edge counted %d records, want %d", got, P*perProducer)
+	}
+}
+
+// TestBroadcastFanOutCounts checks the broadcast exchange from multiple
+// producers: every partition sees every record, and the edge counter
+// reports the fan-out (P copies per produced record), matching the
+// Stats doc that counts are exact for successful runs.
+func TestBroadcastFanOutCounts(t *testing.T) {
+	const P = 4
+	const perProducer = 50
+	plan := dataflow.NewPlan("bcast-many")
+	src := plan.Source("many", func(part, nparts int, emit dataflow.Emit) error {
+		for i := 0; i < perProducer; i++ {
+			emit(uint64(part*perProducer + i))
+		}
+		return nil
+	})
+	m := src.Map("pass", func(r any) any { return r })
+	m.Node().InExchange[0] = dataflow.ExBroadcast
+	var mu sync.Mutex
+	seen := make([]map[uint64]int, P)
+	for i := range seen {
+		seen[i] = make(map[uint64]int)
+	}
+	m.Sink("out", func(part int, rec any) error {
+		mu.Lock()
+		seen[part][rec.(uint64)]++
+		mu.Unlock()
+		return nil
+	})
+	stats, err := (&Engine{Parallelism: P, BatchSize: 2, ChannelDepth: 1}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	produced := P * perProducer
+	for part, m := range seen {
+		if len(m) != produced {
+			t.Fatalf("partition %d saw %d distinct records, want %d", part, len(m), produced)
+		}
+		for rec, n := range m {
+			if n != 1 {
+				t.Fatalf("partition %d saw record %d %d times", part, rec, n)
+			}
+		}
+	}
+	if got := stats.Records("many->pass"); got != int64(P*produced) {
+		t.Fatalf("broadcast edge counted %d records, want %d (P copies per record)", got, P*produced)
+	}
+}
+
+// TestPooledBatchesDoNotAlias runs the same shuffle twice on one
+// engine (so the second run consumes batches recycled by the first)
+// with the smallest possible batches and channels. If a batch were
+// recycled while a reader still held it, records would go missing,
+// duplicate, or turn nil; the multiset check catches all three and
+// -race catches the write itself.
+func TestPooledBatchesDoNotAlias(t *testing.T) {
+	const P = 4
+	const N = 5000
+	e := &Engine{Parallelism: P, BatchSize: 2, ChannelDepth: 1}
+	for round := 0; round < 2; round++ {
+		var mu sync.Mutex
+		counts := make(map[uint64]int)
+		plan := dataflow.NewPlan(fmt.Sprintf("alias-%d", round))
+		plan.Source("nums", rangeSource(N)).
+			ReduceBy("regroup", func(r any) uint64 { return r.(uint64) % 97 },
+				func(_ uint64, vals []any, emit dataflow.Emit) {
+					for _, v := range vals {
+						emit(v)
+					}
+				}).
+			Sink("out", func(_ int, rec any) error {
+				v, ok := rec.(uint64)
+				if !ok {
+					return fmt.Errorf("corrupted record %v (%T)", rec, rec)
+				}
+				mu.Lock()
+				counts[v]++
+				mu.Unlock()
+				return nil
+			})
+		if _, err := e.Run(plan); err != nil {
+			t.Fatal(err)
+		}
+		if len(counts) != N {
+			t.Fatalf("round %d: %d distinct records, want %d", round, len(counts), N)
+		}
+		for v, n := range counts {
+			if n != 1 {
+				t.Fatalf("round %d: record %d seen %d times", round, v, n)
+			}
+		}
+	}
+}
+
+// TestCombinerMatchesMaterializingReduce runs the same aggregation
+// through the streaming Combine+Finish path and the materialising
+// ReduceFunc path; both must produce the identical key→sum map at
+// every parallelism.
+func TestCombinerMatchesMaterializingReduce(t *testing.T) {
+	const N = 10000
+	byMod := func(r any) uint64 { return r.(uint64) % 37 }
+	runBoth := func(p int) (map[uint64]uint64, map[uint64]uint64) {
+		sums := func(streaming bool) map[uint64]uint64 {
+			var mu sync.Mutex
+			out := make(map[uint64]uint64)
+			plan := dataflow.NewPlan("equiv")
+			src := plan.Source("nums", rangeSource(N))
+			var agg *dataflow.Dataset
+			if streaming {
+				agg = src.ReduceByCombining("sum", byMod,
+					func(acc any, rec any) any {
+						if acc == nil {
+							s := rec.(uint64)
+							return &s
+						}
+						*acc.(*uint64) += rec.(uint64)
+						return acc
+					},
+					func(key uint64, acc any, emit dataflow.Emit) {
+						emit([2]uint64{key, *acc.(*uint64)})
+					})
+			} else {
+				agg = src.ReduceBy("sum", byMod,
+					func(key uint64, vals []any, emit dataflow.Emit) {
+						var s uint64
+						for _, v := range vals {
+							s += v.(uint64)
+						}
+						emit([2]uint64{key, s})
+					})
+			}
+			agg.Sink("out", func(_ int, rec any) error {
+				kv := rec.([2]uint64)
+				mu.Lock()
+				out[kv[0]] = kv[1]
+				mu.Unlock()
+				return nil
+			})
+			if _, err := (&Engine{Parallelism: p, BatchSize: 8}).Run(plan); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		return sums(true), sums(false)
+	}
+	for _, p := range []int{1, 3, 8} {
+		streaming, materialized := runBoth(p)
+		if len(streaming) != 37 || len(materialized) != 37 {
+			t.Fatalf("P=%d: group counts %d/%d, want 37", p, len(streaming), len(materialized))
+		}
+		for k, v := range materialized {
+			if streaming[k] != v {
+				t.Fatalf("P=%d: key %d: streaming=%d materialized=%d", p, k, streaming[k], v)
+			}
+		}
+	}
+}
+
+// TestFailedRunYieldsErrorNotStats pins the teardown contract from the
+// Stats doc: batches may be dropped (and so undercounted) only while
+// tearing down a failing run, and a failing run never returns stats —
+// callers cannot observe the undercount.
+func TestFailedRunYieldsErrorNotStats(t *testing.T) {
+	boom := errors.New("boom")
+	plan := dataflow.NewPlan("teardown")
+	plan.Source("src", func(part, _ int, emit dataflow.Emit) error {
+		if part == 3 {
+			return boom
+		}
+		for i := 0; i < 100000; i++ {
+			emit(uint64(i))
+		}
+		return nil
+	}).
+		Rebalance("spread").
+		Sink("out", func(int, any) error { return nil })
+	stats, err := (&Engine{Parallelism: 4, BatchSize: 2, ChannelDepth: 1}).Run(plan)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if stats != nil {
+		t.Fatalf("failing run returned stats %+v; teardown counts are not exact and must stay unobservable", stats)
+	}
+}

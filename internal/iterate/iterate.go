@@ -31,6 +31,8 @@ type StepStats struct {
 }
 
 // Context describes the superstep attempt the loop body is executing.
+// The loop reuses one Context across attempts, so Step implementations
+// must read it during the call and not retain the pointer.
 type Context struct {
 	// Superstep is the logical iteration number. After a rollback the
 	// same superstep number is presented again on a later attempt.
@@ -164,9 +166,12 @@ func (l *Loop) Run() (*Result, error) {
 		return nil, fmt.Errorf("iterate: loop %q: policy setup: %w", l.Name, err)
 	}
 
-	res := &Result{}
+	res := &Result{Samples: make([]Sample, 0, 64)}
 	start := clock.Now()
 	superstep := 0
+	// One Context is reused across attempts with its per-attempt fields
+	// rewritten; Step implementations must not retain it past the call.
+	ctx := &Context{Parallelism: l.Cluster.NumPartitions()}
 	for tick := 0; ; tick++ {
 		if l.Done(superstep) {
 			break
@@ -176,7 +181,7 @@ func (l *Loop) Run() (*Result, error) {
 		}
 
 		attemptStart := clock.Now()
-		ctx := &Context{Superstep: superstep, Tick: tick, Parallelism: l.Cluster.NumPartitions()}
+		ctx.Superstep, ctx.Tick = superstep, tick
 		stats, err := l.Step(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("iterate: loop %q superstep %d (tick %d): %w", l.Name, superstep, tick, err)

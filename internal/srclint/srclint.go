@@ -16,7 +16,14 @@
 //     never import math/rand;
 //   - globalvar:   internal/algo packages declare no package-level var
 //     that the package itself mutates; algorithm state belongs in job
-//     structs, where recovery can snapshot and restore it.
+//     structs, where recovery can snapshot and restore it;
+//   - batchretain: outside internal/exec, a function taking a []any
+//     parameter (the engine's group views and exchange batches) may
+//     only read it — range over it, index it, take len/cap, copy out
+//     of it. Storing the slice, returning it, appending it, sending
+//     it, or passing it to another call is flagged: the engine
+//     recycles batch memory after the UDF returns, so a retained
+//     slice would alias records from later batches.
 //
 // Analysis is purely syntactic. Identifier/shadowing resolution uses
 // the parser's per-file object resolution: a same-named local variable
@@ -205,6 +212,9 @@ func CheckPackageDir(dir, rel string) ([]Finding, error) {
 	}
 	if rel == "internal/algo" || strings.HasPrefix(rel, "internal/algo/") {
 		checkGlobalVars(files, add)
+	}
+	if rel != "internal/exec" && !strings.HasPrefix(rel, "internal/exec/") {
+		checkBatchRetain(files, add)
 	}
 	return findings, nil
 }
@@ -412,4 +422,151 @@ func checkGlobalVars(files []*ast.File, add func(token.Pos, string, string, ...a
 			return true
 		})
 	}
+}
+
+// isAnySliceType reports whether the type expression is []any (or the
+// spelled-out []interface{}).
+func isAnySliceType(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	switch elt := arr.Elt.(type) {
+	case *ast.Ident:
+		return elt.Name == "any"
+	case *ast.InterfaceType:
+		return elt.Methods == nil || len(elt.Methods.List) == 0
+	}
+	return false
+}
+
+// checkBatchRetain flags functions outside internal/exec that let a
+// []any parameter — an engine-owned group view or exchange batch —
+// escape the call: assignment, return, append, channel send, composite
+// literal, or passing the slice to another function. The engine
+// recycles that memory after the UDF returns; individual records may
+// be kept, the slice may not.
+func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...any)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || ft.Params == nil {
+				return true
+			}
+			// Collect the []any parameters. Matching uses the parser's
+			// object resolution so a shadowing local of the same name is
+			// not confused with the parameter.
+			paramObjs := make(map[*ast.Object]bool)
+			paramNames := make(map[string]bool)
+			for _, field := range ft.Params.List {
+				if !isAnySliceType(field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					paramNames[name.Name] = true
+					if name.Obj != nil {
+						paramObjs[name.Obj] = true
+					}
+				}
+			}
+			if len(paramNames) == 0 {
+				return true
+			}
+			checkBatchRetainBody(body, paramObjs, paramNames, add)
+			return true
+		})
+	}
+}
+
+// checkBatchRetainBody walks one function body looking for escape
+// sites of the given []any parameters. Reads — range statements,
+// indexing, len/cap/copy — are not escape sites and pass untouched.
+func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, paramNames map[string]bool, add func(token.Pos, string, string, ...any)) {
+	// paramRef reports whether the expression is a bare parameter or a
+	// reslicing of one — the forms whose backing array the engine will
+	// recycle. Indexing (vals[0]) yields a single record and is fine.
+	var paramRef func(e ast.Expr) (string, bool)
+	paramRef = func(e ast.Expr) (string, bool) {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			return paramRef(x.X)
+		case *ast.SliceExpr:
+			return paramRef(x.X)
+		case *ast.Ident:
+			if !paramNames[x.Name] {
+				return "", false
+			}
+			if x.Obj != nil && !paramObjs[x.Obj] {
+				return "", false
+			}
+			return x.Name, true
+		}
+		return "", false
+	}
+	report := func(pos token.Pos, name, how string) {
+		add(pos, "batchretain",
+			"[]any parameter %q (an engine-owned batch or group view) escapes via %s; the engine recycles the slice after the call — copy the records you need instead", name, how)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if name, ok := paramRef(rhs); ok {
+					report(st.Pos(), name, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if name, ok := paramRef(res); ok {
+					report(st.Pos(), name, "return")
+				}
+			}
+		case *ast.SendStmt:
+			if name, ok := paramRef(st.Value); ok {
+				report(st.Pos(), name, "channel send")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range st.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if name, ok := paramRef(elt); ok {
+					report(elt.Pos(), name, "composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := st.Fun.(*ast.Ident); ok && fn.Obj == nil {
+				switch fn.Name {
+				case "len", "cap", "copy":
+					return true
+				case "append":
+					for _, arg := range st.Args {
+						if name, ok := paramRef(arg); ok {
+							report(arg.Pos(), name, "append")
+						}
+					}
+					return true
+				}
+			}
+			for _, arg := range st.Args {
+				if name, ok := paramRef(arg); ok {
+					report(arg.Pos(), name, "call argument")
+				}
+			}
+		}
+		return true
+	})
 }

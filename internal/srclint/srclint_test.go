@@ -82,6 +82,36 @@ func TestGlobalVarRule(t *testing.T) {
 	}
 }
 
+func TestBatchRetainRule(t *testing.T) {
+	findings := lintFixture(t, "batchretain", "internal/udfs")
+	if got := countRule(findings, "batchretain"); got != 7 {
+		t.Fatalf("batchretain findings = %d, want 7: %v", got, findings)
+	}
+	escapes := map[string]bool{}
+	for _, f := range findings {
+		if f.Rule != "batchretain" {
+			continue
+		}
+		if !strings.Contains(f.Msg, `"vals"`) {
+			t.Fatalf("finding does not name the parameter: %v", f)
+		}
+		for _, how := range []string{"assignment", "append", "composite literal", "channel send", "call argument", "return"} {
+			if strings.Contains(f.Msg, "via "+how) {
+				escapes[how] = true
+			}
+		}
+	}
+	if len(escapes) != 6 {
+		t.Fatalf("expected all six escape kinds, got %v: %v", escapes, findings)
+	}
+	// Inside the engine the same file is legal: exec owns batch memory.
+	for _, rel := range []string{"internal/exec", "internal/exec/sub"} {
+		if fs := lintFixture(t, "batchretain", rel); countRule(fs, "batchretain") != 0 {
+			t.Fatalf("batchretain rule fired under %s: %v", rel, fs)
+		}
+	}
+}
+
 func TestCleanFixtureIsQuiet(t *testing.T) {
 	for _, rel := range []string{"internal/recovery", "internal/algo/cc", "internal/checkpoint"} {
 		if fs := lintFixture(t, "clean", rel); len(fs) != 0 {

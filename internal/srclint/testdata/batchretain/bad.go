@@ -1,0 +1,54 @@
+// Package fixture seeds batchretain violations: every escape of a
+// []any group view the rule must flag, next to the read-only uses it
+// must leave alone.
+package fixture
+
+type box struct {
+	recs []any
+}
+
+var sinkCh = make(chan []any, 1)
+
+func escape(vals []any) int { return len(vals) }
+func consume(v any)         { _ = v }
+
+type holder struct{ kept []any }
+
+// retainEverywhere exercises each escape site once — 7 findings.
+func retainEverywhere(h *holder, vals []any) []any {
+	h.kept = vals    // assignment
+	tail := vals[1:] // assignment: reslicing shares the backing array
+	_ = tail
+	var all []any
+	all = append(all, vals...) // append
+	_ = all
+	_ = box{recs: vals} // composite literal
+	sinkCh <- vals      // channel send
+	_ = escape(vals)    // call argument
+	return vals         // return
+}
+
+// readOnly uses the view in every way the rule must allow.
+func readOnly(vals []any) int {
+	n := len(vals)
+	out := make([]any, len(vals))
+	copy(out, vals)
+	first := vals[0]
+	consume(first)
+	consume(vals[1])
+	total := 0
+	for range vals {
+		total++
+	}
+	for _, v := range vals[1:] {
+		consume(v)
+		total++
+	}
+	// A shadowing local of the same name is not the parameter.
+	{
+		vals := make([]any, 0, n)
+		vals = append(vals, first)
+		consume(vals)
+	}
+	return total
+}
