@@ -331,7 +331,13 @@ func (a *ALS) ratingBlocks(users bool) [][]block {
 
 // Step implements the loop body: one full ALS iteration (user
 // half-step, then item half-step), followed by the RMSE measurement.
-func (a *ALS) Step(*iterate.Context) (iterate.StepStats, error) {
+// A mid-superstep abort needs no reconciliation: each half-step
+// recomputes one factor side entirely from the other side and the
+// immutable ratings, so a partially rewritten side is still a valid
+// state the retried attempt overwrites wholesale. The fault is armed
+// for whichever half-step is running when the threshold is crossed
+// (each plan run counts its own records).
+func (a *ALS) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	if a.preparedU == nil {
 		p, err := a.engine.Prepare(a.HalfStepPlan(true))
 		if err != nil {
@@ -346,13 +352,18 @@ func (a *ALS) Step(*iterate.Context) (iterate.StepStats, error) {
 		}
 		a.preparedI = p
 	}
-	statsU, err := a.preparedU.Run()
-	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("als: user half-step: %v", err)
+	var fault *exec.FaultInjection
+	if ctx != nil {
+		fault = ctx.Fault
 	}
-	statsI, err := a.preparedI.Run()
+	statsU, err := a.preparedU.RunWithFault(fault)
 	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("als: item half-step: %v", err)
+		// %w keeps *exec.WorkerFailure visible to the iteration driver.
+		return iterate.StepStats{}, fmt.Errorf("als: user half-step: %w", err)
+	}
+	statsI, err := a.preparedI.RunWithFault(fault)
+	if err != nil {
+		return iterate.StepStats{}, fmt.Errorf("als: item half-step: %w", err)
 	}
 	a.lastRMSE = a.RMSE()
 	return iterate.StepStats{

@@ -134,7 +134,11 @@ func (b *BulkCC) StepPlan() *dataflow.Plan {
 
 // Step implements the loop body for iterate.Loop. The plan reads label
 // state at run time, so it is prepared once and reused every superstep.
-func (b *BulkCC) Step(*iterate.Context) (iterate.StepStats, error) {
+// A mid-superstep abort needs no reconciliation here: the in-place
+// label Puts the aborted plan applied are monotone min-candidates, and
+// the bulk iteration re-reads and re-propagates every label on the next
+// attempt anyway.
+func (b *BulkCC) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	if b.prepared == nil {
 		p, err := b.engine.Prepare(b.StepPlan())
 		if err != nil {
@@ -142,9 +146,14 @@ func (b *BulkCC) Step(*iterate.Context) (iterate.StepStats, error) {
 		}
 		b.prepared = p
 	}
-	stats, err := b.prepared.Run()
+	var fault *exec.FaultInjection
+	if ctx != nil {
+		fault = ctx.Fault
+	}
+	stats, err := b.prepared.RunWithFault(fault)
 	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("cc: bulk superstep: %v", err)
+		// %w keeps *exec.WorkerFailure visible to the iteration driver.
+		return iterate.StepStats{}, fmt.Errorf("cc: bulk superstep: %w", err)
 	}
 	b.lastUpdates = stats.Outputs("label-update")
 	return iterate.StepStats{

@@ -39,6 +39,15 @@ type CC struct {
 	workset *state.Workset[Update] // current workset
 	next    *state.Workset[Update] // workset under construction
 
+	// pending logs, per partition, the in-place label Puts of the
+	// attempt currently executing. If the attempt aborts mid-superstep,
+	// the lowered labels are already in the solution set but the update
+	// records that would re-propagate them died with the plan; merging
+	// the log back into the current workset re-activates those vertices
+	// so the retry converges. Labels are monotone component-minimum
+	// candidates, so replaying them is always safe.
+	pending [][]Update
+
 	owned [][]graph.VertexID // partition -> vertices, for compensation
 }
 
@@ -56,6 +65,7 @@ func New(g *graph.Graph, parallelism int) *CC {
 		labels:  state.NewStore[uint64]("labels", parallelism),
 		workset: state.NewWorkset[Update]("workset", parallelism),
 		next:    state.NewWorkset[Update]("next-workset", parallelism),
+		pending: make([][]Update, parallelism),
 		owned:   graph.PartitionVertices(g, parallelism),
 	}
 	c.seedInitial()
@@ -177,6 +187,10 @@ func (c *CC) StepPlan() *dataflow.Plan {
 				return
 			}
 			c.labels.Put(uint64(u.V), u.Label)
+			// Hash exchange routes u to the task owning u.V's partition,
+			// so this per-partition append is race-free.
+			p := graph.Partition(u.V, c.par)
+			c.pending[p] = append(c.pending[p], u)
 			emit(u)
 		})
 
@@ -193,7 +207,7 @@ func (c *CC) StepPlan() *dataflow.Plan {
 // the delta iteration and swap in the freshly built workset. The step
 // plan's operators read the workset and label state at run time, so the
 // prepared plan is built once and reused across supersteps.
-func (c *CC) Step(*iterate.Context) (iterate.StepStats, error) {
+func (c *CC) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	if c.prepared == nil {
 		p, err := c.engine.Prepare(c.StepPlan())
 		if err != nil {
@@ -201,16 +215,44 @@ func (c *CC) Step(*iterate.Context) (iterate.StepStats, error) {
 		}
 		c.prepared = p
 	}
-	stats, err := c.prepared.Run()
-	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("cc: superstep: %v", err)
+	var fault *exec.FaultInjection
+	if ctx != nil {
+		fault = ctx.Fault
 	}
+	stats, err := c.prepared.RunWithFault(fault)
+	if err != nil {
+		c.abortAttempt()
+		// %w keeps *exec.WorkerFailure visible to the iteration driver.
+		return iterate.StepStats{}, fmt.Errorf("cc: superstep: %w", err)
+	}
+	clearPending(c.pending)
 	c.workset.Swap(c.next)
 	c.next.ClearAll()
 	return iterate.StepStats{
 		Messages: stats.Outputs("label-to-neighbors"),
 		Updates:  stats.Outputs("label-update"),
 	}, nil
+}
+
+// abortAttempt reconciles state after a mid-superstep abort: the partial
+// next-workset is discarded, and every label Put the aborted plan
+// applied in place is merged back into the current workset so the
+// lowered labels re-propagate on retry (duplicates are harmless — the
+// candidate-label reduce folds them with min).
+func (c *CC) abortAttempt() {
+	for p, ups := range c.pending {
+		for _, u := range ups {
+			c.workset.Add(p, u)
+		}
+	}
+	clearPending(c.pending)
+	c.next.ClearAll()
+}
+
+func clearPending(pending [][]Update) {
+	for p := range pending {
+		pending[p] = nil
+	}
 }
 
 // SnapshotTo implements recovery.Job: serialise solution set + workset.

@@ -93,3 +93,39 @@ func TestRandomGraphsRandomFailures(t *testing.T) {
 		requireComponentsEqual(t, res.Components, truth)
 	}
 }
+
+func TestMidStepAbortReactivatesPendingLabels(t *testing.T) {
+	// Deterministic mid-step abort through the real exec engine: the
+	// threshold is tiny, so the plan is torn down almost immediately and
+	// the label Puts already applied in place must be re-activated (the
+	// pending log) for the retry — otherwise a lowered label whose
+	// update record died in flight would never re-propagate and the
+	// delta iteration would stall or converge to the wrong components.
+	g, _ := gen.Demo()
+	truth := ref.ConnectedComponents(g)
+	inj := failure.NewScripted(nil).AtMidStep(1, 2, 1)
+	res, err := Run(g, Options{
+		Parallelism: 4,
+		Policy:      recovery.Optimistic{},
+		Injector:    inj,
+		MaxTicks:    5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if got := res.AbortedTicks(); len(got) != 1 {
+		t.Fatalf("aborted ticks = %v, want exactly one mid-step abort", got)
+	}
+	s := res.Samples[res.AbortedTicks()[0]]
+	if !s.Aborted || s.Stats.Messages != 0 {
+		t.Fatalf("aborted sample = %+v", s)
+	}
+	for v, want := range truth {
+		if res.Components[v] != want {
+			t.Fatalf("vertex %d = %d, want %d", v, res.Components[v], want)
+		}
+	}
+}

@@ -273,8 +273,11 @@ func (km *KMeans) StepPlan() *dataflow.Plan {
 	return plan
 }
 
-// Step implements the loop body: one Lloyd iteration.
-func (km *KMeans) Step(*iterate.Context) (iterate.StepStats, error) {
+// Step implements the loop body: one Lloyd iteration. A mid-superstep
+// abort needs no reconciliation: the aborted plan only wrote the
+// sums/counts scratch stores, which are cleared at the start of every
+// attempt; the centroid table is untouched until the post-run fold.
+func (km *KMeans) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	km.sums.ClearAll()
 	km.counts.ClearAll()
 	// The plan reads centroid state at run time, so it is prepared
@@ -286,9 +289,14 @@ func (km *KMeans) Step(*iterate.Context) (iterate.StepStats, error) {
 		}
 		km.prepared = p
 	}
-	stats, err := km.prepared.Run()
+	var fault *exec.FaultInjection
+	if ctx != nil {
+		fault = ctx.Fault
+	}
+	stats, err := km.prepared.RunWithFault(fault)
 	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("kmeans: superstep: %v", err)
+		// %w keeps *exec.WorkerFailure visible to the iteration driver.
+		return iterate.StepStats{}, fmt.Errorf("kmeans: superstep: %w", err)
 	}
 	shift := 0.0
 	for c := uint64(0); c < uint64(km.k); c++ {

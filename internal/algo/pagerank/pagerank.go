@@ -251,7 +251,11 @@ func (pr *PR) StepPlan() *dataflow.Plan {
 // Step implements the loop body for iterate.Loop: one PageRank
 // superstep — propagate contributions, recompute ranks, fold in the
 // dangling mass, and commit the new rank vector.
-func (pr *PR) Step(*iterate.Context) (iterate.StepStats, error) {
+// A mid-superstep abort needs no reconciliation here: the aborted plan
+// only wrote the sums scratch store, which is cleared at the start of
+// every attempt; the committed rank vector is untouched until the
+// post-run fold below.
+func (pr *PR) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	n := float64(pr.g.NumVertices())
 	base := (1 - pr.d) / n
 	danglingMass := 0.0
@@ -272,9 +276,14 @@ func (pr *PR) Step(*iterate.Context) (iterate.StepStats, error) {
 		}
 		pr.prepared = p
 	}
-	stats, err := pr.prepared.Run()
+	var fault *exec.FaultInjection
+	if ctx != nil {
+		fault = ctx.Fault
+	}
+	stats, err := pr.prepared.RunWithFault(fault)
 	if err != nil {
-		return iterate.StepStats{}, fmt.Errorf("pagerank: superstep: %v", err)
+		// %w keeps *exec.WorkerFailure visible to the iteration driver.
+		return iterate.StepStats{}, fmt.Errorf("pagerank: superstep: %w", err)
 	}
 
 	l1 := 0.0

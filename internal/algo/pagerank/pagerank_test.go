@@ -12,6 +12,7 @@ import (
 	"optiflow/internal/graph/gen"
 	"optiflow/internal/iterate"
 	"optiflow/internal/recovery"
+	"testing/quick"
 )
 
 func requireClose(t *testing.T, got, want map[graph.VertexID]float64, tol float64) {
@@ -199,4 +200,70 @@ func TestWeightedRecoveryStillCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireClose(t, res.Ranks, truth, 1e-8)
+}
+
+func TestMidStepAbortConvergesToCorrectRanks(t *testing.T) {
+	g, _ := gen.DemoDirected()
+	truth, _ := ref.PageRank(g, ref.PageRankOptions{})
+	inj := failure.NewScripted(nil).AtMidStep(3, 4, 1)
+	res, err := Run(g, Options{Parallelism: 4, MaxIterations: 200, Epsilon: 1e-12, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if got := res.AbortedTicks(); len(got) != 1 {
+		t.Fatalf("aborted ticks = %v, want exactly one mid-step abort", got)
+	}
+	requireSumsToOne(t, res.Ranks)
+	requireClose(t, res.Ranks, truth, 1e-9)
+}
+
+// Mid-superstep aborts under the optimistic, checkpoint and restart
+// policies all converge to the power-iteration ground truth: the
+// aborted attempt only dirtied the per-superstep scratch store, and
+// each policy repairs the lost rank partitions its own way.
+func TestMidStepFailuresUnderAllPoliciesProperty(t *testing.T) {
+	f := func(seed int64, sRaw, aRaw uint8) bool {
+		g, _ := gen.DemoDirected()
+		truth, _ := ref.PageRank(g, ref.PageRankOptions{})
+
+		s1 := int(sRaw % 4)
+		after := int64(aRaw % 32)
+		policies := []func() recovery.Policy{
+			func() recovery.Policy { return recovery.Optimistic{} },
+			func() recovery.Policy { return recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()) },
+			func() recovery.Policy { return recovery.Restart{} },
+		}
+		for i, mk := range policies {
+			inj := failure.NewScripted(nil).
+				AtMidStep(s1, after, int(seed&1)).
+				AtMidStep(s1+2, after*2, 3)
+			res, err := Run(g, Options{
+				Parallelism:   4,
+				MaxIterations: 300,
+				Epsilon:       1e-12,
+				Policy:        mk(),
+				Injector:      inj,
+				MaxTicks:      5000,
+			})
+			if err != nil {
+				t.Logf("policy %d: %v", i, err)
+				return false
+			}
+			if math.Abs(ref.Sum(res.Ranks)-1) > 1e-9 {
+				t.Logf("policy %d: ranks sum to %v", i, ref.Sum(res.Ranks))
+				return false
+			}
+			if ref.L1(res.Ranks, truth) > 1e-9 {
+				t.Logf("policy %d: L1 to truth %v", i, ref.L1(res.Ranks, truth))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
 }

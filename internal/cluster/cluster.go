@@ -94,17 +94,41 @@ func (c *Cluster) Fail(w int) []int {
 // worker's ID and the partitions it received. This mirrors the paper's
 // re-assignment to newly acquired nodes.
 func (c *Cluster) Acquire() (worker int, adopted []int) {
-	w := c.nextWorker
-	c.nextWorker++
-	c.alive[w] = true
+	ws, ad := c.AcquireN(1)
+	return ws[0], ad[0]
+}
+
+// AcquireN provisions n fresh workers (one per failed worker, matching
+// the paper's plural "newly acquired nodes") and spreads every orphaned
+// partition across them round-robin in ascending partition order, so a
+// multi-worker failure does not shrink the cluster or pile all orphans
+// onto a single replacement. It returns the new worker IDs and, aligned
+// with them, the partitions each worker adopted.
+func (c *Cluster) AcquireN(n int) (workers []int, adopted [][]int) {
+	if n < 1 {
+		n = 1
+	}
+	workers = make([]int, n)
+	adopted = make([][]int, n)
+	for i := range workers {
+		w := c.nextWorker
+		c.nextWorker++
+		c.alive[w] = true
+		workers[i] = w
+	}
+	next := 0
 	for p, o := range c.owner {
 		if !c.alive[o] {
-			c.owner[p] = w
-			adopted = append(adopted, p)
+			i := next % n
+			c.owner[p] = workers[i]
+			adopted[i] = append(adopted[i], p)
+			next++
 		}
 	}
-	c.events = append(c.events, Event{Kind: "acquire", Worker: w, Partitions: adopted})
-	return w, adopted
+	for i, w := range workers {
+		c.events = append(c.events, Event{Kind: "acquire", Worker: w, Partitions: adopted[i]})
+	}
+	return workers, adopted
 }
 
 // Events returns the membership change log.

@@ -103,3 +103,59 @@ func TestNewValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestAcquireNSpreadsOrphansRoundRobin(t *testing.T) {
+	c := New(4, 8)
+	lost := append(c.Fail(0), c.Fail(1)...)
+	if len(lost) != 4 {
+		t.Fatalf("lost = %v", lost)
+	}
+	workers, adopted := c.AcquireN(2)
+	if len(workers) != 2 || workers[0] != 4 || workers[1] != 5 {
+		t.Fatalf("workers = %v", workers)
+	}
+	// Orphans 0, 4 (ex-worker 0) and 1, 5 (ex-worker 1) alternate over
+	// the two replacements in ascending partition order.
+	if got := adopted[0]; len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("adopted[0] = %v", got)
+	}
+	if got := adopted[1]; len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("adopted[1] = %v", got)
+	}
+	if len(c.Workers()) != 4 {
+		t.Fatalf("workers = %v", c.Workers())
+	}
+	for p := 0; p < 8; p++ {
+		if !c.IsAlive(c.Owner(p)) {
+			t.Fatalf("partition %d owned by dead worker %d", p, c.Owner(p))
+		}
+	}
+}
+
+func TestAcquireNRecordsOneEventPerWorker(t *testing.T) {
+	c := New(2, 4)
+	c.Fail(0)
+	before := len(c.Events())
+	c.AcquireN(3)
+	acquires := c.Events()[before:]
+	if len(acquires) != 3 {
+		t.Fatalf("events = %+v", acquires)
+	}
+	for _, e := range acquires {
+		if e.Kind != "acquire" {
+			t.Fatalf("event = %+v", e)
+		}
+	}
+}
+
+func TestAcquireNClampsToOne(t *testing.T) {
+	c := New(2, 2)
+	c.Fail(1)
+	workers, adopted := c.AcquireN(0)
+	if len(workers) != 1 || len(adopted) != 1 {
+		t.Fatalf("workers = %v adopted = %v", workers, adopted)
+	}
+	if len(adopted[0]) != 1 {
+		t.Fatalf("adopted = %v", adopted)
+	}
+}

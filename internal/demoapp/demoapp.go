@@ -17,6 +17,7 @@ import (
 	"optiflow/internal/algo/cc"
 	"optiflow/internal/algo/pagerank"
 	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
 	"optiflow/internal/failure"
 	"optiflow/internal/graph"
 	"optiflow/internal/graph/gen"
@@ -58,8 +59,19 @@ type Config struct {
 	// Seed drives the large-graph generator.
 	Seed int64
 	// Failures schedules worker failures per superstep (the GUI's
-	// failure buttons).
+	// failure buttons). These strike at the superstep boundary.
 	Failures map[int][]int
+	// MidStepFailures schedules worker failures that strike while the
+	// superstep's dataflow is still executing — the attendee pressing
+	// the failure button mid-iteration. The attempt is aborted and
+	// retried under the configured policy.
+	MidStepFailures map[int][]int
+	// MidStepAfterRecords is how many records a superstep processes
+	// before a scheduled mid-step failure strikes (16 if zero).
+	MidStepAfterRecords int64
+	// Policy selects the recovery policy: "optimistic" (default),
+	// "checkpoint", "restart" or "none".
+	Policy string
 	// Color enables ANSI colors in frames.
 	Color bool
 	// PRIterations bounds PageRank supersteps (30 if zero).
@@ -79,7 +91,37 @@ func (c Config) withDefaults() Config {
 	if c.PRIterations == 0 {
 		c.PRIterations = 30
 	}
+	if c.MidStepAfterRecords == 0 {
+		c.MidStepAfterRecords = 16
+	}
+	if c.Policy == "" {
+		c.Policy = "optimistic"
+	}
 	return c
+}
+
+// policy maps the configured policy name to a recovery.Policy.
+func (c Config) policy() recovery.Policy {
+	switch c.Policy {
+	case "checkpoint":
+		return recovery.NewCheckpoint(1, checkpoint.NewMemoryStore())
+	case "restart":
+		return recovery.Restart{}
+	case "none":
+		return recovery.None{}
+	default:
+		return recovery.Optimistic{}
+	}
+}
+
+// injector builds the scripted injector from the boundary and mid-step
+// failure schedules.
+func (c Config) injector() failure.Injector {
+	inj := failure.NewScripted(c.Failures)
+	for superstep, workers := range c.MidStepFailures {
+		inj.AtMidStep(superstep, c.MidStepAfterRecords, workers...)
+	}
+	return inj
 }
 
 // Frame is one iteration's rendered view.
@@ -92,6 +134,10 @@ type Frame struct {
 	Status string
 	// Failure describes a failure that struck in this iteration ("").
 	Failure string
+	// Aborted reports that the failure struck mid-superstep: the
+	// attempt was torn down before committing and its statistics were
+	// discarded.
+	Aborted bool
 }
 
 // RunOutcome is a completed demo run: the frame history the
@@ -168,20 +214,26 @@ func runCC(cfg Config) (*RunOutcome, error) {
 
 	res, err := cc.Run(g, cc.Options{
 		Parallelism: cfg.Parallelism,
-		Injector:    failure.NewScripted(cfg.Failures),
-		Policy:      recovery.Optimistic{},
+		Injector:    cfg.injector(),
+		Policy:      cfg.policy(),
 		Probe: func(job *cc.CC, s iterate.Sample) {
 			converged := job.ConvergedCount(truth)
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "messages", float64(s.Stats.Messages))
-			frame := Frame{Tick: s.Tick, Superstep: s.Superstep}
+			frame := Frame{Tick: s.Tick, Superstep: s.Superstep, Aborted: s.Aborted}
 			title := fmt.Sprintf("iteration %d: %d/%d vertices converged, %d messages",
 				s.Tick+1, converged, g.NumVertices(), s.Stats.Messages)
 			if s.Failed() {
 				frame.Failure = fmt.Sprintf("worker(s) %v failed, partitions %v lost — %s",
 					s.FailedWorkers, s.LostPartitions, s.Recovery)
+				if s.Aborted {
+					frame.Failure = "mid-iteration abort: " + frame.Failure
+					collector.MarkAborted(s.Tick)
+					title += "  [FAILURE: aborted mid-iteration]"
+				} else {
+					title += "  [FAILURE: compensated]"
+				}
 				collector.MarkFailure(s.Tick, frame.Failure)
-				title += "  [FAILURE: compensated]"
 			}
 			if renderer != nil {
 				frame.Graph = renderer.CCFrame(title, job.Components(), lostVertices(g, cfg.Parallelism, s.LostPartitions))
@@ -253,21 +305,27 @@ func runPR(cfg Config) (*RunOutcome, error) {
 	res, err := pagerank.Run(g, pagerank.Options{
 		Parallelism:   cfg.Parallelism,
 		MaxIterations: cfg.PRIterations,
-		Injector:      failure.NewScripted(cfg.Failures),
-		Policy:        recovery.Optimistic{},
+		Injector:      cfg.injector(),
+		Policy:        cfg.policy(),
 		Probe: func(job *pagerank.PR, s iterate.Sample) {
 			converged := job.ConvergedCount(truth, eps)
 			l1 := s.Stats.Extra["l1"]
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "l1-delta", l1)
-			frame := Frame{Tick: s.Tick, Superstep: s.Superstep}
+			frame := Frame{Tick: s.Tick, Superstep: s.Superstep, Aborted: s.Aborted}
 			title := fmt.Sprintf("iteration %d: %d/%d vertices at their true rank, L1 delta %.2e",
 				s.Tick+1, converged, g.NumVertices(), l1)
 			if s.Failed() {
 				frame.Failure = fmt.Sprintf("worker(s) %v failed, partitions %v lost — %s",
 					s.FailedWorkers, s.LostPartitions, s.Recovery)
+				if s.Aborted {
+					frame.Failure = "mid-iteration abort: " + frame.Failure
+					collector.MarkAborted(s.Tick)
+					title += "  [FAILURE: aborted mid-iteration]"
+				} else {
+					title += "  [FAILURE: mass redistributed]"
+				}
 				collector.MarkFailure(s.Tick, frame.Failure)
-				title += "  [FAILURE: mass redistributed]"
 			}
 			if renderer != nil {
 				frame.Graph = renderer.PRFrame(title, job.RankVector(), lostVertices(g, cfg.Parallelism, s.LostPartitions))

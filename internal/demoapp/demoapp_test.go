@@ -229,3 +229,107 @@ func TestHTMLReport(t *testing.T) {
 		t.Fatal("want both statistics panes as SVG")
 	}
 }
+
+// TestFaultMatrix is the CI fault-injection smoke matrix: both demo
+// algorithms under every recovery policy with a scripted mid-step
+// failure (plus a boundary failure), run under -race in CI. The three
+// recovering policies must converge to the correct result and render
+// the aborted tick; the "none" policy must fail loudly, not hang or
+// corrupt state.
+func TestFaultMatrix(t *testing.T) {
+	for _, mode := range []Mode{ModeCC, ModePageRank} {
+		for _, policy := range []string{"optimistic", "checkpoint", "restart", "none"} {
+			t.Run(mode.String()+"/"+policy, func(t *testing.T) {
+				// The boundary failure strikes at superstep 0 so it fires
+				// under every policy (the small graph can converge before a
+				// late superstep is ever reached after a rollback).
+				cfg := Config{
+					Mode:                mode,
+					Policy:              policy,
+					Failures:            map[int][]int{0: {0}},
+					MidStepFailures:     map[int][]int{2: {1}},
+					MidStepAfterRecords: 4,
+				}
+				out, err := Run(cfg)
+				if policy == "none" {
+					if err == nil {
+						t.Fatal("policy none should abort on the first failure")
+					}
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(out.Summary, "CORRECT") {
+					t.Fatalf("summary = %q", out.Summary)
+				}
+				if got := out.Stats.AbortedTicks(); len(got) != 1 {
+					t.Fatalf("aborted ticks = %v, want exactly one mid-step abort", got)
+				}
+				if len(out.Stats.FailureTicks()) != 2 {
+					t.Fatalf("failure ticks = %v, want 2", out.Stats.FailureTicks())
+				}
+				aborted := 0
+				for _, f := range out.Frames {
+					if f.Aborted {
+						aborted++
+						if !strings.Contains(f.Failure, "mid-iteration abort") {
+							t.Fatalf("aborted frame failure text = %q", f.Failure)
+						}
+						if !strings.Contains(f.Status, "aborted mid-iteration") {
+							t.Fatalf("aborted frame status = %q", f.Status)
+						}
+					}
+				}
+				if aborted != 1 {
+					t.Fatalf("aborted frames = %d, want 1", aborted)
+				}
+			})
+		}
+	}
+}
+
+func TestHTMLReportMarksAbortedFrames(t *testing.T) {
+	out, err := Run(Config{
+		Mode:                ModeCC,
+		MidStepFailures:     map[int][]int{1: {1}},
+		MidStepAfterRecords: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := out.HTMLReport()
+	if !strings.Contains(html, "⛔") {
+		t.Fatal("aborted frame not marked in HTML report")
+	}
+	if !strings.Contains(html, "optimistic recovery") {
+		t.Fatal("policy name missing from HTML report header")
+	}
+}
+
+func TestShellMidfailAndPolicyCommands(t *testing.T) {
+	var sb strings.Builder
+	s := NewShell(strings.NewReader(""), &sb, false)
+	if !s.Execute("policy checkpoint") {
+		t.Fatal("policy command quit the shell")
+	}
+	if !s.Execute("midfail 2 1") {
+		t.Fatal("midfail command quit the shell")
+	}
+	if !s.Execute("failures") || !s.Execute("run") {
+		t.Fatal("run quit the shell")
+	}
+	outStr := sb.String()
+	if !strings.Contains(outStr, "recovery policy: checkpoint") {
+		t.Fatalf("policy feedback missing: %q", outStr)
+	}
+	if !strings.Contains(outStr, "mid-step") {
+		t.Fatalf("midfail schedule missing from failures listing: %q", outStr)
+	}
+	if !strings.Contains(outStr, "⛔") {
+		t.Fatalf("aborted frame marker missing from playback: %q", outStr)
+	}
+	if !strings.Contains(outStr, "CORRECT") {
+		t.Fatalf("run did not report a correct result: %q", outStr)
+	}
+}

@@ -27,8 +27,8 @@ svg { max-width: 100%; height: auto; border: 1px solid #ddd; margin: 6px 0; }
 	if o.Config.Large {
 		input = fmt.Sprintf("synthetic Twitter-like graph (%d vertices)", o.Config.withDefaults().LargeSize)
 	}
-	fmt.Fprintf(&b, "<p>input: %s &middot; parallelism %d &middot; optimistic recovery</p>\n",
-		htmlEscape(input), o.Config.withDefaults().Parallelism)
+	fmt.Fprintf(&b, "<p>input: %s &middot; parallelism %d &middot; %s recovery</p>\n",
+		htmlEscape(input), o.Config.withDefaults().Parallelism, htmlEscape(o.Config.withDefaults().Policy))
 	fmt.Fprintf(&b, "<p class=\"summary\">%s</p>\n", htmlEscape(o.Summary))
 
 	b.WriteString("<h2>Statistics</h2>\n")
@@ -40,7 +40,11 @@ svg { max-width: 100%; height: auto; border: 1px solid #ddd; margin: 6px 0; }
 	for _, f := range o.Frames {
 		b.WriteString(`<div class="frame">`)
 		if f.Failure != "" {
-			fmt.Fprintf(&b, "<p class=\"failure\">⚡ %s</p>\n", htmlEscape(f.Failure))
+			mark := "⚡"
+			if f.Aborted {
+				mark = "⛔"
+			}
+			fmt.Fprintf(&b, "<p class=\"failure\">%s %s</p>\n", mark, htmlEscape(f.Failure))
 		}
 		if f.Graph != "" {
 			fmt.Fprintf(&b, "<pre>%s</pre>\n", ansiToHTML(f.Graph))

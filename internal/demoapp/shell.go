@@ -32,7 +32,7 @@ func NewShell(in io.Reader, out io.Writer, color bool) *Shell {
 	return &Shell{
 		in:  bufio.NewScanner(in),
 		out: out,
-		cfg: Config{Color: color, Failures: map[int][]int{}},
+		cfg: Config{Color: color, Failures: map[int][]int{}, MidStepFailures: map[int][]int{}},
 	}
 }
 
@@ -44,6 +44,8 @@ const helpText = `commands (the GUI's tabs and buttons):
   cc | pagerank          choose the algorithm tab
   small | large [n]      choose the input graph (hand-crafted, or Twitter-like with n vertices)
   fail <iter> <worker>   schedule worker <worker> to fail in iteration <iter> (1-based)
+  midfail <iter> <worker>  schedule worker <worker> to fail mid-iteration <iter> (aborts the attempt)
+  policy <name>          choose recovery: optimistic | checkpoint | restart | none
   failures               list scheduled failures
   run                    execute the algorithm ("play" from the start)
   play                   replay all frames
@@ -118,13 +120,42 @@ func (s *Shell) Execute(line string) bool {
 		s.cfg.Failures[iter-1] = append(s.cfg.Failures[iter-1], worker)
 		s.outcome = nil
 		s.printf("scheduled: worker %d fails in iteration %d\n", worker, iter)
+	case "midfail":
+		if len(args) != 2 {
+			s.printf("usage: midfail <iteration> <worker>\n")
+			break
+		}
+		iter, err1 := strconv.Atoi(args[0])
+		worker, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || iter < 1 || worker < 0 {
+			s.printf("usage: midfail <iteration>=1.. <worker>=0..%d\n", s.cfg.withDefaults().Parallelism-1)
+			break
+		}
+		s.cfg.MidStepFailures[iter-1] = append(s.cfg.MidStepFailures[iter-1], worker)
+		s.outcome = nil
+		s.printf("scheduled: worker %d fails in the middle of iteration %d\n", worker, iter)
+	case "policy":
+		if len(args) != 1 {
+			s.printf("usage: policy optimistic|checkpoint|restart|none\n")
+			break
+		}
+		switch args[0] {
+		case "optimistic", "checkpoint", "restart", "none":
+			s.cfg.Policy = args[0]
+			s.reset(fmt.Sprintf("recovery policy: %s", args[0]))
+		default:
+			s.printf("unknown policy %q; choose optimistic|checkpoint|restart|none\n", args[0])
+		}
 	case "failures":
-		if len(s.cfg.Failures) == 0 {
+		if len(s.cfg.Failures) == 0 && len(s.cfg.MidStepFailures) == 0 {
 			s.printf("no failures scheduled\n")
 			break
 		}
 		for iter, ws := range s.cfg.Failures {
 			s.printf("iteration %d: workers %v\n", iter+1, ws)
+		}
+		for iter, ws := range s.cfg.MidStepFailures {
+			s.printf("iteration %d (mid-step): workers %v\n", iter+1, ws)
 		}
 	case "run", "play":
 		if s.outcome == nil || cmd == "run" {
@@ -184,8 +215,8 @@ func (s *Shell) Execute(line string) bool {
 		if c.Large {
 			input = fmt.Sprintf("Twitter-like graph (%d vertices)", c.LargeSize)
 		}
-		s.printf("tab=%s input=%s parallelism=%d scheduled failures=%d\n",
-			c.Mode, input, c.Parallelism, len(s.cfg.Failures))
+		s.printf("tab=%s input=%s parallelism=%d policy=%s scheduled failures=%d mid-step=%d\n",
+			c.Mode, input, c.Parallelism, c.Policy, len(s.cfg.Failures), len(s.cfg.MidStepFailures))
 	default:
 		s.printf("unknown command %q; type 'help'\n", cmd)
 	}
@@ -221,7 +252,11 @@ func (s *Shell) ensureRun() bool {
 func (s *Shell) showFrame(i int) {
 	f := s.outcome.Frames[i]
 	if f.Failure != "" {
-		s.printf("  ⚡ %s\n", f.Failure)
+		mark := "⚡"
+		if f.Aborted {
+			mark = "⛔"
+		}
+		s.printf("  %s %s\n", mark, f.Failure)
 	}
 	if f.Graph != "" {
 		s.printf("%s\n", f.Graph)

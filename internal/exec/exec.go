@@ -140,6 +140,11 @@ type run struct {
 	errOnce   sync.Once
 	err       error
 	tasks     sync.WaitGroup
+
+	// fault, when non-nil, schedules a mid-superstep crash (see
+	// fault.go); processed is the plan-wide record counter driving it.
+	fault     *FaultInjection
+	processed atomic.Int64
 }
 
 func (r *run) fail(err error) {
@@ -229,7 +234,14 @@ func (e *Engine) Run(p *dataflow.Plan) (*Stats, error) {
 // Run executes the prepared plan once. It may be called any number of
 // times; exchange batches are recycled through the engine's pool across
 // runs.
-func (pp *Prepared) Run() (*Stats, error) {
+func (pp *Prepared) Run() (*Stats, error) { return pp.RunWithFault(nil) }
+
+// RunWithFault executes the prepared plan once with an optional
+// scheduled mid-superstep worker crash (nil behaves exactly like Run).
+// A triggered fault tears the run down and returns a *WorkerFailure;
+// if the plan finishes before the fault's record threshold, the run
+// succeeds normally.
+func (pp *Prepared) RunWithFault(fi *FaultInjection) (*Stats, error) {
 	e, p := pp.e, pp.plan
 	P := e.Parallelism
 	batch := e.BatchSize
@@ -279,7 +291,7 @@ func (pp *Prepared) Run() (*Stats, error) {
 		}
 	}
 
-	r := &run{p: P, batchSize: batch, pool: e.batchPool(batch), done: make(chan struct{})}
+	r := &run{p: P, batchSize: batch, pool: e.batchPool(batch), done: make(chan struct{}), fault: fi}
 	nodeOut := make(map[string]*atomic.Int64, len(p.Nodes))
 	nodeNanos := make(map[string]*atomic.Int64, len(p.Nodes))
 	for _, n := range p.Nodes {
@@ -310,6 +322,20 @@ func (pp *Prepared) Run() (*Stats, error) {
 
 	r.tasks.Wait()
 	if r.err != nil {
+		// Teardown of a failing run: recycle every batch still sitting
+		// in an exchange channel whose consumer exited early, so an
+		// aborted superstep leaves the pool whole. All senders are done
+		// (tasks.Wait returned), so the closer goroutines close every
+		// channel and these drains terminate.
+		for _, eds := range outEdges {
+			for _, ed := range eds {
+				for _, ch := range ed.chans {
+					for bp := range ch {
+						r.putBatch(bp)
+					}
+				}
+			}
+		}
 		return nil, r.err
 	}
 
@@ -398,8 +424,28 @@ func (t *task) main() {
 	if err == nil {
 		err = t.flushAll()
 	}
-	if err != nil && err != errCancelled {
-		t.run.fail(err)
+	if err != nil {
+		// A cancelled task abandons its output buffers; recycle them so
+		// a torn-down run leaves the pool whole. flush nils each buffer
+		// slot before handing the batch on, so nothing is put twice.
+		t.recycleBuffers()
+		if err != errCancelled {
+			t.run.fail(err)
+		}
+	}
+}
+
+// recycleBuffers returns every unflushed output buffer to the pool.
+// Only called on the error path: a successful task drained all buffers
+// through flushAll.
+func (t *task) recycleBuffers() {
+	for i := range t.buffers {
+		for d, bp := range t.buffers[i] {
+			if bp != nil {
+				t.buffers[i][d] = nil
+				t.run.putBatch(bp)
+			}
+		}
 	}
 }
 
@@ -444,6 +490,7 @@ func (t *task) bindRoutes() {
 
 func (t *task) emit(rec any) {
 	t.outCnt.Add(1)
+	t.run.recordProcessed()
 	for _, route := range t.routes {
 		route(rec)
 	}

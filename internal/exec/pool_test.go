@@ -234,3 +234,125 @@ func TestFailedRunYieldsErrorNotStats(t *testing.T) {
 		t.Fatalf("failing run returned stats %+v; teardown counts are not exact and must stay unobservable", stats)
 	}
 }
+
+// TestMidStepFaultAbortsWithTypedError pins the fault-injection
+// contract: once the plan processes more records than the threshold,
+// the run tears down through the cancellation machinery and returns a
+// typed *WorkerFailure (and no stats).
+func TestMidStepFaultAbortsWithTypedError(t *testing.T) {
+	plan := dataflow.NewPlan("faulted")
+	plan.Source("nums", rangeSource(10000)).
+		Rebalance("spread").
+		Sink("out", func(int, any) error { return nil })
+	p, err := (&Engine{Parallelism: 4, BatchSize: 2, ChannelDepth: 1}).Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.RunWithFault(&FaultInjection{
+		Workers: []int{1, 2}, Partitions: []int{1, 2}, AfterRecords: 64,
+	})
+	if stats != nil {
+		t.Fatalf("faulted run returned stats %+v", stats)
+	}
+	var wf *WorkerFailure
+	if !errors.As(err, &wf) {
+		t.Fatalf("err = %v, want *WorkerFailure", err)
+	}
+	if len(wf.Workers) != 2 || wf.Workers[0] != 1 {
+		t.Fatalf("workers = %v", wf.Workers)
+	}
+	if len(wf.Partitions) != 2 {
+		t.Fatalf("partitions = %v", wf.Partitions)
+	}
+	if wf.Processed < 64 {
+		t.Fatalf("processed = %d, want >= threshold", wf.Processed)
+	}
+	if wf.Error() == "" || !errors.As(error(wf), &wf) {
+		t.Fatal("WorkerFailure does not behave as an error")
+	}
+}
+
+// TestMidStepFaultThresholdNotReached: a fault the plan outruns leaves
+// the run untouched — it completes normally and returns exact stats.
+func TestMidStepFaultThresholdNotReached(t *testing.T) {
+	const N = 100
+	var mu sync.Mutex
+	count := 0
+	plan := dataflow.NewPlan("outran")
+	plan.Source("nums", rangeSource(N)).
+		Rebalance("spread").
+		Sink("out", func(int, any) error {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return nil
+		})
+	p, err := (&Engine{Parallelism: 2, BatchSize: 4}).Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.RunWithFault(&FaultInjection{Workers: []int{0}, Partitions: []int{0}, AfterRecords: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || count != N {
+		t.Fatalf("stats = %v, sank %d records, want %d", stats, count, N)
+	}
+}
+
+// TestAbortedRunDoesNotPoisonThePool aborts a run mid-flight and then
+// reuses the same prepared plan (and thus the same batch pool) for
+// clean runs. If the abort leaked a batch to the pool while a reader
+// still held it — or recycled one twice — the follow-up multiset would
+// show missing, duplicated or corrupted records, and -race would flag
+// the write. Mirrors TestPooledBatchesDoNotAlias across the abort path.
+func TestAbortedRunDoesNotPoisonThePool(t *testing.T) {
+	const P = 4
+	const N = 5000
+	var mu sync.Mutex
+	var counts map[uint64]int
+	plan := dataflow.NewPlan("abort-alias")
+	plan.Source("nums", rangeSource(N)).
+		ReduceBy("regroup", func(r any) uint64 { return r.(uint64) % 97 },
+			func(_ uint64, vals []any, emit dataflow.Emit) {
+				for _, v := range vals {
+					emit(v)
+				}
+			}).
+		Sink("out", func(_ int, rec any) error {
+			v, ok := rec.(uint64)
+			if !ok {
+				return fmt.Errorf("corrupted record %v (%T)", rec, rec)
+			}
+			mu.Lock()
+			counts[v]++
+			mu.Unlock()
+			return nil
+		})
+	p, err := (&Engine{Parallelism: P, BatchSize: 2, ChannelDepth: 1}).Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		counts = make(map[uint64]int)
+		// Abort mid-flight, recycling whatever batches were in the air.
+		_, ferr := p.RunWithFault(&FaultInjection{Workers: []int{0}, Partitions: []int{0}, AfterRecords: 128})
+		var wf *WorkerFailure
+		if !errors.As(ferr, &wf) {
+			t.Fatalf("round %d: err = %v, want *WorkerFailure", round, ferr)
+		}
+		// A clean run over the recycled pool must see the exact multiset.
+		counts = make(map[uint64]int)
+		if _, err := p.Run(); err != nil {
+			t.Fatalf("round %d: clean run after abort: %v", round, err)
+		}
+		if len(counts) != N {
+			t.Fatalf("round %d: %d distinct records, want %d", round, len(counts), N)
+		}
+		for v, n := range counts {
+			if n != 1 {
+				t.Fatalf("round %d: record %d seen %d times", round, v, n)
+			}
+		}
+	}
+}

@@ -92,3 +92,89 @@ func TestRandomPicksOnlyLiveWorkers(t *testing.T) {
 		t.Fatalf("empty cluster failed %v", got)
 	}
 }
+
+func TestScriptedKeepsEntryArmedWhenAllScheduledDead(t *testing.T) {
+	// Regression: an entry whose scheduled workers all happen to be dead
+	// at this attempt must stay armed for a later attempt of the same
+	// superstep (after a rollback), not be consumed silently.
+	inj := NewScripted(nil).At(3, 1)
+	if got := inj.FailuresAt(3, 0, []int{0, 2}); got != nil {
+		t.Fatalf("fired %v with the scheduled worker dead", got)
+	}
+	// Re-executed attempt of superstep 3: worker 1 is back in the alive
+	// set (a replacement reused the ID in this scenario) — the entry
+	// must still fire.
+	if got := inj.FailuresAt(3, 1, alive); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("re-armed entry fired %v", got)
+	}
+	// And only once.
+	if got := inj.FailuresAt(3, 2, alive); got != nil {
+		t.Fatalf("entry fired twice: %v", got)
+	}
+}
+
+func TestScriptedPartialLiveSubsetConsumesEntry(t *testing.T) {
+	inj := NewScripted(map[int][]int{2: {0, 1}})
+	if got := inj.FailuresAt(2, 0, []int{1, 2, 3}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("fired %v", got)
+	}
+	// At least one failure was emitted, so the entry is consumed.
+	if got := inj.FailuresAt(2, 1, alive); got != nil {
+		t.Fatalf("consumed entry fired again: %v", got)
+	}
+}
+
+func TestScriptedMidStepFiresOnce(t *testing.T) {
+	inj := NewScripted(nil).AtMidStep(2, 7, 1, 3)
+	if _, ok := inj.MidStepAt(1, 0, alive); ok {
+		t.Fatal("fired at the wrong superstep")
+	}
+	ms, ok := inj.MidStepAt(2, 2, alive)
+	if !ok || ms.AfterRecords != 7 {
+		t.Fatalf("ms = %+v, ok = %v", ms, ok)
+	}
+	if !reflect.DeepEqual(ms.Workers, []int{1, 3}) {
+		t.Fatalf("workers = %v", ms.Workers)
+	}
+	if _, ok := inj.MidStepAt(2, 3, alive); ok {
+		t.Fatal("mid-step entry fired twice")
+	}
+}
+
+func TestScriptedMidStepSkipsDeadAndStaysArmed(t *testing.T) {
+	inj := NewScripted(nil).AtMidStep(1, 0, 2)
+	if _, ok := inj.MidStepAt(1, 0, []int{0, 1, 3}); ok {
+		t.Fatal("fired with the scheduled worker dead")
+	}
+	// Still armed for a later attempt where the worker is alive.
+	ms, ok := inj.MidStepAt(1, 1, alive)
+	if !ok || len(ms.Workers) != 1 || ms.Workers[0] != 2 {
+		t.Fatalf("ms = %+v, ok = %v", ms, ok)
+	}
+}
+
+func TestScriptedMidStepMergesWorkers(t *testing.T) {
+	inj := NewScripted(nil).AtMidStep(0, 5, 1).AtMidStep(0, 9, 2)
+	ms, ok := inj.MidStepAt(0, 0, alive)
+	if !ok {
+		t.Fatal("did not fire")
+	}
+	if !reflect.DeepEqual(ms.Workers, []int{1, 2}) {
+		t.Fatalf("workers = %v", ms.Workers)
+	}
+	// The last afterRecords wins.
+	if ms.AfterRecords != 9 {
+		t.Fatalf("afterRecords = %d", ms.AfterRecords)
+	}
+}
+
+func TestScriptedBoundaryAndMidStepAreIndependent(t *testing.T) {
+	inj := NewScripted(nil).At(2, 0).AtMidStep(2, 3, 1)
+	ms, ok := inj.MidStepAt(2, 0, alive)
+	if !ok || ms.Workers[0] != 1 {
+		t.Fatalf("mid-step = %+v, ok = %v", ms, ok)
+	}
+	if got := inj.FailuresAt(2, 0, alive); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("boundary = %v", got)
+	}
+}

@@ -57,7 +57,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, pageHead)
 	fmt.Fprint(w, `<h1>Optimistic Recovery for Iterative Dataflows — in action</h1>
 <p>Choose the algorithm tab and input, schedule failures (the paper's GUI buttons), and run.
-The algorithms recover through compensation functions — no checkpoints are taken.</p>
+Under the optimistic policy the algorithms recover through compensation functions — no checkpoints are taken.</p>
 <form action="/run" method="get">
   <p>
     <label><input type="radio" name="mode" value="cc" checked> Connected Components (delta iteration)</label>
@@ -69,8 +69,21 @@ The algorithms recover through compensation functions — no checkpoints are tak
       <input type="number" name="n" value="20000" min="100" style="width:7em"> vertices</label>
   </p>
   <p>
+    <label>recovery policy:
+      <select name="policy">
+        <option value="optimistic" selected>optimistic (compensation)</option>
+        <option value="checkpoint">checkpoint (rollback)</option>
+        <option value="restart">restart</option>
+        <option value="none">none</option>
+      </select></label>
+  </p>
+  <p>
     <label>failures (e.g. <code>3:1, 5:0</code> = worker 1 dies in iteration 3, worker 0 in iteration 5):
       <input type="text" name="fail" value="3:1" style="width:12em"></label>
+  </p>
+  <p>
+    <label>mid-iteration failures (same syntax; the worker dies while the iteration is still running,
+      aborting the attempt): <input type="text" name="midfail" value="" style="width:12em"></label>
   </p>
   <p><button type="submit">▶ run</button></p>
 </form>
@@ -121,7 +134,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cfg := demoapp.Config{Mode: mode, Failures: failures, Color: true}
+	midFailures, err := parseFailures(r.URL.Query().Get("midfail"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	policy := r.URL.Query().Get("policy")
+	switch policy {
+	case "", "optimistic", "checkpoint", "restart", "none":
+	default:
+		http.Error(w, fmt.Sprintf("unknown policy %q", policy), http.StatusBadRequest)
+		return
+	}
+	cfg := demoapp.Config{
+		Mode: mode, Failures: failures, MidStepFailures: midFailures,
+		Policy: policy, Color: true,
+	}
 	if r.URL.Query().Get("input") == "large" {
 		cfg.Large = true
 		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 {
@@ -172,7 +200,11 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, `<a href="/report">full report</a><a href="/">new run</a></p>`)
 	if f.Failure != "" {
-		fmt.Fprintf(w, `<p class="failure">⚡ %s</p>`+"\n", demoapp.HTMLEscape(f.Failure))
+		mark := "⚡"
+		if f.Aborted {
+			mark = "⛔"
+		}
+		fmt.Fprintf(w, `<p class="failure">%s %s</p>`+"\n", mark, demoapp.HTMLEscape(f.Failure))
 	}
 	if f.Graph != "" {
 		fmt.Fprintf(w, "<pre>%s</pre>\n", demoapp.ANSIToHTML(f.Graph))

@@ -121,3 +121,38 @@ func TestUnknownPathIs404(t *testing.T) {
 		t.Fatalf("got %d", code)
 	}
 }
+
+func TestMidStepRunRendersAbortedFrame(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	code, _ := get(t, client, srv.URL+"/run?mode=cc&input=small&midfail=2:1&policy=checkpoint")
+	if code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	// The report includes the aborted-frame marker and the policy name.
+	code, body := get(t, client, srv.URL+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: %d", code)
+	}
+	if !strings.Contains(body, "⛔") {
+		t.Fatal("aborted frame marker missing from report")
+	}
+	if !strings.Contains(body, "checkpoint recovery") {
+		t.Fatal("policy name missing from report")
+	}
+}
+
+func TestRunRejectsBadMidfailAndPolicy(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	if code, _ := get(t, client, srv.URL+"/run?mode=cc&midfail=notaspec"); code != http.StatusBadRequest {
+		t.Fatalf("bad midfail accepted: %d", code)
+	}
+	if code, _ := get(t, client, srv.URL+"/run?mode=cc&policy=yolo"); code != http.StatusBadRequest {
+		t.Fatalf("bad policy accepted: %d", code)
+	}
+}

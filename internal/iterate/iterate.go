@@ -7,11 +7,14 @@
 package iterate
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"optiflow/internal/clock"
 	"optiflow/internal/cluster"
+	"optiflow/internal/exec"
 	"optiflow/internal/failure"
 	"optiflow/internal/recovery"
 )
@@ -42,6 +45,14 @@ type Context struct {
 	Tick int
 	// Parallelism is the number of state partitions / parallel tasks.
 	Parallelism int
+	// Fault, when non-nil, schedules a mid-superstep worker crash for
+	// this attempt: the loop body must hand it to the execution engine
+	// (Prepared.RunWithFault) so the running plan aborts with a typed
+	// *exec.WorkerFailure once the record threshold is crossed. Loop
+	// bodies that ignore it (reference implementations, non-engine
+	// steps) degrade gracefully to between-superstep semantics — the
+	// loop kills the scheduled workers after the attempt commits.
+	Fault *exec.FaultInjection
 }
 
 // Sample is the per-attempt data point handed to listeners.
@@ -55,7 +66,13 @@ type Sample struct {
 	FailedWorkers  []int
 	LostPartitions []int
 	Recovery       string
-	Elapsed        time.Duration
+	// Aborted reports that the failure struck mid-superstep: the
+	// attempt's plan was torn down before committing, so Stats is zero
+	// — the partial superstep's statistics are discarded, and the demo
+	// plots show the tick as a truncated iteration. Aborted is only
+	// ever true on samples where Failed() is also true.
+	Aborted bool
+	Elapsed time.Duration
 }
 
 // Failed reports whether a failure struck during this attempt.
@@ -103,6 +120,18 @@ func (r *Result) FailureTicks() []int {
 	var out []int
 	for _, s := range r.Samples {
 		if s.Failed() {
+			out = append(out, s.Tick)
+		}
+	}
+	return out
+}
+
+// AbortedTicks returns the ticks whose attempts were aborted
+// mid-superstep (a subset of FailureTicks).
+func (r *Result) AbortedTicks() []int {
+	var out []int
+	for _, s := range r.Samples {
+		if s.Aborted {
 			out = append(out, s.Tick)
 		}
 	}
@@ -182,33 +211,81 @@ func (l *Loop) Run() (*Result, error) {
 
 		attemptStart := clock.Now()
 		ctx.Superstep, ctx.Tick = superstep, tick
+
+		// Arm a mid-superstep failure before the attempt starts: the
+		// loop body passes ctx.Fault into the execution engine, which
+		// aborts the running plan once the record threshold is crossed.
+		ctx.Fault = nil
+		var midWorkers []int
+		if msi, ok := injector.(failure.MidStepInjector); ok {
+			if ms, ok := msi.MidStepAt(superstep, tick, l.Cluster.Workers()); ok && len(ms.Workers) > 0 {
+				midWorkers = ms.Workers
+				var parts []int
+				for _, w := range midWorkers {
+					parts = append(parts, l.Cluster.PartitionsOf(w)...)
+				}
+				ctx.Fault = &exec.FaultInjection{
+					Workers: midWorkers, Partitions: parts, AfterRecords: ms.AfterRecords,
+				}
+			}
+		}
+
 		stats, err := l.Step(ctx)
-		if err != nil {
+		var wf *exec.WorkerFailure
+		if err != nil && !errors.As(err, &wf) {
 			return nil, fmt.Errorf("iterate: loop %q superstep %d (tick %d): %w", l.Name, superstep, tick, err)
 		}
 
-		sample := Sample{Tick: tick, Superstep: superstep, Stats: stats}
-		failed := injector.FailuresAt(superstep, tick, l.Cluster.Workers())
-		if len(failed) > 0 {
-			res.Failures++
-			var lost []int
-			for _, w := range failed {
-				lost = append(lost, l.Cluster.Fail(w)...)
+		sample := Sample{Tick: tick, Superstep: superstep}
+		var failed []int
+		if wf != nil {
+			// The engine aborted the attempt mid-superstep. The partial
+			// superstep is void: its stats are discarded (Stats stays
+			// zero) and the superstep is not committed.
+			sample.Aborted = true
+			failed = wf.Workers
+		} else {
+			sample.Stats = stats
+			failed = injector.FailuresAt(superstep, tick, l.Cluster.Workers())
+			if len(midWorkers) > 0 {
+				// A scheduled mid-step failure the plan outran (or that
+				// the loop body ignored): the workers still die, at the
+				// superstep boundary.
+				failed = mergeWorkers(failed, midWorkers)
 			}
-			l.Cluster.Acquire()
+		}
+
+		// Only workers that actually die trigger recovery. Injectors may
+		// name workers that are already dead; acting on those would
+		// acquire a spurious spare worker and record a phantom failure.
+		var died, lost []int
+		for _, w := range failed {
+			if !l.Cluster.IsAlive(w) {
+				continue
+			}
+			died = append(died, w)
+			lost = append(lost, l.Cluster.Fail(w)...)
+		}
+		switch {
+		case len(died) > 0:
+			res.Failures++
+			l.Cluster.AcquireN(len(died))
 			l.Job.ClearPartitions(lost)
 			resumeAt, err := policy.OnFailure(l.Job, recovery.Failure{
 				Superstep: superstep, Tick: tick,
-				Workers: failed, LostPartitions: lost,
+				Workers: died, LostPartitions: lost,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
 			}
-			sample.FailedWorkers = failed
+			sample.FailedWorkers = died
 			sample.LostPartitions = lost
 			sample.Recovery = describeRecovery(policy.PolicyName(), superstep, resumeAt)
 			superstep = resumeAt
-		} else {
+		case sample.Aborted:
+			// Aborted attempt whose scheduled victims were already dead:
+			// nothing was lost, nothing committed — retry the superstep.
+		default:
 			if err := policy.AfterSuperstep(l.Job, superstep); err != nil {
 				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
 			}
@@ -227,6 +304,23 @@ func (l *Loop) Run() (*Result, error) {
 	res.Elapsed = clock.Since(start)
 	res.Overhead = policy.Overhead()
 	return res, nil
+}
+
+// mergeWorkers unions two worker lists, deduplicated and sorted.
+func mergeWorkers(a, b []int) []int {
+	set := make(map[int]bool, len(a)+len(b))
+	for _, w := range a {
+		set[w] = true
+	}
+	for _, w := range b {
+		set[w] = true
+	}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func describeRecovery(policy string, at, resumeAt int) string {

@@ -9,6 +9,7 @@ import (
 
 	"optiflow/internal/checkpoint"
 	"optiflow/internal/cluster"
+	"optiflow/internal/exec"
 	"optiflow/internal/failure"
 	"optiflow/internal/recovery"
 )
@@ -286,5 +287,271 @@ func TestZeroStepLoopTerminatesImmediately(t *testing.T) {
 	}
 	if res.Ticks != 0 || job.counter != 0 {
 		t.Fatalf("res = %+v", res)
+	}
+}
+
+// faultHonoringStep wraps job.step so it aborts like the exec engine:
+// when a fault is armed for the attempt, it returns a wrapped
+// *exec.WorkerFailure instead of committing.
+func faultHonoringStep(job *counterJob) func(*Context) (StepStats, error) {
+	return func(ctx *Context) (StepStats, error) {
+		if ctx.Fault != nil {
+			return StepStats{}, fmt.Errorf("job: superstep: %w", &exec.WorkerFailure{
+				Workers:    ctx.Fault.Workers,
+				Partitions: ctx.Fault.Partitions,
+				Processed:  ctx.Fault.AfterRecords,
+			})
+		}
+		return job.step(ctx)
+	}
+}
+
+func TestMidStepAbortDiscardsAttempt(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Step = faultHonoringStep(job)
+	l.Policy = recovery.Optimistic{}
+	l.Injector = failure.NewScripted(nil).AtMidStep(2, 0, 1)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if got := res.AbortedTicks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("aborted ticks = %v", got)
+	}
+	s := res.Samples[2]
+	if !s.Aborted || !s.Failed() {
+		t.Fatalf("aborted sample = %+v", s)
+	}
+	// The partial attempt's stats are discarded.
+	if s.Stats.Messages != 0 || s.Stats.Updates != 0 {
+		t.Fatalf("aborted sample kept stats: %+v", s.Stats)
+	}
+	if len(s.FailedWorkers) != 1 || s.FailedWorkers[0] != 1 {
+		t.Fatalf("failed workers = %v", s.FailedWorkers)
+	}
+	if len(s.LostPartitions) == 0 {
+		t.Fatal("no lost partitions recorded")
+	}
+	if job.comps != 1 {
+		t.Fatalf("compensations = %d", job.comps)
+	}
+	// The aborted attempt did not run job.step, so only the committed
+	// attempts incremented the counter.
+	if job.counter != res.Ticks-1 {
+		t.Fatalf("counter = %d, ticks = %d", job.counter, res.Ticks)
+	}
+	if l.Cluster.IsAlive(1) || len(l.Cluster.Workers()) != 4 {
+		t.Fatalf("cluster after abort: workers = %v", l.Cluster.Workers())
+	}
+}
+
+func TestMidStepAbortUnderCheckpointReexecutes(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 4)
+	l.Step = faultHonoringStep(job)
+	l.Policy = recovery.NewCheckpoint(1, checkpoint.NewMemoryStore())
+	l.Injector = failure.NewScripted(nil).AtMidStep(2, 0, 0)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superstep 2 aborted, restored from the snapshot after superstep 1,
+	// re-executed: 5 attempts for 4 committed supersteps.
+	if res.Supersteps != 4 || res.Ticks != 5 || res.Failures != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if job.counter != 4 {
+		t.Fatalf("counter = %d", job.counter)
+	}
+	if job.comps != 0 {
+		t.Fatal("rollback must not invoke compensation")
+	}
+	if !res.Samples[2].Aborted {
+		t.Fatalf("sample 2 = %+v", res.Samples[2])
+	}
+	// The re-execution presents the same superstep on a later tick.
+	if res.Samples[3].Superstep != 2 {
+		t.Fatalf("retry sample = %+v", res.Samples[3])
+	}
+}
+
+func TestMidStepAbortUnderRestart(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 3)
+	l.Step = faultHonoringStep(job)
+	l.Policy = recovery.Restart{}
+	l.Injector = failure.NewScripted(nil).AtMidStep(1, 0, 2)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Supersteps 0 and 1 (aborted) wasted, then 3 committed.
+	if res.Ticks != 5 || res.Supersteps != 3 || job.resets != 1 {
+		t.Fatalf("res = %+v, resets = %d", res, job.resets)
+	}
+	if !res.Samples[1].Aborted {
+		t.Fatalf("sample 1 = %+v", res.Samples[1])
+	}
+}
+
+func TestMidStepAbortUnderNoneAborts(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Step = faultHonoringStep(job)
+	l.Injector = failure.NewScripted(nil).AtMidStep(1, 0, 0)
+	_, err := l.Run()
+	if !errors.Is(err, recovery.ErrUnrecoverable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMidStepFallbackKillsAtBoundary(t *testing.T) {
+	// counterJob.step ignores ctx.Fault — like a loop body that never
+	// hands the fault to the engine. The scheduled workers must still
+	// die, at the superstep boundary, not be silently dropped.
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Policy = recovery.Optimistic{}
+	l.Injector = failure.NewScripted(nil).AtMidStep(2, 1000, 1)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	s := res.Samples[2]
+	if s.Aborted {
+		t.Fatal("boundary fallback must not mark the sample aborted")
+	}
+	if !s.Failed() || s.FailedWorkers[0] != 1 {
+		t.Fatalf("sample = %+v", s)
+	}
+	// The attempt committed before the workers died.
+	if s.Stats.Messages == 0 {
+		t.Fatal("boundary fallback discarded committed stats")
+	}
+	if l.Cluster.IsAlive(1) {
+		t.Fatal("scheduled worker survived")
+	}
+}
+
+// phantomInjector names the same worker at every attempt, dead or not —
+// the failure mode of satellite bugfix 2: reporting an already-dead
+// worker must not count as a new failure.
+type phantomInjector struct{ worker int }
+
+func (p phantomInjector) FailuresAt(int, int, []int) []int { return []int{p.worker} }
+
+func TestAlreadyDeadWorkerIsNotAFailure(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Policy = recovery.Optimistic{}
+	l.Injector = phantomInjector{worker: 1}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 dies once; every later report names a dead worker and
+	// must be ignored — no spurious spare workers, no phantom failures.
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if got := len(l.Cluster.Workers()); got != 4 {
+		t.Fatalf("cluster grew to %d workers: %v", got, l.Cluster.Workers())
+	}
+	if job.comps != 1 {
+		t.Fatalf("compensations = %d", job.comps)
+	}
+}
+
+func TestMultiWorkerFailureAcquiresOneReplacementEach(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 5)
+	l.Policy = recovery.Optimistic{}
+	l.Injector = failure.NewScripted(map[int][]int{2: {0, 1, 3}})
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	s := res.Samples[2]
+	if len(s.FailedWorkers) != 3 || len(s.LostPartitions) != 3 {
+		t.Fatalf("sample = %+v", s)
+	}
+	// One replacement per dead worker: the cluster keeps its size.
+	if got := len(l.Cluster.Workers()); got != 4 {
+		t.Fatalf("cluster has %d workers after triple failure: %v", got, l.Cluster.Workers())
+	}
+	acquires := 0
+	for _, e := range l.Cluster.Events() {
+		if e.Kind == "acquire" {
+			acquires++
+		}
+	}
+	if acquires != 3 {
+		t.Fatalf("acquires = %d, want 3", acquires)
+	}
+}
+
+func TestMultiWorkerFailureUnderAllPolicies(t *testing.T) {
+	policies := map[string]func() recovery.Policy{
+		"optimistic": func() recovery.Policy { return recovery.Optimistic{} },
+		"checkpoint": func() recovery.Policy { return recovery.NewCheckpoint(1, checkpoint.NewMemoryStore()) },
+		"restart":    func() recovery.Policy { return recovery.Restart{} },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			job := &counterJob{}
+			l := newLoop(job, 5)
+			l.Policy = mk()
+			l.Injector = failure.NewScripted(map[int][]int{1: {0, 2}})
+			res, err := l.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Supersteps != 5 || res.Failures != 1 {
+				t.Fatalf("res = %+v", res)
+			}
+			if got := len(l.Cluster.Workers()); got != 4 {
+				t.Fatalf("cluster has %d workers: %v", got, l.Cluster.Workers())
+			}
+		})
+	}
+	t.Run("none", func(t *testing.T) {
+		job := &counterJob{}
+		l := newLoop(job, 5)
+		l.Injector = failure.NewScripted(map[int][]int{1: {0, 2}})
+		if _, err := l.Run(); !errors.Is(err, recovery.ErrUnrecoverable) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestCheckpointFailureAtSuperstepZero(t *testing.T) {
+	job := &counterJob{}
+	l := newLoop(job, 4)
+	l.Policy = recovery.NewCheckpoint(2, checkpoint.NewMemoryStore())
+	l.Injector = failure.NewScripted(nil).At(0, 0)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup snapshots the initial state (superstep -1), so a failure at
+	// superstep 0 restores it and resumes at superstep 0.
+	if res.Supersteps != 4 || res.Ticks != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	if job.counter != 4 {
+		t.Fatalf("counter = %d (attempt not rolled back?)", job.counter)
+	}
+	if !strings.Contains(res.Samples[0].Recovery, "rewound to superstep 0") {
+		t.Fatalf("recovery note = %q", res.Samples[0].Recovery)
 	}
 }

@@ -16,6 +16,7 @@ type Collector struct {
 	order    []string
 	series   map[string][]float64
 	failures map[int]string
+	aborted  map[int]bool
 	maxTick  int
 }
 
@@ -24,6 +25,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		series:   make(map[string][]float64),
 		failures: make(map[int]string),
+		aborted:  make(map[int]bool),
 	}
 }
 
@@ -60,6 +62,30 @@ func (c *Collector) MarkFailure(tick int, desc string) {
 	}
 }
 
+// MarkAborted records that a tick's attempt was torn down
+// mid-superstep (its statistics were discarded). Ticks marked aborted
+// are normally also marked as failures.
+func (c *Collector) MarkAborted(tick int) {
+	c.aborted[tick] = true
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// AbortedTicks returns the mid-superstep-aborted ticks in ascending
+// order.
+func (c *Collector) AbortedTicks() []int {
+	out := make([]int, 0, len(c.aborted))
+	for t := range c.aborted {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AbortedAt reports whether a tick's attempt was aborted mid-superstep.
+func (c *Collector) AbortedAt(tick int) bool { return c.aborted[tick] }
+
 // Series returns the values of a named series (nil if unknown).
 func (c *Collector) Series(name string) []float64 { return c.series[name] }
 
@@ -81,17 +107,18 @@ func (c *Collector) FailureAt(tick int) string { return c.failures[tick] }
 
 // Ticks returns the number of ticks recorded (max tick + 1).
 func (c *Collector) Ticks() int {
-	if len(c.series) == 0 && len(c.failures) == 0 {
+	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 {
 		return 0
 	}
 	return c.maxTick + 1
 }
 
 // WriteCSV exports all series as CSV: one row per tick, one column per
-// series, plus a trailing "failure" column with the annotation.
+// series, plus trailing "failure" (annotation) and "aborted" (0/1)
+// columns.
 func (c *Collector) WriteCSV(w io.Writer) error {
 	headers := append([]string{"tick"}, c.order...)
-	headers = append(headers, "failure")
+	headers = append(headers, "failure", "aborted")
 	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
 		return err
 	}
@@ -107,6 +134,11 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 			}
 		}
 		row = append(row, csvEscape(c.failures[t]))
+		if c.aborted[t] {
+			row = append(row, "1")
+		} else {
+			row = append(row, "0")
+		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}

@@ -73,7 +73,7 @@ func TestEmptyCollector(t *testing.T) {
 	if err := c.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(buf.String()) != "tick,failure" {
+	if strings.TrimSpace(buf.String()) != "tick,failure,aborted" {
 		t.Fatalf("empty CSV = %q", buf.String())
 	}
 }
@@ -85,6 +85,7 @@ func TestWriteCSV(t *testing.T) {
 	c.Record(0, "converged", 10)
 	c.Record(1, "converged", 14)
 	c.MarkFailure(1, `lost partitions [1, 2] on "node-a"`)
+	c.MarkAborted(1)
 
 	var buf bytes.Buffer
 	if err := c.WriteCSV(&buf); err != nil {
@@ -94,13 +95,31 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV lines: %v", lines)
 	}
-	if lines[0] != "tick,messages,converged,failure" {
+	if lines[0] != "tick,messages,converged,failure,aborted" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,34,10," {
+	if lines[1] != "0,34,10,,0" {
 		t.Fatalf("row 0 = %q", lines[1])
 	}
 	if !strings.HasPrefix(lines[2], "1,27.5,14,") || !strings.Contains(lines[2], `""node-a""`) {
 		t.Fatalf("row 1 = %q (quoting broken?)", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], ",1") {
+		t.Fatalf("row 1 = %q (aborted column missing)", lines[2])
+	}
+}
+
+func TestAborted(t *testing.T) {
+	c := NewCollector()
+	c.MarkAborted(2)
+	c.MarkAborted(5)
+	if got := c.AbortedTicks(); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Fatalf("aborted ticks = %v", got)
+	}
+	if !c.AbortedAt(5) || c.AbortedAt(3) {
+		t.Fatal("AbortedAt wrong")
+	}
+	if c.Ticks() != 6 {
+		t.Fatalf("ticks = %d", c.Ticks())
 	}
 }

@@ -259,6 +259,15 @@ func ScriptedFailures(plan map[int][]int) *failure.Scripted {
 	return failure.NewScripted(plan)
 }
 
+// FailWorkerMidStep schedules worker to fail while the given
+// superstep's dataflow is still executing, after the attempt has
+// processed afterRecords records: the running plan is aborted and the
+// attempt retried under the configured recovery policy — the GUI
+// attendee pressing the failure button mid-iteration.
+func FailWorkerMidStep(superstep int, afterRecords int64, worker int) *failure.Scripted {
+	return failure.NewScripted(nil).AtMidStep(superstep, afterRecords, worker)
+}
+
 // RandomFailures fails a random live worker with probability p per
 // superstep, at most maxFailures times (0 = unlimited). Deterministic
 // given seed.
