@@ -13,7 +13,8 @@
 //
 //	optiflow-bench                 # run everything
 //	optiflow-bench -exp fig2       # one experiment (fig1a fig1b fig2 fig4 twitter overhead
-//	                               #   recovery compensation bulkdelta als confined kmeans)
+//	                               #   recovery compensation bulkdelta als confined kmeans chaos)
+//	optiflow-bench -chaos          # seeded chaos soak against the recovery supervisor
 //	optiflow-bench -n 100000 -p 8  # scale the Twitter-like graph and parallelism
 //	optiflow-bench -gobench 'BenchmarkEngine|BenchmarkTwitter' -benchtime 3x -json BENCH_PR2.json
 package main
@@ -30,6 +31,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run, or 'all'")
+	chaos := flag.Bool("chaos", false, "run the chaos soak (shorthand for -exp chaos): random boundary, mid-step and during-recovery failures against the supervised cluster, all policies, fixed seed matrix")
 	n := flag.Int("n", 50000, "vertex count of the synthetic Twitter-like graph")
 	p := flag.Int("p", 4, "parallelism (tasks and state partitions)")
 	seed := flag.Int64("seed", 20150531, "generator seed")
@@ -44,6 +46,9 @@ func main() {
 	if *gobench != "" {
 		runGoBench(*benchDir, *gobench, *benchtime, *jsonPath)
 		return
+	}
+	if *chaos {
+		*exp = "chaos"
 	}
 
 	runner := experiments.NewRunner(experiments.Config{

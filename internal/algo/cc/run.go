@@ -6,6 +6,7 @@ import (
 	"optiflow/internal/graph"
 	"optiflow/internal/iterate"
 	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
 )
 
 // Options configure a Connected Components run.
@@ -27,6 +28,12 @@ type Options struct {
 	Probe func(job *CC, s iterate.Sample)
 	// MaxTicks bounds superstep attempts (iterate.DefaultMaxTicks if 0).
 	MaxTicks int
+	// Supervise, when non-nil, runs the loop under a recovery
+	// supervisor: the cluster gets a bounded spare pool, acquire hook
+	// and event cap per the config, and failures are handled with
+	// retry/backoff, degraded-mode repartitioning and policy
+	// escalation instead of the always-heals fiction.
+	Supervise *supervise.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -57,7 +64,11 @@ type Result struct {
 func Run(g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	job := New(g, opts.Parallelism)
-	cl := cluster.New(opts.Workers, opts.Parallelism)
+	var clOpts []cluster.Option
+	if opts.Supervise != nil {
+		clOpts = opts.Supervise.ClusterOptions()
+	}
+	cl := cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	loop := &iterate.Loop{
 		Name:     job.Name(),
 		Step:     job.Step,
@@ -75,6 +86,9 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 				opts.Probe(job, s)
 			}
 		},
+	}
+	if opts.Supervise != nil {
+		loop.Supervisor = supervise.New(cl, opts.Policy, opts.Injector, *opts.Supervise)
 	}
 	res, err := loop.Run()
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"optiflow/internal/graph"
 	"optiflow/internal/iterate"
 	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
 )
 
 // Options configure a PageRank run.
@@ -38,6 +39,10 @@ type Options struct {
 	Probe func(job *PR, s iterate.Sample)
 	// MaxTicks bounds superstep attempts (iterate.DefaultMaxTicks if 0).
 	MaxTicks int
+	// Supervise, when non-nil, runs the loop under a recovery
+	// supervisor (bounded spare pool, retry/backoff, degraded-mode
+	// repartitioning, policy escalation). See internal/supervise.
+	Supervise *supervise.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -72,7 +77,11 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	job := New(g, opts.Parallelism, opts.Damping, opts.Compensation)
 	job.SetLocalCombine(opts.LocalCombine)
-	cl := cluster.New(opts.Workers, opts.Parallelism)
+	var clOpts []cluster.Option
+	if opts.Supervise != nil {
+		clOpts = opts.Supervise.ClusterOptions()
+	}
+	cl := cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	var converged func(int) bool
 	if opts.Epsilon > 0 {
 		converged = func(int) bool { return job.LastL1() < opts.Epsilon }
@@ -94,6 +103,9 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 				opts.Probe(job, s)
 			}
 		},
+	}
+	if opts.Supervise != nil {
+		loop.Supervisor = supervise.New(cl, opts.Policy, opts.Injector, *opts.Supervise)
 	}
 	res, err := loop.Run()
 	if err != nil {

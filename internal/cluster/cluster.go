@@ -3,44 +3,141 @@
 // worker loses every partition it owns; recovery "re-assigns the lost
 // computations to newly acquired nodes" (§2.2) by provisioning a fresh
 // worker and handing it the orphaned partitions.
+//
+// Real deployments cannot provision unconditionally: the pool of spare
+// machines is finite, and acquisitions can be slow or fail outright.
+// New therefore accepts options — WithSpares bounds how many
+// replacements can ever be provisioned (AcquireN may then return fewer
+// workers than requested), WithAcquireHook injects per-acquisition
+// latency and failures, and WithEventCap bounds the event log for long
+// soak runs. When the pool is exhausted, AssignOrphans implements the
+// degraded fallback: orphaned partitions are spread round-robin across
+// the surviving workers and the cluster runs narrower until spares
+// return (Release, AddSpares).
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 )
 
-// Cluster tracks worker liveness and partition ownership.
+// EventKind classifies a cluster log entry.
+type EventKind = string
+
+// Typed event kinds. Membership changes ("fail", "acquire", "release")
+// carry the affected worker; pool and supervision events ("acquire-denied",
+// "acquire-failed", "replenish", "repartition", "escalate", "retry") use
+// Worker -1 and describe themselves in Detail.
+const (
+	EventFail          EventKind = "fail"
+	EventAcquire       EventKind = "acquire"
+	EventAcquireDenied EventKind = "acquire-denied"
+	EventAcquireFailed EventKind = "acquire-failed"
+	EventRelease       EventKind = "release"
+	EventReplenish     EventKind = "replenish"
+	EventRepartition   EventKind = "repartition"
+	EventEscalate      EventKind = "escalate"
+	EventRetry         EventKind = "retry"
+)
+
+// Event records a membership change or a recovery-supervision note, for
+// demo narration and tests.
+type Event struct {
+	Kind       EventKind
+	Worker     int // -1 for pool/supervision events
+	Partitions []int
+	// Detail is a human-readable annotation (denial reasons, hook
+	// errors, escalation notes).
+	Detail string
+	// Latency is the provisioning latency reported by the acquire hook
+	// for "acquire" events (zero without a hook).
+	Latency time.Duration
+}
+
+// AcquireHook observes (and may sabotage) every worker provisioning
+// attempt. seq counts provisioning attempts monotonically across the
+// cluster's lifetime, worker is the ID the new worker would receive.
+// The returned latency is recorded on the acquire event — it models
+// slow provisioning deterministically instead of sleeping. A non-nil
+// error fails the acquisition: no worker joins, the attempt is logged
+// as "acquire-failed", and AcquireN returns the error alongside any
+// workers acquired before the failure.
+type AcquireHook func(seq, worker int) (latency time.Duration, err error)
+
+// Option configures a Cluster at construction.
+type Option func(*Cluster)
+
+// WithSpares bounds the spare pool: at most n additional workers can be
+// provisioned over the cluster's lifetime (n >= 0). Releases and
+// AddSpares replenish the pool. Without this option the pool is
+// unlimited — the paper demo's fiction of an always-available
+// replacement.
+func WithSpares(n int) Option {
+	if n < 0 {
+		n = 0
+	}
+	return func(c *Cluster) { c.spares = n }
+}
+
+// WithAcquireHook installs h on every provisioning attempt.
+func WithAcquireHook(h AcquireHook) Option {
+	return func(c *Cluster) { c.acquireHook = h }
+}
+
+// WithEventCap bounds the event log to the most recent n entries
+// (n >= 1); older entries are dropped and counted by DroppedEvents.
+// Without this option the log grows without bound — fine for demos,
+// not for chaos soak runs.
+func WithEventCap(n int) Option {
+	return func(c *Cluster) {
+		if n >= 1 {
+			c.eventCap = n
+		}
+	}
+}
+
+// Cluster tracks worker liveness, partition ownership and the spare
+// pool.
 type Cluster struct {
 	alive      map[int]bool
 	owner      []int // partition -> worker
 	nextWorker int
-	events     []Event
-}
 
-// Event records a membership change, for demo narration and tests.
-type Event struct {
-	Kind       string // "fail" | "acquire"
-	Worker     int
-	Partitions []int
+	events        []Event
+	eventCap      int // 0 = unbounded
+	eventsDropped int
+
+	spares      int // remaining spare workers; -1 = unlimited
+	acquireHook AcquireHook
+	acquireSeq  int
 }
 
 // New creates a cluster of numWorkers workers owning numPartitions
 // partitions round-robin. numWorkers must be >= 1 and <= numPartitions
 // is not required (workers may own zero partitions).
-func New(numWorkers, numPartitions int) *Cluster {
+func New(numWorkers, numPartitions int, opts ...Option) *Cluster {
 	if numWorkers < 1 {
 		panic(fmt.Sprintf("cluster: need at least one worker, got %d", numWorkers))
 	}
 	if numPartitions < 1 {
 		panic(fmt.Sprintf("cluster: need at least one partition, got %d", numPartitions))
 	}
-	c := &Cluster{alive: make(map[int]bool), owner: make([]int, numPartitions), nextWorker: numWorkers}
+	c := &Cluster{
+		alive:      make(map[int]bool),
+		owner:      make([]int, numPartitions),
+		nextWorker: numWorkers,
+		spares:     -1,
+	}
 	for w := 0; w < numWorkers; w++ {
 		c.alive[w] = true
 	}
 	for p := 0; p < numPartitions; p++ {
 		c.owner[p] = p % numWorkers
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	return c
 }
@@ -77,6 +174,21 @@ func (c *Cluster) PartitionsOf(w int) []int {
 // IsAlive reports whether worker w is live.
 func (c *Cluster) IsAlive(w int) bool { return c.alive[w] }
 
+// Spares returns the number of workers still provisionable from the
+// spare pool, or -1 when the pool is unlimited.
+func (c *Cluster) Spares() int { return c.spares }
+
+// AddSpares replenishes the bounded spare pool by n machines — the
+// operations team racking new hardware. A no-op on unlimited pools.
+func (c *Cluster) AddSpares(n int) {
+	if c.spares < 0 || n <= 0 {
+		return
+	}
+	c.spares += n
+	c.record(Event{Kind: EventReplenish, Worker: -1,
+		Detail: fmt.Sprintf("%d spare(s) added, pool now %d", n, c.spares)})
+}
+
 // Fail kills worker w and returns the partitions it owned (now lost).
 // Failing an unknown or dead worker returns nil.
 func (c *Cluster) Fail(w int) []int {
@@ -85,51 +197,176 @@ func (c *Cluster) Fail(w int) []int {
 	}
 	delete(c.alive, w)
 	lost := c.PartitionsOf(w)
-	c.events = append(c.events, Event{Kind: "fail", Worker: w, Partitions: lost})
+	c.record(Event{Kind: EventFail, Worker: w, Partitions: lost})
 	return lost
+}
+
+// Release gracefully decommissions live worker w: its partitions are
+// re-assigned round-robin across the other live workers (no state is
+// lost — this is cooperative, unlike Fail) and the machine returns to
+// the spare pool. Releasing the last live worker is an error.
+func (c *Cluster) Release(w int) error {
+	if !c.alive[w] {
+		return fmt.Errorf("cluster: cannot release worker %d: not alive", w)
+	}
+	survivors := make([]int, 0, len(c.alive))
+	for o, ok := range c.alive {
+		if ok && o != w {
+			survivors = append(survivors, o)
+		}
+	}
+	if len(survivors) == 0 {
+		return errors.New("cluster: cannot release the last live worker")
+	}
+	sort.Ints(survivors)
+	moved := c.PartitionsOf(w)
+	for i, p := range moved {
+		c.owner[p] = survivors[i%len(survivors)]
+	}
+	delete(c.alive, w)
+	if c.spares >= 0 {
+		c.spares++
+	}
+	c.record(Event{Kind: EventRelease, Worker: w, Partitions: moved})
+	return nil
 }
 
 // Acquire provisions a fresh worker and assigns it every orphaned
 // partition (partitions whose owner is dead), returning the new
 // worker's ID and the partitions it received. This mirrors the paper's
-// re-assignment to newly acquired nodes.
+// re-assignment to newly acquired nodes. With an exhausted spare pool
+// (or a failing acquire hook) no worker joins and Acquire returns
+// (-1, nil).
 func (c *Cluster) Acquire() (worker int, adopted []int) {
-	ws, ad := c.AcquireN(1)
+	ws, ad, _ := c.AcquireN(1)
+	if len(ws) == 0 {
+		return -1, nil
+	}
 	return ws[0], ad[0]
 }
 
-// AcquireN provisions n fresh workers (one per failed worker, matching
-// the paper's plural "newly acquired nodes") and spreads every orphaned
-// partition across them round-robin in ascending partition order, so a
-// multi-worker failure does not shrink the cluster or pile all orphans
-// onto a single replacement. It returns the new worker IDs and, aligned
-// with them, the partitions each worker adopted.
-func (c *Cluster) AcquireN(n int) (workers []int, adopted [][]int) {
+// AcquireN provisions up to n fresh workers (one per failed worker,
+// matching the paper's plural "newly acquired nodes") and spreads every
+// orphaned partition across them round-robin in ascending partition
+// order, so a multi-worker failure does not shrink the cluster or pile
+// all orphans onto a single replacement. It returns the new worker IDs
+// and, aligned with them, the partitions each worker adopted.
+//
+// Unlike the paper's demo, provisioning can come up short: a bounded
+// spare pool grants fewer workers than requested (an "acquire-denied"
+// event records the shortfall, err stays nil — retrying will not
+// conjure spares), and an AcquireHook error aborts the sequence (an
+// "acquire-failed" event, the error returned alongside the workers
+// acquired before it — retrying may succeed). Callers must therefore
+// check len(workers), not assume n.
+func (c *Cluster) AcquireN(n int) (workers []int, adopted [][]int, err error) {
 	if n < 1 {
 		n = 1
 	}
-	workers = make([]int, n)
-	adopted = make([][]int, n)
-	for i := range workers {
+	grant := n
+	if c.spares >= 0 && c.spares < grant {
+		grant = c.spares
+		c.record(Event{Kind: EventAcquireDenied, Worker: -1,
+			Detail: fmt.Sprintf("%d of %d acquisitions denied: spare pool exhausted", n-grant, n)})
+	}
+	latencies := make([]time.Duration, 0, grant)
+	for i := 0; i < grant; i++ {
+		c.acquireSeq++
 		w := c.nextWorker
+		var lat time.Duration
+		if c.acquireHook != nil {
+			var hookErr error
+			lat, hookErr = c.acquireHook(c.acquireSeq, w)
+			if hookErr != nil {
+				c.record(Event{Kind: EventAcquireFailed, Worker: w, Detail: hookErr.Error()})
+				err = fmt.Errorf("cluster: acquiring worker %d: %w", w, hookErr)
+				break
+			}
+		}
 		c.nextWorker++
 		c.alive[w] = true
-		workers[i] = w
+		if c.spares > 0 {
+			c.spares--
+		}
+		workers = append(workers, w)
+		latencies = append(latencies, lat)
 	}
-	next := 0
-	for p, o := range c.owner {
-		if !c.alive[o] {
-			i := next % n
-			c.owner[p] = workers[i]
-			adopted[i] = append(adopted[i], p)
-			next++
+	adopted = make([][]int, len(workers))
+	if len(workers) > 0 {
+		next := 0
+		for p, o := range c.owner {
+			if !c.alive[o] {
+				i := next % len(workers)
+				c.owner[p] = workers[i]
+				adopted[i] = append(adopted[i], p)
+				next++
+			}
 		}
 	}
 	for i, w := range workers {
-		c.events = append(c.events, Event{Kind: "acquire", Worker: w, Partitions: adopted[i]})
+		c.record(Event{Kind: EventAcquire, Worker: w, Partitions: adopted[i], Latency: latencies[i]})
 	}
-	return workers, adopted
+	return workers, adopted, err
 }
 
-// Events returns the membership change log.
+// Orphaned returns the partitions currently owned by dead workers, in
+// ascending order.
+func (c *Cluster) Orphaned() []int {
+	var ps []int
+	for p, o := range c.owner {
+		if !c.alive[o] {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// AssignOrphans redistributes every orphaned partition round-robin (in
+// ascending partition order) across the surviving live workers — the
+// degraded-mode fallback when the spare pool is exhausted: the cluster
+// runs narrower until spares return. It returns worker -> partitions
+// actually moved, and an error if no live worker remains to adopt them.
+func (c *Cluster) AssignOrphans() (map[int][]int, error) {
+	orphans := c.Orphaned()
+	if len(orphans) == 0 {
+		return nil, nil
+	}
+	ws := c.Workers()
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("cluster: %d orphaned partitions and no live worker to adopt them", len(orphans))
+	}
+	moved := make(map[int][]int)
+	for i, p := range orphans {
+		w := ws[i%len(ws)]
+		c.owner[p] = w
+		moved[w] = append(moved[w], p)
+	}
+	c.record(Event{Kind: EventRepartition, Worker: -1, Partitions: orphans,
+		Detail: fmt.Sprintf("degraded: %d orphaned partition(s) repartitioned across %d survivor(s)", len(orphans), len(ws))})
+	return moved, nil
+}
+
+// Note appends a supervision event (escalations, retry/backoff notes)
+// to the cluster log so demo narration and tests see one ordered
+// history of everything that happened to the deployment.
+func (c *Cluster) Note(kind EventKind, detail string, partitions []int) {
+	c.record(Event{Kind: kind, Worker: -1, Partitions: partitions, Detail: detail})
+}
+
+// record appends e, honouring the ring-buffer cap.
+func (c *Cluster) record(e Event) {
+	if c.eventCap > 0 && len(c.events) >= c.eventCap {
+		drop := len(c.events) - c.eventCap + 1
+		c.events = c.events[drop:]
+		c.eventsDropped += drop
+	}
+	c.events = append(c.events, e)
+}
+
+// Events returns the cluster log (the most recent entries when a cap is
+// configured).
 func (c *Cluster) Events() []Event { return c.events }
+
+// DroppedEvents returns how many log entries the ring-buffer cap
+// discarded.
+func (c *Cluster) DroppedEvents() int { return c.eventsDropped }

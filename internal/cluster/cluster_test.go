@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 )
 
 func TestRoundRobinOwnership(t *testing.T) {
@@ -110,7 +112,10 @@ func TestAcquireNSpreadsOrphansRoundRobin(t *testing.T) {
 	if len(lost) != 4 {
 		t.Fatalf("lost = %v", lost)
 	}
-	workers, adopted := c.AcquireN(2)
+	workers, adopted, err := c.AcquireN(2)
+	if err != nil {
+		t.Fatalf("AcquireN: %v", err)
+	}
 	if len(workers) != 2 || workers[0] != 4 || workers[1] != 5 {
 		t.Fatalf("workers = %v", workers)
 	}
@@ -151,11 +156,205 @@ func TestAcquireNRecordsOneEventPerWorker(t *testing.T) {
 func TestAcquireNClampsToOne(t *testing.T) {
 	c := New(2, 2)
 	c.Fail(1)
-	workers, adopted := c.AcquireN(0)
+	workers, adopted, err := c.AcquireN(0)
+	if err != nil {
+		t.Fatalf("AcquireN: %v", err)
+	}
 	if len(workers) != 1 || len(adopted) != 1 {
 		t.Fatalf("workers = %v adopted = %v", workers, adopted)
 	}
 	if len(adopted[0]) != 1 {
 		t.Fatalf("adopted = %v", adopted)
+	}
+}
+
+func TestAcquireNBoundedSpares(t *testing.T) {
+	c := New(4, 8, WithSpares(1))
+	if c.Spares() != 1 {
+		t.Fatalf("spares = %d", c.Spares())
+	}
+	c.Fail(0)
+	c.Fail(1)
+	// Request exceeds the remaining pool: a partial grant, not an error.
+	workers, adopted, err := c.AcquireN(2)
+	if err != nil {
+		t.Fatalf("AcquireN: %v", err)
+	}
+	if len(workers) != 1 || workers[0] != 4 {
+		t.Fatalf("workers = %v", workers)
+	}
+	// The single replacement adopts every orphan of both dead workers.
+	if len(adopted[0]) != 4 {
+		t.Fatalf("adopted = %v", adopted)
+	}
+	if c.Spares() != 0 {
+		t.Fatalf("spares = %d", c.Spares())
+	}
+	var denied *Event
+	for i := range c.Events() {
+		if c.Events()[i].Kind == EventAcquireDenied {
+			denied = &c.Events()[i]
+		}
+	}
+	if denied == nil {
+		t.Fatalf("no acquire-denied event in %+v", c.Events())
+	}
+}
+
+func TestAcquireNZeroSpares(t *testing.T) {
+	c := New(2, 4, WithSpares(0))
+	c.Fail(1)
+	workers, adopted, err := c.AcquireN(1)
+	if err != nil {
+		t.Fatalf("AcquireN: %v", err)
+	}
+	if len(workers) != 0 || len(adopted) != 0 {
+		t.Fatalf("workers = %v adopted = %v", workers, adopted)
+	}
+	if got := c.Orphaned(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("orphaned = %v", got)
+	}
+	// Acquire wrapper stays safe on an empty grant.
+	if w, ad := c.Acquire(); w != -1 || ad != nil {
+		t.Fatalf("Acquire = %d, %v", w, ad)
+	}
+	// Degraded mode: survivors adopt the orphans.
+	moved, err := c.AssignOrphans()
+	if err != nil {
+		t.Fatalf("AssignOrphans: %v", err)
+	}
+	if !reflect.DeepEqual(moved[0], []int{1, 3}) {
+		t.Fatalf("moved = %v", moved)
+	}
+	if len(c.Orphaned()) != 0 {
+		t.Fatalf("orphaned = %v", c.Orphaned())
+	}
+}
+
+func TestReleaseReturnsWorkerToPool(t *testing.T) {
+	c := New(3, 6, WithSpares(0))
+	if err := c.Release(2); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if c.Spares() != 1 {
+		t.Fatalf("spares = %d", c.Spares())
+	}
+	// Cooperative release loses nothing: every partition stays owned by
+	// a live worker.
+	for p := 0; p < 6; p++ {
+		if !c.IsAlive(c.Owner(p)) {
+			t.Fatalf("partition %d orphaned by Release", p)
+		}
+	}
+	// Re-acquisition after the release succeeds using the returned spare.
+	c.Fail(1)
+	workers, _, err := c.AcquireN(1)
+	if err != nil || len(workers) != 1 {
+		t.Fatalf("AcquireN after release = %v, %v", workers, err)
+	}
+	if c.Spares() != 0 {
+		t.Fatalf("spares = %d", c.Spares())
+	}
+	// Errors: releasing a dead worker, releasing the last worker.
+	if err := c.Release(1); err == nil {
+		t.Fatal("releasing dead worker should fail")
+	}
+	c2 := New(1, 2)
+	if err := c2.Release(0); err == nil {
+		t.Fatal("releasing the last worker should fail")
+	}
+}
+
+func TestAddSparesReplenishesPool(t *testing.T) {
+	c := New(2, 4, WithSpares(0))
+	c.Fail(0)
+	if ws, _, _ := c.AcquireN(1); len(ws) != 0 {
+		t.Fatalf("workers = %v", ws)
+	}
+	c.AddSpares(2)
+	if c.Spares() != 2 {
+		t.Fatalf("spares = %d", c.Spares())
+	}
+	ws, adopted, err := c.AcquireN(1)
+	if err != nil || len(ws) != 1 {
+		t.Fatalf("AcquireN = %v, %v", ws, err)
+	}
+	if !reflect.DeepEqual(adopted[0], []int{0, 2}) {
+		t.Fatalf("adopted = %v", adopted)
+	}
+	found := false
+	for _, e := range c.Events() {
+		if e.Kind == EventReplenish {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no replenish event in %+v", c.Events())
+	}
+}
+
+func TestAcquireHookLatencyAndFailure(t *testing.T) {
+	calls := 0
+	hook := func(seq, worker int) (time.Duration, error) {
+		calls++
+		if seq == 2 {
+			return 0, errors.New("provisioning timed out")
+		}
+		return time.Duration(seq) * time.Millisecond, nil
+	}
+	c := New(2, 4, WithAcquireHook(hook))
+	c.Fail(0)
+	c.Fail(1)
+	workers, adopted, err := c.AcquireN(3)
+	if err == nil {
+		t.Fatal("expected hook error")
+	}
+	if calls != 2 {
+		t.Fatalf("hook calls = %d", calls)
+	}
+	// The worker acquired before the failure still joined and adopted
+	// every orphan.
+	if len(workers) != 1 || workers[0] != 2 {
+		t.Fatalf("workers = %v", workers)
+	}
+	if len(adopted[0]) != 4 {
+		t.Fatalf("adopted = %v", adopted)
+	}
+	var acq, failed bool
+	for _, e := range c.Events() {
+		switch e.Kind {
+		case EventAcquire:
+			if e.Latency != time.Millisecond {
+				t.Fatalf("latency = %v", e.Latency)
+			}
+			acq = true
+		case EventAcquireFailed:
+			failed = true
+		}
+	}
+	if !acq || !failed {
+		t.Fatalf("events = %+v", c.Events())
+	}
+}
+
+func TestEventCapRingBuffer(t *testing.T) {
+	c := New(2, 4, WithEventCap(3))
+	for i := 0; i < 5; i++ {
+		c.Note(EventRetry, "note", nil)
+	}
+	ev := c.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if c.DroppedEvents() != 2 {
+		t.Fatalf("dropped = %d", c.DroppedEvents())
+	}
+	// Uncapped clusters never drop.
+	c2 := New(2, 4)
+	for i := 0; i < 100; i++ {
+		c2.Note(EventRetry, "note", nil)
+	}
+	if len(c2.Events()) != 100 || c2.DroppedEvents() != 0 {
+		t.Fatalf("events = %d dropped = %d", len(c2.Events()), c2.DroppedEvents())
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"optiflow/internal/metrics"
 	"optiflow/internal/plot"
 	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
 	"optiflow/internal/viz"
 )
 
@@ -72,6 +73,22 @@ type Config struct {
 	// Policy selects the recovery policy: "optimistic" (default),
 	// "checkpoint", "restart" or "none".
 	Policy string
+	// Supervised runs the iteration under the recovery supervisor: the
+	// cluster gets a bounded spare pool (Spares), failures are healed
+	// with retry/backoff and degraded-mode repartitioning, and policies
+	// that cannot recover escalate instead of aborting the demo.
+	Supervised bool
+	// Spares bounds the spare pool when Supervised (negative =
+	// unlimited; zero = no spares, every failure degrades the cluster).
+	Spares int
+	// FailureBudget is the supervisor's budget of consecutive discarded
+	// attempts per superstep before escalating (supervisor default if
+	// zero).
+	FailureBudget int
+	// DuringRecoveryFailures schedules workers to die while the
+	// recovery for a failure at the keyed superstep is in flight —
+	// requires Supervised.
+	DuringRecoveryFailures map[int][]int
 	// Color enables ANSI colors in frames.
 	Color bool
 	// PRIterations bounds PageRank supersteps (30 if zero).
@@ -100,28 +117,66 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// policy maps the configured policy name to a recovery.Policy.
-func (c Config) policy() recovery.Policy {
+// policy maps the configured policy name to a recovery.Policy, also
+// returning the checkpoint store (nil unless the policy snapshots) so
+// the supervisor can escalate to the snapshots the policy wrote.
+func (c Config) policy() (recovery.Policy, checkpoint.Store) {
 	switch c.Policy {
 	case "checkpoint":
-		return recovery.NewCheckpoint(1, checkpoint.NewMemoryStore())
+		store := checkpoint.NewMemoryStore()
+		return recovery.NewCheckpoint(1, store), store
 	case "restart":
-		return recovery.Restart{}
+		return recovery.Restart{}, nil
 	case "none":
-		return recovery.None{}
+		return recovery.None{}, nil
 	default:
-		return recovery.Optimistic{}
+		return recovery.Optimistic{}, nil
 	}
 }
 
-// injector builds the scripted injector from the boundary and mid-step
-// failure schedules.
+// supervision builds the supervisor config for the run (nil when not
+// Supervised).
+func (c Config) supervision(store checkpoint.Store) *supervise.Config {
+	if !c.Supervised {
+		return nil
+	}
+	return &supervise.Config{
+		Spares:        c.Spares,
+		FailureBudget: c.FailureBudget,
+		Store:         store,
+	}
+}
+
+// injector builds the scripted injector from the boundary, mid-step and
+// during-recovery failure schedules.
 func (c Config) injector() failure.Injector {
 	inj := failure.NewScripted(c.Failures)
 	for superstep, workers := range c.MidStepFailures {
 		inj.AtMidStep(superstep, c.MidStepAfterRecords, workers...)
 	}
+	for superstep, workers := range c.DuringRecoveryFailures {
+		inj.AtDuringRecovery(superstep, workers...)
+	}
 	return inj
+}
+
+// recoverySuffix renders the supervisor's effort for status lines
+// ("" for unsupervised or effortless recoveries).
+func recoverySuffix(s iterate.Sample) string {
+	if s.Retries == 0 && s.Escalations == 0 && !s.Degraded {
+		return ""
+	}
+	var parts []string
+	if s.Escalations > 0 {
+		parts = append(parts, fmt.Sprintf("%d escalation(s)", s.Escalations))
+	}
+	if s.Retries > 0 {
+		parts = append(parts, fmt.Sprintf("%d retry(s)", s.Retries))
+	}
+	if s.Degraded {
+		parts = append(parts, "degraded")
+	}
+	return "  [RECOVERY: " + strings.Join(parts, ", ") + "]"
 }
 
 // Frame is one iteration's rendered view.
@@ -212,10 +267,12 @@ func runCC(cfg Config) (*RunOutcome, error) {
 		})
 	}
 
+	pol, store := cfg.policy()
 	res, err := cc.Run(g, cc.Options{
 		Parallelism: cfg.Parallelism,
 		Injector:    cfg.injector(),
-		Policy:      cfg.policy(),
+		Policy:      pol,
+		Supervise:   cfg.supervision(store),
 		Probe: func(job *cc.CC, s iterate.Sample) {
 			converged := job.ConvergedCount(truth)
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
@@ -233,7 +290,9 @@ func runCC(cfg Config) (*RunOutcome, error) {
 				} else {
 					title += "  [FAILURE: compensated]"
 				}
+				title += recoverySuffix(s)
 				collector.MarkFailure(s.Tick, frame.Failure)
+				collector.MarkRecovery(s.Tick, s.RecoveryDuration, s.Retries, s.Escalations)
 			}
 			if renderer != nil {
 				frame.Graph = renderer.CCFrame(title, job.Components(), lostVertices(g, cfg.Parallelism, s.LostPartitions))
@@ -246,9 +305,19 @@ func runCC(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	outcome.Summary = fmt.Sprintf(
-		"connected components converged after %d iterations (%d attempts, %d failures): %d components — result %s",
-		res.Supersteps, res.Ticks, res.Failures, ref.NumComponents(res.Components), verdict(componentsEqual(res.Components, truth)))
+		"connected components converged after %d iterations (%d attempts, %d failures%s): %d components — result %s",
+		res.Supersteps, res.Ticks, res.Failures, supervisionSummary(res.Result),
+		ref.NumComponents(res.Components), verdict(componentsEqual(res.Components, truth)))
 	return outcome, nil
+}
+
+// supervisionSummary renders the supervisor's totals for run summaries
+// ("" when it never had to work).
+func supervisionSummary(res *iterate.Result) string {
+	if res.TotalRetries == 0 && res.TotalEscalations == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d retries, %d escalations", res.TotalRetries, res.TotalEscalations)
 }
 
 func initialLabels(g *graph.Graph) map[graph.VertexID]graph.VertexID {
@@ -302,11 +371,13 @@ func runPR(cfg Config) (*RunOutcome, error) {
 		})
 	}
 
+	pol, store := cfg.policy()
 	res, err := pagerank.Run(g, pagerank.Options{
 		Parallelism:   cfg.Parallelism,
 		MaxIterations: cfg.PRIterations,
 		Injector:      cfg.injector(),
-		Policy:        cfg.policy(),
+		Policy:        pol,
+		Supervise:     cfg.supervision(store),
 		Probe: func(job *pagerank.PR, s iterate.Sample) {
 			converged := job.ConvergedCount(truth, eps)
 			l1 := s.Stats.Extra["l1"]
@@ -325,7 +396,9 @@ func runPR(cfg Config) (*RunOutcome, error) {
 				} else {
 					title += "  [FAILURE: mass redistributed]"
 				}
+				title += recoverySuffix(s)
 				collector.MarkFailure(s.Tick, frame.Failure)
+				collector.MarkRecovery(s.Tick, s.RecoveryDuration, s.Retries, s.Escalations)
 			}
 			if renderer != nil {
 				frame.Graph = renderer.PRFrame(title, job.RankVector(), lostVertices(g, cfg.Parallelism, s.LostPartitions))
@@ -340,9 +413,9 @@ func runPR(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	outcome.Summary = fmt.Sprintf(
-		"pagerank finished after %d iterations (%d attempts, %d failures): L1 distance to ground truth %.2e — result %s",
-		res.Supersteps, res.Ticks, res.Failures, ref.L1(res.Ranks, truth),
-		verdict(ref.L1(res.Ranks, truth) < 1e-3))
+		"pagerank finished after %d iterations (%d attempts, %d failures%s): L1 distance to ground truth %.2e — result %s",
+		res.Supersteps, res.Ticks, res.Failures, supervisionSummary(res.Result),
+		ref.L1(res.Ranks, truth), verdict(ref.L1(res.Ranks, truth) < 1e-3))
 	return outcome, nil
 }
 

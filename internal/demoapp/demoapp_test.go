@@ -333,3 +333,42 @@ func TestShellMidfailAndPolicyCommands(t *testing.T) {
 		t.Fatalf("run did not report a correct result: %q", outStr)
 	}
 }
+
+func TestShellSparesAndRecfailCommands(t *testing.T) {
+	var sb strings.Builder
+	s := NewShell(strings.NewReader(""), &sb, false)
+	for _, cmd := range []string{"policy none", "spares 0", "fail 3 1", "recfail 3 2", "status", "failures", "run"} {
+		if !s.Execute(cmd) {
+			t.Fatalf("command %q quit the shell", cmd)
+		}
+	}
+	outStr := sb.String()
+	if !strings.Contains(outStr, "supervision: on, 0 spare worker(s)") {
+		t.Fatalf("spares feedback missing: %q", outStr)
+	}
+	if !strings.Contains(outStr, "supervision=on (spares=0)") {
+		t.Fatalf("status line missing supervision: %q", outStr)
+	}
+	if !strings.Contains(outStr, "during recovery") {
+		t.Fatalf("recfail schedule missing from failures listing: %q", outStr)
+	}
+	// Policy "none" under supervision escalates instead of aborting, and
+	// the recovery effort shows up in the frame status line.
+	if !strings.Contains(outStr, "escalation") {
+		t.Fatalf("escalation missing from playback: %q", outStr)
+	}
+	if !strings.Contains(outStr, "degraded") {
+		t.Fatalf("degraded-mode note missing from playback: %q", outStr)
+	}
+	if !strings.Contains(outStr, "CORRECT") {
+		t.Fatalf("run did not report a correct result: %q", outStr)
+	}
+	// spares off returns to the legacy path, under which policy none
+	// aborts the run on failure.
+	if !s.Execute("spares off") || !s.Execute("run") {
+		t.Fatal("post-off commands quit the shell")
+	}
+	if !strings.Contains(sb.String(), "error:") {
+		t.Fatalf("unsupervised none policy should abort: %q", sb.String())
+	}
+}

@@ -32,7 +32,7 @@ func NewShell(in io.Reader, out io.Writer, color bool) *Shell {
 	return &Shell{
 		in:  bufio.NewScanner(in),
 		out: out,
-		cfg: Config{Color: color, Failures: map[int][]int{}, MidStepFailures: map[int][]int{}},
+		cfg: Config{Color: color, Failures: map[int][]int{}, MidStepFailures: map[int][]int{}, DuringRecoveryFailures: map[int][]int{}},
 	}
 }
 
@@ -45,7 +45,9 @@ const helpText = `commands (the GUI's tabs and buttons):
   small | large [n]      choose the input graph (hand-crafted, or Twitter-like with n vertices)
   fail <iter> <worker>   schedule worker <worker> to fail in iteration <iter> (1-based)
   midfail <iter> <worker>  schedule worker <worker> to fail mid-iteration <iter> (aborts the attempt)
+  recfail <iter> <worker>  schedule worker <worker> to fail while recovery for iteration <iter> runs (needs spares)
   policy <name>          choose recovery: optimistic | checkpoint | restart | none
+  spares <n> | off       supervise the run with n spare workers (0 = degraded mode on failure); off = unsupervised
   failures               list scheduled failures
   run                    execute the algorithm ("play" from the start)
   play                   replay all frames
@@ -134,6 +136,47 @@ func (s *Shell) Execute(line string) bool {
 		s.cfg.MidStepFailures[iter-1] = append(s.cfg.MidStepFailures[iter-1], worker)
 		s.outcome = nil
 		s.printf("scheduled: worker %d fails in the middle of iteration %d\n", worker, iter)
+	case "recfail":
+		if len(args) != 2 {
+			s.printf("usage: recfail <iteration> <worker>\n")
+			break
+		}
+		iter, err1 := strconv.Atoi(args[0])
+		worker, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || iter < 1 || worker < 0 {
+			s.printf("usage: recfail <iteration>=1.. <worker>=0..%d\n", s.cfg.withDefaults().Parallelism-1)
+			break
+		}
+		s.cfg.DuringRecoveryFailures[iter-1] = append(s.cfg.DuringRecoveryFailures[iter-1], worker)
+		if !s.cfg.Supervised {
+			s.cfg.Supervised = true
+			s.cfg.Spares = -1
+			s.printf("(supervision enabled with unlimited spares; tune with 'spares <n>')\n")
+		}
+		s.outcome = nil
+		s.printf("scheduled: worker %d fails during the recovery of iteration %d\n", worker, iter)
+	case "spares":
+		if len(args) != 1 {
+			s.printf("usage: spares <n>|off\n")
+			break
+		}
+		if args[0] == "off" {
+			s.cfg.Supervised = false
+			s.reset("supervision: off (failures heal instantly, policy errors abort)")
+			break
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			s.printf("usage: spares <n>|off\n")
+			break
+		}
+		s.cfg.Supervised = true
+		s.cfg.Spares = n
+		if n < 0 {
+			s.reset("supervision: on, unlimited spare workers")
+		} else {
+			s.reset(fmt.Sprintf("supervision: on, %d spare worker(s) — exhausted spares degrade the cluster", n))
+		}
 	case "policy":
 		if len(args) != 1 {
 			s.printf("usage: policy optimistic|checkpoint|restart|none\n")
@@ -147,7 +190,7 @@ func (s *Shell) Execute(line string) bool {
 			s.printf("unknown policy %q; choose optimistic|checkpoint|restart|none\n", args[0])
 		}
 	case "failures":
-		if len(s.cfg.Failures) == 0 && len(s.cfg.MidStepFailures) == 0 {
+		if len(s.cfg.Failures) == 0 && len(s.cfg.MidStepFailures) == 0 && len(s.cfg.DuringRecoveryFailures) == 0 {
 			s.printf("no failures scheduled\n")
 			break
 		}
@@ -156,6 +199,9 @@ func (s *Shell) Execute(line string) bool {
 		}
 		for iter, ws := range s.cfg.MidStepFailures {
 			s.printf("iteration %d (mid-step): workers %v\n", iter+1, ws)
+		}
+		for iter, ws := range s.cfg.DuringRecoveryFailures {
+			s.printf("iteration %d (during recovery): workers %v\n", iter+1, ws)
 		}
 	case "run", "play":
 		if s.outcome == nil || cmd == "run" {
@@ -215,8 +261,16 @@ func (s *Shell) Execute(line string) bool {
 		if c.Large {
 			input = fmt.Sprintf("Twitter-like graph (%d vertices)", c.LargeSize)
 		}
-		s.printf("tab=%s input=%s parallelism=%d policy=%s scheduled failures=%d mid-step=%d\n",
-			c.Mode, input, c.Parallelism, c.Policy, len(s.cfg.Failures), len(s.cfg.MidStepFailures))
+		supervision := "off"
+		if c.Supervised {
+			supervision = fmt.Sprintf("on (spares=%d)", c.Spares)
+			if c.Spares < 0 {
+				supervision = "on (unlimited spares)"
+			}
+		}
+		s.printf("tab=%s input=%s parallelism=%d policy=%s supervision=%s scheduled failures=%d mid-step=%d during-recovery=%d\n",
+			c.Mode, input, c.Parallelism, c.Policy, supervision,
+			len(s.cfg.Failures), len(s.cfg.MidStepFailures), len(s.cfg.DuringRecoveryFailures))
 	default:
 		s.printf("unknown command %q; type 'help'\n", cmd)
 	}

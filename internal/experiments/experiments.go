@@ -126,7 +126,7 @@ type Runner struct {
 func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg.withDefaults()} }
 
 // Experiment names in canonical order.
-var order = []string{"fig1a", "fig1b", "fig2", "fig4", "twitter", "overhead", "recovery", "compensation", "bulkdelta", "als", "confined", "kmeans"}
+var order = []string{"fig1a", "fig1b", "fig2", "fig4", "twitter", "overhead", "recovery", "compensation", "bulkdelta", "als", "confined", "kmeans", "chaos"}
 
 // Names returns the experiment names in canonical order.
 func (r *Runner) Names() []string { return append([]string(nil), order...) }
@@ -158,6 +158,8 @@ func (r *Runner) Run(name string) (*Report, error) {
 		return r.Confined()
 	case "kmeans":
 		return r.KMeans()
+	case "chaos":
+		return r.ChaosSoak()
 	default:
 		sorted := append([]string(nil), order...)
 		sort.Strings(sorted)

@@ -81,8 +81,29 @@ func TestRunnerDispatch(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	names := r.Names()
-	if len(names) != 12 || names[0] != "fig1a" {
+	if len(names) != 13 || names[0] != "fig1a" {
 		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	rep, err := quickRunner().ChaosSoak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("chaos soak checks failed:\n%s", rep.Render())
+	}
+	csv, ok := rep.CSVs["chaos-soak.csv"]
+	if !ok {
+		t.Fatal("chaos-soak.csv missing")
+	}
+	if !strings.HasPrefix(csv, "workload,policy,seed,failures,retries,escalations,") {
+		t.Fatalf("csv header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	// quick mode: 2 seeds x 2 workloads x 4 policies
+	if lines := strings.Count(strings.TrimSpace(csv), "\n"); lines != 16 {
+		t.Fatalf("csv rows = %d, want 16", lines)
 	}
 }
 

@@ -49,6 +49,20 @@ type MidStepInjector interface {
 	MidStepAt(superstep, tick int, alive []int) (ms MidStep, ok bool)
 }
 
+// RecoveryInjector is implemented by injectors that can strike while a
+// recovery round itself is in flight — the failure-during-restore case
+// the paper's demo never shows. The recovery supervisor consults it
+// after each restore/compensation attempt; reported deaths are folded
+// into the current recovery round as a fresh failure. round counts the
+// folds within one recovery (0 = the original failure's round), letting
+// scripted schedules target "the second failure, mid-compensation".
+type RecoveryInjector interface {
+	Injector
+	// FailuresDuringRecovery returns the workers (a subset of alive)
+	// that die while recovery for the given superstep attempt runs.
+	FailuresDuringRecovery(superstep, tick, round int, alive []int) []int
+}
+
 // None is an Injector that never fails anything.
 type None struct{}
 
@@ -64,6 +78,8 @@ type Scripted struct {
 	fired    map[int]bool    // consumed boundary entries
 	midPlan  map[int]MidStep // superstep -> mid-superstep failure
 	midFired map[int]bool    // consumed mid-step entries
+	recPlan  map[int][]int   // superstep -> workers dying during recovery
+	recFired map[int]bool    // consumed during-recovery entries
 }
 
 // NewScripted builds a scripted injector from a superstep -> workers
@@ -78,6 +94,8 @@ func NewScripted(plan map[int][]int) *Scripted {
 		fired:    make(map[int]bool),
 		midPlan:  make(map[int]MidStep),
 		midFired: make(map[int]bool),
+		recPlan:  make(map[int][]int),
+		recFired: make(map[int]bool),
 	}
 }
 
@@ -137,6 +155,33 @@ func (s *Scripted) FailuresAt(superstep, _ int, alive []int) []int {
 	return out
 }
 
+// AtDuringRecovery schedules the listed workers to die while the
+// recovery for a failure at the given superstep is in flight — e.g. a
+// second machine crashing mid-compensation. The entry fires (once) the
+// first time the supervisor runs a recovery round for that superstep.
+func (s *Scripted) AtDuringRecovery(superstep int, workers ...int) *Scripted {
+	s.recPlan[superstep] = append(s.recPlan[superstep], workers...)
+	return s
+}
+
+// FailuresDuringRecovery implements RecoveryInjector, with the same
+// consume-only-when-emitted rule as FailuresAt.
+func (s *Scripted) FailuresDuringRecovery(superstep, _, _ int, alive []int) []int {
+	if s.recFired[superstep] {
+		return nil
+	}
+	scheduled := s.recPlan[superstep]
+	if len(scheduled) == 0 {
+		return nil
+	}
+	out := liveSubset(scheduled, alive)
+	if len(out) == 0 {
+		return nil
+	}
+	s.recFired[superstep] = true
+	return out
+}
+
 // MidStepAt implements MidStepInjector, with the same
 // consume-only-when-emitted rule as FailuresAt.
 func (s *Scripted) MidStepAt(superstep, _ int, alive []int) (MidStep, bool) {
@@ -163,6 +208,9 @@ type Random struct {
 	rng *rand.Rand
 	max int // maximum number of failures to inject; 0 = unlimited
 	n   int
+
+	midP          float64 // per-attempt mid-superstep probability
+	midMaxRecords int64   // upper bound for the random record threshold
 }
 
 // NewRandom returns a Random injector with per-attempt probability p.
@@ -170,6 +218,17 @@ type Random struct {
 // unlimited).
 func NewRandom(p float64, seed int64, maxFailures int) *Random {
 	return &Random{P: p, rng: rand.New(rand.NewSource(seed)), max: maxFailures}
+}
+
+// WithMidStep additionally arms mid-superstep failures: with
+// probability p per attempt, a uniformly chosen live worker dies after
+// a random record threshold in [0, maxAfterRecords]. Returns r for
+// chaining. Without this call MidStepAt never fires and never consumes
+// randomness, so seeded boundary-only schedules are unchanged.
+func (r *Random) WithMidStep(p float64, maxAfterRecords int64) *Random {
+	r.midP = p
+	r.midMaxRecords = maxAfterRecords
+	return r
 }
 
 // FailuresAt implements Injector.
@@ -182,4 +241,23 @@ func (r *Random) FailuresAt(_, _ int, alive []int) []int {
 	}
 	r.n++
 	return []int{alive[r.rng.Intn(len(alive))]}
+}
+
+// MidStepAt implements MidStepInjector. It draws from the same rng and
+// failure budget as FailuresAt, and is a no-op (consuming no
+// randomness) unless WithMidStep enabled it.
+func (r *Random) MidStepAt(_, _ int, alive []int) (MidStep, bool) {
+	if r.midP <= 0 || len(alive) == 0 || (r.max > 0 && r.n >= r.max) {
+		return MidStep{}, false
+	}
+	if r.rng.Float64() >= r.midP {
+		return MidStep{}, false
+	}
+	r.n++
+	w := alive[r.rng.Intn(len(alive))]
+	var after int64
+	if r.midMaxRecords > 0 {
+		after = r.rng.Int63n(r.midMaxRecords + 1)
+	}
+	return MidStep{Workers: []int{w}, AfterRecords: after}, true
 }

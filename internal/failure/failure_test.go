@@ -178,3 +178,156 @@ func TestScriptedBoundaryAndMidStepAreIndependent(t *testing.T) {
 		t.Fatalf("boundary = %v", got)
 	}
 }
+
+func TestScriptedDuringRecoveryFiresOnce(t *testing.T) {
+	inj := NewScripted(nil).AtDuringRecovery(3, 2)
+	if got := inj.FailuresDuringRecovery(1, 1, 0, alive); got != nil {
+		t.Fatalf("unexpected recovery failure %v", got)
+	}
+	if got := inj.FailuresDuringRecovery(3, 4, 0, alive); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("superstep 3: %v", got)
+	}
+	// The folded round must not re-fire the entry.
+	if got := inj.FailuresDuringRecovery(3, 4, 1, alive); got != nil {
+		t.Fatalf("refired: %v", got)
+	}
+}
+
+func TestScriptedDuringRecoveryStaysArmedWhenAllDead(t *testing.T) {
+	inj := NewScripted(nil).AtDuringRecovery(2, 9)
+	if got := inj.FailuresDuringRecovery(2, 2, 0, alive); got != nil {
+		t.Fatalf("dead worker fired: %v", got)
+	}
+	if got := inj.FailuresDuringRecovery(2, 5, 0, append(alive, 9)); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("stayed-armed entry = %v", got)
+	}
+}
+
+func TestRandomMidStepDisabledConsumesNoRandomness(t *testing.T) {
+	// Boundary-only schedules must not shift when MidStepAt is consulted
+	// but disabled — the iteration driver consults it on every attempt.
+	plain := NewRandom(0.5, 42, 0)
+	consulted := NewRandom(0.5, 42, 0)
+	for i := 0; i < 50; i++ {
+		if _, ok := consulted.MidStepAt(i, i, alive); ok {
+			t.Fatal("disabled mid-step fired")
+		}
+		a := plain.FailuresAt(i, i, alive)
+		b := consulted.FailuresAt(i, i, alive)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("attempt %d: schedules diverged (%v vs %v)", i, a, b)
+		}
+	}
+}
+
+func TestRandomMidStepFiresDeterministically(t *testing.T) {
+	run := func() []int64 {
+		inj := NewRandom(0, 7, 0).WithMidStep(0.5, 100)
+		var thresholds []int64
+		for i := 0; i < 40; i++ {
+			if ms, ok := inj.MidStepAt(i, i, alive); ok {
+				if len(ms.Workers) != 1 || ms.AfterRecords < 0 || ms.AfterRecords > 100 {
+					t.Fatalf("ms = %+v", ms)
+				}
+				thresholds = append(thresholds, ms.AfterRecords)
+			}
+		}
+		return thresholds
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("mid-step never fired")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRandomMidStepSharesFailureBudget(t *testing.T) {
+	inj := NewRandom(0.5, 11, 2).WithMidStep(0.9, 10)
+	n := 0
+	for i := 0; i < 200; i++ {
+		if ms, ok := inj.MidStepAt(i, i, alive); ok {
+			n += len(ms.Workers)
+		}
+		n += len(inj.FailuresAt(i, i, alive))
+	}
+	if n != 2 {
+		t.Fatalf("injected %d failures, budget was 2", n)
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	type event struct {
+		kind      string
+		superstep int
+		workers   []int
+	}
+	run := func() []event {
+		c := NewChaos(99).WithProbabilities(0.3, 0.25, 0.4)
+		var out []event
+		for i := 0; i < 30; i++ {
+			if ms, ok := c.MidStepAt(i, i, alive); ok {
+				out = append(out, event{"mid", i, ms.Workers})
+			}
+			if ws := c.FailuresAt(i, i, alive); ws != nil {
+				out = append(out, event{"boundary", i, ws})
+			}
+			if ws := c.FailuresDuringRecovery(i, i, 0, alive); ws != nil {
+				out = append(out, event{"during", i, ws})
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("chaos injected nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestChaosSurfacesAreIndependent(t *testing.T) {
+	// Disabling one surface must not shift another's schedule: each
+	// surface draws from its own derived rng.
+	all := NewChaos(5).WithProbabilities(0.3, 0.5, 0.5)
+	boundaryOnly := NewChaos(5).WithProbabilities(0.3, 0, 0)
+	for i := 0; i < 50; i++ {
+		all.MidStepAt(i, i, alive)
+		all.FailuresDuringRecovery(i, i, 0, alive)
+		a := all.FailuresAt(i, i, alive)
+		b := boundaryOnly.FailuresAt(i, i, alive)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("attempt %d: boundary schedule diverged (%v vs %v)", i, a, b)
+		}
+	}
+}
+
+func TestChaosRespectsBudgetAndUntil(t *testing.T) {
+	c := NewChaos(3).WithProbabilities(0.9, 0.9, 0.9).WithMaxFailures(4)
+	for i := 0; i < 100; i++ {
+		c.FailuresAt(i, i, alive)
+		c.MidStepAt(i, i, alive)
+		c.FailuresDuringRecovery(i, i, 0, alive)
+	}
+	if c.Injected() != 4 {
+		t.Fatalf("injected = %d, budget 4", c.Injected())
+	}
+
+	bounded := NewChaos(3).WithProbabilities(1, 1, 1).Until(2)
+	for i := 0; i < 10; i++ {
+		bounded.FailuresAt(i, i, alive)
+	}
+	// Supersteps 0..2 may fail; 3.. must be quiet.
+	if bounded.Injected() != 3 {
+		t.Fatalf("injected = %d, want 3 (supersteps 0-2)", bounded.Injected())
+	}
+}
+
+func TestChaosDuringRecoverySparesLastWorker(t *testing.T) {
+	c := NewChaos(1).WithProbabilities(1, 1, 1)
+	if got := c.FailuresDuringRecovery(0, 0, 0, []int{7}); got != nil {
+		t.Fatalf("killed the last worker: %v", got)
+	}
+}

@@ -85,6 +85,15 @@ Under the optimistic policy the algorithms recover through compensation function
     <label>mid-iteration failures (same syntax; the worker dies while the iteration is still running,
       aborting the attempt): <input type="text" name="midfail" value="" style="width:12em"></label>
   </p>
+  <p>
+    <label>during-recovery failures (same syntax; the worker dies while the recovery for that
+      iteration is in flight): <input type="text" name="recfail" value="" style="width:12em"></label>
+  </p>
+  <p>
+    <label>spare workers: <input type="text" name="spares" value="" style="width:5em"
+      placeholder="off"> (a number supervises the run with that many spares — 0 means failures
+      degrade the cluster; empty = unsupervised)</label>
+  </p>
   <p><button type="submit">▶ run</button></p>
 </form>
 `)
@@ -139,6 +148,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	recFailures, err := parseFailures(r.URL.Query().Get("recfail"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	policy := r.URL.Query().Get("policy")
 	switch policy {
 	case "", "optimistic", "checkpoint", "restart", "none":
@@ -148,7 +162,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := demoapp.Config{
 		Mode: mode, Failures: failures, MidStepFailures: midFailures,
-		Policy: policy, Color: true,
+		DuringRecoveryFailures: recFailures,
+		Policy:                 policy, Color: true,
+	}
+	if sparesSpec := strings.TrimSpace(r.URL.Query().Get("spares")); sparesSpec != "" {
+		n, err := strconv.Atoi(sparesSpec)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad spares %q (want a number, or empty for unsupervised)", sparesSpec), http.StatusBadRequest)
+			return
+		}
+		cfg.Supervised = true
+		cfg.Spares = n
+	} else if len(recFailures) > 0 {
+		// During-recovery schedules need the supervisor; default to an
+		// unlimited spare pool.
+		cfg.Supervised = true
+		cfg.Spares = -1
 	}
 	if r.URL.Query().Get("input") == "large" {
 		cfg.Large = true

@@ -156,3 +156,36 @@ func TestRunRejectsBadMidfailAndPolicy(t *testing.T) {
 		t.Fatalf("bad policy accepted: %d", code)
 	}
 }
+
+func TestSupervisedRunWithRecoveryFailure(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Zero spares, policy none, a failure at iteration 3 and a second
+	// failure while its recovery runs: the supervisor must escalate and
+	// the run must still complete and report a correct result.
+	code, _ := get(t, client, srv.URL+"/run?mode=cc&input=small&policy=none&fail=3:1&recfail=3:2&spares=0")
+	if code != http.StatusOK {
+		t.Fatalf("run: %d", code)
+	}
+	code, body := get(t, client, srv.URL+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: %d", code)
+	}
+	if !strings.Contains(body, "escalation") {
+		t.Fatalf("report missing escalation evidence:\n%s", body)
+	}
+	if !strings.Contains(body, "CORRECT") {
+		t.Fatalf("report missing correct verdict:\n%s", body)
+	}
+
+	// A bad spares value is rejected.
+	if code, _ := get(t, client, srv.URL+"/run?mode=cc&spares=lots"); code != http.StatusBadRequest {
+		t.Fatalf("bad spares accepted: %d", code)
+	}
+	// A bad recfail spec is rejected.
+	if code, _ := get(t, client, srv.URL+"/run?mode=cc&recfail=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad recfail accepted: %d", code)
+	}
+}

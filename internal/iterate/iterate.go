@@ -17,6 +17,7 @@ import (
 	"optiflow/internal/exec"
 	"optiflow/internal/failure"
 	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
 )
 
 // StepStats is what one execution of the loop body reports.
@@ -72,7 +73,15 @@ type Sample struct {
 	// plots show the tick as a truncated iteration. Aborted is only
 	// ever true on samples where Failed() is also true.
 	Aborted bool
-	Elapsed time.Duration
+	// Retries, Escalations, Degraded and RecoveryDuration are filled on
+	// failed samples of supervised loops: acquire retries performed,
+	// escalation-ladder rungs climbed, whether degraded-mode
+	// repartitioning was needed, and the recovery's wall time.
+	Retries          int
+	Escalations      int
+	Degraded         bool
+	RecoveryDuration time.Duration
+	Elapsed          time.Duration
 }
 
 // Failed reports whether a failure struck during this attempt.
@@ -88,6 +97,11 @@ type Result struct {
 	Ticks int
 	// Failures counts injected failure events.
 	Failures int
+	// TotalRetries and TotalEscalations accumulate the supervisor's
+	// acquire retries and escalation-ladder climbs (zero on
+	// unsupervised loops).
+	TotalRetries     int
+	TotalEscalations int
 	// Samples holds one entry per attempt, in order.
 	Samples []Sample
 	// Elapsed is the total wall time of the loop.
@@ -161,6 +175,14 @@ type Loop struct {
 	Cluster *cluster.Cluster
 	// Injector decides failures (defaults to no failures).
 	Injector failure.Injector
+	// Supervisor, if set, takes over the failure path: worker
+	// replacement with retry/backoff against a bounded spare pool,
+	// degraded-mode repartitioning, failure budgets, policy escalation
+	// and recovery-during-recovery folding. Build it with supervise.New
+	// over the same Cluster, Policy and Injector. When nil, failures
+	// take the legacy path: unconditional replacement and a fatal error
+	// if the policy cannot recover.
+	Supervisor *supervise.Supervisor
 	// OnSample, if set, observes every attempt's sample.
 	OnSample func(Sample)
 	// MaxTicks bounds the number of attempts (DefaultMaxTicks if zero).
@@ -267,6 +289,26 @@ func (l *Loop) Run() (*Result, error) {
 			lost = append(lost, l.Cluster.Fail(w)...)
 		}
 		switch {
+		case len(died) > 0 && l.Supervisor != nil:
+			res.Failures++
+			out, err := l.Supervisor.Recover(l.Job, recovery.Failure{
+				Superstep: superstep, Tick: tick,
+				Workers: died, LostPartitions: lost,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
+			}
+			res.Failures += out.FoldedFailures
+			res.TotalRetries += out.Retries
+			res.TotalEscalations += out.Escalations
+			sample.FailedWorkers = out.Workers
+			sample.LostPartitions = out.LostPartitions
+			sample.Recovery = out.Description
+			sample.Retries = out.Retries
+			sample.Escalations = out.Escalations
+			sample.Degraded = out.Degraded
+			sample.RecoveryDuration = out.Duration
+			superstep = out.ResumeAt
 		case len(died) > 0:
 			res.Failures++
 			l.Cluster.AcquireN(len(died))
@@ -290,6 +332,9 @@ func (l *Loop) Run() (*Result, error) {
 				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
 			}
 			superstep++
+			if l.Supervisor != nil {
+				l.Supervisor.NoteCommitted(superstep)
+			}
 		}
 
 		sample.Elapsed = clock.Since(attemptStart)

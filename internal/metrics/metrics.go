@@ -9,23 +9,34 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
+
+// Recovery summarises what the recovery supervisor did at one tick:
+// how long the recovery took and how hard it had to work.
+type Recovery struct {
+	Duration    time.Duration
+	Retries     int
+	Escalations int
+}
 
 // Collector accumulates aligned per-tick series.
 type Collector struct {
-	order    []string
-	series   map[string][]float64
-	failures map[int]string
-	aborted  map[int]bool
-	maxTick  int
+	order      []string
+	series     map[string][]float64
+	failures   map[int]string
+	aborted    map[int]bool
+	recoveries map[int]Recovery
+	maxTick    int
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		series:   make(map[string][]float64),
-		failures: make(map[int]string),
-		aborted:  make(map[int]bool),
+		series:     make(map[string][]float64),
+		failures:   make(map[int]string),
+		aborted:    make(map[int]bool),
+		recoveries: make(map[int]Recovery),
 	}
 }
 
@@ -72,6 +83,30 @@ func (c *Collector) MarkAborted(tick int) {
 	}
 }
 
+// MarkRecovery annotates a tick with the supervisor's recovery effort:
+// wall time, acquire retries and escalation-ladder climbs.
+func (c *Collector) MarkRecovery(tick int, d time.Duration, retries, escalations int) {
+	c.recoveries[tick] = Recovery{Duration: d, Retries: retries, Escalations: escalations}
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// RecoveryAt returns the recovery annotation of a tick (zero value if
+// none).
+func (c *Collector) RecoveryAt(tick int) Recovery { return c.recoveries[tick] }
+
+// RecoveryTotals sums the recorded recovery effort across all ticks.
+func (c *Collector) RecoveryTotals() Recovery {
+	var total Recovery
+	for _, r := range c.recoveries {
+		total.Duration += r.Duration
+		total.Retries += r.Retries
+		total.Escalations += r.Escalations
+	}
+	return total
+}
+
 // AbortedTicks returns the mid-superstep-aborted ticks in ascending
 // order.
 func (c *Collector) AbortedTicks() []int {
@@ -107,18 +142,18 @@ func (c *Collector) FailureAt(tick int) string { return c.failures[tick] }
 
 // Ticks returns the number of ticks recorded (max tick + 1).
 func (c *Collector) Ticks() int {
-	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 {
+	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 && len(c.recoveries) == 0 {
 		return 0
 	}
 	return c.maxTick + 1
 }
 
 // WriteCSV exports all series as CSV: one row per tick, one column per
-// series, plus trailing "failure" (annotation) and "aborted" (0/1)
-// columns.
+// series, plus trailing "failure" (annotation), "aborted" (0/1),
+// "recovery_ms", "retries" and "escalations" columns.
 func (c *Collector) WriteCSV(w io.Writer) error {
 	headers := append([]string{"tick"}, c.order...)
-	headers = append(headers, "failure", "aborted")
+	headers = append(headers, "failure", "aborted", "recovery_ms", "retries", "escalations")
 	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
 		return err
 	}
@@ -139,6 +174,11 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 		} else {
 			row = append(row, "0")
 		}
+		rec := c.recoveries[t]
+		row = append(row,
+			formatFloat(float64(rec.Duration)/float64(time.Millisecond)),
+			fmt.Sprintf("%d", rec.Retries),
+			fmt.Sprintf("%d", rec.Escalations))
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRecordAndSeries(t *testing.T) {
@@ -73,7 +74,7 @@ func TestEmptyCollector(t *testing.T) {
 	if err := c.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(buf.String()) != "tick,failure,aborted" {
+	if strings.TrimSpace(buf.String()) != "tick,failure,aborted,recovery_ms,retries,escalations" {
 		t.Fatalf("empty CSV = %q", buf.String())
 	}
 }
@@ -86,6 +87,7 @@ func TestWriteCSV(t *testing.T) {
 	c.Record(1, "converged", 14)
 	c.MarkFailure(1, `lost partitions [1, 2] on "node-a"`)
 	c.MarkAborted(1)
+	c.MarkRecovery(1, 1500*time.Microsecond, 2, 1)
 
 	var buf bytes.Buffer
 	if err := c.WriteCSV(&buf); err != nil {
@@ -95,17 +97,36 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV lines: %v", lines)
 	}
-	if lines[0] != "tick,messages,converged,failure,aborted" {
+	if lines[0] != "tick,messages,converged,failure,aborted,recovery_ms,retries,escalations" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,34,10,,0" {
+	if lines[1] != "0,34,10,,0,0,0,0" {
 		t.Fatalf("row 0 = %q", lines[1])
 	}
 	if !strings.HasPrefix(lines[2], "1,27.5,14,") || !strings.Contains(lines[2], `""node-a""`) {
 		t.Fatalf("row 1 = %q (quoting broken?)", lines[2])
 	}
-	if !strings.HasSuffix(lines[2], ",1") {
-		t.Fatalf("row 1 = %q (aborted column missing)", lines[2])
+	if !strings.HasSuffix(lines[2], ",1,1.5,2,1") {
+		t.Fatalf("row 1 = %q (aborted/recovery columns wrong)", lines[2])
+	}
+}
+
+func TestRecoveryAnnotations(t *testing.T) {
+	c := NewCollector()
+	c.MarkRecovery(2, 3*time.Millisecond, 1, 0)
+	c.MarkRecovery(4, 5*time.Millisecond, 0, 2)
+	if got := c.RecoveryAt(2); got.Retries != 1 || got.Duration != 3*time.Millisecond {
+		t.Fatalf("recovery at 2 = %+v", got)
+	}
+	if got := c.RecoveryAt(3); got != (Recovery{}) {
+		t.Fatalf("recovery at 3 = %+v", got)
+	}
+	total := c.RecoveryTotals()
+	if total.Duration != 8*time.Millisecond || total.Retries != 1 || total.Escalations != 2 {
+		t.Fatalf("totals = %+v", total)
+	}
+	if c.Ticks() != 5 {
+		t.Fatalf("ticks = %d", c.Ticks())
 	}
 }
 

@@ -72,6 +72,7 @@ var deterministicPrefixes = []string{
 	"internal/recovery",
 	"internal/iterate",
 	"internal/checkpoint",
+	"internal/supervise",
 }
 
 // Check walks every package directory under the given roots (repo-root

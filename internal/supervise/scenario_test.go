@@ -1,0 +1,152 @@
+package supervise_test
+
+// End-to-end acceptance scenario for the recovery supervisor: a
+// cluster with zero spares loses worker 1 at superstep 2 and — while
+// the compensation for that failure is still in flight — loses worker
+// 2 too. Under a policy with no recovery mechanism (recovery.None) the
+// supervisor must escalate to compensation, repartition the orphans
+// across the survivors (degraded mode), fold the second failure into
+// the same recovery, and the iteration must still converge to ground
+// truth — for both delta Connected Components and PageRank, with the
+// escalation visible in cluster events and the metrics CSV.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optiflow/internal/algo/cc"
+	"optiflow/internal/algo/pagerank"
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/cluster"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/iterate"
+	"optiflow/internal/metrics"
+	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
+)
+
+// scenarioProbe records samples into a metrics collector the way the
+// demo app does, so the test can assert CSV visibility.
+func scenarioProbe(col *metrics.Collector) func(iterate.Sample) {
+	return func(s iterate.Sample) {
+		col.Record(s.Tick, "messages", float64(s.Stats.Messages))
+		if s.Failed() {
+			col.MarkFailure(s.Tick, s.Recovery)
+			col.MarkRecovery(s.Tick, s.RecoveryDuration, s.Retries, s.Escalations)
+		}
+	}
+}
+
+func assertScenario(t *testing.T, cl *cluster.Cluster, res *iterate.Result, col *metrics.Collector) {
+	t.Helper()
+	if res.Failures < 2 {
+		t.Fatalf("failures = %d, want both scripted failures", res.Failures)
+	}
+	if res.TotalEscalations == 0 {
+		t.Fatal("no escalations recorded on the result")
+	}
+	var sawEscalation, sawDegraded, sawFold bool
+	for _, s := range res.Samples {
+		if s.Escalations > 0 {
+			sawEscalation = true
+		}
+		if s.Degraded {
+			sawDegraded = true
+		}
+		if strings.Contains(s.Recovery, "during recovery") {
+			sawFold = true
+		}
+	}
+	if !sawEscalation || !sawDegraded || !sawFold {
+		t.Fatalf("samples missing evidence: escalation=%v degraded=%v fold=%v", sawEscalation, sawDegraded, sawFold)
+	}
+	// Cluster events: the spare pool denied the acquisition, the orphans
+	// were repartitioned, and the ladder was climbed.
+	want := map[cluster.EventKind]bool{
+		cluster.EventAcquireDenied: false,
+		cluster.EventRepartition:   false,
+		cluster.EventEscalate:      false,
+	}
+	for _, e := range cl.Events() {
+		if _, ok := want[e.Kind]; ok {
+			want[e.Kind] = true
+		}
+	}
+	for kind, seen := range want {
+		if !seen {
+			t.Fatalf("no %q event in %+v", kind, cl.Events())
+		}
+	}
+	// Metrics: the escalations column carries the evidence into the CSV.
+	if col.RecoveryTotals().Escalations == 0 {
+		t.Fatal("metrics recorded no escalations")
+	}
+	var buf bytes.Buffer
+	if err := col.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], "recovery_ms,retries,escalations") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	sawNonzero := false
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if cols[len(cols)-1] != "0" {
+			sawNonzero = true
+		}
+	}
+	if !sawNonzero {
+		t.Fatal("escalations column all zero")
+	}
+}
+
+func TestScenarioZeroSparesDoubleFailureCC(t *testing.T) {
+	g, _ := gen.Demo()
+	truth := ref.ConnectedComponents(g)
+	col := metrics.NewCollector()
+	res, err := cc.Run(g, cc.Options{
+		Parallelism: 4,
+		Policy:      recovery.None{},
+		Injector:    failure.NewScripted(nil).At(2, 1).AtDuringRecovery(2, 2),
+		Supervise:   &supervise.Config{Spares: 0},
+		OnSample:    scenarioProbe(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range truth {
+		if got := res.Components[v]; got != want {
+			t.Fatalf("vertex %d: component %d, want %d", v, got, want)
+		}
+	}
+	assertScenario(t, res.Cluster, res.Result, col)
+	// Degraded mode shrank the cluster: zero spares means the dead are
+	// never replaced.
+	if len(res.Cluster.Workers()) != 2 {
+		t.Fatalf("workers = %v", res.Cluster.Workers())
+	}
+}
+
+func TestScenarioZeroSparesDoubleFailurePageRank(t *testing.T) {
+	g, _ := gen.DemoDirected()
+	truth, _ := ref.PageRank(g, ref.PageRankOptions{})
+	col := metrics.NewCollector()
+	res, err := pagerank.Run(g, pagerank.Options{
+		Parallelism:   4,
+		MaxIterations: 60,
+		Policy:        recovery.None{},
+		Injector:      failure.NewScripted(nil).At(2, 1).AtDuringRecovery(2, 2),
+		Supervise:     &supervise.Config{Spares: 0},
+		OnSample:      scenarioProbe(col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 := ref.L1(truth, res.Ranks); l1 > 1e-3 {
+		t.Fatalf("L1 distance to ground truth = %g", l1)
+	}
+	assertScenario(t, res.Cluster, res.Result, col)
+}

@@ -57,6 +57,7 @@ import (
 	"optiflow/internal/graph/gen"
 	"optiflow/internal/iterate"
 	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
 	"optiflow/internal/vertexcentric"
 )
 
@@ -278,6 +279,31 @@ func RandomFailures(p float64, seed int64, maxFailures int) Injector {
 // NoFailures returns an injector that never fails anything.
 func NoFailures() Injector { return failure.None{} }
 
+// ChaosFailures returns the seeded chaos-soak injector: random boundary
+// failures, mid-superstep aborts and failures during recovery rounds,
+// each drawn from its own seed-derived rng so the full schedule is
+// reproducible. Tune with its WithProbabilities / WithMaxFailures /
+// Until methods; pair with SuperviseConfig so recovery can keep up.
+func ChaosFailures(seed int64) *failure.Chaos { return failure.NewChaos(seed) }
+
+// Supervision: self-healing recovery with a bounded spare pool,
+// acquire retry/backoff, degraded-mode repartitioning and policy
+// escalation. Set the Supervise field of CCOptions / PROptions, or
+// build a Loop Supervisor directly for custom jobs.
+type (
+	// SuperviseConfig configures the recovery supervisor.
+	SuperviseConfig = supervise.Config
+	// SuperviseOutcome summarises one supervised recovery.
+	SuperviseOutcome = supervise.Outcome
+)
+
+// NewSupervisor builds a recovery supervisor for a custom Loop: assign
+// it to the Loop's Supervisor field and construct the cluster with
+// cfg.ClusterOptions() so the spare pool and hooks take effect.
+func NewSupervisor(cl *Cluster, policy Policy, injector Injector, cfg SuperviseConfig) *supervise.Supervisor {
+	return supervise.New(cl, policy, injector, cfg)
+}
+
 // Algorithms.
 
 // CCOptions configure ConnectedComponents.
@@ -453,10 +479,23 @@ type (
 	LoopContext = iterate.Context
 )
 
+// ClusterOption configures NewCluster (spare pool bounds, acquisition
+// hooks, event-log caps).
+type ClusterOption = cluster.Option
+
+// WithSpares bounds the cluster's spare pool: AcquireN grants at most n
+// replacement workers over the cluster's lifetime before acquisitions
+// are denied and the supervisor falls back to degraded mode.
+func WithSpares(n int) ClusterOption { return cluster.WithSpares(n) }
+
+// WithEventCap bounds the cluster's event log to the most recent n
+// events (dropped events stay countable) for long soak runs.
+func WithEventCap(n int) ClusterOption { return cluster.WithEventCap(n) }
+
 // NewCluster models numWorkers workers owning numPartitions state
 // partitions round-robin, for driving a custom Loop.
-func NewCluster(numWorkers, numPartitions int) *Cluster {
-	return cluster.New(numWorkers, numPartitions)
+func NewCluster(numWorkers, numPartitions int, opts ...ClusterOption) *Cluster {
+	return cluster.New(numWorkers, numPartitions, opts...)
 }
 
 // BulkTermination returns a Loop termination predicate for bulk

@@ -212,6 +212,54 @@ func TestRandomFailuresInjectorThroughFacade(t *testing.T) {
 	}
 }
 
+func TestSupervisedChaosThroughFacade(t *testing.T) {
+	g, _ := optiflow.DemoGraph()
+	truth := optiflow.TrueComponents(g)
+	res, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{
+		Parallelism: 4,
+		Policy:      optiflow.NoRecovery(),
+		Injector:    optiflow.ChaosFailures(3).WithMaxFailures(2).Until(4),
+		Supervise:   &optiflow.SuperviseConfig{Spares: 1, FailureBudget: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range truth {
+		if res.Components[v] != want {
+			t.Fatalf("vertex %d wrong component", v)
+		}
+	}
+	if res.Failures > 0 && res.TotalEscalations == 0 {
+		t.Fatalf("failures=%d but no escalations under the none policy", res.Failures)
+	}
+}
+
+func TestClusterOptionsThroughFacade(t *testing.T) {
+	cl := optiflow.NewCluster(4, 8, optiflow.WithSpares(1), optiflow.WithEventCap(4))
+	if cl.Spares() != 1 {
+		t.Fatalf("spares = %d", cl.Spares())
+	}
+	if lost := cl.Fail(1); len(lost) == 0 {
+		t.Fatal("failing worker 1 lost no partitions")
+	}
+	ws, _, err := cl.AcquireN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 {
+		t.Fatalf("acquired %v, want a single spare", ws)
+	}
+	for i := 0; i < 10; i++ {
+		cl.Note("noise", fmt.Sprintf("event %d", i), nil)
+	}
+	if n := len(cl.Events()); n != 4 {
+		t.Fatalf("event log = %d entries, want capped at 4", n)
+	}
+	if cl.DroppedEvents() == 0 {
+		t.Fatal("no dropped events counted")
+	}
+}
+
 func TestKMeansThroughFacade(t *testing.T) {
 	data := optiflow.SyntheticBlobs(400, 4, 3, 2, 9)
 	res, err := optiflow.KMeansCluster(data, optiflow.KMeansOptions{
