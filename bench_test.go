@@ -356,6 +356,130 @@ func BenchmarkEngine_HashJoin(b *testing.B) {
 	}
 }
 
+// Checkpoint-pipeline benchmarks (BENCH_PR5.json): barrier stall per
+// policy. The op is exactly what the iteration barrier waits for —
+// AfterSuperstep on a populated job. For the async pipeline the
+// background write is drained outside the timer (Finish), so the
+// numbers isolate the stall the loop pays, which is the pipeline's
+// whole claim: capture + queue insert instead of encode + store write.
+
+func benchCCJob() *cc.CC {
+	und := optiflow.NewGraphBuilder(false)
+	gen.Twitter(benchGraphSize, 3).Edges(func(e graph.Edge) { und.AddEdge(e.Src, e.Dst) })
+	return cc.New(und.Build(), 8)
+}
+
+func benchPRJob() *pagerank.PR {
+	return pagerank.New(gen.Twitter(benchGraphSize, 1), 8, 0.85, nil)
+}
+
+func benchCheckpointBarrier(b *testing.B, job recovery.IncrementalJob, pol optiflow.Policy, dirty func(i int)) {
+	b.Helper()
+	if err := pol.Setup(job); err != nil {
+		b.Fatal(err)
+	}
+	fin, isAsync := pol.(recovery.Finisher)
+	if isAsync {
+		if err := fin.Finish(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dirty != nil {
+			b.StopTimer()
+			dirty(i)
+			b.StartTimer()
+		}
+		if err := pol.AfterSuperstep(job, i); err != nil {
+			b.Fatal(err)
+		}
+		if isAsync {
+			b.StopTimer()
+			if err := fin.Finish(job); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// dirtyOnePartition pre-encodes partition 0 and returns a mutator that
+// restores it in place, bumping the partition's version so incremental
+// policies see exactly one changed partition per superstep.
+func dirtyOnePartition(b *testing.B, job recovery.IncrementalJob) func(int) {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := job.SnapshotPartition(0, &buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	return func(int) {
+		if err := job.RestorePartition(0, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointBarrier_CC_Sync(b *testing.B) {
+	benchCheckpointBarrier(b, benchCCJob(), recovery.NewCheckpoint(1, checkpoint.NewMemoryStore()), nil)
+}
+
+func BenchmarkCheckpointBarrier_CC_Async(b *testing.B) {
+	benchCheckpointBarrier(b, benchCCJob(), recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 4), nil)
+}
+
+func BenchmarkCheckpointBarrier_CC_Incremental(b *testing.B) {
+	job := benchCCJob()
+	pol := recovery.NewIncrementalCheckpoint(1, checkpoint.NewMemoryStore())
+	pol.Parallelism = 4
+	benchCheckpointBarrier(b, job, pol, dirtyOnePartition(b, job))
+}
+
+func BenchmarkCheckpointBarrier_CC_AsyncIncremental(b *testing.B) {
+	job := benchCCJob()
+	pol := recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 4)
+	pol.Incremental = true
+	benchCheckpointBarrier(b, job, pol, dirtyOnePartition(b, job))
+}
+
+func BenchmarkCheckpointBarrier_PR_Sync(b *testing.B) {
+	benchCheckpointBarrier(b, benchPRJob(), recovery.NewCheckpoint(1, checkpoint.NewMemoryStore()), nil)
+}
+
+func BenchmarkCheckpointBarrier_PR_Async(b *testing.B) {
+	benchCheckpointBarrier(b, benchPRJob(), recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 4), nil)
+}
+
+// BenchmarkCheckpointCompress exercises the gzip path of Compressed
+// stores and asserts the writer pool holds: steady-state saves must not
+// re-allocate the ~1.4 MB deflate state per snapshot.
+func BenchmarkCheckpointCompress(b *testing.B) {
+	job := benchPRJob()
+	var buf bytes.Buffer
+	if err := job.SnapshotTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	store := optiflow.CompressedCheckpointStore(optiflow.NewMemoryCheckpointStore())
+	save := func() {
+		if err := store.Save("bench", 0, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	save() // warm the pool before counting
+	if allocs := testing.AllocsPerRun(5, save); allocs > 64 {
+		b.Fatalf("compressed save allocates %v objects/op; gzip.Writer pooling broken?", allocs)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		save()
+	}
+}
+
 func BenchmarkCheckpoint_SnapshotEncode(b *testing.B) {
 	g := gen.Twitter(benchGraphSize, 1)
 	pr := pagerank.New(g, 4, 0.85, nil)

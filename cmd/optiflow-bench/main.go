@@ -108,12 +108,37 @@ func runGoBench(dir, bench, benchtime, jsonPath string) {
 		Bench:     bench,
 		Benchtime: benchtime,
 		Results:   results,
+		Derived:   derivedRatios(results),
 	}
 	if err := benchart.WriteJSON(jsonPath, art); err != nil {
 		fmt.Fprintf(os.Stderr, "optiflow-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", jsonPath, len(results))
+}
+
+// derivedRatios computes the headline speedups when the relevant
+// benchmark pairs appear in the run, so the artifact records the claim
+// (e.g. "async checkpointing cuts barrier stall N×") as a number.
+func derivedRatios(results []benchart.Result) map[string]float64 {
+	pairs := map[string][2]string{
+		"barrier_stall_speedup_cc": {
+			"BenchmarkCheckpointBarrier_CC_Sync", "BenchmarkCheckpointBarrier_CC_Async"},
+		"barrier_stall_speedup_pagerank": {
+			"BenchmarkCheckpointBarrier_PR_Sync", "BenchmarkCheckpointBarrier_PR_Async"},
+		"barrier_stall_speedup_cc_incremental": {
+			"BenchmarkCheckpointBarrier_CC_Incremental", "BenchmarkCheckpointBarrier_CC_AsyncIncremental"},
+	}
+	derived := make(map[string]float64)
+	for name, p := range pairs {
+		if r, ok := benchart.Ratio(results, p[0], p[1]); ok {
+			derived[name] = r
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	return derived
 }
 
 func writeAll(dir string, files map[string]string) {

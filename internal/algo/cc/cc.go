@@ -13,6 +13,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"optiflow/internal/checkpoint"
 	"optiflow/internal/dataflow"
 	"optiflow/internal/exec"
 	"optiflow/internal/graph"
@@ -350,6 +351,31 @@ func (c *CC) RestorePartition(p int, data []byte) error {
 		return err
 	}
 	return c.workset.DecodePartition(p, dec)
+}
+
+// CaptureSnapshot implements recovery.AsyncJob: an O(partitions)
+// copy-on-write view of the solution set plus a shared-slice view of
+// the workset, taken at the superstep barrier and safe to encode from
+// background goroutines while the next superstep mutates the live
+// state. Per-partition encoding matches SnapshotPartition byte for
+// byte, so RestorePartition round-trips either.
+func (c *CC) CaptureSnapshot() checkpoint.PartitionSnapshot {
+	return ccCapture{labels: c.labels.SnapshotShared(), workset: c.workset.SnapshotShared()}
+}
+
+type ccCapture struct {
+	labels  *state.Store[uint64]
+	workset *state.Workset[Update]
+}
+
+func (s ccCapture) NumPartitions() int { return s.labels.NumPartitions() }
+
+func (s ccCapture) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	enc := gob.NewEncoder(buf)
+	if err := s.labels.EncodePartition(p, enc); err != nil {
+		return err
+	}
+	return s.workset.EncodePartition(p, enc)
 }
 
 // SnapshotDelta implements recovery.DeltaJob: the label changes since

@@ -12,7 +12,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"sync"
 
+	"optiflow/internal/checkpoint"
 	"optiflow/internal/dataflow"
 	"optiflow/internal/exec"
 	"optiflow/internal/graph"
@@ -54,6 +56,7 @@ type PR struct {
 	compensation Compensation
 	combine      bool
 	lastL1       float64
+	restoreMu    sync.Mutex // serialises the lastL1 reset on parallel restores
 }
 
 // SetLocalCombine toggles the pre-shuffle combiner: contributions to
@@ -361,9 +364,14 @@ func (pr *PR) SnapshotPartition(p int, buf *bytes.Buffer) error {
 	return pr.ranks.EncodePartition(p, gob.NewEncoder(buf))
 }
 
-// RestorePartition implements recovery.IncrementalJob.
+// RestorePartition implements recovery.IncrementalJob. The parallel
+// restore path calls it concurrently for distinct partitions; rank
+// state is per-partition, but the convergence marker is global and
+// needs the lock.
 func (pr *PR) RestorePartition(p int, data []byte) error {
+	pr.restoreMu.Lock()
 	pr.lastL1 = math.Inf(1) // the convergence marker is global; be safe
+	pr.restoreMu.Unlock()
 	return pr.ranks.DecodePartition(p, gob.NewDecoder(bytes.NewReader(data)))
 }
 
@@ -372,6 +380,24 @@ func (pr *PR) ResetToInitial() error {
 	pr.ranks.ClearAll()
 	pr.seedInitial()
 	return nil
+}
+
+// CaptureSnapshot implements recovery.AsyncJob: an O(partitions)
+// copy-on-write view of the rank vector, safe to encode on background
+// goroutines while the next superstep runs. Per-partition encoding
+// matches SnapshotPartition byte for byte.
+func (pr *PR) CaptureSnapshot() checkpoint.PartitionSnapshot {
+	return prCapture{ranks: pr.ranks.SnapshotShared()}
+}
+
+type prCapture struct {
+	ranks *state.Store[float64]
+}
+
+func (s prCapture) NumPartitions() int { return s.ranks.NumPartitions() }
+
+func (s prCapture) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	return s.ranks.EncodePartition(p, gob.NewEncoder(buf))
 }
 
 // FigurePlan reproduces Fig. 1(b): the conceptual bulk-iteration

@@ -42,6 +42,31 @@ type Artifact struct {
 	Benchtime string `json:"benchtime,omitempty"`
 	// Results holds one entry per benchmark, sorted by name.
 	Results []Result `json:"results"`
+	// Derived holds named ratios computed from Results (e.g. the
+	// sync-vs-async checkpoint barrier-stall speedup), so the headline
+	// claim of a perf PR is a diffable number, not a prose computation.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// Ratio returns NsPerOp(num) / NsPerOp(den), matching benchmark names
+// with or without the -N GOMAXPROCS suffix. ok is false when either
+// side is missing or the denominator is zero.
+func Ratio(results []Result, num, den string) (float64, bool) {
+	n, okN := find(results, num)
+	d, okD := find(results, den)
+	if !okN || !okD || d.NsPerOp == 0 {
+		return 0, false
+	}
+	return n.NsPerOp / d.NsPerOp, true
+}
+
+func find(results []Result, base string) (Result, bool) {
+	for _, r := range results {
+		if r.Name == base || strings.HasPrefix(r.Name, base+"-") {
+			return r, true
+		}
+	}
+	return Result{}, false
 }
 
 // Parse extracts benchmark results from `go test -bench` output. It

@@ -106,3 +106,25 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }
+
+func TestRatio(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkCheckpointBarrier_CC_Sync-8", NsPerOp: 5000000},
+		{Name: "BenchmarkCheckpointBarrier_CC_Async-8", NsPerOp: 10000},
+		{Name: "BenchmarkZero", NsPerOp: 0},
+	}
+	r, ok := Ratio(results, "BenchmarkCheckpointBarrier_CC_Sync", "BenchmarkCheckpointBarrier_CC_Async")
+	if !ok || r != 500 {
+		t.Fatalf("ratio = %v, %v", r, ok)
+	}
+	// Exact names (no GOMAXPROCS suffix) also match.
+	if _, ok := Ratio(results, "BenchmarkCheckpointBarrier_CC_Sync-8", "BenchmarkCheckpointBarrier_CC_Async-8"); !ok {
+		t.Fatal("suffixed lookup failed")
+	}
+	if _, ok := Ratio(results, "BenchmarkMissing", "BenchmarkCheckpointBarrier_CC_Async"); ok {
+		t.Fatal("missing numerator should not resolve")
+	}
+	if _, ok := Ratio(results, "BenchmarkCheckpointBarrier_CC_Sync", "BenchmarkZero"); ok {
+		t.Fatal("zero denominator should not resolve")
+	}
+}

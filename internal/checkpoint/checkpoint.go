@@ -7,9 +7,12 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -26,6 +29,15 @@ type Store interface {
 	BytesWritten() int64
 	// Saves returns how many snapshots were taken.
 	Saves() int
+}
+
+// Deleter is implemented by stores that can drop a snapshot by key.
+// The epoch layer uses it to garbage-collect superseded partition blobs
+// and the blobs of discarded (never-committed) epochs; stores without
+// it simply accumulate.
+type Deleter interface {
+	// Delete removes the snapshot stored under job, if any.
+	Delete(job string) error
 }
 
 // MemoryStore keeps snapshots in process memory.
@@ -82,22 +94,80 @@ func (m *MemoryStore) Saves() int {
 	return m.saves
 }
 
+// Delete implements Deleter.
+func (m *MemoryStore) Delete(job string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.snaps, job)
+	return nil
+}
+
 // DiskStore writes snapshots to files under a directory, syncing them
 // to disk like a write to a distributed file system would.
+//
+// Each file carries a small self-describing header (magic, superstep,
+// payload length, CRC-32) so that (a) the superstep a snapshot was
+// taken after survives process restarts, and (b) a blob torn by a crash
+// mid-write is detected on Load instead of silently restored.
 type DiskStore struct {
 	dir   string
 	mu    sync.Mutex
 	bytes int64
 	saves int
-	sup   map[string]int
+}
+
+// snapshot file header: magic | superstep | payload length | CRC-32.
+const (
+	snapMagic      = "OFCK"
+	snapHeaderSize = 4 + 8 + 8 + 4
+)
+
+func encodeSnapHeader(superstep int, data []byte) []byte {
+	h := make([]byte, snapHeaderSize)
+	copy(h, snapMagic)
+	binary.BigEndian.PutUint64(h[4:], uint64(int64(superstep)))
+	binary.BigEndian.PutUint64(h[12:], uint64(len(data)))
+	binary.BigEndian.PutUint32(h[20:], crc32.ChecksumIEEE(data))
+	return h
+}
+
+// decodeSnapFile validates a snapshot file's header and checksum,
+// returning the payload and the superstep it was taken after. Any
+// mismatch — truncated header, short payload, bad CRC — reports a torn
+// blob.
+func decodeSnapFile(raw []byte) (data []byte, superstep int, err error) {
+	if len(raw) < snapHeaderSize || string(raw[:4]) != snapMagic {
+		return nil, 0, fmt.Errorf("torn snapshot: missing header")
+	}
+	superstep = int(int64(binary.BigEndian.Uint64(raw[4:])))
+	n := binary.BigEndian.Uint64(raw[12:])
+	sum := binary.BigEndian.Uint32(raw[20:])
+	data = raw[snapHeaderSize:]
+	if uint64(len(data)) != n {
+		return nil, 0, fmt.Errorf("torn snapshot: %d payload bytes, header says %d", len(data), n)
+	}
+	if crc32.ChecksumIEEE(data) != sum {
+		return nil, 0, fmt.Errorf("torn snapshot: checksum mismatch")
+	}
+	return data, superstep, nil
 }
 
 // NewDiskStore creates (if needed) and uses dir for snapshot files.
+// Temp files abandoned by a crash mid-Save are swept out.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %v", dir, err)
 	}
-	return &DiskStore{dir: dir, sup: make(map[string]int)}, nil
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &DiskStore{dir: dir}, nil
 }
 
 func (d *DiskStore) path(job string) string {
@@ -105,7 +175,8 @@ func (d *DiskStore) path(job string) string {
 }
 
 // Save implements Store. The write is atomic (temp file + rename) and
-// synced.
+// synced; BytesWritten counts payload bytes only, so overhead reports
+// stay comparable across stores.
 func (d *DiskStore) Save(job string, superstep int, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -114,6 +185,11 @@ func (d *DiskStore) Save(job string, superstep int, data []byte) error {
 		return fmt.Errorf("checkpoint: temp file: %v", err)
 	}
 	name := tmp.Name()
+	if _, err := tmp.Write(encodeSnapHeader(superstep, data)); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: writing snapshot header: %v", err)
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(name)
@@ -134,22 +210,36 @@ func (d *DiskStore) Save(job string, superstep int, data []byte) error {
 	}
 	d.bytes += int64(len(data))
 	d.saves++
-	d.sup[job] = superstep
 	return nil
 }
 
-// Load implements Store.
+// Load implements Store. A torn blob (crash mid-write before the rename
+// landed, or on-disk corruption) returns an error, never bad data.
 func (d *DiskStore) Load(job string) ([]byte, int, bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	data, err := os.ReadFile(d.path(job))
+	raw, err := os.ReadFile(d.path(job))
 	if os.IsNotExist(err) {
 		return nil, 0, false, nil
 	}
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("checkpoint: reading snapshot: %v", err)
 	}
-	return data, d.sup[job], true, nil
+	data, superstep, err := decodeSnapFile(raw)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("checkpoint: snapshot of %s: %v", job, err)
+	}
+	return data, superstep, true, nil
+}
+
+// Delete implements Deleter: it removes job's snapshot file, if any.
+func (d *DiskStore) Delete(job string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.Remove(d.path(job)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: deleting snapshot of %s: %v", job, err)
+	}
+	return nil
 }
 
 // BytesWritten implements Store.

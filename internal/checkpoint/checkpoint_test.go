@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -81,15 +83,19 @@ func TestDiskStoreSurvivesReopen(t *testing.T) {
 	if err := s.Save("job", 4, []byte("persisted")); err != nil {
 		t.Fatal(err)
 	}
-	// A new store over the same directory sees the snapshot bytes (the
-	// superstep index is process-local metadata and resets).
+	// A new store over the same directory sees the snapshot bytes AND
+	// the superstep it was taken after — the file header makes the
+	// metadata durable, not process-local.
 	s2, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, _, ok, err := s2.Load("job")
+	data, sup, ok, err := s2.Load("job")
 	if err != nil || !ok || string(data) != "persisted" {
 		t.Fatalf("reopen load: %q %v %v", data, ok, err)
+	}
+	if sup != 4 {
+		t.Fatalf("reopen superstep = %d, want 4", sup)
 	}
 }
 
@@ -129,5 +135,64 @@ func TestCompressedStoreEmptyAndMissing(t *testing.T) {
 	data, _, ok, err := s.Load("job")
 	if err != nil || !ok || len(data) != 0 {
 		t.Fatalf("empty roundtrip: %q %v %v", data, ok, err)
+	}
+}
+
+// Regression for the in-place-write bug: a crash mid-write used to
+// leave a torn blob that Load happily returned. With atomic temp-file +
+// rename Saves and a checksummed header, reopening the directory after
+// a simulated partial write must surface an error — never bad data.
+func TestDiskStoreRejectsTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("job", 6, bytes.Repeat([]byte("state"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that tore the published file (e.g. the disk died
+	// mid-sector): truncate the payload.
+	path := filepath.Join(dir, "job.ckpt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s2.Load("job"); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	// Same for silent corruption: flip a payload byte, keep the length.
+	flipped := append([]byte(nil), raw...)
+	flipped[snapHeaderSize] ^= 0xff
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s2.Load("job"); err == nil {
+		t.Fatal("corrupted snapshot loaded without error")
+	}
+	// And an abandoned temp file (crash before rename) is swept on open
+	// and invisible to Load.
+	if err := os.WriteFile(filepath.Join(dir, "job.tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := s3.Load("job"); ok || err != nil {
+		t.Fatalf("abandoned temp file visible: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job.tmp-123")); !os.IsNotExist(err) {
+		t.Fatal("temp file not swept")
 	}
 }

@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+)
+
+// Epoch-addressed checkpoint layout with an atomic commit marker, built
+// on top of any Store. The asynchronous checkpoint pipeline writes each
+// partition's blob under a (job, epoch, partition) key while the next
+// superstep already runs; only once every blob of the epoch has landed
+// does a single Commit publish the CommitRecord under the job's commit
+// key — the one atomic step of the protocol. Restore reads the commit
+// record first and only ever assembles blobs it references, so a torn
+// (partially written, crashed or discarded) epoch is invisible: the
+// previous committed epoch stays the restore target until the next
+// marker lands.
+
+// CommitRecord is the atomically published description of one committed
+// checkpoint epoch.
+type CommitRecord struct {
+	// Epoch is the commit's own epoch number (monotonically increasing
+	// per writer).
+	Epoch uint64
+	// Superstep is the superstep the snapshot was taken after (-1 for
+	// the initial state).
+	Superstep int
+	// Parts maps each state partition to the epoch whose blob holds its
+	// current contents. A full snapshot maps every partition to Epoch;
+	// an incremental one keeps unchanged partitions pointing at older
+	// epochs.
+	Parts map[int]uint64
+	// Compressed reports that partition blobs were gzip-compressed
+	// before hitting the store.
+	Compressed bool
+}
+
+func epochPartKey(job string, epoch uint64, part int) string {
+	return job + "#epoch-" + strconv.FormatUint(epoch, 10) + "#part-" + strconv.Itoa(part)
+}
+
+func commitKey(job string) string { return job + "#commit" }
+
+// SaveEpochPartition persists one partition blob of an uncommitted
+// epoch. The blob stays invisible to LoadCommitted until Commit
+// publishes a record referencing it.
+func SaveEpochPartition(s Store, job string, epoch uint64, superstep, part int, data []byte) error {
+	if err := s.Save(epochPartKey(job, epoch, part), superstep, data); err != nil {
+		return fmt.Errorf("checkpoint: saving %s epoch %d partition %d: %v", job, epoch, part, err)
+	}
+	return nil
+}
+
+// Commit atomically publishes rec as job's current checkpoint. Every
+// partition blob rec references must already be saved.
+func Commit(s Store, job string, rec CommitRecord) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("checkpoint: encoding commit record of %s: %v", job, err)
+	}
+	if err := s.Save(commitKey(job), rec.Superstep, buf.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: committing epoch %d of %s: %v", rec.Epoch, job, err)
+	}
+	return nil
+}
+
+// LoadCommitted returns job's current committed checkpoint: the commit
+// record and one ready-to-restore (decompressed) blob per partition.
+// ok is false if no epoch was ever committed. A referenced blob that is
+// missing or torn is an error — never a partial result.
+func LoadCommitted(s Store, job string) (CommitRecord, map[int][]byte, bool, error) {
+	var rec CommitRecord
+	raw, _, ok, err := s.Load(commitKey(job))
+	if err != nil {
+		return rec, nil, false, fmt.Errorf("checkpoint: loading commit record of %s: %v", job, err)
+	}
+	if !ok {
+		return rec, nil, false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
+		return rec, nil, false, fmt.Errorf("checkpoint: decoding commit record of %s: %v", job, err)
+	}
+	blobs := make(map[int][]byte, len(rec.Parts))
+	for part, epoch := range rec.Parts {
+		data, _, ok, err := s.Load(epochPartKey(job, epoch, part))
+		if err != nil {
+			return rec, nil, false, fmt.Errorf("checkpoint: loading %s epoch %d partition %d: %v", job, epoch, part, err)
+		}
+		if !ok {
+			return rec, nil, false, fmt.Errorf("checkpoint: %s commit %d references missing blob (epoch %d, partition %d)", job, rec.Epoch, epoch, part)
+		}
+		if rec.Compressed {
+			if data, err = decompress(data); err != nil {
+				return rec, nil, false, fmt.Errorf("checkpoint: %s epoch %d partition %d: %v", job, epoch, part, err)
+			}
+		}
+		blobs[part] = data
+	}
+	return rec, blobs, true, nil
+}
+
+// DiscardEpochParts removes the listed partition blobs of an
+// uncommitted or superseded epoch, if the store supports deletion.
+// Best-effort garbage collection: failures are ignored, since an
+// orphaned blob is unreachable anyway (no commit record references it).
+func DiscardEpochParts(s Store, job string, epoch uint64, parts []int) {
+	del, ok := s.(Deleter)
+	if !ok {
+		return
+	}
+	for _, p := range parts {
+		del.Delete(epochPartKey(job, epoch, p))
+	}
+}

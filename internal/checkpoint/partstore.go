@@ -37,7 +37,7 @@ func (m *MemoryStore) LoadPartitions(job string) (map[int][]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[int][]byte)
-	prefix := job + "#part-"
+	prefix := partPrefix(job)
 	for key, snap := range m.snaps {
 		if !strings.HasPrefix(key, prefix) {
 			continue
@@ -61,8 +61,7 @@ func (d *DiskStore) LoadPartitions(job string) (map[int][]byte, error) {
 	d.mu.Lock()
 	dir := d.dir
 	d.mu.Unlock()
-	prefix := partKey(job, 0)
-	prefix = prefix[:strings.LastIndex(prefix, "0")] // "job#part-"
+	prefix := partPrefix(job)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: listing %s: %v", dir, err)
@@ -77,15 +76,26 @@ func (d *DiskStore) LoadPartitions(job string) (map[int][]byte, error) {
 		if err != nil {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		raw, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: reading %s: %v", name, err)
+		}
+		data, _, err := decodeSnapFile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: partition blob %s: %v", name, err)
 		}
 		out[p] = data
 	}
 	return out, nil
 }
 
+// partPrefix returns the key prefix shared by every partition blob of
+// job. Deriving it explicitly (rather than trimming a formatted key)
+// keeps job names containing digits or '#' working.
+func partPrefix(job string) string {
+	return job + "#part-"
+}
+
 func partKey(job string, part int) string {
-	return fmt.Sprintf("%s#part-%d", job, part)
+	return partPrefix(job) + strconv.Itoa(part)
 }

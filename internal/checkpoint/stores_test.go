@@ -121,3 +121,55 @@ func TestMemoryLogStoreCopiesData(t *testing.T) {
 		t.Fatal("log store aliased caller buffer")
 	}
 }
+
+// Regression for the old prefix derivation
+// (prefix[:strings.LastIndex(prefix, "0")]), which broke for job names
+// containing digits: partition keys must be grouped by an explicit
+// prefix that survives digits and '#' in the name.
+func testPartPrefixHostileJobNames(t *testing.T, s PartStore) {
+	t.Helper()
+	jobs := []string{"job0", "job01", "pagerank#v2", "pagerank#v20"}
+	for i, job := range jobs {
+		for p := 0; p < 12; p += 11 { // partitions 0 and 11: multi-digit suffixes too
+			blob := fmt.Sprintf("%s/part-%d", job, p)
+			if err := s.SavePartition(job, p, i, []byte(blob)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, job := range jobs {
+		got, err := s.LoadPartitions(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("job %q: loaded %d partitions, want 2", job, len(got))
+		}
+		for _, p := range []int{0, 11} {
+			if want := fmt.Sprintf("%s/part-%d", job, p); string(got[p]) != want {
+				t.Fatalf("job %q partition %d = %q, want %q", job, p, got[p], want)
+			}
+		}
+	}
+}
+
+func TestMemoryPartStoreHostileJobNames(t *testing.T) {
+	testPartPrefixHostileJobNames(t, NewMemoryStore())
+}
+
+func TestDiskPartStoreHostileJobNames(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPartPrefixHostileJobNames(t, s)
+}
+
+func TestPartPrefix(t *testing.T) {
+	if got := partPrefix("job0#v1"); got != "job0#v1#part-" {
+		t.Fatalf("partPrefix = %q", got)
+	}
+	if got := partKey("job0#v1", 10); got != "job0#v1#part-10" {
+		t.Fatalf("partKey = %q", got)
+	}
+}

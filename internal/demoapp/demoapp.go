@@ -71,7 +71,7 @@ type Config struct {
 	// before a scheduled mid-step failure strikes (16 if zero).
 	MidStepAfterRecords int64
 	// Policy selects the recovery policy: "optimistic" (default),
-	// "checkpoint", "restart" or "none".
+	// "checkpoint", "async-checkpoint", "restart" or "none".
 	Policy string
 	// Supervised runs the iteration under the recovery supervisor: the
 	// cluster gets a bounded spare pool (Spares), failures are healed
@@ -125,6 +125,11 @@ func (c Config) policy() (recovery.Policy, checkpoint.Store) {
 	case "checkpoint":
 		store := checkpoint.NewMemoryStore()
 		return recovery.NewCheckpoint(1, store), store
+	case "async-checkpoint":
+		// The pipelined baseline: capture at the barrier, per-partition
+		// encode + persist in the background, atomic epoch commit.
+		store := checkpoint.NewMemoryStore()
+		return recovery.NewAsyncCheckpoint(1, store, c.Parallelism), store
 	case "restart":
 		return recovery.Restart{}, nil
 	case "none":
@@ -277,6 +282,9 @@ func runCC(cfg Config) (*RunOutcome, error) {
 			converged := job.ConvergedCount(truth)
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "messages", float64(s.Stats.Messages))
+			if o := pol.Overhead(); o.Checkpoints > 0 {
+				collector.MarkCheckpoint(s.Tick, o.BarrierTime, o.CommitTime)
+			}
 			frame := Frame{Tick: s.Tick, Superstep: s.Superstep, Aborted: s.Aborted}
 			title := fmt.Sprintf("iteration %d: %d/%d vertices converged, %d messages",
 				s.Tick+1, converged, g.NumVertices(), s.Stats.Messages)
@@ -383,6 +391,9 @@ func runPR(cfg Config) (*RunOutcome, error) {
 			l1 := s.Stats.Extra["l1"]
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "l1-delta", l1)
+			if o := pol.Overhead(); o.Checkpoints > 0 {
+				collector.MarkCheckpoint(s.Tick, o.BarrierTime, o.CommitTime)
+			}
 			frame := Frame{Tick: s.Tick, Superstep: s.Superstep, Aborted: s.Aborted}
 			title := fmt.Sprintf("iteration %d: %d/%d vertices at their true rank, L1 delta %.2e",
 				s.Tick+1, converged, g.NumVertices(), l1)

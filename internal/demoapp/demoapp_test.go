@@ -238,7 +238,7 @@ func TestHTMLReport(t *testing.T) {
 // corrupt state.
 func TestFaultMatrix(t *testing.T) {
 	for _, mode := range []Mode{ModeCC, ModePageRank} {
-		for _, policy := range []string{"optimistic", "checkpoint", "restart", "none"} {
+		for _, policy := range []string{"optimistic", "checkpoint", "async-checkpoint", "restart", "none"} {
 			t.Run(mode.String()+"/"+policy, func(t *testing.T) {
 				// The boundary failure strikes at superstep 0 so it fires
 				// under every policy (the small graph can converge before a

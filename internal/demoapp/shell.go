@@ -46,7 +46,7 @@ const helpText = `commands (the GUI's tabs and buttons):
   fail <iter> <worker>   schedule worker <worker> to fail in iteration <iter> (1-based)
   midfail <iter> <worker>  schedule worker <worker> to fail mid-iteration <iter> (aborts the attempt)
   recfail <iter> <worker>  schedule worker <worker> to fail while recovery for iteration <iter> runs (needs spares)
-  policy <name>          choose recovery: optimistic | checkpoint | restart | none
+  policy <name>          choose recovery: optimistic | checkpoint | async-checkpoint | restart | none
   spares <n> | off       supervise the run with n spare workers (0 = degraded mode on failure); off = unsupervised
   failures               list scheduled failures
   run                    execute the algorithm ("play" from the start)
@@ -179,15 +179,15 @@ func (s *Shell) Execute(line string) bool {
 		}
 	case "policy":
 		if len(args) != 1 {
-			s.printf("usage: policy optimistic|checkpoint|restart|none\n")
+			s.printf("usage: policy optimistic|checkpoint|async-checkpoint|restart|none\n")
 			break
 		}
 		switch args[0] {
-		case "optimistic", "checkpoint", "restart", "none":
+		case "optimistic", "checkpoint", "async-checkpoint", "restart", "none":
 			s.cfg.Policy = args[0]
 			s.reset(fmt.Sprintf("recovery policy: %s", args[0]))
 		default:
-			s.printf("unknown policy %q; choose optimistic|checkpoint|restart|none\n", args[0])
+			s.printf("unknown policy %q; choose optimistic|checkpoint|async-checkpoint|restart|none\n", args[0])
 		}
 	case "failures":
 		if len(s.cfg.Failures) == 0 && len(s.cfg.MidStepFailures) == 0 && len(s.cfg.DuringRecoveryFailures) == 0 {

@@ -345,6 +345,16 @@ func (l *Loop) Run() (*Result, error) {
 		}
 	}
 
+	// Fence for policies with background work (the async checkpoint
+	// pipeline): normal termination must not leave an epoch half-written
+	// — await the in-flight commits (or surface their failure) before
+	// declaring the run done.
+	if fin, ok := policy.(recovery.Finisher); ok {
+		if err := fin.Finish(l.Job); err != nil {
+			return nil, fmt.Errorf("iterate: loop %q: policy finish: %w", l.Name, err)
+		}
+	}
+
 	res.Supersteps = superstep
 	res.Elapsed = clock.Since(start)
 	res.Overhead = policy.Overhead()

@@ -20,23 +20,35 @@ type Recovery struct {
 	Escalations int
 }
 
+// Checkpoint summarises the checkpointing cost of a run as of one tick:
+// the cumulative time the superstep barrier stalled for capture/encode
+// and the cumulative capture-to-durable commit latency. For synchronous
+// policies the two coincide; the async pipeline's barrier number stays
+// near zero while commit time keeps growing in the background.
+type Checkpoint struct {
+	BarrierTime time.Duration
+	CommitTime  time.Duration
+}
+
 // Collector accumulates aligned per-tick series.
 type Collector struct {
-	order      []string
-	series     map[string][]float64
-	failures   map[int]string
-	aborted    map[int]bool
-	recoveries map[int]Recovery
-	maxTick    int
+	order       []string
+	series      map[string][]float64
+	failures    map[int]string
+	aborted     map[int]bool
+	recoveries  map[int]Recovery
+	checkpoints map[int]Checkpoint
+	maxTick     int
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		series:     make(map[string][]float64),
-		failures:   make(map[int]string),
-		aborted:    make(map[int]bool),
-		recoveries: make(map[int]Recovery),
+		series:      make(map[string][]float64),
+		failures:    make(map[int]string),
+		aborted:     make(map[int]bool),
+		recoveries:  make(map[int]Recovery),
+		checkpoints: make(map[int]Checkpoint),
 	}
 }
 
@@ -96,6 +108,18 @@ func (c *Collector) MarkRecovery(tick int, d time.Duration, retries, escalations
 // none).
 func (c *Collector) RecoveryAt(tick int) Recovery { return c.recoveries[tick] }
 
+// MarkCheckpoint records the cumulative checkpoint cost as of a tick.
+func (c *Collector) MarkCheckpoint(tick int, barrier, commit time.Duration) {
+	c.checkpoints[tick] = Checkpoint{BarrierTime: barrier, CommitTime: commit}
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// CheckpointAt returns the checkpoint annotation of a tick (zero value
+// if none).
+func (c *Collector) CheckpointAt(tick int) Checkpoint { return c.checkpoints[tick] }
+
 // RecoveryTotals sums the recorded recovery effort across all ticks.
 func (c *Collector) RecoveryTotals() Recovery {
 	var total Recovery
@@ -142,7 +166,8 @@ func (c *Collector) FailureAt(tick int) string { return c.failures[tick] }
 
 // Ticks returns the number of ticks recorded (max tick + 1).
 func (c *Collector) Ticks() int {
-	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 && len(c.recoveries) == 0 {
+	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 &&
+		len(c.recoveries) == 0 && len(c.checkpoints) == 0 {
 		return 0
 	}
 	return c.maxTick + 1
@@ -150,10 +175,12 @@ func (c *Collector) Ticks() int {
 
 // WriteCSV exports all series as CSV: one row per tick, one column per
 // series, plus trailing "failure" (annotation), "aborted" (0/1),
-// "recovery_ms", "retries" and "escalations" columns.
+// "recovery_ms", "retries", "escalations", "ckpt_barrier_ms" and
+// "ckpt_commit_ms" columns.
 func (c *Collector) WriteCSV(w io.Writer) error {
 	headers := append([]string{"tick"}, c.order...)
-	headers = append(headers, "failure", "aborted", "recovery_ms", "retries", "escalations")
+	headers = append(headers, "failure", "aborted", "recovery_ms", "retries", "escalations",
+		"ckpt_barrier_ms", "ckpt_commit_ms")
 	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
 		return err
 	}
@@ -179,6 +206,10 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 			formatFloat(float64(rec.Duration)/float64(time.Millisecond)),
 			fmt.Sprintf("%d", rec.Retries),
 			fmt.Sprintf("%d", rec.Escalations))
+		ck := c.checkpoints[t]
+		row = append(row,
+			formatFloat(float64(ck.BarrierTime)/float64(time.Millisecond)),
+			formatFloat(float64(ck.CommitTime)/float64(time.Millisecond)))
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}

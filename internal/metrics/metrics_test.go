@@ -74,7 +74,7 @@ func TestEmptyCollector(t *testing.T) {
 	if err := c.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(buf.String()) != "tick,failure,aborted,recovery_ms,retries,escalations" {
+	if strings.TrimSpace(buf.String()) != "tick,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms" {
 		t.Fatalf("empty CSV = %q", buf.String())
 	}
 }
@@ -88,6 +88,7 @@ func TestWriteCSV(t *testing.T) {
 	c.MarkFailure(1, `lost partitions [1, 2] on "node-a"`)
 	c.MarkAborted(1)
 	c.MarkRecovery(1, 1500*time.Microsecond, 2, 1)
+	c.MarkCheckpoint(1, 250*time.Microsecond, 4*time.Millisecond)
 
 	var buf bytes.Buffer
 	if err := c.WriteCSV(&buf); err != nil {
@@ -97,17 +98,31 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV lines: %v", lines)
 	}
-	if lines[0] != "tick,messages,converged,failure,aborted,recovery_ms,retries,escalations" {
+	if lines[0] != "tick,messages,converged,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,34,10,,0,0,0,0" {
+	if lines[1] != "0,34,10,,0,0,0,0,0,0" {
 		t.Fatalf("row 0 = %q", lines[1])
 	}
 	if !strings.HasPrefix(lines[2], "1,27.5,14,") || !strings.Contains(lines[2], `""node-a""`) {
 		t.Fatalf("row 1 = %q (quoting broken?)", lines[2])
 	}
-	if !strings.HasSuffix(lines[2], ",1,1.5,2,1") {
-		t.Fatalf("row 1 = %q (aborted/recovery columns wrong)", lines[2])
+	if !strings.HasSuffix(lines[2], ",1,1.5,2,1,0.25,4") {
+		t.Fatalf("row 1 = %q (aborted/recovery/checkpoint columns wrong)", lines[2])
+	}
+}
+
+func TestCheckpointAnnotations(t *testing.T) {
+	c := NewCollector()
+	c.MarkCheckpoint(2, time.Millisecond, 9*time.Millisecond)
+	if got := c.CheckpointAt(2); got.BarrierTime != time.Millisecond || got.CommitTime != 9*time.Millisecond {
+		t.Fatalf("checkpoint at 2 = %+v", got)
+	}
+	if got := c.CheckpointAt(1); got != (Checkpoint{}) {
+		t.Fatalf("checkpoint at 1 = %+v", got)
+	}
+	if c.Ticks() != 3 {
+		t.Fatalf("ticks = %d", c.Ticks())
 	}
 }
 

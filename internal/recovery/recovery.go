@@ -61,9 +61,19 @@ type Failure struct {
 // Overhead quantifies what fault-tolerance preparation cost during
 // failure-free execution (experiment E6).
 type Overhead struct {
-	Checkpoints    int
-	BytesWritten   int64
+	Checkpoints  int
+	BytesWritten int64
+	// CheckpointTime is the time the iteration was stalled at superstep
+	// barriers for checkpointing.
 	CheckpointTime time.Duration
+	// BarrierTime equals CheckpointTime for synchronous policies; for
+	// the async pipeline it is the (much smaller) capture+submit cost
+	// the barrier still pays.
+	BarrierTime time.Duration
+	// CommitTime is the end-to-end capture-to-durable checkpoint cost.
+	// For synchronous policies it equals CheckpointTime; for the async
+	// pipeline it mostly overlaps the following supersteps.
+	CommitTime time.Duration
 }
 
 // Policy reacts to the lifecycle of an iterative job.
@@ -230,12 +240,15 @@ func (c *Checkpoint) OnFailure(job Job, f Failure) (int, error) {
 	return superstep + 1, nil
 }
 
-// Overhead implements Policy.
+// Overhead implements Policy. Synchronous checkpointing stalls the
+// barrier for the full snapshot cost, so all three times coincide.
 func (c *Checkpoint) Overhead() Overhead {
 	return Overhead{
 		Checkpoints:    c.Store.Saves(),
 		BytesWritten:   c.Store.BytesWritten(),
 		CheckpointTime: c.ckptTime,
+		BarrierTime:    c.ckptTime,
+		CommitTime:     c.ckptTime,
 	}
 }
 

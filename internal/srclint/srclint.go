@@ -3,9 +3,10 @@
 // express, using only the standard library (go/ast, go/parser,
 // go/token — no go/packages, no type checking):
 //
-//   - goroutine:   `go` statements are confined to internal/exec and
-//     internal/cluster — concurrency lives in the engine and the
-//     cluster model, nowhere else, so the replay paths stay
+//   - goroutine:   `go` statements are confined to internal/exec,
+//     internal/cluster and internal/checkpoint — concurrency lives in
+//     the engine, the cluster model and the background checkpoint
+//     pipeline, nowhere else, so the replay paths stay
 //     single-threaded and deterministic;
 //   - panicprefix: every panic with a literal message is prefixed with
 //     its package name ("state: ...", "dataflow: ..."), so a stack-less
@@ -62,8 +63,9 @@ func (f Finding) String() string {
 
 // goroutinePackages may contain `go` statements.
 var goroutinePackages = map[string]bool{
-	"internal/exec":    true,
-	"internal/cluster": true,
+	"internal/exec":       true,
+	"internal/cluster":    true,
+	"internal/checkpoint": true,
 }
 
 // deterministicPrefixes are the replay paths banned from wall-clock
@@ -236,7 +238,7 @@ func checkGoroutines(files []*ast.File, add func(token.Pos, string, string, ...a
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				add(g.Pos(), "goroutine",
-					"go statement outside internal/exec and internal/cluster; keep concurrency in the engine so replay paths stay deterministic")
+					"go statement outside internal/exec, internal/cluster and internal/checkpoint; keep concurrency in the engine so replay paths stay deterministic")
 			}
 			return true
 		})

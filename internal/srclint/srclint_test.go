@@ -31,7 +31,7 @@ func TestGoroutineRule(t *testing.T) {
 		t.Fatalf("goroutine findings = %d, want 2: %v", got, findings)
 	}
 	// The same file inside an engine package is fine.
-	for _, rel := range []string{"internal/exec", "internal/cluster"} {
+	for _, rel := range []string{"internal/exec", "internal/cluster", "internal/checkpoint"} {
 		if fs := lintFixture(t, "goroutine", rel); countRule(fs, "goroutine") != 0 {
 			t.Fatalf("goroutine rule fired under %s: %v", rel, fs)
 		}

@@ -106,6 +106,9 @@ func (s *Store[V]) ApplyDelta(dec *gob.Decoder) error {
 	for p, d := range deltas {
 		if d.Cleared {
 			s.parts[p] = make(map[uint64]V, len(d.Upserts))
+			s.shared[p] = false
+		} else if len(d.Upserts) > 0 || len(d.Deletes) > 0 {
+			s.unshare(p)
 		}
 		for k, v := range d.Upserts {
 			s.parts[p][k] = v

@@ -13,9 +13,11 @@ func (s *Store[V]) Version(p int) uint64 { return s.versions[p] }
 
 func (s *Store[V]) bump(p int) { s.versions[p]++ }
 
-// EncodePartition appends one partition's contents to a gob stream.
+// EncodePartition appends one partition's contents to a gob stream. The
+// partition is written as sorted key/value pairs, so equal contents
+// always encode to identical bytes (see partPairs).
 func (s *Store[V]) EncodePartition(p int, enc *gob.Encoder) error {
-	if err := enc.Encode(s.parts[p]); err != nil {
+	if err := enc.Encode(s.pairs(p)); err != nil {
 		return fmt.Errorf("state: encoding store %q partition %d: %v", s.name, p, err)
 	}
 	return nil
@@ -24,14 +26,12 @@ func (s *Store[V]) EncodePartition(p int, enc *gob.Encoder) error {
 // DecodePartition replaces one partition's contents from a gob stream
 // written by EncodePartition.
 func (s *Store[V]) DecodePartition(p int, dec *gob.Decoder) error {
-	var part map[uint64]V
-	if err := dec.Decode(&part); err != nil {
+	var pp partPairs[V]
+	if err := dec.Decode(&pp); err != nil {
 		return fmt.Errorf("state: decoding store %q partition %d: %v", s.name, p, err)
 	}
-	if part == nil {
-		part = make(map[uint64]V)
-	}
-	s.parts[p] = part
+	s.parts[p] = pp.toMap()
+	s.shared[p] = false
 	s.bump(p)
 	s.markCleared(p)
 	return nil

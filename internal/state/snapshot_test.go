@@ -1,0 +1,170 @@
+package state
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// The async checkpoint pipeline captures state with SnapshotShared at
+// the superstep barrier and encodes it on background goroutines while
+// the live store keeps mutating. The copy-on-write contract: the
+// capture is immutable, and the live side pays for a partition clone
+// only on its first post-capture write to that partition.
+
+func TestSnapshotSharedIsImmutable(t *testing.T) {
+	s := NewStore[uint64]("labels", 4)
+	for k := uint64(0); k < 40; k++ {
+		s.Put(k, k*10)
+	}
+	snap := s.SnapshotShared()
+
+	s.Put(3, 999)  // overwrite
+	s.Delete(5)    // delete
+	s.Put(1000, 1) // insert
+	s.ClearPartition(2)
+
+	if v, ok := snap.Get(3); !ok || v != 30 {
+		t.Fatalf("snapshot saw overwrite: %d %v", v, ok)
+	}
+	if v, ok := snap.Get(5); !ok || v != 50 {
+		t.Fatalf("snapshot saw delete: %d %v", v, ok)
+	}
+	if _, ok := snap.Get(1000); ok {
+		t.Fatal("snapshot saw insert")
+	}
+	if snap.Len() != 40 {
+		t.Fatalf("snapshot len = %d", snap.Len())
+	}
+	// The live store sees all its own mutations.
+	if v, _ := s.Get(3); v != 999 {
+		t.Fatalf("live overwrite lost: %d", v)
+	}
+	if _, ok := s.Get(5); ok {
+		t.Fatal("live delete lost")
+	}
+}
+
+func TestSnapshotSharedChainsAndReverseProtection(t *testing.T) {
+	s := NewStore[uint64]("labels", 2)
+	s.Put(1, 1)
+	// Two captures of the same state may alias the same maps; writing
+	// through either snapshot (restores do) must not corrupt the other
+	// or the live store.
+	a := s.SnapshotShared()
+	b := s.SnapshotShared()
+	a.Put(1, 100)
+	if v, _ := b.Get(1); v != 1 {
+		t.Fatalf("write through snapshot a leaked into b: %d", v)
+	}
+	if v, _ := s.Get(1); v != 1 {
+		t.Fatalf("write through snapshot a leaked into live store: %d", v)
+	}
+}
+
+func TestSnapshotSharedApplyDeltaUnshares(t *testing.T) {
+	src := NewStore[uint64]("labels", 2)
+	src.Put(2, 22)
+	var buf bytes.Buffer
+	if err := src.EncodeDelta(gob.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore[uint64]("labels", 2)
+	s.Put(1, 1)
+	snap := s.SnapshotShared()
+	if err := s.ApplyDelta(gob.NewDecoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Get(2); ok {
+		t.Fatal("snapshot saw ApplyDelta upsert")
+	}
+	if v, _ := s.Get(2); v != 22 {
+		t.Fatal("delta lost on live store")
+	}
+}
+
+// Deterministic encoding: the same logical content encodes to the same
+// bytes regardless of insertion order (maps are encoded as sorted
+// pairs). The sync-vs-async byte-identical restore guarantee depends on
+// this.
+func TestEncodePartitionDeterministic(t *testing.T) {
+	a := NewStore[uint64]("labels", 2)
+	b := NewStore[uint64]("labels", 2)
+	keys := []uint64{8, 2, 14, 4, 100, 6, 12, 0}
+	for _, k := range keys {
+		a.Put(k, k)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Put(keys[i], keys[i])
+	}
+	for p := 0; p < 2; p++ {
+		var ba, bb bytes.Buffer
+		if err := a.EncodePartition(p, gob.NewEncoder(&ba)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.EncodePartition(p, gob.NewEncoder(&bb)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("partition %d encoding depends on insertion order", p)
+		}
+	}
+	var ba, bb bytes.Buffer
+	if err := a.Encode(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("full-store encoding depends on insertion order")
+	}
+}
+
+// A capture's bytes must equal what a synchronous snapshot at the same
+// barrier would have written, even when encoded after further
+// mutations.
+func TestSnapshotSharedEncodesBarrierState(t *testing.T) {
+	s := NewStore[uint64]("labels", 2)
+	for k := uint64(0); k < 20; k++ {
+		s.Put(k, k)
+	}
+	var want bytes.Buffer
+	if err := s.EncodePartition(0, gob.NewEncoder(&want)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.SnapshotShared()
+	for k := uint64(0); k < 20; k++ {
+		s.Put(k, k+1000) // the next superstep overwrites everything
+	}
+	var got bytes.Buffer
+	if err := snap.EncodePartition(0, gob.NewEncoder(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("capture bytes differ from the barrier-time encoding")
+	}
+}
+
+func TestWorksetSnapshotSharedIsImmutable(t *testing.T) {
+	w := NewWorkset[uint64]("tasks", 2)
+	w.Add(0, 1)
+	w.Add(0, 2)
+	w.Add(1, 3)
+	snap := w.SnapshotShared()
+	w.Add(0, 4) // append after capture
+	w.ClearPartition(1)
+	if snap.Len() != 3 {
+		t.Fatalf("snapshot len = %d", snap.Len())
+	}
+	if got := snap.Items(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("snapshot partition 0 = %v", got)
+	}
+	if got := snap.Items(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("snapshot partition 1 = %v", got)
+	}
+	if w.Len() != 3 { // [1 2 4] in partition 0, partition 1 cleared
+		t.Fatalf("live len = %d", w.Len())
+	}
+}

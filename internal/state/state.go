@@ -28,6 +28,12 @@ type Store[V any] struct {
 	// wiped since the last delta. Both allocated lazily.
 	dirty   []map[uint64]struct{}
 	cleared []bool
+
+	// shared marks partitions whose map is aliased by a SnapshotShared
+	// capture: the next in-place mutation clones the partition first
+	// (copy-on-write), so captures stay immutable while the next
+	// superstep runs.
+	shared []bool
 }
 
 // NewStore creates an empty store with nparts partitions.
@@ -41,6 +47,7 @@ func NewStore[V any](name string, nparts int) *Store[V] {
 		versions: make([]uint64, nparts),
 		dirty:    make([]map[uint64]struct{}, nparts),
 		cleared:  make([]bool, nparts),
+		shared:   make([]bool, nparts),
 	}
 	for i := range s.parts {
 		s.parts[i] = make(map[uint64]V)
@@ -68,6 +75,7 @@ func (s *Store[V]) Get(k uint64) (V, bool) {
 // Put stores v under k in the partition owning k.
 func (s *Store[V]) Put(k uint64, v V) {
 	p := s.PartitionOf(k)
+	s.unshare(p)
 	s.parts[p][k] = v
 	s.bump(p)
 	s.markDirty(p, k)
@@ -76,9 +84,27 @@ func (s *Store[V]) Put(k uint64, v V) {
 // Delete removes k.
 func (s *Store[V]) Delete(k uint64) {
 	p := s.PartitionOf(k)
+	s.unshare(p)
 	delete(s.parts[p], k)
 	s.bump(p)
 	s.markDirty(p, k)
+}
+
+// unshare clones partition p if a SnapshotShared capture aliases it, so
+// the in-place mutation about to happen cannot be observed through the
+// capture. Reading the aliased map while capture encoders read it too
+// is safe (concurrent map reads); all writes go to the fresh clone.
+func (s *Store[V]) unshare(p int) {
+	if !s.shared[p] {
+		return
+	}
+	part := s.parts[p]
+	cp := make(map[uint64]V, len(part))
+	for k, v := range part {
+		cp[k] = v
+	}
+	s.parts[p] = cp
+	s.shared[p] = false
 }
 
 // Len returns the total number of entries.
@@ -96,7 +122,8 @@ func (s *Store[V]) PartitionLen(p int) int { return len(s.parts[p]) }
 // ClearPartition drops every entry of partition p — the effect of the
 // worker owning p crashing.
 func (s *Store[V]) ClearPartition(p int) {
-	s.parts[p] = make(map[uint64]V)
+	s.parts[p] = make(map[uint64]V) // wholesale replacement: no clone needed
+	s.shared[p] = false
 	s.bump(p)
 	s.markCleared(p)
 }
@@ -148,6 +175,28 @@ func (s *Store[V]) Snapshot() *Store[V] {
 	return c
 }
 
+// SnapshotShared returns a copy-on-write capture of the store: O(parts)
+// at the barrier instead of O(entries). The capture aliases the live
+// partition maps; both sides are marked shared, and whichever side
+// mutates a partition next clones it first (see unshare). The intended
+// use is checkpoint capture — take the view at the superstep barrier,
+// encode it on background goroutines while the next superstep runs.
+func (s *Store[V]) SnapshotShared() *Store[V] {
+	c := &Store[V]{
+		name:     s.name,
+		parts:    append([]map[uint64]V(nil), s.parts...),
+		versions: append([]uint64(nil), s.versions...),
+		dirty:    make([]map[uint64]struct{}, len(s.parts)),
+		cleared:  make([]bool, len(s.parts)),
+		shared:   make([]bool, len(s.parts)),
+	}
+	for p := range s.parts {
+		s.shared[p] = true
+		c.shared[p] = true
+	}
+	return c
+}
+
 // CopyFrom replaces this store's contents with those of other.
 func (s *Store[V]) CopyFrom(other *Store[V]) {
 	if len(s.parts) != len(other.parts) {
@@ -155,12 +204,45 @@ func (s *Store[V]) CopyFrom(other *Store[V]) {
 	}
 	for p := range s.parts {
 		s.parts[p] = make(map[uint64]V, len(other.parts[p]))
+		s.shared[p] = false
 		for k, v := range other.parts[p] {
 			s.parts[p][k] = v
 		}
 		s.bump(p)
 		s.markCleared(p)
 	}
+}
+
+// partPairs is the serialised form of one partition: keys in ascending
+// order with their values aligned. Encoding sorted pairs instead of the
+// map makes snapshots byte-deterministic — two encodes of equal state
+// produce identical bytes, which the restore-equivalence tests and the
+// checkpoint commit protocol rely on.
+type partPairs[V any] struct {
+	Keys []uint64
+	Vals []V
+}
+
+func (s *Store[V]) pairs(p int) partPairs[V] {
+	part := s.parts[p]
+	pp := partPairs[V]{Keys: make([]uint64, 0, len(part))}
+	for k := range part {
+		pp.Keys = append(pp.Keys, k)
+	}
+	sort.Slice(pp.Keys, func(i, j int) bool { return pp.Keys[i] < pp.Keys[j] })
+	pp.Vals = make([]V, len(pp.Keys))
+	for i, k := range pp.Keys {
+		pp.Vals[i] = part[k]
+	}
+	return pp
+}
+
+func (pp partPairs[V]) toMap() map[uint64]V {
+	m := make(map[uint64]V, len(pp.Keys))
+	for i, k := range pp.Keys {
+		m[k] = pp.Vals[i]
+	}
+	return m
 }
 
 // Encode writes the store to w in gob encoding, for checkpointing.
@@ -174,7 +256,11 @@ func (s *Store[V]) EncodeTo(enc *gob.Encoder) error {
 	if err := enc.Encode(s.name); err != nil {
 		return fmt.Errorf("state: encoding store %q: %v", s.name, err)
 	}
-	if err := enc.Encode(s.parts); err != nil {
+	parts := make([]partPairs[V], len(s.parts))
+	for p := range s.parts {
+		parts[p] = s.pairs(p)
+	}
+	if err := enc.Encode(parts); err != nil {
 		return fmt.Errorf("state: encoding store %q: %v", s.name, err)
 	}
 	return nil
@@ -196,7 +282,7 @@ func (s *Store[V]) DecodeFrom(dec *gob.Decoder) error {
 	if name != s.name {
 		return fmt.Errorf("state: decoding store: snapshot is of %q, want %q", name, s.name)
 	}
-	var parts []map[uint64]V
+	var parts []partPairs[V]
 	if err := dec.Decode(&parts); err != nil {
 		return fmt.Errorf("state: decoding store %q: %v", s.name, err)
 	}
@@ -204,13 +290,9 @@ func (s *Store[V]) DecodeFrom(dec *gob.Decoder) error {
 		return fmt.Errorf("state: decoding store %q: snapshot has %d partitions, store has %d",
 			s.name, len(parts), len(s.parts))
 	}
-	for i, p := range parts {
-		if p == nil {
-			parts[i] = make(map[uint64]V)
-		}
-	}
-	s.parts = parts
-	for p := range s.parts {
+	for p, pp := range parts {
+		s.parts[p] = pp.toMap()
+		s.shared[p] = false
 		s.bump(p)
 		s.markCleared(p)
 	}

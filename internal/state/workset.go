@@ -88,6 +88,24 @@ func (w *Workset[T]) Snapshot() *Workset[T] {
 	return c
 }
 
+// SnapshotShared returns an O(parts) capture of the workset that shares
+// the item backing arrays with the live workset. This is safe without
+// copy-on-write because partitions are append-only between clears: a
+// later Add writes beyond the captured length (invisible to the capture
+// view), and ClearPartition/Swap replace the live slice header without
+// touching the captured one.
+func (w *Workset[T]) SnapshotShared() *Workset[T] {
+	c := &Workset[T]{
+		name:     w.name,
+		parts:    make([][]T, len(w.parts)),
+		versions: append([]uint64(nil), w.versions...),
+	}
+	for p, items := range w.parts {
+		c.parts[p] = items[:len(items):len(items)]
+	}
+	return c
+}
+
 // CopyFrom replaces the workset contents with those of other.
 func (w *Workset[T]) CopyFrom(other *Workset[T]) {
 	if len(w.parts) != len(other.parts) {

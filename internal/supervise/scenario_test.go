@@ -12,6 +12,7 @@ package supervise_test
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -87,14 +88,25 @@ func assertScenario(t *testing.T, cl *cluster.Cluster, res *iterate.Result, col 
 	if err := col.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if !strings.Contains(lines[0], "recovery_ms,retries,escalations") {
-		t.Fatalf("header = %q", lines[0])
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rows[0], ","), "recovery_ms,retries,escalations") {
+		t.Fatalf("header = %q", rows[0])
+	}
+	escIdx := -1
+	for i, h := range rows[0] {
+		if h == "escalations" {
+			escIdx = i
+		}
+	}
+	if escIdx < 0 {
+		t.Fatalf("no escalations column in header %q", rows[0])
 	}
 	sawNonzero := false
-	for _, line := range lines[1:] {
-		cols := strings.Split(line, ",")
-		if cols[len(cols)-1] != "0" {
+	for _, cols := range rows[1:] {
+		if cols[escIdx] != "0" {
 			sawNonzero = true
 		}
 	}

@@ -196,6 +196,28 @@ func IncrementalCheckpointRecovery(interval int, store CheckpointStore) Policy {
 	return recovery.NewIncrementalCheckpoint(interval, ps)
 }
 
+// AsyncCheckpointRecovery returns rollback recovery with the
+// asynchronous, partition-sharded checkpoint pipeline: the superstep
+// barrier pays only a cheap copy-on-write capture, while partition
+// encoding and the store writes run on `parallelism` background
+// encoders, committed atomically per epoch. Failures only ever restore
+// fully committed epochs — an in-flight or torn epoch is never a
+// restore target. The job must support shared-snapshot capture (the
+// built-in algorithms do).
+func AsyncCheckpointRecovery(interval int, store CheckpointStore, parallelism int) Policy {
+	return recovery.NewAsyncCheckpoint(interval, store, parallelism)
+}
+
+// AsyncIncrementalCheckpointRecovery is AsyncCheckpointRecovery
+// submitting only the partitions whose version changed since the last
+// epoch; unchanged partitions are stitched from older epochs at restore
+// time.
+func AsyncIncrementalCheckpointRecovery(interval int, store CheckpointStore, parallelism int) Policy {
+	c := recovery.NewAsyncCheckpoint(interval, store, parallelism)
+	c.Incremental = true
+	return c
+}
+
 // CheckpointLogStore is stable storage for delta-log snapshot chains.
 type CheckpointLogStore = checkpoint.LogStore
 

@@ -143,6 +143,40 @@ func TestCheckpointPolicyThroughFacade(t *testing.T) {
 	}
 }
 
+func TestAsyncCheckpointPolicyThroughFacade(t *testing.T) {
+	g, _ := optiflow.DemoGraph()
+	failureFree, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := failureFree.Components
+	for _, mk := range []func() optiflow.Policy{
+		func() optiflow.Policy {
+			return optiflow.AsyncCheckpointRecovery(1, optiflow.NewMemoryCheckpointStore(), 4)
+		},
+		func() optiflow.Policy {
+			return optiflow.AsyncIncrementalCheckpointRecovery(1, optiflow.NewMemoryCheckpointStore(), 4)
+		},
+	} {
+		res, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{
+			Parallelism: 4,
+			Policy:      mk(),
+			Injector:    optiflow.FailWorker(2, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, c := range truth {
+			if res.Components[v] != c {
+				t.Fatalf("vertex %d: component %d, want %d", v, res.Components[v], c)
+			}
+		}
+		if res.Ticks <= res.Supersteps {
+			t.Fatalf("rollback did not happen: ticks %d supersteps %d", res.Ticks, res.Supersteps)
+		}
+	}
+}
+
 func TestCustomPlanThroughFacade(t *testing.T) {
 	// Build and run a word-count-style plan directly on the engine —
 	// the public dataflow API must be usable standalone.
