@@ -1,26 +1,59 @@
 // Command optiflow-vet lints the repository's Go sources for the
 // invariants that keep optimistic recovery sound and the engine
-// deterministic — checks go vet cannot express (see internal/srclint
-// for the rule catalogue).
+// deterministic — checks go vet cannot express. It drives both lint
+// layers behind one registry: the syntactic AST rules in
+// internal/srclint and the typed CFG/dataflow analyses in
+// internal/deepvet (see either package for the rule catalogue, or run
+// with -catalogue).
 //
 // Usage:
 //
 //	optiflow-vet ./...
 //	optiflow-vet internal/... cmd/...
+//	optiflow-vet -rules poolescape,lockorder ./...
+//	optiflow-vet -json ./...
 //
-// It prints one finding per line in go-vet style and exits nonzero if
-// any rule fired.
+// By default it prints one finding per line in go-vet style and exits
+// nonzero if any rule fired; -json emits a machine-readable array for
+// CI and editor integrations.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"optiflow/internal/srclint"
+	"optiflow/internal/deepvet"
 )
 
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		rules     = flag.String("rules", "", "comma-separated rule names to run (default: all)")
+		noTyped   = flag.Bool("no-typed", false, "skip the typed deepvet analyses (fast syntactic pass only)")
+		catalogue = flag.Bool("catalogue", false, "print the rule catalogue and exit")
+	)
+	flag.Parse()
+
+	if *catalogue {
+		for _, r := range deepvet.Rules() {
+			fmt.Printf("%-14s %-5s %s\n", r.Name, r.Layer, r.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -29,13 +62,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "optiflow-vet: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := srclint.Check(root, patterns)
+
+	opts := deepvet.Options{NoTyped: *noTyped}
+	if *rules != "" {
+		for _, r := range strings.Split(*rules, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				opts.Rules = append(opts.Rules, r)
+			}
+		}
+	}
+
+	findings, err := deepvet.Check(root, patterns, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optiflow-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "optiflow-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "optiflow-vet: %d finding(s)\n", len(findings))

@@ -48,7 +48,10 @@ func EncodePartitions(snap PartitionSnapshot, parts []int, par int, save func(pa
 		firstErr error
 	)
 	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
-	work := make(chan int)
+	// Buffered to the full work list so the producer loop below can
+	// never block: even if every worker exited early, enqueue + close
+	// would still complete and the function could report the error.
+	work := make(chan int, len(parts))
 	for i := 0; i < par; i++ {
 		wg.Add(1)
 		go func() {
@@ -99,7 +102,9 @@ func RestorePartitions(blobs map[int][]byte, par int, restore func(part int, dat
 		errOnce  sync.Once
 		firstErr error
 	)
-	work := make(chan int)
+	// Buffered like EncodePartitions' work queue: the producer must not
+	// depend on worker liveness to make progress.
+	work := make(chan int, len(parts))
 	for i := 0; i < par; i++ {
 		wg.Add(1)
 		go func() {

@@ -153,6 +153,55 @@ func TestEncodePartitionsPropagatesError(t *testing.T) {
 	}
 }
 
+// Regression test for a cancellation (deepvet) finding: the work queue
+// used to be unbuffered, so the enqueue loop depended on worker
+// liveness to complete. It is now buffered to the full work list —
+// a failing partition must neither reach save nor stop the remaining
+// partitions from draining, even with a single worker.
+func TestEncodePartitionsDrainsPastFailures(t *testing.T) {
+	snap := sliceSnap{[]byte("a"), nil, []byte("c"), []byte("d")}
+	var mu sync.Mutex
+	saved := map[int]bool{}
+	err := EncodePartitions(snap, []int{0, 1, 2, 3}, 1, func(p int, _ []byte) error {
+		mu.Lock()
+		saved[p] = true
+		mu.Unlock()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("encode error swallowed")
+	}
+	if saved[1] {
+		t.Fatal("save called for the partition whose encoding failed")
+	}
+	for _, p := range []int{0, 2, 3} {
+		if !saved[p] {
+			t.Fatalf("partition %d not drained after the failure", p)
+		}
+	}
+}
+
+func TestRestorePartitionsDrainsPastFailures(t *testing.T) {
+	blobs := map[int][]byte{0: []byte("a"), 1: []byte("b"), 2: []byte("c")}
+	var mu sync.Mutex
+	restored := map[int]bool{}
+	err := RestorePartitions(blobs, 1, func(p int, _ []byte) error {
+		if p == 1 {
+			return errors.New("boom")
+		}
+		mu.Lock()
+		restored[p] = true
+		mu.Unlock()
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("restore error = %v, want boom", err)
+	}
+	if !restored[0] || !restored[2] {
+		t.Fatalf("healthy partitions not restored after the failure: %v", restored)
+	}
+}
+
 func TestAsyncWriterCommitsInBackground(t *testing.T) {
 	s := NewMemoryStore()
 	w := NewAsyncWriter(s, "job", AsyncOptions{Parallelism: 2})

@@ -1,0 +1,381 @@
+package deepvet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block of a function's control-flow graph: a
+// maximal straight-line sequence of AST nodes executed in order, ending
+// where control branches. Nodes holds statements plus the condition
+// expressions of the branches that terminate the block, in evaluation
+// order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic return target (reached by falling
+// off the end, return statements, and calls to panic). Blocks is every
+// block in creation order; blocks unreachable from Entry may appear
+// (code after return) and are ignored by the dataflow driver.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+}
+
+// cfgBuilder incrementally grows a CFG. cur is the block under
+// construction; a nil cur means the current position is unreachable
+// (just after return/branch) and statements go to a fresh orphan block.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breaks / continues map labels ("" = innermost) to jump targets;
+	// frames records how many entries each pushLoop/pushBreakOnly added
+	// so popLoop unwinds exactly its own frame.
+	breaks    []breakTarget
+	continues []breakTarget
+	frames    []frame
+	labels    map[string]*Block // goto targets
+	gotos     []pendingGoto
+}
+
+type breakTarget struct {
+	label string
+	block *Block
+}
+
+type frame struct {
+	nBreaks, nContinues int
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.jumpTo(b.cfg.Exit) // fall off the end
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, target)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jumpTo ends the current block with an edge to target; the position
+// becomes unreachable until startBlock.
+func (b *cfgBuilder) jumpTo(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock makes blk the current block.
+func (b *cfgBuilder) startBlock(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block (creating an orphan block for
+// unreachable code so its nodes still exist in the graph).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt adds one statement to the graph. label is the label attached to
+// this statement, if any (so labeled loops register break/continue
+// targets under it).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.jumpTo(target)
+		b.startBlock(target)
+		b.labels[st.Label.Name] = target
+		b.stmt(st.Stmt, st.Label.Name)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Cond)
+		thenB := b.newBlock()
+		after := b.newBlock()
+		elseB := after
+		if st.Else != nil {
+			elseB = b.newBlock()
+		}
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		b.cur.Succs = append(b.cur.Succs, thenB, elseB)
+		b.cur = nil
+		b.startBlock(thenB)
+		b.stmtList(st.Body.List)
+		b.jumpTo(after)
+		if st.Else != nil {
+			b.startBlock(elseB)
+			b.stmt(st.Else, "")
+			b.jumpTo(after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jumpTo(head)
+		b.startBlock(head)
+		if st.Cond != nil {
+			b.add(st.Cond)
+			b.cur.Succs = append(b.cur.Succs, body, after)
+			b.cur = nil
+		} else {
+			b.cur.Succs = append(b.cur.Succs, body)
+			b.cur = nil
+		}
+		b.pushLoop(label, after, head)
+		b.startBlock(body)
+		b.stmtList(st.Body.List)
+		if st.Post != nil {
+			b.stmt(st.Post, "")
+		}
+		b.jumpTo(head)
+		b.popLoop()
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jumpTo(head)
+		b.startBlock(head)
+		b.add(st) // the range header itself (assigns key/value each round)
+		b.cur.Succs = append(b.cur.Succs, body, after)
+		b.cur = nil
+		b.pushLoop(label, after, head)
+		b.startBlock(body)
+		b.stmtList(st.Body.List)
+		b.jumpTo(head)
+		b.popLoop()
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.branchClauses(st.Body.List, label, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			nodes := make([]ast.Node, len(c.List))
+			for i, e := range c.List {
+				nodes[i] = e
+			}
+			return nodes, c.Body
+		}, hasDefaultCase(st.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Assign)
+		b.branchClauses(st.Body.List, label, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt) {
+			return nil, c.Body
+		}, hasDefaultCase(st.Body.List))
+
+	case *ast.SelectStmt:
+		b.branchClauses(st.Body.List, label, nil, true)
+
+	case *ast.BranchStmt:
+		b.add(st)
+		switch st.Tok {
+		case token.BREAK:
+			b.jumpTo(b.findTarget(b.breaks, labelName(st.Label)))
+		case token.CONTINUE:
+			b.jumpTo(b.findTarget(b.continues, labelName(st.Label)))
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: labelName(st.Label)})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by branchClauses wiring the next case body as a
+			// successor; nothing to do here (the edge exists already).
+		}
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jumpTo(b.cfg.Exit)
+
+	default:
+		b.add(s)
+		// A call to panic never returns: end the block toward Exit so
+		// facts from the panicking path do not leak past it.
+		if isPanicStmt(s) {
+			b.jumpTo(b.cfg.Exit)
+		}
+	}
+}
+
+// branchClauses wires switch/type-switch/select clause bodies: each
+// clause gets its own block; without a default clause (exhaustive =
+// false) an extra edge skips to after. caseNodes extracts the nodes
+// evaluated by a clause header (switch case expressions); nil for
+// select, whose comm statements are added to the clause body block.
+func (b *cfgBuilder) branchClauses(clauses []ast.Stmt, label string, caseNodes func(*ast.CaseClause) ([]ast.Node, []ast.Stmt), exhaustive bool) {
+	after := b.newBlock()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+	}
+	b.cur = nil
+	b.pushBreakOnly(label, after)
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		head.Succs = append(head.Succs, bodies[i])
+	}
+	if !exhaustive || len(clauses) == 0 {
+		head.Succs = append(head.Succs, after)
+	}
+	for i, cs := range clauses {
+		var body []ast.Stmt
+		b.startBlock(bodies[i])
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if caseNodes != nil {
+				nodes, rest := caseNodes(c)
+				for _, n := range nodes {
+					b.add(n)
+				}
+				body = rest
+			} else {
+				body = c.Body
+			}
+		case *ast.CommClause:
+			if c.Comm != nil {
+				b.stmt(c.Comm, "")
+			}
+			body = c.Body
+		}
+		fallsThrough := false
+		for _, s := range body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(s, "")
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			b.jumpTo(bodies[i+1])
+		} else {
+			b.jumpTo(after)
+		}
+	}
+	b.popLoop()
+	b.startBlock(after)
+}
+
+func hasDefaultCase(clauses []ast.Stmt) bool {
+	for _, cs := range clauses {
+		if c, ok := cs.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pushLoop registers break/continue targets for a loop (under both the
+// anonymous label and the explicit one, if present).
+func (b *cfgBuilder) pushLoop(label string, breakTo, continueTo *Block) {
+	f := frame{nBreaks: 1, nContinues: 1}
+	b.breaks = append(b.breaks, breakTarget{"", breakTo})
+	b.continues = append(b.continues, breakTarget{"", continueTo})
+	if label != "" {
+		f.nBreaks, f.nContinues = 2, 2
+		b.breaks = append(b.breaks, breakTarget{label, breakTo})
+		b.continues = append(b.continues, breakTarget{label, continueTo})
+	}
+	b.frames = append(b.frames, f)
+}
+
+// pushBreakOnly registers a break target for switch/select (continue
+// passes through to the enclosing loop).
+func (b *cfgBuilder) pushBreakOnly(label string, breakTo *Block) {
+	f := frame{nBreaks: 1}
+	b.breaks = append(b.breaks, breakTarget{"", breakTo})
+	if label != "" {
+		f.nBreaks = 2
+		b.breaks = append(b.breaks, breakTarget{label, breakTo})
+	}
+	b.frames = append(b.frames, f)
+}
+
+// popLoop unwinds the innermost pushLoop/pushBreakOnly frame.
+func (b *cfgBuilder) popLoop() {
+	f := b.frames[len(b.frames)-1]
+	b.frames = b.frames[:len(b.frames)-1]
+	b.breaks = b.breaks[:len(b.breaks)-f.nBreaks]
+	b.continues = b.continues[:len(b.continues)-f.nContinues]
+}
+
+// findTarget resolves a break/continue target by label ("" = innermost).
+func (b *cfgBuilder) findTarget(stack []breakTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return b.cfg.Exit // malformed code; degrade gracefully
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// isPanicStmt reports whether s is a bare call to the builtin panic.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,327 @@
+package deepvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body for CFG tests.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the set of blocks reachable from cfg.Entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	return seen
+}
+
+// blockOf finds the reachable block whose Nodes contain a node matched
+// by pred.
+func blockOf(cfg *CFG, pred func(ast.Node) bool) *Block {
+	r := reachable(cfg)
+	for _, b := range cfg.Blocks {
+		if !r[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func hasCycle(cfg *CFG) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		color[b] = gray
+		for _, s := range b.Succs {
+			if color[s] == gray {
+				return true
+			}
+			if color[s] == white && visit(s) {
+				return true
+			}
+		}
+		color[b] = black
+		return false
+	}
+	return visit(cfg.Entry)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, "a := 1\nb := a\n_ = b"))
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	if hasCycle(cfg) {
+		t.Fatal("straight-line code produced a cycle")
+	}
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(cfg.Entry.Nodes))
+	}
+}
+
+func TestCFGIfJoins(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `c := true
+x := 0
+if c {
+	x = 1
+} else {
+	x = 2
+}
+_ = x`))
+	r := reachable(cfg)
+	if !r[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The branch head must have two successors (then and else).
+	head := blockOf(cfg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "c"
+	})
+	if head == nil {
+		t.Fatal("condition node not found in any reachable block")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("branch head has %d successors, want 2", len(head.Succs))
+	}
+}
+
+func TestCFGLoopHasBackEdge(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, "for i := 0; i < 3; i++ {\n_ = i\n}"))
+	if !hasCycle(cfg) {
+		t.Fatal("for loop produced no back edge")
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable past a bounded loop")
+	}
+}
+
+func TestCFGSelectIsDecomposed(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `ch := make(chan int, 1)
+select {
+case v := <-ch:
+	_ = v
+case ch <- 1:
+default:
+}`))
+	r := reachable(cfg)
+	for _, b := range cfg.Blocks {
+		if !r[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				t.Fatal("SelectStmt appears whole in a block; it must be decomposed into clause blocks")
+			}
+		}
+	}
+	// The comm statements live in their own clause blocks.
+	send := blockOf(cfg, func(n ast.Node) bool { _, ok := n.(*ast.SendStmt); return ok })
+	recv := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		u, isRecv := as.Rhs[0].(*ast.UnaryExpr)
+		return isRecv && u.Op == token.ARROW
+	})
+	if send == nil || recv == nil {
+		t.Fatal("comm statements missing from clause blocks")
+	}
+	if send == recv {
+		t.Fatal("send and receive comms share a block; clauses must be separate")
+	}
+}
+
+func TestCFGRangeBodyHasOwnBlocks(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `xs := []int{1, 2}
+sum := 0
+for _, v := range xs {
+	sum += v
+}
+_ = sum`))
+	head := blockOf(cfg, func(n ast.Node) bool { _, ok := n.(*ast.RangeStmt); return ok })
+	body := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ADD_ASSIGN
+	})
+	if head == nil || body == nil {
+		t.Fatal("range header or body statement missing")
+	}
+	if head == body {
+		t.Fatal("range body statement shares the header block; transfer functions would see it twice")
+	}
+	if !hasCycle(cfg) {
+		t.Fatal("range loop produced no back edge")
+	}
+}
+
+func TestCFGPanicEndsThePath(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, "panic(\"boom\")\nx := 1\n_ = x"))
+	r := reachable(cfg)
+	if !r[cfg.Exit] {
+		t.Fatal("exit unreachable: panic must edge to Exit")
+	}
+	dead := blockOf(cfg, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.DEFINE
+	})
+	if dead != nil {
+		t.Fatal("statement after panic is reachable from entry")
+	}
+}
+
+func TestCFGBreakSkipsLoopTail(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `done := false
+for {
+	if done {
+		break
+	}
+	done = true
+}
+_ = done`))
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("break did not make the code after an unconditional loop reachable")
+	}
+}
+
+// ---- dataflow driver ----
+
+// nameFact tracks the names assigned so far (a simple may-analysis used
+// to exercise the driver).
+type nameFact map[string]bool
+
+type namesProblem struct{}
+
+func (namesProblem) Entry() Fact { return nameFact{} }
+
+func (namesProblem) Transfer(f Fact, n ast.Node) Fact {
+	st, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	out := nameFact{}
+	for k := range f.(nameFact) {
+		out[k] = true
+	}
+	for _, l := range st.Lhs {
+		if id, isIdent := l.(*ast.Ident); isIdent && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func (namesProblem) Join(a, b Fact) Fact {
+	out := nameFact{}
+	for k := range a.(nameFact) {
+		out[k] = true
+	}
+	for k := range b.(nameFact) {
+		out[k] = true
+	}
+	return out
+}
+
+func (namesProblem) Equal(a, b Fact) bool {
+	fa, fb := a.(nameFact), b.(nameFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k := range fa {
+		if !fb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForwardJoinsBranches(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `c := true
+x := 1
+if c {
+	y := 1
+	_ = y
+} else {
+	z := 1
+	_ = z
+}
+_ = x`))
+	in := Forward(cfg, namesProblem{})
+	exit, ok := in[cfg.Exit]
+	if !ok {
+		t.Fatal("no fact at exit")
+	}
+	f := exit.(nameFact)
+	for _, want := range []string{"c", "x", "y", "z"} {
+		if !f[want] {
+			t.Fatalf("fact at exit missing %q (union join across branches): %v", want, f)
+		}
+	}
+}
+
+func TestForwardReachesFixpointOnLoops(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `i := 0
+for i < 3 {
+	j := i
+	i = j + 1
+}
+_ = i`))
+	in := Forward(cfg, namesProblem{})
+	exit, ok := in[cfg.Exit]
+	if !ok {
+		t.Fatal("no fact at exit")
+	}
+	f := exit.(nameFact)
+	if !f["i"] || !f["j"] {
+		t.Fatalf("loop facts not propagated to exit: %v", f)
+	}
+}
+
+func TestForwardEachSeesBeforeFacts(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, "a := 1\nb := a\n_ = b"))
+	var got []int
+	ForwardEach(cfg, namesProblem{}, func(n ast.Node, before Fact) {
+		got = append(got, len(before.(nameFact)))
+	})
+	// Facts before the three statements: {}, {a}, {a,b}.
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d nodes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("before-fact sizes = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package deepvet is the typed, whole-program static-analysis layer of
+// optiflow-vet. Where internal/srclint pattern-matches syntax, deepvet
+// type-checks the repository with go/types (stdlib only — module
+// packages are resolved against the repo tree, the rest compiles from
+// GOROOT source) and runs flow-sensitive analyses over an in-repo CFG
+// and forward-dataflow framework (cfg.go, flow.go).
+//
+// The typed rules target the engine's real hazard classes:
+//
+//   - poolescape: engine-owned batch memory ([]any group views outside
+//     internal/exec, *[]any pooled batches inside it) must not escape
+//     or be used after its recycle point. Outside the engine this is
+//     the typed, aliasing-aware successor of the syntactic batchretain
+//     rule: a view laundered through a local alias is still caught.
+//     Inside the engine it enforces the DESIGN.md §2.1 ownership rules:
+//     after putBatch or a channel send hands a batch away, any further
+//     use on any path is flagged.
+//   - cancellation: every goroutine spawned in internal/exec,
+//     internal/checkpoint and internal/supervise must be provably
+//     drainable — each blocking channel operation reachable from a `go`
+//     statement needs a cancel-capable select (default clause, or a
+//     second arm receiving from a chan struct{}), a provably buffered
+//     channel, or a channel some function of the package closes.
+//   - snapshotwrite: in internal/state, entry-level writes to a
+//     copy-on-write store's partitions (s.parts[p][k] = v, delete)
+//     must be dominated by the unshare-on-write helpers — s.unshare(p),
+//     s.shared[p] = false, or wholesale replacement of s.parts[p] — so
+//     a SnapshotShared capture can never observe a later mutation.
+//   - lockorder: the mutex-acquisition graph across internal/cluster,
+//     internal/supervise and internal/checkpoint must be acyclic
+//     (including through cross-package calls), locks must not be
+//     re-acquired while held, and no lock may be held across a
+//     blocking channel operation.
+//
+// Each analysis documents its soundness boundary in its own file; the
+// architecture and the boundaries are summarized in DESIGN.md §2.5.
+//
+// The Check entry point unifies both layers — syntactic srclint rules,
+// the srclint allowlist validator, and the typed analyses — behind one
+// registry that cmd/optiflow-vet drives.
+package deepvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"optiflow/internal/srclint"
+)
+
+// Finding is one rule violation; deepvet shares srclint's finding type
+// so both layers merge into a single deterministic report.
+type Finding = srclint.Finding
+
+// Analysis is one typed rule.
+type Analysis struct {
+	// Name identifies the rule in findings and -rules filters.
+	Name string
+	// Doc is the one-line catalogue description.
+	Doc string
+	// Applies reports whether the rule inspects the package at the
+	// given repo-relative path.
+	Applies func(rel string) bool
+	// Run inspects every applicable package (jointly, so cross-package
+	// analyses like lockorder see the whole graph) and returns findings.
+	Run func(pkgs []*Package) []Finding
+}
+
+// Analyses returns the typed rule set, in catalogue order.
+func Analyses() []*Analysis {
+	return []*Analysis{
+		poolEscapeAnalysis(),
+		cancellationAnalysis(),
+		snapshotWriteAnalysis(),
+		lockOrderAnalysis(),
+	}
+}
+
+// RuleInfo describes one rule of either layer for the catalogue.
+type RuleInfo struct {
+	// Name is the rule identifier findings carry.
+	Name string
+	// Layer is "ast" (syntactic, internal/srclint) or "typed"
+	// (go/types + CFG, internal/deepvet).
+	Layer string
+	// Doc is the one-line description.
+	Doc string
+}
+
+// Rules returns the unified catalogue of every rule optiflow-vet runs.
+func Rules() []RuleInfo {
+	rules := []RuleInfo{
+		{"goroutine", "ast", "go statements confined to the engine, cluster and checkpoint packages"},
+		{"panicprefix", "ast", "literal panic messages carry their package-name prefix"},
+		{"determinism", "ast", "replay packages read time only through internal/clock, never math/rand"},
+		{"globalvar", "ast", "algorithm packages declare no mutated package-level state"},
+		{"batchretain", "ast", "fast-path check: []any group views must not syntactically escape UDFs"},
+		{"allowlist", "ast", "srclint package allowlists name only directories that still exist"},
+	}
+	for _, a := range Analyses() {
+		rules = append(rules, RuleInfo{a.Name, "typed", a.Doc})
+	}
+	return rules
+}
+
+// Options configure Check.
+type Options struct {
+	// Rules, when non-empty, restricts the run to the named rules.
+	Rules []string
+	// NoTyped skips the typed layer (syntactic rules and the allowlist
+	// validator only) — the fast path for editor integrations.
+	NoTyped bool
+}
+
+// Check runs every selected rule of both layers over the packages the
+// patterns select (repo-root relative, "./..." style) and returns the
+// merged findings, deterministically ordered.
+func Check(root string, patterns []string, opts Options) ([]Finding, error) {
+	selected := map[string]bool{}
+	if len(opts.Rules) > 0 {
+		known := map[string]bool{}
+		for _, r := range Rules() {
+			known[r.Name] = true
+		}
+		for _, name := range opts.Rules {
+			if !known[name] {
+				return nil, fmt.Errorf("deepvet: unknown rule %q", name)
+			}
+			selected[name] = true
+		}
+	}
+	want := func(rule string) bool { return len(selected) == 0 || selected[rule] }
+
+	var all []Finding
+
+	syntactic, err := srclint.Check(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range syntactic {
+		if want(f.Rule) {
+			all = append(all, f)
+		}
+	}
+	if want("allowlist") {
+		all = append(all, srclint.ValidateAllowlists(root)...)
+	}
+
+	if !opts.NoTyped {
+		typed, err := checkTyped(root, patterns, want)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, typed...)
+	}
+
+	sortFindings(all)
+	return all, nil
+}
+
+// checkTyped loads every package an enabled typed analysis applies to
+// and runs the analyses.
+func checkTyped(root string, patterns []string, want func(string) bool) ([]Finding, error) {
+	dirs, err := srclint.PackageDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, a := range Analyses() {
+		if !want(a.Name) {
+			continue
+		}
+		var pkgs []*Package
+		for _, rel := range dirs {
+			if !a.Applies(rel) {
+				continue
+			}
+			p, err := loader.Load(rel)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		if len(pkgs) > 0 {
+			all = append(all, a.Run(pkgs)...)
+		}
+	}
+	return all, nil
+}
+
+// sortFindings orders findings the way srclint.Check does: by file,
+// line, then rule.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// ---- shared type and AST helpers used by the analyses ----
+
+// underPkg reports whether rel is the package p or nested below it.
+func underPkg(rel, p string) bool {
+	return rel == p || strings.HasPrefix(rel, p+"/")
+}
+
+// isAnySlice reports whether t is []any / []interface{}.
+func isAnySlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := s.Elem().Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 0
+}
+
+// isBatchPtr reports whether t is *[]any — the engine's pooled batch
+// pointer type.
+func isBatchPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && isAnySlice(p.Elem())
+}
+
+// identObj resolves a (possibly parenthesized) identifier expression to
+// its object; nil for anything else.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// chanIdentity resolves a channel-valued expression to a stable
+// identity object: the field it is stored in (unwrapping indexing and
+// slicing), or the variable it is bound to. nil when unresolvable.
+func chanIdentity(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return info.Uses[x.Sel]
+		case *ast.Ident:
+			return identObj(info, x)
+		default:
+			return nil
+		}
+	}
+}
+
+// position converts a token.Pos within a package to a Position.
+func position(p *Package, pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// funcBodies yields every function body of a file — declarations and
+// literals — with its type. Literals nested inside other bodies are
+// yielded separately; visitors must not recurse into nested FuncLits
+// themselves.
+func funcBodies(f *ast.File, visit func(ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Type, fn.Body, fn)
+			}
+		case *ast.FuncLit:
+			visit(fn.Type, fn.Body, nil)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the subtree of a CFG node but does not descend
+// into function literals — their bodies are separate functions analyzed
+// on their own — and, when the node is a range header, not into the
+// loop body either: the CFG gives body statements their own blocks, so
+// descending here would visit them twice under the wrong fact.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	walk := func(sub ast.Node) {
+		if sub == nil {
+			return
+		}
+		ast.Inspect(sub, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != n {
+				visit(m)     // the literal itself is visible (capture checks)...
+				return false // ...but its body is a separate function
+			}
+			return visit(m)
+		})
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !visit(rs) {
+			return
+		}
+		walk(rs.Key)
+		walk(rs.Value)
+		walk(rs.X)
+		return
+	}
+	walk(n)
+}

@@ -1,0 +1,70 @@
+package deepvet
+
+import "go/ast"
+
+// Fact is an analysis-specific dataflow fact (a set of tainted
+// variables, held locks, sanitized partitions, ...). Facts are treated
+// as immutable by the driver: Transfer and Join must return fresh
+// values rather than mutate their inputs.
+type Fact any
+
+// FlowProblem defines one forward dataflow analysis over a CFG.
+type FlowProblem interface {
+	// Entry returns the fact holding at function entry.
+	Entry() Fact
+	// Transfer applies the effect of one CFG node to a fact.
+	Transfer(f Fact, n ast.Node) Fact
+	// Join merges the facts of two converging paths.
+	Join(a, b Fact) Fact
+	// Equal reports fact equality (fixpoint detection).
+	Equal(a, b Fact) bool
+}
+
+// Forward runs the classic worklist algorithm to a fixpoint and returns
+// the fact holding at the entry of every reachable block. Blocks
+// unreachable from cfg.Entry (dead code after return) are absent from
+// the result.
+func Forward(cfg *CFG, p FlowProblem) map[*Block]Fact {
+	in := map[*Block]Fact{cfg.Entry: p.Entry()}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			var merged Fact
+			if seen {
+				merged = p.Join(prev, out)
+				if p.Equal(prev, merged) {
+					continue
+				}
+			} else {
+				merged = out
+			}
+			in[succ] = merged
+			work = append(work, succ)
+		}
+	}
+	return in
+}
+
+// ForwardEach runs Forward and then replays every reachable block once,
+// calling visit with the fact holding immediately *before* each node.
+// This is how analyses report findings with flow-sensitive context.
+func ForwardEach(cfg *CFG, p FlowProblem, visit func(n ast.Node, before Fact)) {
+	in := Forward(cfg, p)
+	for _, blk := range cfg.Blocks {
+		fact, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			visit(n, fact)
+			fact = p.Transfer(fact, n)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package fixture seeds lockorder violations: a lock-order cycle across
+// two mutexes, a self re-lock, and the three blocking-while-locked
+// shapes, next to the ordered and unlock-first patterns the rule must
+// accept.
+package fixture
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// cycleAB and cycleBA acquire the two mutexes in opposite orders: the
+// acquisition graph gains edges A.mu→B.mu and B.mu→A.mu. 1 cycle finding.
+func cycleAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func cycleBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// relock acquires a mutex it already holds: guaranteed deadlock with
+// sync.Mutex. 1 finding.
+func relock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // self-deadlock
+	a.n++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// sendUnderLock performs an unguarded channel send while holding a
+// mutex: anyone blocked on that mutex waits for the channel's consumer
+// too. 1 finding.
+func sendUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	ch <- a.n // blocking send under a.mu
+	a.mu.Unlock()
+}
+
+func helperBlocks(ch chan int) int {
+	return <-ch
+}
+
+// callBlockerUnderLock blocks transitively: the callee's bare receive
+// is reached with a.mu held. 1 finding.
+func callBlockerUnderLock(a *A, ch chan int) {
+	a.mu.Lock()
+	a.n = helperBlocks(ch)
+	a.mu.Unlock()
+}
+
+// selectUnderLock parks in a select with no default while holding the
+// lock. 1 finding.
+func selectUnderLock(a *A, in chan int, out chan int) {
+	a.mu.Lock()
+	select {
+	case v := <-in:
+		a.n = v
+	case out <- a.n:
+	}
+	a.mu.Unlock()
+}
+
+// cleanOrdered always takes A.mu before B.mu: consistent order, no
+// cycle.
+func cleanOrdered(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// cleanUnlockFirst releases before acquiring the next mutex: no edge at
+// all.
+func cleanUnlockFirst(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// cleanDefer holds the lock across a select that cannot block: the
+// default arm makes the op non-parking.
+func cleanDefer(a *A, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case v := <-ch:
+		a.n = v
+	default:
+	}
+}
+
+// cleanSpawn hands the blocking work to a new goroutine: spawning never
+// blocks the caller, and the goroutine body holds no lock.
+func cleanSpawn(a *A, ch chan int) {
+	a.mu.Lock()
+	n := a.n
+	a.mu.Unlock()
+	go func() {
+		ch <- n
+	}()
+}

@@ -1,0 +1,59 @@
+// Package fixture seeds poolescape violations for the borrowed-view
+// half of the rule (outside internal/exec): every escape of a []any
+// batch view the typed analysis must flag, next to the read-only and
+// alias-then-drop patterns it must leave alone.
+package fixture
+
+var keep []any
+
+var sinkCh = make(chan []any, 1)
+
+type holder struct{ recs []any }
+
+func sink(v []any) { _ = len(v) }
+
+func ret(vals []any) []any { return vals } // return
+
+func send(vals []any) { sinkCh <- vals } // channel send
+
+func store(h *holder, vals []any) { h.recs = vals } // store to non-local memory
+
+func global(vals []any) { keep = vals } // store to package-level variable
+
+func lit(vals []any) any { return holder{recs: vals} } // composite literal
+
+func appendElem(vals []any) []any {
+	var dst []any
+	return append(dst, vals) // append as a single element
+}
+
+func callArg(vals []any) { sink(vals) } // call argument
+
+func capture(vals []any) func() int {
+	return func() int { return len(vals) } // closure capture
+}
+
+// launder is the case the syntactic batchretain rule historically
+// missed: the view escapes through a chain of local aliases.
+func launder(vals []any) []any {
+	v := vals
+	w := v[1:]
+	return w // return of a transitive alias
+}
+
+// clean exercises every supported read: the typed rule, unlike the
+// syntactic one, does not flag alias creation itself, only escapes.
+func clean(vals []any) int {
+	n := len(vals)
+	out := make([]any, n)
+	copy(out, vals)
+	for _, r := range vals {
+		_ = r
+	}
+	out = append(out, vals...) // spread copies elements: legal
+	v := vals                  // alias creation alone: legal
+	_ = v[0]
+	v = nil // rebinding kills the alias
+	_ = v
+	return n
+}

@@ -1,0 +1,73 @@
+// Package fixture seeds poolescape violations for the ownership half
+// of the rule (inside internal/exec): uses of a pooled *[]any batch
+// after putBatch / Put / a channel send handed it away, plus the two
+// direct escapes (package-level store, exported return).
+package fixture
+
+import "sync"
+
+type run struct{ pool sync.Pool }
+
+func (r *run) putBatch(bp *[]any) { r.pool.Put(bp) }
+
+func (r *run) getBatch() *[]any {
+	bp := r.pool.Get().(*[]any)
+	return bp // unexported: batches may flow inside the engine
+}
+
+var leak *[]any
+
+func useAfterPut(r *run, bp *[]any) int {
+	r.putBatch(bp)
+	return len(*bp) // use after recycle
+}
+
+func useAfterSend(ch chan *[]any, bp *[]any) int {
+	ch <- bp
+	return len(*bp) // use after the receiver took ownership
+}
+
+func conditional(r *run, bp *[]any, flush bool) int {
+	if flush {
+		r.putBatch(bp)
+	}
+	return len(*bp) // consumed on the flush path
+}
+
+func storeGlobal(bp *[]any) {
+	leak = bp // package-level store
+}
+
+func Exported(bp *[]any) *[]any {
+	return bp // pooled batch crossing the exported API
+}
+
+// cleanLoop is the engine's drain idiom: read everything, then recycle;
+// the next iteration rebinds bp to a fresh batch.
+func cleanLoop(r *run, ch chan *[]any) {
+	for bp := range ch {
+		_ = len(*bp)
+		r.putBatch(bp)
+	}
+}
+
+// rebind kills the consumed state: after reassignment the variable
+// holds a live batch again.
+func rebind(r *run, bp *[]any) int {
+	r.putBatch(bp)
+	bp = r.getBatch()
+	n := len(*bp)
+	r.putBatch(bp)
+	return n
+}
+
+// sliceLoop drains a buffered slice of batches the way the join
+// operator does: deref before recycle, rebind per iteration.
+func sliceLoop(r *run, batches []*[]any) int {
+	n := 0
+	for _, bp := range batches {
+		n += len(*bp)
+		r.putBatch(bp)
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+// Package fixture seeds snapshotwrite violations: writes into a
+// copy-on-write partition map that are not provably preceded (on every
+// path) by an unshare, a map replacement, or a shared-flag clear, next
+// to the sanitized shapes the rule must accept.
+package fixture
+
+// Store mirrors the engine's COW partition state: parts may be shared
+// with a live snapshot until unshare copies them.
+type Store struct {
+	parts  []map[uint64]int
+	shared []bool
+}
+
+// unshare is itself clean: the copy is built in a private map and only
+// then published, which also sanitizes partition p.
+func (s *Store) unshare(p int) {
+	if !s.shared[p] {
+		return
+	}
+	cp := make(map[uint64]int, len(s.parts[p]))
+	for k, v := range s.parts[p] {
+		cp[k] = v
+	}
+	s.parts[p] = cp
+	s.shared[p] = false
+}
+
+// PutBad writes straight through to possibly-snapshot-shared memory.
+func (s *Store) PutBad(p int, k uint64, v int) {
+	s.parts[p][k] = v // 1 finding
+}
+
+// DeleteBad mutates a shared map through the delete builtin.
+func (s *Store) DeleteBad(p int, k uint64) {
+	delete(s.parts[p], k) // 1 finding
+}
+
+// BranchBad sanitizes on only one path: the must-analysis meets at the
+// write with p unsanitized.
+func (s *Store) BranchBad(p int, k uint64, v int, hot bool) {
+	if hot {
+		s.unshare(p)
+	}
+	s.parts[p][k] = v // 1 finding
+}
+
+// AliasBad hides the shared map behind a local before writing.
+func (s *Store) AliasBad(p int, k uint64, v int) {
+	m := s.parts[p]
+	m[k] = v // 1 finding
+}
+
+// LoopBad touches every partition without unsharing any of them.
+func (s *Store) LoopBad(v int) {
+	for p := range s.parts {
+		s.parts[p][0] = v // 1 finding
+	}
+}
+
+// PutGood is the required discipline: unshare, then write.
+func (s *Store) PutGood(p int, k uint64, v int) {
+	s.unshare(p)
+	s.parts[p][k] = v
+}
+
+// AliasGood takes the alias after the partition is sanitized.
+func (s *Store) AliasGood(p int, k uint64, v int) {
+	s.unshare(p)
+	m := s.parts[p]
+	m[k] = v
+}
+
+// ReplaceGood installs a fresh map, which is a sanitizer on its own.
+func (s *Store) ReplaceGood(p int, k uint64, v int) {
+	s.parts[p] = make(map[uint64]int)
+	s.parts[p][k] = v
+}
+
+// MarkGood clears the shared flag explicitly before writing — the shape
+// restore paths use after installing partitions they exclusively own.
+func (s *Store) MarkGood(p int, k uint64, v int) {
+	s.shared[p] = false
+	s.parts[p][k] = v
+}
+
+// LoopGood unshares each partition inside the loop before mutating it.
+func (s *Store) LoopGood(v int) {
+	for p := range s.parts {
+		s.unshare(p)
+		s.parts[p][0] = v
+	}
+}

@@ -111,6 +111,77 @@ func Check(root string, patterns []string) ([]Finding, error) {
 	return all, nil
 }
 
+// PackageDirs expands patterns ("./...", "internal/...", plain dirs)
+// into the sorted set of repo-root-relative, slash-separated package
+// directories containing non-test .go files ("" is the root package).
+// Shared with internal/deepvet so both lint layers agree on what a
+// pattern selects.
+func PackageDirs(root string, patterns []string) ([]string, error) {
+	dirs, err := packageDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		rels = append(rels, rel)
+	}
+	return rels, nil
+}
+
+// ValidateAllowlists cross-checks the hand-maintained package
+// allowlists above against the repo tree: an entry naming a directory
+// that no longer holds Go sources is stale and silently weakens (or
+// misdirects) the rules that consume it. The determinism allowlist has
+// drifted once already — internal/supervise was added late — so the
+// lists are now linted like everything else.
+func ValidateAllowlists(root string) []Finding {
+	srcPos := token.Position{Filename: filepath.Join(root, "internal", "srclint", "srclint.go")}
+	hasGoSources := func(rel string) bool {
+		entries, err := os.ReadDir(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				return true
+			}
+		}
+		return false
+	}
+	var fs []Finding
+	stale := func(list, entry string) {
+		fs = append(fs, Finding{
+			Pos:  srcPos,
+			Rule: "allowlist",
+			Msg:  fmt.Sprintf("%s entry %q names a package that no longer exists; remove the stale entry", list, entry),
+		})
+	}
+	pkgs := make([]string, 0, len(goroutinePackages))
+	for p := range goroutinePackages {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		if !hasGoSources(p) {
+			stale("goroutinePackages", p)
+		}
+	}
+	for _, p := range deterministicPrefixes {
+		if !hasGoSources(p) {
+			stale("deterministicPrefixes", p)
+		}
+	}
+	return fs
+}
+
 // packageDirs expands patterns ("./...", "internal/...", plain dirs)
 // into the set of directories containing non-test .go files.
 func packageDirs(root string, patterns []string) ([]string, error) {
@@ -496,6 +567,13 @@ func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...
 // checkBatchRetainBody walks one function body looking for escape
 // sites of the given []any parameters. Reads — range statements,
 // indexing, len/cap/copy — are not escape sites and pass untouched.
+//
+// Aliases are tracked to a fixpoint before reporting: `v := vals`,
+// `v = vals` and `var v = vals` each add v to the tracked set, so an
+// escape laundered through a chain of locals (the rule's historical
+// false negative — the alias declaration was flagged but a `var`
+// declaration was not, and escapes of the alias itself went unseen)
+// is reported at every aliasing step and at the final escape.
 func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, paramNames map[string]bool, add func(token.Pos, string, string, ...any)) {
 	// paramRef reports whether the expression is a bare parameter or a
 	// reslicing of one — the forms whose backing array the engine will
@@ -523,12 +601,93 @@ func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, p
 			"[]any parameter %q (an engine-owned batch or group view) escapes via %s; the engine recycles the slice after the call — copy the records you need instead", name, how)
 	}
 
+	// Alias closure: grow the tracked set until no assignment or var
+	// declaration introduces a new alias of a tracked slice.
+	trackAlias := func(id *ast.Ident) bool {
+		if id == nil || id.Name == "_" || paramNames[id.Name] {
+			return false
+		}
+		paramNames[id.Name] = true
+		if id.Obj != nil {
+			paramObjs[id.Obj] = true
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if _, ok := paramRef(rhs); !ok {
+						continue
+					}
+					if id, isIdent := st.Lhs[i].(*ast.Ident); isIdent && trackAlias(id) {
+						changed = true
+					}
+				}
+			case *ast.DeclStmt:
+				gd, ok := st.Decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						if _, ok := paramRef(vs.Values[i]); ok && trackAlias(name) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.AssignStmt:
-			for _, rhs := range st.Rhs {
-				if name, ok := paramRef(rhs); ok {
-					report(st.Pos(), name, "assignment")
+			for i, rhs := range st.Rhs {
+				name, ok := paramRef(rhs)
+				if !ok {
+					continue
+				}
+				// A blank assignment reads nothing and retains nothing.
+				if len(st.Lhs) == len(st.Rhs) && isBlank(st.Lhs[i]) {
+					continue
+				}
+				report(st.Pos(), name, "assignment")
+			}
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if name, ok := paramRef(val); ok {
+						if i < len(vs.Names) && vs.Names[i].Name == "_" {
+							continue
+						}
+						report(val.Pos(), name, "var declaration")
+					}
 				}
 			}
 		case *ast.ReturnStmt:

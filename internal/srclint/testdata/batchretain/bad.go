@@ -28,6 +28,17 @@ func retainEverywhere(h *holder, vals []any) []any {
 	return vals         // return
 }
 
+// launder exercises the rule's historical false negative: aliasing the
+// view through locals — including a `var` declaration, which the old
+// rule did not even see — and then escaping the alias. 4 findings: the
+// var declaration, the chained assignment, and both alias escapes.
+func launder(h *holder, vals []any) []any {
+	var alias = vals // var declaration (was invisible to the old rule)
+	second := alias  // assignment: the alias is tracked transitively
+	h.kept = second  // assignment: the laundered view still escapes
+	return alias     // return of the alias
+}
+
 // readOnly uses the view in every way the rule must allow.
 func readOnly(vals []any) int {
 	n := len(vals)

@@ -104,17 +104,31 @@ func (s *Store[V]) ApplyDelta(dec *gob.Decoder) error {
 		return fmt.Errorf("state: delta of %q has %d partitions, store has %d", s.name, len(deltas), len(s.parts))
 	}
 	for p, d := range deltas {
-		if d.Cleared {
-			s.parts[p] = make(map[uint64]V, len(d.Upserts))
+		// Every write happens inside a branch that unshared the
+		// partition first, so a concurrent SnapshotShared capture can
+		// never observe a replayed delta (the empty-delta path used to
+		// fall through to the write loops unsanitized — zero iterations
+		// in practice, but nothing enforced it).
+		switch {
+		case d.Cleared:
+			// Build the replacement privately, publish it whole.
+			fresh := make(map[uint64]V, len(d.Upserts))
+			for k, v := range d.Upserts {
+				fresh[k] = v
+			}
+			for _, k := range d.Deletes {
+				delete(fresh, k)
+			}
+			s.parts[p] = fresh
 			s.shared[p] = false
-		} else if len(d.Upserts) > 0 || len(d.Deletes) > 0 {
+		case len(d.Upserts) > 0 || len(d.Deletes) > 0:
 			s.unshare(p)
-		}
-		for k, v := range d.Upserts {
-			s.parts[p][k] = v
-		}
-		for _, k := range d.Deletes {
-			delete(s.parts[p], k)
+			for k, v := range d.Upserts {
+				s.parts[p][k] = v
+			}
+			for _, k := range d.Deletes {
+				delete(s.parts[p], k)
+			}
 		}
 		s.bump(p)
 	}

@@ -84,6 +84,83 @@ func TestSnapshotSharedApplyDeltaUnshares(t *testing.T) {
 	}
 }
 
+// Regression test for a snapshotwrite (deepvet) finding: ApplyDelta's
+// cleared-partition replay used to write through the live partition
+// map without unsharing it first, so a capture taken at the barrier
+// could observe the replayed contents. The replacement map is now
+// built privately and published wholesale.
+func TestSnapshotSharedApplyClearedDelta(t *testing.T) {
+	src := NewStore[uint64]("labels", 2)
+	src.Put(1, 11)
+	src.Put(2, 22)
+	src.MarkClean()
+	src.ClearAll() // the next delta carries Cleared partitions
+	src.Put(3, 33)
+	var buf bytes.Buffer
+	if err := src.EncodeDelta(gob.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore[uint64]("labels", 2)
+	s.Put(1, 1)
+	s.Put(2, 2)
+	snap := s.SnapshotShared()
+	if err := s.ApplyDelta(gob.NewDecoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The capture still shows barrier-time contents.
+	if v, ok := snap.Get(1); !ok || v != 1 {
+		t.Fatalf("snapshot lost key 1: %d %v", v, ok)
+	}
+	if v, ok := snap.Get(2); !ok || v != 2 {
+		t.Fatalf("snapshot lost key 2: %d %v", v, ok)
+	}
+	if _, ok := snap.Get(3); ok {
+		t.Fatal("snapshot saw cleared-delta replay")
+	}
+	// The live store is exactly the source's post-clear state.
+	if _, ok := s.Get(1); ok {
+		t.Fatal("cleared-delta replay kept stale key 1")
+	}
+	if v, _ := s.Get(3); v != 33 {
+		t.Fatalf("cleared-delta replay lost upsert: %d", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("live len = %d, want 1", s.Len())
+	}
+}
+
+// The empty-delta path of the same fix: replaying a no-change delta
+// onto shared partitions must leave the sharing intact (a later write
+// still clones before mutating) while still bumping the partition
+// versions, since a restore invalidates incremental-snapshot bases.
+func TestSnapshotSharedApplyEmptyDelta(t *testing.T) {
+	src := NewStore[uint64]("labels", 2)
+	var buf bytes.Buffer
+	if err := src.EncodeDelta(gob.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore[uint64]("labels", 2)
+	s.Put(1, 1)
+	snap := s.SnapshotShared()
+	v0, v1 := s.Version(0), s.Version(1)
+	if err := s.ApplyDelta(gob.NewDecoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(0) == v0 || s.Version(1) == v1 {
+		t.Fatal("empty delta did not bump partition versions")
+	}
+	s.Put(1, 100) // must copy-on-write, not mutate the aliased map
+	if v, _ := snap.Get(1); v != 1 {
+		t.Fatalf("post-delta write leaked into the capture: %d", v)
+	}
+	if v, _ := s.Get(1); v != 100 {
+		t.Fatalf("live write lost: %d", v)
+	}
+}
+
 // Deterministic encoding: the same logical content encodes to the same
 // bytes regardless of insertion order (maps are encoded as sorted
 // pairs). The sync-vs-async byte-identical restore guarantee depends on
