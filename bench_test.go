@@ -90,16 +90,25 @@ func BenchmarkFig4_PRDemo(b *testing.B) {
 	}
 }
 
-func BenchmarkTwitter_CC(b *testing.B) {
-	und := optiflow.NewGraphBuilder(false)
-	benchTwitter(b).Edges(func(e optiflow.Edge) { und.AddEdge(e.Src, e.Dst) })
-	g := und.Build()
+// benchTwitterUndirected rebuilds the Twitter-like graph undirected
+// for CC, pre-sized from the known edge count.
+func benchTwitterUndirected(b *testing.B) *optiflow.Graph {
+	b.Helper()
+	src := benchTwitter(b)
+	und := optiflow.NewGraphBuilder(false).Reserve(src.NumVertices(), src.NumEdges())
+	src.Edges(func(e optiflow.Edge) { und.AddEdge(e.Src, e.Dst) })
+	return und.Build()
+}
+
+func benchTwitterCC(b *testing.B, boxed bool) {
+	g := benchTwitterUndirected(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := optiflow.ConnectedComponents(g, optiflow.CCOptions{
 			Parallelism: 4,
 			Injector:    optiflow.FailWorker(2, 1),
+			Boxed:       boxed,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -107,7 +116,13 @@ func BenchmarkTwitter_CC(b *testing.B) {
 	}
 }
 
-func BenchmarkTwitter_PR(b *testing.B) {
+func BenchmarkTwitter_CC(b *testing.B) { benchTwitterCC(b, false) }
+
+// BenchmarkTwitter_CC_Boxed pins the boxed []any record path so the
+// committed artifact records the columnar speedup as a ratio.
+func BenchmarkTwitter_CC_Boxed(b *testing.B) { benchTwitterCC(b, true) }
+
+func benchTwitterPR(b *testing.B, boxed bool) {
 	g := benchTwitter(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -116,12 +131,19 @@ func BenchmarkTwitter_PR(b *testing.B) {
 			Parallelism:   4,
 			MaxIterations: 10,
 			Injector:      optiflow.FailWorker(4, 2),
+			Boxed:         boxed,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkTwitter_PR(b *testing.B) { benchTwitterPR(b, false) }
+
+// BenchmarkTwitter_PR_Boxed pins the boxed []any record path (the
+// denominator of the columnar speedup ratio).
+func BenchmarkTwitter_PR_Boxed(b *testing.B) { benchTwitterPR(b, true) }
 
 // benchOverhead measures failure-free PageRank under one policy — the
 // E6 rows.

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"optiflow/internal/benchart"
 	"optiflow/internal/experiments"
@@ -41,10 +43,11 @@ func main() {
 	benchtime := flag.String("benchtime", "", "-benchtime passed through to go test (e.g. 3x, 1s)")
 	jsonPath := flag.String("json", "BENCH.json", "artifact path for -gobench results")
 	benchDir := flag.String("benchdir", ".", "directory containing the benchmarked package")
+	maxAllocs := flag.String("maxallocs", "", "comma-separated Benchmark=ceiling pairs; with -gobench, fail if a listed benchmark is missing or its allocs/op exceeds the ceiling")
 	flag.Parse()
 
 	if *gobench != "" {
-		runGoBench(*benchDir, *gobench, *benchtime, *jsonPath)
+		runGoBench(*benchDir, *gobench, *benchtime, *jsonPath, *maxAllocs)
 		return
 	}
 	if *chaos {
@@ -96,7 +99,7 @@ func main() {
 // runGoBench executes the Go benchmark suites and writes the committed
 // perf artifact. The raw `go test` output streams to stdout so failures
 // stay diagnosable in CI logs.
-func runGoBench(dir, bench, benchtime, jsonPath string) {
+func runGoBench(dir, bench, benchtime, jsonPath, maxAllocs string) {
 	results, raw, err := benchart.RunGo(dir, bench, benchtime)
 	fmt.Print(raw)
 	if err != nil {
@@ -115,6 +118,46 @@ func runGoBench(dir, bench, benchtime, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", jsonPath, len(results))
+	if err := enforceAllocCeilings(results, maxAllocs); err != nil {
+		fmt.Fprintf(os.Stderr, "optiflow-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// enforceAllocCeilings is the allocation-regression guard behind
+// -maxallocs. A listed benchmark that is absent from the run fails the
+// guard too: a renamed or filtered-out benchmark must not let the
+// ceiling pass vacuously.
+func enforceAllocCeilings(results []benchart.Result, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, limitStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-maxallocs entry %q: want Benchmark=ceiling", pair)
+		}
+		limit, err := strconv.ParseInt(limitStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-maxallocs entry %q: bad ceiling: %v", pair, err)
+		}
+		r, found := benchart.Find(results, name)
+		if !found {
+			return fmt.Errorf("-maxallocs: benchmark %q not present in this run", name)
+		}
+		if r.AllocsPerOp < 0 {
+			return fmt.Errorf("-maxallocs: benchmark %q reported no allocation figures", name)
+		}
+		if r.AllocsPerOp > limit {
+			return fmt.Errorf("allocation regression: %s allocated %d allocs/op, ceiling is %d", r.Name, r.AllocsPerOp, limit)
+		}
+		fmt.Printf("alloc guard: %s at %d allocs/op (ceiling %d)\n", r.Name, r.AllocsPerOp, limit)
+	}
+	return nil
 }
 
 // derivedRatios computes the headline speedups when the relevant
@@ -128,6 +171,10 @@ func derivedRatios(results []benchart.Result) map[string]float64 {
 			"BenchmarkCheckpointBarrier_PR_Sync", "BenchmarkCheckpointBarrier_PR_Async"},
 		"barrier_stall_speedup_cc_incremental": {
 			"BenchmarkCheckpointBarrier_CC_Incremental", "BenchmarkCheckpointBarrier_CC_AsyncIncremental"},
+		"columnar_speedup_cc": {
+			"BenchmarkTwitter_CC_Boxed", "BenchmarkTwitter_CC"},
+		"columnar_speedup_pagerank": {
+			"BenchmarkTwitter_PR_Boxed", "BenchmarkTwitter_PR"},
 	}
 	derived := make(map[string]float64)
 	for name, p := range pairs {

@@ -50,6 +50,13 @@ type CC struct {
 	pending [][]Update
 
 	owned [][]graph.VertexID // partition -> vertices, for compensation
+
+	// col, when non-nil, holds the columnar engine internals and every
+	// method below dispatches to it; the boxed fields above stay nil.
+	// The two paths compute identical labelings (see the equivalence
+	// tests); columnar is the default in Run, boxed remains the fully
+	// general fallback.
+	col *colCC
 }
 
 // New prepares a Connected Components run on g with the given
@@ -73,6 +80,18 @@ func New(g *graph.Graph, parallelism int) *CC {
 	return c
 }
 
+// NewColumnar prepares a Connected Components run on the typed columnar
+// engine: same iteration, same recovery contract, no per-record boxing.
+func NewColumnar(g *graph.Graph, parallelism int) *CC {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &CC{g: g, par: parallelism, col: newColCC(g, parallelism)}
+}
+
+// Columnar reports whether the job runs on the columnar engine.
+func (c *CC) Columnar() bool { return c.col != nil }
+
 func (c *CC) seedInitial() {
 	for p, vs := range c.owned {
 		for _, v := range vs {
@@ -85,15 +104,25 @@ func (c *CC) seedInitial() {
 // Name implements recovery.Job.
 func (c *CC) Name() string { return "connected-components" }
 
-// Labels returns the solution set (current component label per vertex).
+// Labels returns the boxed solution set (current component label per
+// vertex); nil on the columnar path, whose labels live in a dense
+// column store — use Components for a representation-agnostic view.
 func (c *CC) Labels() *state.Store[uint64] { return c.labels }
 
 // WorksetLen returns the current workset size; the delta iteration
 // terminates when it reaches zero.
-func (c *CC) WorksetLen() int { return c.workset.Len() }
+func (c *CC) WorksetLen() int {
+	if c.col != nil {
+		return c.col.worksetLen()
+	}
+	return c.workset.Len()
+}
 
 // Components materialises the solution set as a map.
 func (c *CC) Components() map[graph.VertexID]graph.VertexID {
+	if c.col != nil {
+		return c.col.components()
+	}
 	out := make(map[graph.VertexID]graph.VertexID, c.g.NumVertices())
 	c.labels.Range(func(k uint64, v uint64) bool {
 		out[graph.VertexID(k)] = graph.VertexID(v)
@@ -105,6 +134,9 @@ func (c *CC) Components() map[graph.VertexID]graph.VertexID {
 // ConvergedCount counts vertices whose current label already equals the
 // precomputed true component label — the demo's bottom-left plot.
 func (c *CC) ConvergedCount(truth map[graph.VertexID]graph.VertexID) int {
+	if c.col != nil {
+		return c.col.convergedCount(truth)
+	}
 	n := 0
 	c.labels.Range(func(k uint64, v uint64) bool {
 		if truth[graph.VertexID(k)] == graph.VertexID(v) {
@@ -173,7 +205,7 @@ func (c *CC) StepPlan() *dataflow.Plan {
 		},
 		func(key uint64, acc any, emit dataflow.Emit) {
 			emit(Update{V: graph.VertexID(key), Label: acc.(*Update).Label})
-		})
+		}).HintKeyCardinality(c.g.NumVertices()/c.par + 1)
 
 	// The solution-set index join: compare the candidate to the current
 	// label and update the solution set in place. Each task reads and
@@ -209,6 +241,17 @@ func (c *CC) StepPlan() *dataflow.Plan {
 // plan's operators read the workset and label state at run time, so the
 // prepared plan is built once and reused across supersteps.
 func (c *CC) Step(ctx *iterate.Context) (iterate.StepStats, error) {
+	if c.col != nil {
+		var fault *exec.FaultInjection
+		if ctx != nil {
+			fault = ctx.Fault
+		}
+		messages, updates, err := c.col.runStep(fault)
+		if err != nil {
+			return iterate.StepStats{}, err
+		}
+		return iterate.StepStats{Messages: messages, Updates: updates}, nil
+	}
 	if c.prepared == nil {
 		p, err := c.engine.Prepare(c.StepPlan())
 		if err != nil {
@@ -258,6 +301,9 @@ func clearPending(pending [][]Update) {
 
 // SnapshotTo implements recovery.Job: serialise solution set + workset.
 func (c *CC) SnapshotTo(buf *bytes.Buffer) error {
+	if c.col != nil {
+		return c.col.snapshotTo(buf)
+	}
 	enc := gob.NewEncoder(buf)
 	if err := c.labels.EncodeTo(enc); err != nil {
 		return err
@@ -267,6 +313,9 @@ func (c *CC) SnapshotTo(buf *bytes.Buffer) error {
 
 // RestoreFrom implements recovery.Job.
 func (c *CC) RestoreFrom(data []byte) error {
+	if c.col != nil {
+		return c.col.restoreFrom(data)
+	}
 	dec := gob.NewDecoder(bytes.NewReader(data))
 	if err := c.labels.DecodeFrom(dec); err != nil {
 		return err
@@ -281,6 +330,10 @@ func (c *CC) RestoreFrom(data []byte) error {
 // ClearPartitions implements recovery.Job: the direct damage of a
 // worker crash — its label and workset partitions vanish.
 func (c *CC) ClearPartitions(parts []int) {
+	if c.col != nil {
+		c.col.clearPartitions(parts)
+		return
+	}
 	for _, p := range parts {
 		c.labels.ClearPartition(p)
 		c.workset.ClearPartition(p)
@@ -293,6 +346,9 @@ func (c *CC) ClearPartitions(parts []int) {
 // put the restored vertices and their neighbors back into the workset
 // so labels propagate again (§3.2).
 func (c *CC) Compensate(lost []int) error {
+	if c.col != nil {
+		return c.col.compensate(lost)
+	}
 	lostSet := make(map[int]bool, len(lost))
 	for _, p := range lost {
 		lostSet[p] = true
@@ -328,6 +384,9 @@ func (c *CC) Compensate(lost []int) error {
 // version moves whenever its labels or its workset slice change. Both
 // counters only increase, so their sum changes iff either does.
 func (c *CC) PartitionVersions() []uint64 {
+	if c.col != nil {
+		return c.col.partitionVersions()
+	}
 	out := make([]uint64, c.par)
 	for p := range out {
 		out[p] = c.labels.Version(p) + c.workset.Version(p)
@@ -337,6 +396,9 @@ func (c *CC) PartitionVersions() []uint64 {
 
 // SnapshotPartition implements recovery.IncrementalJob.
 func (c *CC) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	if c.col != nil {
+		return c.col.snapshotPartition(p, buf)
+	}
 	enc := gob.NewEncoder(buf)
 	if err := c.labels.EncodePartition(p, enc); err != nil {
 		return err
@@ -346,6 +408,9 @@ func (c *CC) SnapshotPartition(p int, buf *bytes.Buffer) error {
 
 // RestorePartition implements recovery.IncrementalJob.
 func (c *CC) RestorePartition(p int, data []byte) error {
+	if c.col != nil {
+		return c.col.restorePartition(p, data)
+	}
 	dec := gob.NewDecoder(bytes.NewReader(data))
 	if err := c.labels.DecodePartition(p, dec); err != nil {
 		return err
@@ -360,6 +425,9 @@ func (c *CC) RestorePartition(p int, data []byte) error {
 // state. Per-partition encoding matches SnapshotPartition byte for
 // byte, so RestorePartition round-trips either.
 func (c *CC) CaptureSnapshot() checkpoint.PartitionSnapshot {
+	if c.col != nil {
+		return c.col.captureSnapshot()
+	}
 	return ccCapture{labels: c.labels.SnapshotShared(), workset: c.workset.SnapshotShared()}
 }
 
@@ -383,6 +451,9 @@ func (s ccCapture) SnapshotPartition(p int, buf *bytes.Buffer) error {
 // wholesale every superstep and shrinks as the iteration converges —
 // exactly like the update stream itself).
 func (c *CC) SnapshotDelta(buf *bytes.Buffer) error {
+	if c.col != nil {
+		return c.col.snapshotDelta(buf)
+	}
 	enc := gob.NewEncoder(buf)
 	if err := c.labels.EncodeDelta(enc); err != nil {
 		return err
@@ -394,6 +465,9 @@ func (c *CC) SnapshotDelta(buf *bytes.Buffer) error {
 // snapshot and the ordered label deltas; the newest delta's workset
 // wins (it is a full copy, not a diff).
 func (c *CC) RestoreFromChain(base []byte, deltas [][]byte) error {
+	if c.col != nil {
+		return c.col.restoreFromChain(base, deltas)
+	}
 	dec := gob.NewDecoder(bytes.NewReader(base))
 	if err := c.labels.DecodeFrom(dec); err != nil {
 		return err
@@ -418,6 +492,9 @@ func (c *CC) RestoreFromChain(base []byte, deltas [][]byte) error {
 
 // ResetToInitial implements recovery.Job: back to superstep zero.
 func (c *CC) ResetToInitial() error {
+	if c.col != nil {
+		return c.col.resetToInitial()
+	}
 	c.labels.ClearAll()
 	c.workset.ClearAll()
 	c.next.ClearAll()

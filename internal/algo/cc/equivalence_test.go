@@ -1,0 +1,160 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+// Columnar ↔ boxed equivalence: the typed columnar superstep must
+// compute exactly the labels the boxed dataflow computes. CC's fixpoint
+// is unique — every vertex converges to the minimum label of its
+// component — so exact equality against the union-find ground truth
+// (and hence between the two paths) is the right notion of equivalence
+// even under failures and recovery.
+
+// requireBothMatch runs the same computation on both record paths; the
+// options factory is invoked once per run so stateful policies and
+// injectors are never shared between them.
+func requireBothMatch(t *testing.T, g *graph.Graph, mkOpts func() Options) {
+	t.Helper()
+	truth := ref.ConnectedComponents(g)
+
+	boxedOpts := mkOpts()
+	boxedOpts.Boxed = true
+	boxed, err := Run(g, boxedOpts)
+	if err != nil {
+		t.Fatalf("boxed run: %v", err)
+	}
+	col, err := Run(g, mkOpts())
+	if err != nil {
+		t.Fatalf("columnar run: %v", err)
+	}
+	requireComponentsEqual(t, boxed.Components, truth)
+	requireComponentsEqual(t, col.Components, truth)
+	requireComponentsEqual(t, col.Components, boxed.Components)
+}
+
+func TestColumnarBoxedEquivalenceFailureFree(t *testing.T) {
+	demo, _ := gen.Demo()
+	graphs := []*graph.Graph{
+		demo,
+		gen.Grid(9, 7),
+		gen.ErdosRenyi(120, 0.04, 7, false),
+		gen.BarabasiAlbert(150, 3, 11, false),
+	}
+	for _, g := range graphs {
+		requireBothMatch(t, g, func() Options {
+			return Options{Parallelism: 4}
+		})
+	}
+}
+
+// The PR 3/PR 4 fault-injection matrix: barrier failures, mid-superstep
+// aborts and failures during recovery, across every recovery policy the
+// boxed path supports.
+func TestColumnarBoxedEquivalenceFaultMatrix(t *testing.T) {
+	g := gen.ErdosRenyi(90, 0.05, 42, false)
+	policies := []func() recovery.Policy{
+		func() recovery.Policy { return recovery.Optimistic{} },
+		func() recovery.Policy { return recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()) },
+		func() recovery.Policy { return recovery.NewIncrementalCheckpoint(2, checkpoint.NewMemoryStore()) },
+		func() recovery.Policy { return recovery.NewDeltaCheckpoint(1, checkpoint.NewMemoryLogStore()) },
+		func() recovery.Policy { return recovery.Restart{} },
+	}
+	injectors := []func() failure.Injector{
+		func() failure.Injector { return failure.NewScripted(nil).At(1, 0).At(3, 2) },
+		func() failure.Injector { return failure.NewScripted(nil).AtMidStep(1, 16, 0).AtMidStep(2, 32, 1) },
+		func() failure.Injector { return failure.NewScripted(nil).At(1, 1).AtDuringRecovery(1, 2) },
+		func() failure.Injector { return failure.NewRandom(0.15, 99, 3) },
+	}
+	for pi, mkPolicy := range policies {
+		for ii, mkInj := range injectors {
+			mk := func() Options {
+				return Options{
+					Parallelism: 4,
+					Policy:      mkPolicy(),
+					Injector:    mkInj(),
+					MaxTicks:    5000,
+				}
+			}
+			t.Logf("policy %d injector %d", pi, ii)
+			requireBothMatch(t, g, mk)
+		}
+	}
+}
+
+// Both asynchronous checkpoint policies — full captures and
+// incremental dirty-partition submission — must recover the columnar
+// job from background-written epochs exactly like the boxed one.
+func TestColumnarBoxedEquivalenceAsyncCheckpoints(t *testing.T) {
+	g := gen.ErdosRenyi(90, 0.05, 17, false)
+	asyncs := []func() recovery.Policy{
+		func() recovery.Policy {
+			return recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 2)
+		},
+		func() recovery.Policy {
+			p := recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 2)
+			p.Incremental = true
+			return p
+		},
+	}
+	injectors := []func() failure.Injector{
+		func() failure.Injector { return nil },
+		func() failure.Injector { return failure.NewScripted(nil).At(2, 1) },
+		func() failure.Injector { return failure.NewScripted(nil).AtMidStep(1, 24, 0).At(3, 2) },
+	}
+	for _, mkPolicy := range asyncs {
+		for _, mkInj := range injectors {
+			requireBothMatch(t, g, func() Options {
+				return Options{
+					Parallelism: 4,
+					Policy:      mkPolicy(),
+					Injector:    mkInj(),
+					MaxTicks:    5000,
+				}
+			})
+		}
+	}
+}
+
+// Property form: for ANY random graph and ANY random failure schedule,
+// the two record paths agree with union-find and with each other.
+func TestColumnarBoxedEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw, probRaw uint8) bool {
+		n := int(nRaw%40) + 20
+		edgeProb := 0.02 + float64(pRaw%10)/200.0
+		failProb := float64(probRaw%40) / 100.0
+		g := gen.ErdosRenyi(n, edgeProb, seed, false)
+		truth := ref.ConnectedComponents(g)
+
+		results := make([]map[graph.VertexID]graph.VertexID, 2)
+		for i, boxed := range []bool{true, false} {
+			res, err := Run(g, Options{
+				Parallelism: 4,
+				Boxed:       boxed,
+				Injector:    failure.NewRandom(failProb, seed, 3),
+				MaxTicks:    5000,
+			})
+			if err != nil {
+				return false
+			}
+			results[i] = res.Components
+		}
+		for v, want := range truth {
+			if results[0][v] != want || results[1][v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,7 +25,7 @@ func UniformRedistribution(pr *PR, lost []int) error {
 	share := (1 - surviving) / float64(lostCount)
 	for _, p := range lost {
 		for _, v := range pr.owned[p] {
-			pr.ranks.Put(uint64(v), share)
+			pr.putRank(v, share)
 		}
 	}
 	return nil
@@ -38,7 +38,7 @@ func UniformRedistribution(pr *PR, lost []int) error {
 func ResetAllUniform(pr *PR, _ []int) error {
 	n := float64(pr.g.NumVertices())
 	for _, v := range pr.g.Vertices() {
-		pr.ranks.Put(uint64(v), 1/n)
+		pr.putRank(v, 1/n)
 	}
 	return nil
 }
@@ -55,16 +55,16 @@ func ZeroFillRenormalize(pr *PR, lost []int) error {
 	}
 	scale := 1 / surviving
 	updates := make(map[graph.VertexID]float64, pr.g.NumVertices())
-	pr.ranks.Range(func(k uint64, v float64) bool {
+	pr.rangeRanks(func(k uint64, v float64) bool {
 		updates[graph.VertexID(k)] = v * scale
 		return true
 	})
 	for v, r := range updates {
-		pr.ranks.Put(uint64(v), r)
+		pr.putRank(v, r)
 	}
 	for _, p := range lost {
 		for _, v := range pr.owned[p] {
-			pr.ranks.Put(uint64(v), 0)
+			pr.putRank(v, 0)
 		}
 	}
 	return nil

@@ -1,0 +1,161 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+)
+
+// Columnar ↔ boxed equivalence: both record paths run the same damped
+// power iteration, so both must land within the termination tolerance
+// of the reference power-iteration ranks — and hence within a small
+// multiple of it from each other. Exact bitwise equality is NOT the
+// contract: contribution sums fold in arrival order on both paths, so
+// either run is only reproducible up to floating-point association.
+
+// requireBothConverge runs both paths and checks each against the
+// power-iteration ground truth, then against each other. The options
+// factory is invoked once per run so stateful policies and injectors
+// are never shared.
+func requireBothConverge(t *testing.T, g *graph.Graph, mkOpts func() Options, tol float64) {
+	t.Helper()
+	truth, _ := ref.PageRank(g, ref.PageRankOptions{})
+
+	boxedOpts := mkOpts()
+	boxedOpts.Boxed = true
+	boxed, err := Run(g, boxedOpts)
+	if err != nil {
+		t.Fatalf("boxed run: %v", err)
+	}
+	col, err := Run(g, mkOpts())
+	if err != nil {
+		t.Fatalf("columnar run: %v", err)
+	}
+	requireClose(t, boxed.Ranks, truth, tol)
+	requireClose(t, col.Ranks, truth, tol)
+	requireClose(t, col.Ranks, boxed.Ranks, 2*tol)
+	for _, ranks := range []map[graph.VertexID]float64{boxed.Ranks, col.Ranks} {
+		if s := ref.Sum(ranks); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("rank sum = %.12f, want 1", s)
+		}
+	}
+}
+
+func TestColumnarBoxedEquivalenceFailureFree(t *testing.T) {
+	demo, _ := gen.Demo()
+	graphs := []*graph.Graph{
+		demo,
+		gen.BarabasiAlbert(120, 3, 5, true), // directed, with dangling mass
+		gen.ErdosRenyi(100, 0.05, 9, true),
+	}
+	for _, g := range graphs {
+		requireBothConverge(t, g, func() Options {
+			return Options{Parallelism: 4, MaxIterations: 200, Epsilon: 1e-12}
+		}, 1e-9)
+	}
+}
+
+// Local combining folds partial sums before the shuffle on both paths;
+// the result must stay within tolerance of the uncombined fixpoint.
+func TestColumnarBoxedEquivalenceLocalCombine(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 21, true)
+	requireBothConverge(t, g, func() Options {
+		return Options{Parallelism: 4, MaxIterations: 200, Epsilon: 1e-12, LocalCombine: true}
+	}, 1e-9)
+}
+
+// The PR 3/PR 4 fault-injection matrix across the recovery policies
+// both paths support. Failure compensation perturbs the iterate — the
+// rank vector re-converges rather than replays — so the tolerance is
+// the looser 1e-8 the boxed recovery tests already use.
+func TestColumnarBoxedEquivalenceFaultMatrix(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 33, true)
+	policies := []func() recovery.Policy{
+		func() recovery.Policy { return recovery.Optimistic{} },
+		func() recovery.Policy { return recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()) },
+		func() recovery.Policy { return recovery.NewIncrementalCheckpoint(2, checkpoint.NewMemoryStore()) },
+		func() recovery.Policy { return recovery.Restart{} },
+	}
+	injectors := []func() failure.Injector{
+		func() failure.Injector { return failure.NewScripted(nil).At(2, 1) },
+		func() failure.Injector { return failure.NewScripted(nil).AtMidStep(1, 32, 0) },
+		func() failure.Injector { return failure.NewScripted(nil).At(1, 0).AtDuringRecovery(1, 2) },
+		func() failure.Injector { return failure.NewRandom(0.1, 77, 2) },
+	}
+	for pi, mkPolicy := range policies {
+		for ii, mkInj := range injectors {
+			t.Logf("policy %d injector %d", pi, ii)
+			requireBothConverge(t, g, func() Options {
+				return Options{
+					Parallelism:   4,
+					MaxIterations: 500,
+					Epsilon:       1e-12,
+					Policy:        mkPolicy(),
+					Injector:      mkInj(),
+				}
+			}, 1e-8)
+		}
+	}
+}
+
+// Both asynchronous checkpoint policies: the columnar COW capture must
+// feed the background pipeline the same bytes the superstep state holds
+// at the barrier, so recovery lands on the same ranks as the boxed
+// path's capture.
+func TestColumnarBoxedEquivalenceAsyncCheckpoints(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 13, true)
+	asyncs := []func() recovery.Policy{
+		func() recovery.Policy {
+			return recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 2)
+		},
+		func() recovery.Policy {
+			p := recovery.NewAsyncCheckpoint(1, checkpoint.NewMemoryStore(), 2)
+			p.Incremental = true
+			return p
+		},
+	}
+	injectors := []func() failure.Injector{
+		func() failure.Injector { return nil },
+		func() failure.Injector { return failure.NewScripted(nil).At(2, 1) },
+		func() failure.Injector { return failure.NewScripted(nil).AtMidStep(2, 24, 0).At(4, 2) },
+	}
+	for _, mkPolicy := range asyncs {
+		for _, mkInj := range injectors {
+			requireBothConverge(t, g, func() Options {
+				return Options{
+					Parallelism:   4,
+					MaxIterations: 500,
+					Epsilon:       1e-12,
+					Policy:        mkPolicy(),
+					Injector:      mkInj(),
+				}
+			}, 1e-8)
+		}
+	}
+}
+
+// Every compensation variant must converge on both paths: the
+// compensation functions go through the mode-agnostic rank accessors,
+// so they repair the columnar DenseStore exactly like the boxed map.
+func TestColumnarBoxedEquivalenceCompensations(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 55, true)
+	comps := []Compensation{UniformRedistribution, ResetAllUniform, ZeroFillRenormalize}
+	for i, comp := range comps {
+		t.Logf("compensation %d", i)
+		requireBothConverge(t, g, func() Options {
+			return Options{
+				Parallelism:   4,
+				MaxIterations: 500,
+				Epsilon:       1e-12,
+				Compensation:  comp,
+				Injector:      failure.NewScripted(nil).At(2, 1),
+			}
+		}, 1e-8)
+	}
+}

@@ -55,8 +55,14 @@ type PR struct {
 
 	compensation Compensation
 	combine      bool
-	lastL1       float64
-	restoreMu    sync.Mutex // serialises the lastL1 reset on parallel restores
+
+	// col, when non-nil, holds the columnar engine internals and the
+	// methods below dispatch to it; the boxed stores above stay nil.
+	// Compensation functions and probes go through the mode-agnostic
+	// rank accessors, so the public surface is identical either way.
+	col       *colPR
+	lastL1    float64
+	restoreMu sync.Mutex // serialises the lastL1 reset on parallel restores
 }
 
 // SetLocalCombine toggles the pre-shuffle combiner: contributions to
@@ -102,7 +108,45 @@ func New(g *graph.Graph, parallelism int, damping float64, comp Compensation) *P
 	return pr
 }
 
+// NewColumnar prepares a PageRank run on the typed columnar engine:
+// same iteration, same compensation contract, no per-record boxing.
+func NewColumnar(g *graph.Graph, parallelism int, damping float64, comp Compensation) *PR {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = DefaultDamping
+	}
+	if comp == nil {
+		comp = UniformRedistribution
+	}
+	pr := &PR{
+		g:            g,
+		par:          parallelism,
+		d:            damping,
+		owned:        graph.PartitionVertices(g, parallelism),
+		compensation: comp,
+		lastL1:       math.Inf(1),
+		col:          newColPR(g, parallelism),
+	}
+	for _, v := range g.Vertices() {
+		if g.OutDegree(v) == 0 {
+			pr.dangling = append(pr.dangling, v)
+		}
+	}
+	pr.seedInitial()
+	return pr
+}
+
+// Columnar reports whether the job runs on the columnar engine.
+func (pr *PR) Columnar() bool { return pr.col != nil }
+
 func (pr *PR) seedInitial() {
+	if pr.col != nil {
+		pr.col.seedInitial()
+		pr.lastL1 = math.Inf(1)
+		return
+	}
 	n := float64(pr.g.NumVertices())
 	for _, v := range pr.g.Vertices() {
 		pr.ranks.Put(uint64(v), 1/n)
@@ -110,14 +154,40 @@ func (pr *PR) seedInitial() {
 	pr.lastL1 = math.Inf(1)
 }
 
+// putRank writes one vertex rank in whichever representation is live;
+// compensation functions use it so one implementation serves both
+// paths.
+func (pr *PR) putRank(v graph.VertexID, r float64) {
+	if pr.col != nil {
+		pr.col.ranks.Put(uint64(v), r)
+		return
+	}
+	pr.ranks.Put(uint64(v), r)
+}
+
+// rangeRanks iterates every (vertex, rank) pair in whichever
+// representation is live.
+func (pr *PR) rangeRanks(fn func(k uint64, v float64) bool) {
+	if pr.col != nil {
+		pr.col.ranks.Range(fn)
+		return
+	}
+	pr.ranks.Range(fn)
+}
+
 // Name implements recovery.Job.
 func (pr *PR) Name() string { return "pagerank" }
 
-// Ranks returns the current rank store.
+// Ranks returns the boxed rank store; nil on the columnar path, whose
+// ranks live in a dense column store — use RankVector for a
+// representation-agnostic view.
 func (pr *PR) Ranks() *state.Store[float64] { return pr.ranks }
 
 // RankVector materialises the current ranks as a map.
 func (pr *PR) RankVector() map[graph.VertexID]float64 {
+	if pr.col != nil {
+		return pr.col.rankVector()
+	}
 	out := make(map[graph.VertexID]float64, pr.g.NumVertices())
 	pr.ranks.Range(func(k uint64, v float64) bool {
 		out[graph.VertexID(k)] = v
@@ -133,7 +203,7 @@ func (pr *PR) LastL1() float64 { return pr.lastL1 }
 // RankSum returns the total probability mass (1 in a consistent state).
 func (pr *PR) RankSum() float64 {
 	s := 0.0
-	pr.ranks.Range(func(_ uint64, v float64) bool { s += v; return true })
+	pr.rangeRanks(func(_ uint64, v float64) bool { s += v; return true })
 	return s
 }
 
@@ -141,7 +211,7 @@ func (pr *PR) RankSum() float64 {
 // precomputed true rank — the demo's bottom-left plot.
 func (pr *PR) ConvergedCount(truth map[graph.VertexID]float64, eps float64) int {
 	n := 0
-	pr.ranks.Range(func(k uint64, v float64) bool {
+	pr.rangeRanks(func(k uint64, v float64) bool {
 		if math.Abs(truth[graph.VertexID(k)]-v) < eps {
 			n++
 		}
@@ -217,7 +287,7 @@ func (pr *PR) StepPlan() *dataflow.Plan {
 			},
 			func(key uint64, acc any, emit dataflow.Emit) {
 				emit(Contrib{Dst: graph.VertexID(key), Val: acc.(*Contrib).Val})
-			})
+			}).HintKeyCardinality(pr.g.NumVertices()/pr.par + 1)
 	}
 
 	newRanks := contribs.ReduceByCombining("recompute-ranks", byDst,
@@ -231,7 +301,7 @@ func (pr *PR) StepPlan() *dataflow.Plan {
 		},
 		func(key uint64, acc any, emit dataflow.Emit) {
 			emit(RankRec{V: graph.VertexID(key), Rank: base + pr.d*acc.(*Contrib).Val})
-		})
+		}).HintKeyCardinality(pr.g.NumVertices()/pr.par + 1)
 
 	// Compare against the previous rank; the dangling share is added by
 	// the driver, which owns the global aggregate.
@@ -259,6 +329,22 @@ func (pr *PR) StepPlan() *dataflow.Plan {
 // every attempt; the committed rank vector is untouched until the
 // post-run fold below.
 func (pr *PR) Step(ctx *iterate.Context) (iterate.StepStats, error) {
+	if pr.col != nil {
+		var fault *exec.FaultInjection
+		if ctx != nil {
+			fault = ctx.Fault
+		}
+		messages, shuffled, l1, danglingMass, err := pr.col.runStep(pr, fault)
+		if err != nil {
+			return iterate.StepStats{}, err
+		}
+		pr.lastL1 = l1
+		return iterate.StepStats{
+			Messages: messages,
+			Updates:  int64(pr.g.NumVertices()),
+			Extra:    map[string]float64{"l1": l1, "dangling": danglingMass, "shuffled": float64(shuffled)},
+		}, nil
+	}
 	n := float64(pr.g.NumVertices())
 	base := (1 - pr.d) / n
 	danglingMass := 0.0
@@ -316,6 +402,9 @@ func (pr *PR) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 // SnapshotTo implements recovery.Job: the rank vector plus the
 // convergence marker.
 func (pr *PR) SnapshotTo(buf *bytes.Buffer) error {
+	if pr.col != nil {
+		return pr.col.snapshotTo(pr, buf)
+	}
 	enc := gob.NewEncoder(buf)
 	if err := enc.Encode(pr.lastL1); err != nil {
 		return fmt.Errorf("pagerank: encoding snapshot: %v", err)
@@ -325,6 +414,9 @@ func (pr *PR) SnapshotTo(buf *bytes.Buffer) error {
 
 // RestoreFrom implements recovery.Job.
 func (pr *PR) RestoreFrom(data []byte) error {
+	if pr.col != nil {
+		return pr.col.restoreFrom(pr, data)
+	}
 	dec := gob.NewDecoder(bytes.NewReader(data))
 	if err := dec.Decode(&pr.lastL1); err != nil {
 		return fmt.Errorf("pagerank: decoding snapshot: %v", err)
@@ -335,6 +427,10 @@ func (pr *PR) RestoreFrom(data []byte) error {
 // ClearPartitions implements recovery.Job: the crash destroys the rank
 // partitions of the failed workers.
 func (pr *PR) ClearPartitions(parts []int) {
+	if pr.col != nil {
+		pr.col.clearPartitions(parts)
+		return
+	}
 	for _, p := range parts {
 		pr.ranks.ClearPartition(p)
 	}
@@ -352,6 +448,9 @@ func (pr *PR) Compensate(lost []int) error {
 // incremental checkpoints degenerate to full ones — experiment E6
 // quantifies exactly that contrast with the delta iteration.
 func (pr *PR) PartitionVersions() []uint64 {
+	if pr.col != nil {
+		return pr.col.partitionVersions()
+	}
 	out := make([]uint64, pr.par)
 	for p := range out {
 		out[p] = pr.ranks.Version(p)
@@ -361,6 +460,9 @@ func (pr *PR) PartitionVersions() []uint64 {
 
 // SnapshotPartition implements recovery.IncrementalJob.
 func (pr *PR) SnapshotPartition(p int, buf *bytes.Buffer) error {
+	if pr.col != nil {
+		return pr.col.ranks.EncodePartition(p, gob.NewEncoder(buf))
+	}
 	return pr.ranks.EncodePartition(p, gob.NewEncoder(buf))
 }
 
@@ -372,11 +474,19 @@ func (pr *PR) RestorePartition(p int, data []byte) error {
 	pr.restoreMu.Lock()
 	pr.lastL1 = math.Inf(1) // the convergence marker is global; be safe
 	pr.restoreMu.Unlock()
+	if pr.col != nil {
+		return pr.col.ranks.DecodePartition(p, gob.NewDecoder(bytes.NewReader(data)))
+	}
 	return pr.ranks.DecodePartition(p, gob.NewDecoder(bytes.NewReader(data)))
 }
 
 // ResetToInitial implements recovery.Job.
 func (pr *PR) ResetToInitial() error {
+	if pr.col != nil {
+		pr.col.ranks.ClearAll()
+		pr.seedInitial()
+		return nil
+	}
 	pr.ranks.ClearAll()
 	pr.seedInitial()
 	return nil
@@ -387,6 +497,9 @@ func (pr *PR) ResetToInitial() error {
 // goroutines while the next superstep runs. Per-partition encoding
 // matches SnapshotPartition byte for byte.
 func (pr *PR) CaptureSnapshot() checkpoint.PartitionSnapshot {
+	if pr.col != nil {
+		return pr.col.captureSnapshot()
+	}
 	return prCapture{ranks: pr.ranks.SnapshotShared()}
 }
 

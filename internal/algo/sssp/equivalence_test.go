@@ -1,0 +1,118 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/graph/gen"
+	"optiflow/internal/recovery"
+	"optiflow/internal/vertexcentric"
+)
+
+// Columnar ↔ boxed equivalence: both paths relax the same hop-ordered
+// weight sums under the same min fold, so the shortest-path fixpoint is
+// identical (requireDistancesEqual's 1e-9 is slack for +Inf handling,
+// not for divergent arithmetic).
+
+// requireBothMatch runs the same SSSP computation on both record paths
+// and checks each against Dijkstra, then against the other. The options
+// factory is invoked once per run so stateful policies and injectors
+// are never shared.
+func requireBothMatch(t *testing.T, g *graph.Graph, source graph.VertexID, mkOpts func() vertexcentric.Options) {
+	t.Helper()
+	truth := ref.ShortestPaths(g, source)
+
+	boxedOpts := mkOpts()
+	boxedOpts.Boxed = true
+	boxed, _, err := Run(g, source, boxedOpts)
+	if err != nil {
+		t.Fatalf("boxed run: %v", err)
+	}
+	col, _, err := Run(g, source, mkOpts())
+	if err != nil {
+		t.Fatalf("columnar run: %v", err)
+	}
+	requireDistancesEqual(t, boxed, truth)
+	requireDistancesEqual(t, col, truth)
+	requireDistancesEqual(t, col, boxed)
+}
+
+func TestColumnarBoxedEquivalenceFailureFree(t *testing.T) {
+	weighted := func() *graph.Graph {
+		b := graph.NewBuilder(true)
+		rng := rand.New(rand.NewSource(3))
+		for v := 1; v < 60; v++ {
+			b.AddWeightedEdge(graph.VertexID(rng.Intn(v)), graph.VertexID(v), 1+float64(rng.Intn(9)))
+			b.AddWeightedEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)), 1+float64(rng.Intn(9)))
+		}
+		return b.Build()
+	}
+	graphs := []*graph.Graph{
+		gen.Grid(7, 9),
+		gen.BarabasiAlbert(100, 2, 19, false),
+		weighted(),
+	}
+	for _, g := range graphs {
+		requireBothMatch(t, g, 0, func() vertexcentric.Options {
+			return vertexcentric.Options{Parallelism: 4}
+		})
+	}
+}
+
+// The fault-injection matrix over the policies both paths support
+// (confined recovery pins the boxed runner by design — see Run — so it
+// is exercised separately below).
+func TestColumnarBoxedEquivalenceFaultMatrix(t *testing.T) {
+	g := gen.BarabasiAlbert(90, 2, 47, false)
+	policies := []func() recovery.Policy{
+		func() recovery.Policy { return recovery.Optimistic{} },
+		func() recovery.Policy { return recovery.NewCheckpoint(2, checkpoint.NewMemoryStore()) },
+		func() recovery.Policy { return recovery.Restart{} },
+	}
+	injectors := []func() failure.Injector{
+		func() failure.Injector { return failure.NewScripted(nil).At(2, 1) },
+		func() failure.Injector { return failure.NewScripted(nil).At(1, 0).At(3, 2) },
+		func() failure.Injector { return failure.NewScripted(nil).AtMidStep(1, 16, 0) },
+		func() failure.Injector { return failure.NewRandom(0.2, 11, 2) },
+	}
+	for pi, mkPolicy := range policies {
+		for ii, mkInj := range injectors {
+			t.Logf("policy %d injector %d", pi, ii)
+			requireBothMatch(t, g, 0, func() vertexcentric.Options {
+				return vertexcentric.Options{
+					Parallelism: 4,
+					Policy:      mkPolicy(),
+					Injector:    mkInj(),
+					MaxTicks:    5000,
+				}
+			})
+		}
+	}
+}
+
+// Runs that require the vertex-centric accumulator replicas fall back
+// to the boxed runner and must still match Dijkstra: the columnar
+// selection never changes which configurations are supported.
+func TestColumnarIneligibleFallsBackToBoxed(t *testing.T) {
+	g := gen.Grid(8, 8)
+	truth := ref.ShortestPaths(g, 0)
+	cases := []vertexcentric.Options{
+		{Parallelism: 4, AccumulatorLog: true, Injector: failure.NewScripted(nil).At(2, 1)},
+		{Parallelism: 4, AccumulatorLog: true, Policy: recovery.Confined{}, Injector: failure.NewScripted(nil).At(2, 1)},
+		{Parallelism: 4, Boxed: true},
+	}
+	for i, opts := range cases {
+		if columnarEligible(opts) {
+			t.Fatalf("case %d: expected boxed fallback", i)
+		}
+		got, _, err := Run(g, 0, opts)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		requireDistancesEqual(t, got, truth)
+	}
+}

@@ -12,7 +12,10 @@ package sssp
 import (
 	"math"
 
+	"optiflow/internal/cluster"
 	"optiflow/internal/graph"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
 	"optiflow/internal/vertexcentric"
 )
 
@@ -70,10 +73,63 @@ func Program(g *graph.Graph, source graph.VertexID) vertexcentric.Program[float6
 
 // Run computes shortest-path distances from source under the given
 // options. Unreached vertices map to +Inf.
+//
+// By default the iteration runs on the typed columnar engine, which
+// computes identical distances without boxing each relaxation. Confined
+// recovery depends on the vertex-centric runner's accumulator replicas,
+// so runs requesting AccumulatorLog (or Options.Boxed, or the Confined
+// policy itself) use the boxed vertex-centric program.
 func Run(g *graph.Graph, source graph.VertexID, opts vertexcentric.Options) (map[graph.VertexID]float64, *vertexcentric.Result[float64, float64], error) {
+	if columnarEligible(opts) {
+		return runColumnar(g, source, opts)
+	}
 	res, err := vertexcentric.Run(Program(g, source), g, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.States, res, nil
+}
+
+func columnarEligible(opts vertexcentric.Options) bool {
+	if opts.Boxed || opts.AccumulatorLog {
+		return false
+	}
+	if _, confined := opts.Policy.(recovery.Confined); confined {
+		return false
+	}
+	return true
+}
+
+// runColumnar drives the colSSSP job through the same iterate.Loop
+// harness vertexcentric.Run uses, so policies, injectors and samples
+// behave identically.
+func runColumnar(g *graph.Graph, source graph.VertexID, opts vertexcentric.Options) (map[graph.VertexID]float64, *vertexcentric.Result[float64, float64], error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = opts.Parallelism
+	}
+	if opts.Policy == nil {
+		opts.Policy = recovery.Optimistic{}
+	}
+	job := newColSSSP(g, source, opts.Parallelism)
+	cl := cluster.New(opts.Workers, opts.Parallelism)
+	loop := &iterate.Loop{
+		Name:     job.Name(),
+		Step:     job.Step,
+		Done:     iterate.DeltaDone(job.WorksetLen),
+		Job:      job,
+		Policy:   opts.Policy,
+		Cluster:  cl,
+		Injector: opts.Injector,
+		OnSample: opts.OnSample,
+		MaxTicks: opts.MaxTicks,
+	}
+	res, err := loop.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	dist := job.Distances()
+	return dist, &vertexcentric.Result[float64, float64]{Result: res, States: dist, Cluster: cl}, nil
 }

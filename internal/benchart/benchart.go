@@ -52,15 +52,18 @@ type Artifact struct {
 // with or without the -N GOMAXPROCS suffix. ok is false when either
 // side is missing or the denominator is zero.
 func Ratio(results []Result, num, den string) (float64, bool) {
-	n, okN := find(results, num)
-	d, okD := find(results, den)
+	n, okN := Find(results, num)
+	d, okD := Find(results, den)
 	if !okN || !okD || d.NsPerOp == 0 {
 		return 0, false
 	}
 	return n.NsPerOp / d.NsPerOp, true
 }
 
-func find(results []Result, base string) (Result, bool) {
+// Find returns the result named base, matching with or without the -N
+// GOMAXPROCS suffix, so callers can look up "BenchmarkTwitter_CC" and
+// hit "BenchmarkTwitter_CC-8".
+func Find(results []Result, base string) (Result, bool) {
 	for _, r := range results {
 		if r.Name == base || strings.HasPrefix(r.Name, base+"-") {
 			return r, true

@@ -193,6 +193,12 @@ type Node struct {
 	// function; package planlint checks exactly that.
 	State bool
 
+	// KeyCard is an optional hint: the expected number of distinct
+	// grouping keys per task. Reduce tasks pre-size their hash maps
+	// from it, skipping incremental rehash growth on the hot path.
+	// Zero means unknown.
+	KeyCard int
+
 	// tableLabel names the table side of a lookup join in explains
 	// (e.g. "labels", "graph", "links" in Fig. 1).
 	tableLabel string
@@ -280,6 +286,18 @@ func (d *Dataset) Filter(name string, fn FilterFunc) *Dataset {
 		Inputs: []*Node{d.node}, InExchange: []Exchange{ExForward}, InKeys: []KeyFunc{nil},
 	})
 	return &Dataset{plan: d.plan, node: n}
+}
+
+// HintKeyCardinality records the expected number of distinct grouping
+// keys per task for the dataset's operator (a reduce, typically), so
+// the engine pre-sizes its hash maps instead of growing them through
+// rehashes. The hint is advisory: a wrong value costs memory or
+// rehashes, never correctness. Returns the dataset for chaining.
+func (d *Dataset) HintKeyCardinality(n int) *Dataset {
+	if n > 0 {
+		d.node.KeyCard = n
+	}
+	return d
 }
 
 // ReduceBy hash-partitions records by key and folds each group with fn.

@@ -7,14 +7,15 @@
 //
 // The typed rules target the engine's real hazard classes:
 //
-//   - poolescape: engine-owned batch memory ([]any group views outside
-//     internal/exec, *[]any pooled batches inside it) must not escape
-//     or be used after its recycle point. Outside the engine this is
-//     the typed, aliasing-aware successor of the syntactic batchretain
-//     rule: a view laundered through a local alias is still caught.
-//     Inside the engine it enforces the DESIGN.md §2.1 ownership rules:
-//     after putBatch or a channel send hands a batch away, any further
-//     use on any path is flagged.
+//   - poolescape: engine-owned batch memory ([]any group views and
+//     KeyCol/ValCol column views outside internal/exec, *[]any and
+//     *ColBatch[V] pooled batches inside it) must not escape or be used
+//     after its recycle point. Outside the engine this is the typed,
+//     aliasing-aware successor of the syntactic batchretain rule: a
+//     view laundered through a local alias is still caught. Inside the
+//     engine it enforces the DESIGN.md §2.1/§2.6 ownership rules: after
+//     putBatch/putColBatch/put or a channel send hands a batch away,
+//     any further use on any path is flagged.
 //   - cancellation: every goroutine spawned in internal/exec,
 //     internal/checkpoint and internal/supervise must be provably
 //     drainable — each blocking channel operation reachable from a `go`
@@ -97,7 +98,7 @@ func Rules() []RuleInfo {
 		{"panicprefix", "ast", "literal panic messages carry their package-name prefix"},
 		{"determinism", "ast", "replay packages read time only through internal/clock, never math/rand"},
 		{"globalvar", "ast", "algorithm packages declare no mutated package-level state"},
-		{"batchretain", "ast", "fast-path check: []any group views must not syntactically escape UDFs"},
+		{"batchretain", "ast", "fast-path check: []any group views and KeyCol/ValCol columns must not syntactically escape UDFs"},
 		{"allowlist", "ast", "srclint package allowlists name only directories that still exist"},
 	}
 	for _, a := range Analyses() {
@@ -235,6 +236,55 @@ func isAnySlice(t types.Type) bool {
 func isBatchPtr(t types.Type) bool {
 	p, ok := t.Underlying().(*types.Pointer)
 	return ok && isAnySlice(p.Elem())
+}
+
+// execNamed resolves t (through aliases, so the optiflow facade's
+// ColKeys/ColVals names match too) to a named type declared in an
+// internal/exec package — the engine itself or a fixture standing in
+// for it — and returns the type's name; "" otherwise. Generic
+// instantiations report their origin name, so ValCol[uint64] and
+// ColBatch[float64] match like their uninstantiated forms.
+func execNamed(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if p := obj.Pkg().Path(); p != "internal/exec" && !strings.HasSuffix(p, "/internal/exec") {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isColView reports whether t is a borrowed columnar view — exec.KeyCol
+// or exec.ValCol[V] — the typed-path siblings of []any group views:
+// both alias engine-owned scratch that is overwritten after the
+// operator callback returns.
+func isColView(t types.Type) bool {
+	switch execNamed(t) {
+	case "KeyCol", "ValCol":
+		_, ok := t.Underlying().(*types.Slice)
+		return ok
+	}
+	return false
+}
+
+// isColBatchPtr reports whether t is *exec.ColBatch[V] — a pooled
+// columnar exchange batch, the typed-path sibling of the *[]any boxed
+// batch, with the same ownership-transfer rules.
+func isColBatchPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	if execNamed(p.Elem()) != "ColBatch" {
+		return false
+	}
+	_, isStruct := p.Elem().Underlying().(*types.Struct)
+	return isStruct
 }
 
 // identObj resolves a (possibly parenthesized) identifier expression to

@@ -84,6 +84,69 @@ func TestPoolEscapeViewFixture(t *testing.T) {
 	}
 }
 
+func TestPoolEscapeColViewFixture(t *testing.T) {
+	fs := runFixture(t, "poolescape", "poolescape_col", "internal/udfs")
+	if len(fs) != 9 {
+		t.Fatalf("poolescape columnar view findings = %d, want 9:\n%s", len(fs), dumpFindings(fs))
+	}
+	wantKinds := map[string]int{
+		"via return":                          2, // direct return + return of a laundered alias
+		"via channel send":                    1,
+		"via store to non-local memory":       1,
+		"via store to package-level variable": 1,
+		"via composite literal":               1,
+		"via append as a single element":      1,
+		"via call argument":                   1,
+		"via closure capture":                 1,
+	}
+	for kind, want := range wantKinds {
+		if got := countContaining(fs, kind); got != want {
+			t.Fatalf("%q findings = %d, want %d:\n%s", kind, got, want, dumpFindings(fs))
+		}
+	}
+	// Every finding names the column view class, not []any: the fixture
+	// imports the real exec types, so this also proves the analysis
+	// recognizes the engine's own declarations (including generic
+	// ValCol instantiations).
+	for _, f := range fs {
+		if f.Rule != "poolescape" {
+			t.Fatalf("wrong rule on finding: %v", f)
+		}
+		if !strings.Contains(f.Msg, "column view") {
+			t.Fatalf("finding does not name the column view class: %v", f)
+		}
+		if strings.Contains(f.Msg, "[]any") {
+			t.Fatalf("columnar finding misclassified as []any: %v", f)
+		}
+	}
+	if got := countContaining(fs, "KeyCol column view"); got != 6 {
+		t.Fatalf("KeyCol findings = %d, want 6:\n%s", got, dumpFindings(fs))
+	}
+	if got := countContaining(fs, "ValCol column view"); got != 3 {
+		t.Fatalf("ValCol findings = %d, want 3 (send, composite literal, capture):\n%s", got, dumpFindings(fs))
+	}
+}
+
+func TestPoolEscapeColExecFixture(t *testing.T) {
+	fs := runFixture(t, "poolescape", "poolescape_colexec", "internal/exec")
+	if len(fs) != 5 {
+		t.Fatalf("poolescape columnar exec findings = %d, want 5:\n%s", len(fs), dumpFindings(fs))
+	}
+	if got := countContaining(fs, "used after putBatch/send"); got != 3 {
+		t.Fatalf("use-after-recycle findings = %d, want 3 (direct, after send, conditional):\n%s", got, dumpFindings(fs))
+	}
+	if got := countContaining(fs, "package-level variable"); got != 1 {
+		t.Fatalf("package-level store findings = %d, want 1:\n%s", got, dumpFindings(fs))
+	}
+	if got := countContaining(fs, "exported function"); got != 1 {
+		t.Fatalf("exported-return findings = %d, want 1:\n%s", got, dumpFindings(fs))
+	}
+	// The direct-escape findings name the columnar batch class.
+	if got := countContaining(fs, "*ColBatch"); got != 2 {
+		t.Fatalf("*ColBatch findings = %d, want 2 (store + return):\n%s", got, dumpFindings(fs))
+	}
+}
+
 func TestPoolEscapeExecFixture(t *testing.T) {
 	fs := runFixture(t, "poolescape", "poolescape_exec", "internal/exec")
 	if len(fs) != 5 {

@@ -7,22 +7,27 @@ import (
 )
 
 // poolEscapeAnalysis enforces the batch-ownership contract from both
-// sides of the internal/exec boundary.
+// sides of the internal/exec boundary, for the boxed and the columnar
+// record path alike.
 //
 // Outside internal/exec, a []any parameter is a borrowed view of an
-// engine-owned group batch: it is recycled the moment the callee
-// returns, so the value — or any local alias of it — must not escape
-// through a return, a channel send, a composite literal, a store into
-// non-local memory, an append as a single element, a call argument, or
-// a closure capture. Unlike the syntactic batchretain rule, the taint
-// here flows through assignments and re-slicing, so laundering the view
-// through a local alias is still caught. Reading elements out
-// (indexing, range, copy, append with ... spread) is the supported way
-// to retain data and stays legal.
+// engine-owned group batch, and an exec.KeyCol / exec.ValCol[V]
+// parameter (or a ColKeys / ColVals facade alias) is the columnar
+// equivalent — a borrowed column over engine scratch. Either is
+// recycled or overwritten the moment the callee returns, so the value —
+// or any local alias of it — must not escape through a return, a
+// channel send, a composite literal, a store into non-local memory, an
+// append as a single element, a call argument, or a closure capture.
+// Unlike the syntactic batchretain rule, the taint here flows through
+// assignments and re-slicing, so laundering the view through a local
+// alias is still caught. Reading elements out (indexing, range, copy,
+// append with ... spread) is the supported way to retain data and
+// stays legal.
 //
-// Inside internal/exec, the hazard inverts: the engine owns *[]any
-// pooled batches and hands them off via run.putBatch / sync.Pool.Put /
-// a channel send. After any of those on some path, every later use of
+// Inside internal/exec, the hazard inverts: the engine owns pooled
+// batches — *[]any boxed batches and *ColBatch[V] columnar ones — and
+// hands them off via run.putBatch / colPool.put / sync.Pool.Put / a
+// channel send. After any of those on some path, every later use of
 // the same variable is a use-after-recycle (the batch may already be
 // cleared or owned by a consumer). Reassigning the variable — including
 // a fresh binding from a range over a channel or slice of batches —
@@ -34,12 +39,15 @@ import (
 // literals are analyzed as separate functions; a capture of a tainted
 // variable is flagged at the capture site rather than tracked into the
 // closure. Type conversions of views to named slice types are not
-// followed. Inside exec the consumed-set is a may-analysis (union
-// join): a use after a send on *any* path is flagged.
+// followed. Columnar types are matched by name and declaring-package
+// suffix (internal/exec), so fixtures can stand in local doubles for
+// the engine's unexported pool plumbing. Inside exec the consumed-set
+// is a may-analysis (union join): a use after a send on *any* path is
+// flagged.
 func poolEscapeAnalysis() *Analysis {
 	return &Analysis{
 		Name: "poolescape",
-		Doc:  "typed taint analysis: batch views must not escape; pooled batches must not be used after recycle",
+		Doc:  "typed taint analysis: batch and column views must not escape; pooled batches (*[]any, *ColBatch) must not be used after recycle",
 		Applies: func(rel string) bool {
 			// The borrowed-view half applies everywhere outside the
 			// engine; the ownership half applies inside it.
@@ -59,7 +67,7 @@ func poolEscapeAnalysis() *Analysis {
 	}
 }
 
-// ---- outside internal/exec: borrowed []any views must not escape ----
+// ---- outside internal/exec: borrowed views must not escape ----
 
 // viewFact is the set of variables aliasing a borrowed batch view.
 type viewFact map[types.Object]bool
@@ -107,21 +115,40 @@ func (vp *viewProblem) Equal(a, b Fact) bool {
 	return true
 }
 
-// taintedRef reports whether e reads a tainted view as a whole slice
-// (re-slicing keeps the alias; indexing extracts an element and does
-// not).
-func (vp *viewProblem) taintedRef(f viewFact, e ast.Expr) bool {
+// taintedObj resolves e to the tainted view variable it reads as a
+// whole slice (re-slicing keeps the alias; indexing extracts an
+// element and does not); nil when e is not a tainted whole-slice read.
+func (vp *viewProblem) taintedObj(f viewFact, e ast.Expr) types.Object {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.SliceExpr:
 			e = x.X
 		case *ast.Ident:
 			obj := identObj(vp.info, x)
-			return obj != nil && f[obj]
+			if obj != nil && f[obj] {
+				return obj
+			}
+			return nil
 		default:
-			return false
+			return nil
 		}
 	}
+}
+
+// taintedRef reports whether e reads a tainted view as a whole slice.
+func (vp *viewProblem) taintedRef(f viewFact, e ast.Expr) bool {
+	return vp.taintedObj(f, e) != nil
+}
+
+// viewDesc names a view's class for finding messages.
+func viewDesc(t types.Type) string {
+	switch execNamed(t) {
+	case "KeyCol":
+		return "KeyCol column view"
+	case "ValCol":
+		return "ValCol column view"
+	}
+	return "[]any batch view"
 }
 
 func (vp *viewProblem) Transfer(fact Fact, n ast.Node) Fact {
@@ -178,11 +205,11 @@ func (vp *viewProblem) Transfer(fact Fact, n ast.Node) Fact {
 // of a non-engine package.
 func viewEscapeCheck(p *Package) []Finding {
 	var fs []Finding
-	report := func(pos ast.Node, what string) {
+	report := func(pos ast.Node, what string, obj types.Object) {
 		fs = append(fs, Finding{
 			Pos:  position(p, pos.Pos()),
 			Rule: "poolescape",
-			Msg:  fmt.Sprintf("engine-owned []any batch view escapes via %s; copy the records you need instead", what),
+			Msg:  fmt.Sprintf("engine-owned %s escapes via %s; copy the records you need instead", viewDesc(obj.Type()), what),
 		})
 	}
 	for _, file := range p.Files {
@@ -196,7 +223,7 @@ func viewEscapeCheck(p *Package) []Finding {
 				}
 				for _, name := range field.Names {
 					obj := p.Info.Defs[name]
-					if obj != nil && isAnySlice(obj.Type()) {
+					if obj != nil && (isAnySlice(obj.Type()) || isColView(obj.Type())) {
 						params = append(params, obj)
 					}
 				}
@@ -217,44 +244,45 @@ func viewEscapeCheck(p *Package) []Finding {
 
 // checkViewEscapes scans one CFG node for escape sinks given the fact
 // holding before it.
-func checkViewEscapes(p *Package, vp *viewProblem, f viewFact, n ast.Node, report func(ast.Node, string)) {
+func checkViewEscapes(p *Package, vp *viewProblem, f viewFact, n ast.Node, report func(ast.Node, string, types.Object)) {
 	// Assignment sinks: storing a view anywhere but a plain local
 	// variable (field, map/slice element, dereference, global).
 	if st, ok := n.(*ast.AssignStmt); ok && len(st.Lhs) == len(st.Rhs) {
 		for i := range st.Lhs {
-			if !vp.taintedRef(f, st.Rhs[i]) {
+			src := vp.taintedObj(f, st.Rhs[i])
+			if src == nil {
 				continue
 			}
 			lhs := ast.Unparen(st.Lhs[i])
 			if id, ok := lhs.(*ast.Ident); ok {
 				obj := identObj(vp.info, id)
 				if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
-					report(st, "store to package-level variable")
+					report(st, "store to package-level variable", src)
 				}
 				continue // local alias: tracked, not an escape by itself
 			}
-			report(st, "store to non-local memory")
+			report(st, "store to non-local memory", src)
 		}
 	}
 	inspectShallow(n, func(m ast.Node) bool {
 		switch x := m.(type) {
 		case *ast.ReturnStmt:
 			for _, res := range x.Results {
-				if vp.taintedRef(f, res) {
-					report(res, "return")
+				if obj := vp.taintedObj(f, res); obj != nil {
+					report(res, "return", obj)
 				}
 			}
 		case *ast.SendStmt:
-			if vp.taintedRef(f, x.Value) {
-				report(x, "channel send")
+			if obj := vp.taintedObj(f, x.Value); obj != nil {
+				report(x, "channel send", obj)
 			}
 		case *ast.CompositeLit:
 			for _, el := range x.Elts {
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
 					el = kv.Value
 				}
-				if vp.taintedRef(f, el) {
-					report(el, "composite literal")
+				if obj := vp.taintedObj(f, el); obj != nil {
+					report(el, "composite literal", obj)
 				}
 			}
 		case *ast.CallExpr:
@@ -265,7 +293,7 @@ func checkViewEscapes(p *Package, vp *viewProblem, f viewFact, n ast.Node, repor
 			ast.Inspect(x.Body, func(inner ast.Node) bool {
 				if id, ok := inner.(*ast.Ident); ok {
 					if obj := vp.info.Uses[id]; obj != nil && f[obj] {
-						report(id, "closure capture")
+						report(id, "closure capture", obj)
 					}
 				}
 				return true
@@ -277,7 +305,7 @@ func checkViewEscapes(p *Package, vp *viewProblem, f viewFact, n ast.Node, repor
 }
 
 // checkViewCall classifies one call with possibly-tainted arguments.
-func checkViewCall(vp *viewProblem, f viewFact, call *ast.CallExpr, report func(ast.Node, string)) {
+func checkViewCall(vp *viewProblem, f viewFact, call *ast.CallExpr, report func(ast.Node, string, types.Object)) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		switch id.Name {
 		case "len", "cap", "copy", "clear":
@@ -287,13 +315,14 @@ func checkViewCall(vp *viewProblem, f viewFact, call *ast.CallExpr, report func(
 		case "append":
 			if _, isBuiltin := vp.info.Uses[id].(*types.Builtin); isBuiltin {
 				for i, arg := range call.Args[1:] {
-					if !vp.taintedRef(f, arg) {
+					obj := vp.taintedObj(f, arg)
+					if obj == nil {
 						continue
 					}
 					if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
 						continue // append(dst, view...) copies elements — legal
 					}
-					report(arg, "append as a single element")
+					report(arg, "append as a single element", obj)
 				}
 				return
 			}
@@ -303,16 +332,17 @@ func checkViewCall(vp *viewProblem, f viewFact, call *ast.CallExpr, report func(
 		return // conversion, not a call; aliasing handled by assignment rules
 	}
 	for _, arg := range call.Args {
-		if vp.taintedRef(f, arg) {
-			report(arg, "call argument")
+		if obj := vp.taintedObj(f, arg); obj != nil {
+			report(arg, "call argument", obj)
 		}
 	}
 }
 
-// ---- inside internal/exec: no use after putBatch / send ----
+// ---- inside internal/exec: no use after put / send ----
 
-// consumeFact is the set of *[]any variables whose batch has been
-// handed off (recycled or sent) on some path.
+// consumeFact is the set of pooled-batch variables (*[]any or
+// *ColBatch[V]) whose batch has been handed off (recycled or sent) on
+// some path.
 type consumeFact map[types.Object]bool
 
 func (f consumeFact) clone() consumeFact {
@@ -351,24 +381,37 @@ func (cp *consumeProblem) Equal(a, b Fact) bool {
 	return true
 }
 
-// batchObj resolves e to a *[]any-typed variable, nil otherwise.
+// batchObj resolves e to a pooled-batch variable — *[]any boxed or
+// *ColBatch[V] columnar — nil otherwise.
 func (cp *consumeProblem) batchObj(e ast.Expr) types.Object {
 	obj := identObj(cp.info, e)
-	if obj == nil || !isBatchPtr(obj.Type()) {
+	if obj == nil {
+		return nil
+	}
+	if !isBatchPtr(obj.Type()) && !isColBatchPtr(obj.Type()) {
 		return nil
 	}
 	return obj
 }
 
+// batchDesc names a pooled batch's class for finding messages.
+func batchDesc(t types.Type) string {
+	if isColBatchPtr(t) {
+		return "*ColBatch"
+	}
+	return "*[]any"
+}
+
 // consumingCall reports whether call hands its single batch argument
-// off: run.putBatch(bp) or pool.Put(bp).
+// off: run.putBatch(bp) / pool.Put(bp) on the boxed path,
+// run.putColBatch(bp) / colPool.put(bp) on the columnar one.
 func (cp *consumeProblem) consumingCall(call *ast.CallExpr) types.Object {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || len(call.Args) != 1 {
 		return nil
 	}
 	switch sel.Sel.Name {
-	case "putBatch", "Put":
+	case "putBatch", "putColBatch", "put", "Put":
 	default:
 		return nil
 	}
@@ -412,10 +455,11 @@ func (cp *consumeProblem) Transfer(fact Fact, n ast.Node) Fact {
 	return f
 }
 
-// poolConsumeCheck runs the use-after-recycle analysis over every
-// function of the engine package, plus two direct escape checks:
-// pooled batches must not be stored in package-level state or returned
-// from exported functions.
+// poolConsumeCheck runs the use-after-recycle analysis — covering boxed
+// *[]any and columnar *ColBatch[V] batches alike — over every function
+// of the engine package, plus two direct escape checks: pooled batches
+// must not be stored in package-level state or returned from exported
+// functions.
 func poolConsumeCheck(p *Package) []Finding {
 	var fs []Finding
 	cp := &consumeProblem{info: p.Info}
@@ -430,11 +474,11 @@ func poolConsumeCheck(p *Package) []Finding {
 				if decl != nil && decl.Name.IsExported() {
 					if ret, ok := n.(*ast.ReturnStmt); ok {
 						for _, res := range ret.Results {
-							if cp.batchObj(res) != nil {
+							if obj := cp.batchObj(res); obj != nil {
 								fs = append(fs, Finding{
 									Pos:  position(p, res.Pos()),
 									Rule: "poolescape",
-									Msg:  "pooled *[]any batch returned from exported function; batches must stay inside internal/exec",
+									Msg:  fmt.Sprintf("pooled %s batch returned from exported function; batches must stay inside internal/exec", batchDesc(obj.Type())),
 								})
 							}
 						}
@@ -458,7 +502,7 @@ func poolConsumeCheck(p *Package) []Finding {
 					fs = append(fs, Finding{
 						Pos:  position(p, st.Pos()),
 						Rule: "poolescape",
-						Msg:  "pooled *[]any batch stored in package-level variable; its lifetime must end at putBatch",
+						Msg:  fmt.Sprintf("pooled %s batch stored in package-level variable; its lifetime must end at its put call", batchDesc(obj.Type())),
 					})
 				}
 			}

@@ -1,0 +1,534 @@
+// Columnar superstep engine: a vectorized execution path for the
+// restricted pipeline shape every graph superstep in this repo shares —
+//
+//	source rows -> CSR edge expansion -> hash exchange -> monotone fold -> apply
+//
+// Records never exist individually: they travel as parallel int32/V
+// columns in pooled ColBatch exchange batches, edges are iterated as
+// contiguous slices of the graph's dense CSR arrays, routing is one
+// array load into a precomputed partition map (no per-message hashing),
+// and the fold scatters into dense per-partition scratch. The boxed
+// dataflow engine remains the fully general path; ColEngine exists for
+// the numeric-payload supersteps where boxing dominated the profile.
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiflow/internal/graph"
+)
+
+// FoldKind selects the fold applied to messages with the same
+// destination. Both folds are commutative and associative over the
+// payload domain (min exactly, sum up to float rounding), which is what
+// makes pre-exchange local folding and arrival-order folding legal.
+type FoldKind int
+
+const (
+	// FoldMin keeps the minimum payload per destination (CC labels,
+	// SSSP distances).
+	FoldMin FoldKind = iota
+	// FoldSum accumulates payloads per destination (PageRank mass).
+	FoldSum
+)
+
+// ExpandKind selects how a source row (src, val) turns into one message
+// per out-edge of src.
+type ExpandKind int
+
+const (
+	// ExpandCopy sends val unchanged to every neighbor (CC label
+	// diffusion).
+	ExpandCopy ExpandKind = iota
+	// ExpandAddWeight sends val + edge weight (SSSP relaxation).
+	// Unweighted graphs use weight 1.
+	ExpandAddWeight
+	// ExpandMulScale sends val * Scale[edge] for a caller-provided
+	// per-edge scale column (PageRank: weight / total outgoing weight).
+	ExpandMulScale
+)
+
+// ColStep describes one columnar superstep over a graph.
+type ColStep[V ColValue] struct {
+	// Adj is the dense CSR adjacency messages expand over.
+	Adj *graph.Dense
+	// Parts is the vertex partitioning; Parts.N must equal the
+	// engine's parallelism.
+	Parts *graph.Partitioning
+	// Expand selects the per-edge message function.
+	Expand ExpandKind
+	// Scale is the per-edge scale column for ExpandMulScale, parallel
+	// to Adj.Targets.
+	Scale []float64
+	// Fold selects the per-destination fold.
+	Fold FoldKind
+	// LocalFold folds messages in the producing task before the
+	// exchange (the columnar combiner), shrinking shuffle volume to at
+	// most one row per (producer, destination) pair.
+	LocalFold bool
+	// Source emits partition part's input rows. emit returns false if
+	// the run is tearing down; Source must stop then. Rows are
+	// (dense source vertex index, payload).
+	Source func(part int, emit func(src int32, val V) bool) error
+	// Apply receives the folded updates owned by partition part, with
+	// destinations in ascending dense-index order. dst and val are
+	// borrowed engine-owned columns: consume in place, do not retain.
+	Apply func(part int, dst KeyCol, val ValCol[V]) error
+}
+
+// ColStats reports what a columnar superstep did.
+type ColStats struct {
+	// Messages counts edge-expansion emissions (the paper's "messages"
+	// statistic), before any local fold.
+	Messages int64
+	// Shuffled counts rows that actually crossed the exchange — equal
+	// to Messages unless LocalFold compacted them.
+	Shuffled int64
+	// Elapsed is the wall time of the superstep.
+	Elapsed time.Duration
+}
+
+// ColEngine executes columnar supersteps with a fixed parallelism. An
+// engine owns pooled exchange batches and persistent per-partition fold
+// scratch, so a converging iterative job reaches a steady state where
+// supersteps allocate nothing. Run may not be called concurrently on
+// one engine (iteration drivers are sequential); distinct engines are
+// independent.
+type ColEngine[V ColValue] struct {
+	// Parallelism is the number of expander/folder task pairs and must
+	// match the step's partitioning. Must be >= 1.
+	Parallelism int
+	// BatchSize overrides rows per exchange batch
+	// (DefaultColBatchSize when zero).
+	BatchSize int
+	// ChannelDepth is the exchange buffer in batches (16 when zero).
+	ChannelDepth int
+
+	pool colPool[V]
+
+	// Fold scratch, per partition, indexed by global dense vertex
+	// index; touched tracks which entries are live so reset is
+	// O(touched), not O(vertices).
+	acc     [][]V
+	seen    [][]bool
+	touched [][]int32
+	outVal  [][]V
+	// Local-fold scratch, per producing partition.
+	lacc     [][]V
+	lseen    [][]bool
+	ltouched [][]int32
+}
+
+type colRun[V ColValue] struct {
+	e     *ColEngine[V]
+	step  *ColStep[V]
+	batch int
+	chans []chan *ColBatch[V]
+
+	senders sync.WaitGroup
+	folders sync.WaitGroup
+
+	done      chan struct{}
+	once      sync.Once
+	aborted   atomic.Bool
+	err       error
+	fault     *FaultInjection
+	processed atomic.Int64
+
+	messages atomic.Int64
+	shuffled atomic.Int64
+}
+
+// fail records the first error and tears the run down through the
+// cancellation channel, exactly like the boxed engine.
+func (r *colRun[V]) fail(err error) {
+	r.once.Do(func() {
+		r.err = err
+		r.aborted.Store(true)
+		close(r.done)
+	})
+}
+
+// recordFlushed advances the plan-wide processed counter by one flushed
+// batch and triggers a scheduled fault once the threshold is crossed.
+// The columnar path counts at batch granularity: the crash strikes on
+// the first flush past AfterRecords rather than the exact record, which
+// preserves the contract that a plan finishing under the threshold
+// completes normally.
+func (r *colRun[V]) recordFlushed(n int) {
+	f := r.fault
+	if f == nil {
+		return
+	}
+	if tot := r.processed.Add(int64(n)); tot > f.AfterRecords {
+		r.fail(&WorkerFailure{
+			Workers:    f.Workers,
+			Partitions: f.Partitions,
+			Processed:  tot,
+		})
+	}
+}
+
+func (r *colRun[V]) getBatch() *ColBatch[V] { return r.e.pool.get(r.batch) }
+
+// putColBatch recycles a batch; the caller must not touch it afterwards.
+func (r *colRun[V]) putColBatch(bp *ColBatch[V]) { r.e.pool.put(bp) }
+
+// flushTo hands a full batch to partition p's fold channel,
+// transferring ownership. It returns false if the run is tearing down
+// (the batch is recycled, not sent).
+func (r *colRun[V]) flushTo(p int, bp *ColBatch[V]) bool {
+	n := bp.Len()
+	if n == 0 {
+		r.putColBatch(bp)
+		return true
+	}
+	r.recordFlushed(n)
+	if r.aborted.Load() {
+		r.putColBatch(bp)
+		return false
+	}
+	select {
+	case r.chans[p] <- bp:
+		return true
+	case <-r.done:
+		r.putColBatch(bp)
+		return false
+	}
+}
+
+// ensureScratch sizes the engine's persistent fold scratch for nv
+// vertices across p partitions, reusing prior arrays when they fit.
+func (e *ColEngine[V]) ensureScratch(p, nv int, local bool) {
+	grow := func(n int) {
+		e.acc = make([][]V, n)
+		e.seen = make([][]bool, n)
+		e.touched = make([][]int32, n)
+		e.outVal = make([][]V, n)
+		e.lacc = make([][]V, n)
+		e.lseen = make([][]bool, n)
+		e.ltouched = make([][]int32, n)
+	}
+	if len(e.acc) != p {
+		grow(p)
+	}
+	for i := 0; i < p; i++ {
+		if len(e.acc[i]) != nv {
+			e.acc[i] = make([]V, nv)
+			e.seen[i] = make([]bool, nv)
+			e.touched[i] = nil
+			e.outVal[i] = nil
+		}
+		if local && len(e.lacc[i]) != nv {
+			e.lacc[i] = make([]V, nv)
+			e.lseen[i] = make([]bool, nv)
+			e.ltouched[i] = nil
+		}
+	}
+}
+
+// Run executes one columnar superstep, optionally with a scheduled
+// fault (nil for a clean run). A faulted run returns a *WorkerFailure
+// and no stats; in-flight batches are recycled and fold scratch is
+// reset, so the engine is reusable for the retry.
+func (e *ColEngine[V]) Run(step *ColStep[V], fi *FaultInjection) (ColStats, error) {
+	start := time.Now()
+	if e.Parallelism < 1 {
+		e.Parallelism = 1
+	}
+	if step.Adj == nil || step.Parts == nil || step.Source == nil || step.Apply == nil {
+		return ColStats{}, fmt.Errorf("col: step needs Adj, Parts, Source and Apply")
+	}
+	if step.Parts.N != e.Parallelism {
+		return ColStats{}, fmt.Errorf("col: partitioning has %d partitions, engine parallelism is %d", step.Parts.N, e.Parallelism)
+	}
+	if step.Expand == ExpandMulScale && len(step.Scale) != len(step.Adj.Targets) {
+		return ColStats{}, fmt.Errorf("col: Scale column has %d entries, adjacency has %d edges", len(step.Scale), len(step.Adj.Targets))
+	}
+	batch := e.BatchSize
+	if batch <= 0 {
+		batch = DefaultColBatchSize
+	}
+	depth := e.ChannelDepth
+	if depth <= 0 {
+		depth = 16
+	}
+	p := e.Parallelism
+	e.pool.init(batch)
+	e.ensureScratch(p, step.Adj.NumVertices(), step.LocalFold)
+
+	r := &colRun[V]{
+		e:     e,
+		step:  step,
+		batch: batch,
+		chans: make([]chan *ColBatch[V], p),
+		done:  make(chan struct{}),
+		fault: fi,
+	}
+	for i := range r.chans {
+		r.chans[i] = make(chan *ColBatch[V], depth)
+	}
+
+	r.senders.Add(p)
+	r.folders.Add(p)
+	for part := 0; part < p; part++ {
+		go r.expand(part)
+		go r.foldAndApply(part)
+	}
+	go func() {
+		r.senders.Wait()
+		for _, ch := range r.chans {
+			close(ch)
+		}
+	}()
+	r.folders.Wait()
+
+	if r.err != nil {
+		return ColStats{}, r.err
+	}
+	return ColStats{
+		Messages: r.messages.Load(),
+		Shuffled: r.shuffled.Load(),
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// expand is the producing half of partition part: it pulls source rows,
+// walks their CSR edge ranges and scatters messages into per-partition
+// batches (or the local fold scratch).
+func (r *colRun[V]) expand(part int) {
+	defer r.senders.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(fmt.Errorf("col: panic in expand task %d: %v\n%s", part, rec, debug.Stack()))
+		}
+	}()
+	s := r.step
+	offsets, targets := s.Adj.Offsets, s.Adj.Targets
+	weights := s.Adj.Weights
+	partOf := s.Parts.PartOf
+	bufs := make([]*ColBatch[V], len(r.chans))
+	for i := range bufs {
+		bufs[i] = r.getBatch()
+	}
+	var messages, shuffled int64
+	defer func() {
+		r.messages.Add(messages)
+		r.shuffled.Add(shuffled)
+	}()
+	abort := func() {
+		for i, bp := range bufs {
+			if bp != nil {
+				r.putColBatch(bp)
+				bufs[i] = nil
+			}
+		}
+	}
+
+	// deliver appends one already-folded or raw message to its
+	// destination partition's batch.
+	deliver := func(dst int32, val V) bool {
+		dp := partOf[dst]
+		bp := bufs[dp]
+		bp.push(dst, val)
+		shuffled++
+		if bp.full(r.batch) {
+			if !r.flushTo(int(dp), bp) {
+				bufs[dp] = nil
+				return false
+			}
+			bufs[dp] = r.getBatch()
+		}
+		return true
+	}
+
+	var lacc []V
+	var lseen []bool
+	var ltouched []int32
+	if s.LocalFold {
+		lacc, lseen, ltouched = r.e.lacc[part], r.e.lseen[part], r.e.ltouched[part]
+		defer func() {
+			for _, i := range ltouched {
+				lseen[i] = false
+			}
+			r.e.ltouched[part] = ltouched[:0]
+		}()
+	}
+	foldLocal := func(dst int32, val V) {
+		if !lseen[dst] {
+			lseen[dst] = true
+			lacc[dst] = val
+			ltouched = append(ltouched, dst)
+			return
+		}
+		if s.Fold == FoldMin {
+			if val < lacc[dst] {
+				lacc[dst] = val
+			}
+		} else {
+			lacc[dst] += val
+		}
+	}
+
+	// emit expands one source row over its contiguous edge range. The
+	// three expand kinds are separate tight loops so the per-edge path
+	// has no switch and no closure call.
+	emit := func(src int32, val V) bool {
+		lo, hi := offsets[src], offsets[src+1]
+		messages += int64(hi - lo)
+		if s.LocalFold {
+			switch s.Expand {
+			case ExpandCopy:
+				for j := lo; j < hi; j++ {
+					foldLocal(targets[j], val)
+				}
+			case ExpandAddWeight:
+				if weights == nil {
+					for j := lo; j < hi; j++ {
+						foldLocal(targets[j], val+V(1))
+					}
+				} else {
+					for j := lo; j < hi; j++ {
+						foldLocal(targets[j], val+V(weights[j]))
+					}
+				}
+			case ExpandMulScale:
+				for j := lo; j < hi; j++ {
+					foldLocal(targets[j], val*V(s.Scale[j]))
+				}
+			}
+			return !r.aborted.Load()
+		}
+		switch s.Expand {
+		case ExpandCopy:
+			for j := lo; j < hi; j++ {
+				if !deliver(targets[j], val) {
+					return false
+				}
+			}
+		case ExpandAddWeight:
+			if weights == nil {
+				for j := lo; j < hi; j++ {
+					if !deliver(targets[j], val+V(1)) {
+						return false
+					}
+				}
+			} else {
+				for j := lo; j < hi; j++ {
+					if !deliver(targets[j], val+V(weights[j])) {
+						return false
+					}
+				}
+			}
+		case ExpandMulScale:
+			for j := lo; j < hi; j++ {
+				if !deliver(targets[j], val*V(s.Scale[j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	if err := s.Source(part, emit); err != nil {
+		r.fail(fmt.Errorf("col: source for partition %d: %w", part, err))
+		abort()
+		return
+	}
+	if r.aborted.Load() {
+		abort()
+		return
+	}
+	if s.LocalFold {
+		// Emission order of folded rows is made deterministic by
+		// sorting the touched set; sums within a destination are
+		// already folded, so this fixes the exchange byte stream for a
+		// given input.
+		sort.Slice(ltouched, func(i, j int) bool { return ltouched[i] < ltouched[j] })
+		for _, dst := range ltouched {
+			if !deliver(dst, lacc[dst]) {
+				abort()
+				return
+			}
+		}
+	}
+	for i, bp := range bufs {
+		if bp == nil {
+			continue
+		}
+		bufs[i] = nil
+		if !r.flushTo(i, bp) {
+			abort()
+			return
+		}
+	}
+}
+
+// foldAndApply is the consuming half of partition part: it folds
+// incoming batches into dense scratch and hands the folded updates to
+// the step's Apply callback in ascending destination order.
+func (r *colRun[V]) foldAndApply(part int) {
+	defer r.folders.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(fmt.Errorf("col: panic in fold task %d: %v\n%s", part, rec, debug.Stack()))
+		}
+	}()
+	s := r.step
+	acc, seen := r.e.acc[part], r.e.seen[part]
+	touched := r.e.touched[part]
+	// Scratch is reset whether the run commits or aborts, so a retry
+	// after a mid-superstep failure starts from clean fold state.
+	defer func() {
+		for _, i := range touched {
+			seen[i] = false
+		}
+		r.e.touched[part] = touched[:0]
+	}()
+
+	min := s.Fold == FoldMin
+	for bp := range r.chans[part] {
+		if r.aborted.Load() {
+			r.putColBatch(bp)
+			continue
+		}
+		dsts, vals := bp.Dst, bp.Val
+		for i, dst := range dsts {
+			v := vals[i]
+			if !seen[dst] {
+				seen[dst] = true
+				acc[dst] = v
+				touched = append(touched, dst)
+				continue
+			}
+			if min {
+				if v < acc[dst] {
+					acc[dst] = v
+				}
+			} else {
+				acc[dst] += v
+			}
+		}
+		r.putColBatch(bp)
+	}
+	if r.aborted.Load() {
+		return
+	}
+
+	// Ascending dense index == ascending VertexID: Apply sees updates
+	// in a deterministic order regardless of arrival interleaving.
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	outVal := r.e.outVal[part][:0]
+	for _, dst := range touched {
+		outVal = append(outVal, acc[dst])
+	}
+	r.e.outVal[part] = outVal
+	if err := s.Apply(part, KeyCol(touched), ValCol[V](outVal)); err != nil {
+		r.fail(fmt.Errorf("col: apply for partition %d: %w", part, err))
+	}
+}

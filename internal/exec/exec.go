@@ -646,7 +646,7 @@ func (t *task) process() error {
 			// key's accumulator as it arrives instead of materializing
 			// the whole group. Emission order stays deterministic via
 			// sortedKeys, exactly like the materializing path.
-			accs := make(map[uint64]any)
+			accs := make(map[uint64]any, n.KeyCard)
 			if err := t.each(0, func(rec any) error {
 				k := key(rec)
 				accs[k] = n.Combine(accs[k], rec)
@@ -669,7 +669,13 @@ func (t *task) process() error {
 		// must not be retained.
 		batches, total := t.collect(0)
 		keys := make([]uint64, 0, total)
-		counts := make(map[uint64]int)
+		// Distinct keys never exceed the collected record count, so the
+		// batch cardinality bounds the map; an explicit hint is tighter.
+		card := total
+		if n.KeyCard > 0 && n.KeyCard < card {
+			card = n.KeyCard
+		}
+		counts := make(map[uint64]int, card)
 		for _, bp := range batches {
 			for _, rec := range *bp {
 				k := key(rec)

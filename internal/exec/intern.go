@@ -1,0 +1,88 @@
+// Interned keys: string-keyed workloads pay a hash of the full string
+// for every routing decision on the boxed path. An Interner maps each
+// distinct string to a small dense uint64 once; afterwards records
+// carry (and exchanges hash) the integer. The read path is lock-free —
+// a copy-on-write map behind an atomic pointer — so concurrent operator
+// tasks interning already-seen keys never contend, the intern-cache
+// idiom of the janus-datalog optimization sprint.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interner assigns dense uint64 IDs to strings. IDs start at 0 and
+// increase in first-intern order; they are stable for the lifetime of
+// the Interner. The zero value is not usable; call NewInterner.
+type Interner struct {
+	read atomic.Pointer[map[string]uint64]
+
+	mu    sync.Mutex
+	dirty map[string]uint64 // superset of *read; mutated under mu
+	names []string          // id -> string, appended under mu
+}
+
+// NewInterner returns an empty Interner.
+func NewInterner() *Interner {
+	in := &Interner{dirty: make(map[string]uint64)}
+	m := make(map[string]uint64)
+	in.read.Store(&m)
+	return in
+}
+
+// Intern returns the ID for s, assigning the next dense ID on first
+// sight. Hits on previously published keys take the lock-free path.
+func (in *Interner) Intern(s string) uint64 {
+	if id, ok := (*in.read.Load())[s]; ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.dirty[s]; ok {
+		return id
+	}
+	id := uint64(len(in.names))
+	in.dirty[s] = id
+	in.names = append(in.names, s)
+	// Publish a fresh read map once the unpublished tail has grown as
+	// large as the published map: amortized O(1) per miss, and a key
+	// becomes lock-free at most doublings later.
+	if len(in.dirty) >= 2*len(*in.read.Load()) {
+		snap := make(map[string]uint64, len(in.dirty))
+		for k, v := range in.dirty {
+			snap[k] = v
+		}
+		in.read.Store(&snap)
+	}
+	return id
+}
+
+// Lookup returns the ID for s without assigning one.
+func (in *Interner) Lookup(s string) (uint64, bool) {
+	if id, ok := (*in.read.Load())[s]; ok {
+		return id, true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	id, ok := in.dirty[s]
+	return id, ok
+}
+
+// Name returns the string interned as id, or "" if id was never
+// assigned.
+func (in *Interner) Name(id uint64) string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id >= uint64(len(in.names)) {
+		return ""
+	}
+	return in.names[id]
+}
+
+// Len returns the number of distinct strings interned.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.names)
+}

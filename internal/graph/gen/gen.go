@@ -81,10 +81,14 @@ func BarabasiAlbert(n, m int, seed int64, directed bool) *graph.Graph {
 		n = m + 1
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// The edge count is known up front: the seed clique contributes
+	// m(m+1)/2 edges and every later vertex attaches exactly m more.
+	numEdges := m*(m+1)/2 + (n-m-1)*m
 	b := graph.NewBuilder(directed)
+	b.Reserve(n, numEdges)
 	// repeated holds one entry per edge endpoint, which makes sampling
 	// proportional to degree a uniform pick.
-	repeated := make([]graph.VertexID, 0, 2*n*m)
+	repeated := make([]graph.VertexID, 0, 2*numEdges)
 	// Seed clique over the first m+1 vertices.
 	for i := 0; i <= m; i++ {
 		for j := i + 1; j <= m; j++ {
@@ -129,6 +133,7 @@ func RMAT(scale, edgeFactor int, a, b, c, d float64, seed int64, directed bool) 
 	total := a + b + c + d
 	a, b, c = a/total, b/total, c/total
 	bld := graph.NewBuilder(directed)
+	bld.Reserve(n, edges)
 	for i := 0; i < n; i++ {
 		bld.AddVertex(graph.VertexID(i))
 	}
@@ -185,6 +190,7 @@ func ErdosRenyi(n int, p float64, seed int64, directed bool) *graph.Graph {
 // label diffusion, which makes failure effects easy to observe.
 func Grid(rows, cols int) *graph.Graph {
 	b := graph.NewBuilder(false)
+	b.Reserve(rows*cols, rows*(cols-1)+cols*(rows-1))
 	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {

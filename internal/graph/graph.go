@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex. IDs are arbitrary uint64 values; they do
@@ -31,6 +32,9 @@ type Graph struct {
 	targets  []VertexID
 	weights  []float64 // parallel to targets; nil if all weights are 1
 	numEdges int       // logical edges (undirected edges counted once)
+
+	denseOnce sync.Once
+	dense     *Dense // lazily built columnar view, see Dense()
 }
 
 // Directed reports whether the graph was built as a directed graph.
@@ -157,6 +161,25 @@ func (b *Builder) AddWeightedEdge(src, dst VertexID, w float64) *Builder {
 
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Reserve pre-sizes the builder for the given vertex and edge counts.
+// Generators that know their output size up front call it so the edge
+// list does not grow through repeated appends.
+func (b *Builder) Reserve(vertices, edges int) *Builder {
+	if vertices > len(b.vertices) {
+		grown := make(map[VertexID]struct{}, vertices)
+		for v := range b.vertices {
+			grown[v] = struct{}{}
+		}
+		b.vertices = grown
+	}
+	if edges > cap(b.edges) {
+		grownEdges := make([]Edge, len(b.edges), edges)
+		copy(grownEdges, b.edges)
+		b.edges = grownEdges
+	}
+	return b
+}
 
 // Build freezes the builder into an immutable Graph.
 func (b *Builder) Build() *Graph {

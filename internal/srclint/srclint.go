@@ -19,12 +19,15 @@
 //     that the package itself mutates; algorithm state belongs in job
 //     structs, where recovery can snapshot and restore it;
 //   - batchretain: outside internal/exec, a function taking a []any
-//     parameter (the engine's group views and exchange batches) may
-//     only read it — range over it, index it, take len/cap, copy out
-//     of it. Storing the slice, returning it, appending it, sending
-//     it, or passing it to another call is flagged: the engine
-//     recycles batch memory after the UDF returns, so a retained
-//     slice would alias records from later batches.
+//     parameter (the engine's group views and exchange batches) or a
+//     columnar view parameter — KeyCol / ValCol as internal/exec
+//     spells them, ColKeys / ColVals as the optiflow facade aliases
+//     them, bare or package-qualified — may only read it — range over
+//     it, index it, take len/cap, copy out of it. Storing the slice,
+//     returning it, appending it, sending it, or passing it to another
+//     call is flagged: the engine recycles batch memory (and rewrites
+//     column scratch) after the UDF returns, so a retained slice would
+//     alias records from later batches.
 //
 // Analysis is purely syntactic. Identifier/shadowing resolution uses
 // the parser's per-file object resolution: a same-named local variable
@@ -514,12 +517,47 @@ func isAnySliceType(e ast.Expr) bool {
 	return false
 }
 
+// colViewTypeName matches the columnar view spellings by name: the
+// exec declarations (KeyCol, ValCol) and the optiflow facade aliases
+// (ColKeys, ColVals), bare or package-qualified. Matching is by
+// spelling, like the rest of srclint; a same-named type from another
+// package is flagged too, which errs in the safe direction.
+func colViewTypeName(e ast.Expr) (string, bool) {
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	switch name {
+	case "KeyCol", "ValCol", "ColKeys", "ColVals":
+		return name, true
+	}
+	return "", false
+}
+
+// batchViewTypeName classifies a parameter type expression as an
+// engine batch view and names its class: []any boxed group views, or
+// a columnar key/value column (generic instantiations like
+// ValCol[float64] and exec.ValCol[V] match through the index
+// expression).
+func batchViewTypeName(e ast.Expr) (string, bool) {
+	if isAnySliceType(e) {
+		return "[]any", true
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return colViewTypeName(ix.X)
+	}
+	return colViewTypeName(e)
+}
+
 // checkBatchRetain flags functions outside internal/exec that let a
-// []any parameter — an engine-owned group view or exchange batch —
-// escape the call: assignment, return, append, channel send, composite
-// literal, or passing the slice to another function. The engine
-// recycles that memory after the UDF returns; individual records may
-// be kept, the slice may not.
+// batch-view parameter — a []any group view or exchange batch, or a
+// columnar KeyCol/ValCol column — escape the call: assignment, return,
+// append, channel send, composite literal, or passing the slice to
+// another function. The engine recycles that memory after the UDF
+// returns; individual records may be kept, the slice may not.
 func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...any)) {
 	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -536,13 +574,15 @@ func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...
 			if body == nil || ft.Params == nil {
 				return true
 			}
-			// Collect the []any parameters. Matching uses the parser's
-			// object resolution so a shadowing local of the same name is
-			// not confused with the parameter.
+			// Collect the batch-view parameters. Matching uses the
+			// parser's object resolution so a shadowing local of the same
+			// name is not confused with the parameter.
 			paramObjs := make(map[*ast.Object]bool)
 			paramNames := make(map[string]bool)
+			paramKind := make(map[string]string)
 			for _, field := range ft.Params.List {
-				if !isAnySliceType(field.Type) {
+				kind, ok := batchViewTypeName(field.Type)
+				if !ok {
 					continue
 				}
 				for _, name := range field.Names {
@@ -550,6 +590,7 @@ func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...
 						continue
 					}
 					paramNames[name.Name] = true
+					paramKind[name.Name] = kind
 					if name.Obj != nil {
 						paramObjs[name.Obj] = true
 					}
@@ -558,7 +599,7 @@ func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...
 			if len(paramNames) == 0 {
 				return true
 			}
-			checkBatchRetainBody(body, paramObjs, paramNames, add)
+			checkBatchRetainBody(body, paramObjs, paramNames, paramKind, add)
 			return true
 		})
 	}
@@ -574,7 +615,7 @@ func checkBatchRetain(files []*ast.File, add func(token.Pos, string, string, ...
 // false negative — the alias declaration was flagged but a `var`
 // declaration was not, and escapes of the alias itself went unseen)
 // is reported at every aliasing step and at the final escape.
-func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, paramNames map[string]bool, add func(token.Pos, string, string, ...any)) {
+func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, paramNames map[string]bool, paramKind map[string]string, add func(token.Pos, string, string, ...any)) {
 	// paramRef reports whether the expression is a bare parameter or a
 	// reslicing of one — the forms whose backing array the engine will
 	// recycle. Indexing (vals[0]) yields a single record and is fine.
@@ -597,17 +638,23 @@ func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, p
 		return "", false
 	}
 	report := func(pos token.Pos, name, how string) {
+		kind := paramKind[name]
+		if kind == "" {
+			kind = "[]any"
+		}
 		add(pos, "batchretain",
-			"[]any parameter %q (an engine-owned batch or group view) escapes via %s; the engine recycles the slice after the call — copy the records you need instead", name, how)
+			"%s parameter %q (an engine-owned batch or group view) escapes via %s; the engine recycles the slice after the call — copy the records you need instead", kind, name, how)
 	}
 
 	// Alias closure: grow the tracked set until no assignment or var
-	// declaration introduces a new alias of a tracked slice.
-	trackAlias := func(id *ast.Ident) bool {
+	// declaration introduces a new alias of a tracked slice. Aliases
+	// inherit the view class of their source for reporting.
+	trackAlias := func(id *ast.Ident, src string) bool {
 		if id == nil || id.Name == "_" || paramNames[id.Name] {
 			return false
 		}
 		paramNames[id.Name] = true
+		paramKind[id.Name] = paramKind[src]
 		if id.Obj != nil {
 			paramObjs[id.Obj] = true
 		}
@@ -622,10 +669,11 @@ func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, p
 					return true
 				}
 				for i, rhs := range st.Rhs {
-					if _, ok := paramRef(rhs); !ok {
+					src, ok := paramRef(rhs)
+					if !ok {
 						continue
 					}
-					if id, isIdent := st.Lhs[i].(*ast.Ident); isIdent && trackAlias(id) {
+					if id, isIdent := st.Lhs[i].(*ast.Ident); isIdent && trackAlias(id, src) {
 						changed = true
 					}
 				}
@@ -643,7 +691,7 @@ func checkBatchRetainBody(body *ast.BlockStmt, paramObjs map[*ast.Object]bool, p
 						if i >= len(vs.Values) {
 							continue
 						}
-						if _, ok := paramRef(vs.Values[i]); ok && trackAlias(name) {
+						if src, ok := paramRef(vs.Values[i]); ok && trackAlias(name, src) {
 							changed = true
 						}
 					}

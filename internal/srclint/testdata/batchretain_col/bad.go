@@ -1,0 +1,62 @@
+// Package fixture seeds batchretain violations for the columnar view
+// spellings. The rule is syntactic — parameter types are matched by
+// name — so the bare forms are declared locally for readability, and
+// the package-qualified forms (exec.ValCol, optiflow.ColKeys) are
+// matched purely by their selector spelling.
+package fixture
+
+type KeyCol []int32
+
+type ValCol[V int64 | uint64 | float64] []V
+
+var keptKeys KeyCol
+
+var keyCh = make(chan KeyCol, 1)
+
+type holder struct{ keys KeyCol }
+
+func sinkKeys(dst KeyCol) { _ = len(dst) }
+
+// retainColumns exercises each escape site once over the bare
+// spellings — 6 findings.
+func retainColumns(h *holder, dst KeyCol, val ValCol[float64]) KeyCol {
+	h.keys = dst          // assignment
+	keyCh <- dst          // channel send
+	_ = holder{keys: dst} // composite literal
+	var all []any
+	all = append(all, val) // append
+	_ = all
+	sinkKeys(dst) // call argument
+	return dst    // return
+}
+
+// retainQualified proves the package-qualified spellings match — the
+// forms operator callbacks actually use. 2 findings.
+func retainQualified(vals exec.ValCol[float64], keys optiflow.ColKeys) exec.ValCol[float64] {
+	tail := keys[1:] // assignment: reslicing shares the backing array
+	_ = tail
+	return vals // return
+}
+
+// launderCol: aliasing a column through a local and escaping the alias
+// is caught at every step, like the []any case. 3 findings.
+func launderCol(h *holder, dst KeyCol) KeyCol {
+	var alias = dst // var declaration
+	h.keys = alias  // assignment of the alias
+	return alias    // return of the alias
+}
+
+// applyReadOnly consumes columns the supported way and must stay
+// clean: index, range, len, copy, element-wise append.
+func applyReadOnly(dst KeyCol, val ValCol[uint64]) int {
+	n := len(dst)
+	out := make([]uint64, 0, n)
+	for i := range dst {
+		out = append(out, val[i])
+	}
+	first := dst[0]
+	_ = first
+	scratch := make(KeyCol, n)
+	copy(scratch, dst)
+	return n + len(out)
+}

@@ -1,0 +1,216 @@
+package state
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// ColWorkset is the columnar counterpart of Workset: each partition's
+// pending updates are two parallel append-only columns — the dense
+// vertex index of the update's target and its numeric payload — so the
+// columnar superstep source streams them without per-item boxing.
+// Snapshot captures alias the column backing arrays exactly like
+// Workset.SnapshotShared (append-only between clears makes that safe),
+// and checkpoint encoders write the columns directly.
+type ColWorkset[V any] struct {
+	name     string
+	idx      [][]int32
+	val      [][]V
+	versions []uint64
+}
+
+// colPart is the serialised form of one columnar workset partition.
+type colPart[V any] struct {
+	Idx []int32
+	Val []V
+}
+
+// NewColWorkset creates an empty columnar workset with nparts
+// partitions.
+func NewColWorkset[V any](name string, nparts int) *ColWorkset[V] {
+	if nparts < 1 {
+		panic(fmt.Sprintf("state: workset %q: nparts must be >= 1, got %d", name, nparts))
+	}
+	return &ColWorkset[V]{
+		name:     name,
+		idx:      make([][]int32, nparts),
+		val:      make([][]V, nparts),
+		versions: make([]uint64, nparts),
+	}
+}
+
+// Name returns the workset's name.
+func (w *ColWorkset[V]) Name() string { return w.name }
+
+// NumPartitions returns the partition count.
+func (w *ColWorkset[V]) NumPartitions() int { return len(w.idx) }
+
+// Add appends one update to partition p. Each fold task appends only to
+// its own partition, so no locking is required.
+func (w *ColWorkset[V]) Add(p int, idx int32, val V) {
+	w.idx[p] = append(w.idx[p], idx)
+	w.val[p] = append(w.val[p], val)
+	w.bump(p)
+}
+
+// Len returns the total number of updates.
+func (w *ColWorkset[V]) Len() int {
+	n := 0
+	for _, c := range w.idx {
+		n += len(c)
+	}
+	return n
+}
+
+// PartitionLen returns the number of updates in partition p.
+func (w *ColWorkset[V]) PartitionLen(p int) int { return len(w.idx[p]) }
+
+// Cols returns partition p's columns; the caller must not modify them.
+func (w *ColWorkset[V]) Cols(p int) ([]int32, []V) { return w.idx[p], w.val[p] }
+
+// ClearAll empties every partition.
+func (w *ColWorkset[V]) ClearAll() {
+	for p := range w.idx {
+		w.ClearPartition(p)
+	}
+}
+
+// ClearPartition empties partition p (the crash of its owner).
+func (w *ColWorkset[V]) ClearPartition(p int) {
+	w.idx[p] = nil
+	w.val[p] = nil
+	w.bump(p)
+}
+
+// Version returns the change counter of partition p.
+func (w *ColWorkset[V]) Version(p int) uint64 { return w.versions[p] }
+
+func (w *ColWorkset[V]) bump(p int) { w.versions[p]++ }
+
+// Swap exchanges the contents of two worksets (current vs next). A
+// partition empty on both sides keeps its version, mirroring
+// Workset.Swap.
+func (w *ColWorkset[V]) Swap(other *ColWorkset[V]) {
+	for p := range w.idx {
+		if len(w.idx[p]) != 0 || len(other.idx[p]) != 0 {
+			w.bump(p)
+			other.bump(p)
+		}
+	}
+	w.idx, other.idx = other.idx, w.idx
+	w.val, other.val = other.val, w.val
+}
+
+// Snapshot returns a deep copy of the workset.
+func (w *ColWorkset[V]) Snapshot() *ColWorkset[V] {
+	c := NewColWorkset[V](w.name, len(w.idx))
+	for p := range w.idx {
+		c.idx[p] = append([]int32(nil), w.idx[p]...)
+		c.val[p] = append([]V(nil), w.val[p]...)
+	}
+	return c
+}
+
+// SnapshotShared returns an O(parts) capture sharing the column backing
+// arrays, safe because partitions are append-only between clears (see
+// Workset.SnapshotShared).
+func (w *ColWorkset[V]) SnapshotShared() *ColWorkset[V] {
+	c := &ColWorkset[V]{
+		name:     w.name,
+		idx:      make([][]int32, len(w.idx)),
+		val:      make([][]V, len(w.val)),
+		versions: append([]uint64(nil), w.versions...),
+	}
+	for p := range w.idx {
+		c.idx[p] = w.idx[p][:len(w.idx[p]):len(w.idx[p])]
+		c.val[p] = w.val[p][:len(w.val[p]):len(w.val[p])]
+	}
+	return c
+}
+
+// CopyFrom replaces the workset contents with those of other.
+func (w *ColWorkset[V]) CopyFrom(other *ColWorkset[V]) {
+	if len(w.idx) != len(other.idx) {
+		panic(fmt.Sprintf("state: CopyFrom: partition count mismatch %d != %d", len(w.idx), len(other.idx)))
+	}
+	for p := range w.idx {
+		w.idx[p] = append([]int32(nil), other.idx[p]...)
+		w.val[p] = append([]V(nil), other.val[p]...)
+		w.bump(p)
+	}
+}
+
+// Encode writes the workset to wr in gob encoding.
+func (w *ColWorkset[V]) Encode(wr io.Writer) error {
+	return w.EncodeTo(gob.NewEncoder(wr))
+}
+
+// EncodeTo appends the workset to an existing gob stream. Columns are
+// encoded as-is: append order is deterministic (fold tasks emit in
+// ascending destination order per superstep), so equal histories encode
+// to identical bytes.
+func (w *ColWorkset[V]) EncodeTo(enc *gob.Encoder) error {
+	if err := enc.Encode(w.name); err != nil {
+		return fmt.Errorf("state: encoding workset %q: %v", w.name, err)
+	}
+	parts := make([]colPart[V], len(w.idx))
+	for p := range w.idx {
+		parts[p] = colPart[V]{Idx: w.idx[p], Val: w.val[p]}
+	}
+	if err := enc.Encode(parts); err != nil {
+		return fmt.Errorf("state: encoding workset %q: %v", w.name, err)
+	}
+	return nil
+}
+
+// Decode replaces the workset contents from a gob stream.
+func (w *ColWorkset[V]) Decode(r io.Reader) error {
+	return w.DecodeFrom(gob.NewDecoder(r))
+}
+
+// DecodeFrom reads the workset from an existing gob stream.
+func (w *ColWorkset[V]) DecodeFrom(dec *gob.Decoder) error {
+	var name string
+	if err := dec.Decode(&name); err != nil {
+		return fmt.Errorf("state: decoding workset: %v", err)
+	}
+	if name != w.name {
+		return fmt.Errorf("state: decoding workset: snapshot is of %q, want %q", name, w.name)
+	}
+	var parts []colPart[V]
+	if err := dec.Decode(&parts); err != nil {
+		return fmt.Errorf("state: decoding workset %q: %v", w.name, err)
+	}
+	if len(parts) != len(w.idx) {
+		return fmt.Errorf("state: decoding workset %q: snapshot has %d partitions, workset has %d",
+			w.name, len(parts), len(w.idx))
+	}
+	for p := range parts {
+		w.idx[p] = parts[p].Idx
+		w.val[p] = parts[p].Val
+		w.bump(p)
+	}
+	return nil
+}
+
+// EncodePartition appends one workset partition to a gob stream.
+func (w *ColWorkset[V]) EncodePartition(p int, enc *gob.Encoder) error {
+	if err := enc.Encode(colPart[V]{Idx: w.idx[p], Val: w.val[p]}); err != nil {
+		return fmt.Errorf("state: encoding workset %q partition %d: %v", w.name, p, err)
+	}
+	return nil
+}
+
+// DecodePartition replaces one workset partition from a gob stream
+// written by EncodePartition.
+func (w *ColWorkset[V]) DecodePartition(p int, dec *gob.Decoder) error {
+	var part colPart[V]
+	if err := dec.Decode(&part); err != nil {
+		return fmt.Errorf("state: decoding workset %q partition %d: %v", w.name, p, err)
+	}
+	w.idx[p] = part.Idx
+	w.val[p] = part.Val
+	w.bump(p)
+	return nil
+}

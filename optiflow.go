@@ -57,6 +57,7 @@ import (
 	"optiflow/internal/graph/gen"
 	"optiflow/internal/iterate"
 	"optiflow/internal/recovery"
+	"optiflow/internal/state"
 	"optiflow/internal/supervise"
 	"optiflow/internal/vertexcentric"
 )
@@ -118,6 +119,45 @@ type (
 	// Loop drives an iterative job superstep by superstep.
 	Loop = iterate.Loop
 )
+
+// The typed columnar path (DESIGN.md §2.6): graph supersteps whose
+// payloads are numeric run as column batches over a CSR adjacency with
+// no per-record boxing. ConnectedComponents, PageRank and ShortestPaths
+// use it by default; these exports let custom jobs build their own
+// columnar supersteps.
+type (
+	// ColValue is the payload universe of the columnar path.
+	ColValue = exec.ColValue
+	// ColKeys is a borrowed column of dense destination vertex indices
+	// handed to Apply callbacks; consume in place, do not retain.
+	ColKeys = exec.KeyCol
+	// ColVals is the borrowed payload column parallel to a ColKeys.
+	ColVals[V ColValue] = exec.ValCol[V]
+	// ColBatch is one pooled columnar exchange batch.
+	ColBatch[V ColValue] = exec.ColBatch[V]
+	// ColEngine executes columnar supersteps with fixed parallelism.
+	ColEngine[V ColValue] = exec.ColEngine[V]
+	// ColStep describes one columnar superstep (source rows -> CSR edge
+	// expansion -> hash exchange -> monotone fold -> apply).
+	ColStep[V ColValue] = exec.ColStep[V]
+	// ColStats reports what a columnar superstep did.
+	ColStats = exec.ColStats
+	// DenseGraph is a graph's CSR adjacency with dense int32 indexing.
+	DenseGraph = graph.Dense
+	// DensePartitioning maps dense vertex indices onto partitions.
+	DensePartitioning = graph.Partitioning
+	// DenseStore is a dense per-partition column store for vertex state.
+	DenseStore[V any] = state.DenseStore[V]
+	// ColWorkset is a columnar delta-iteration workset.
+	ColWorkset[V any] = state.ColWorkset[V]
+	// Interner assigns dense integer IDs to strings so string-keyed
+	// workloads route and join on integers.
+	Interner = exec.Interner
+)
+
+// NewInterner returns an empty string interner with a lock-free read
+// path.
+func NewInterner() *Interner { return exec.NewInterner() }
 
 // NewGraphBuilder returns a builder for a directed or undirected graph.
 func NewGraphBuilder(directed bool) *GraphBuilder { return graph.NewBuilder(directed) }
