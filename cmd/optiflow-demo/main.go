@@ -19,17 +19,37 @@ import (
 	"strings"
 	"time"
 
+	"optiflow/internal/cluster/proc"
 	"optiflow/internal/demoapp"
+	"optiflow/internal/supervise"
 )
 
 func main() {
+	// When the coordinator re-executes this binary with the worker
+	// environment set, it becomes a worker daemon and never returns
+	// from here. Must run before flag parsing — children carry no args.
+	proc.MaybeChildMode()
+
 	noColor := flag.Bool("no-color", false, "disable ANSI colors in graph frames")
 	script := flag.String("script", "", "semicolon-separated commands to run non-interactively")
 	delay := flag.Duration("delay", 400*time.Millisecond, "frame delay during play (the demo slows down the small graph)")
+	clusterMode := flag.String("cluster", "inproc",
+		"cluster backend for demo runs: inproc (simulation) or proc (real worker processes)")
 	flag.Parse()
+
+	var factory supervise.ClusterFactory
+	switch *clusterMode {
+	case "", "inproc":
+	case "proc":
+		factory = proc.Provision
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -cluster mode %q (want inproc or proc)\n", *clusterMode)
+		os.Exit(2)
+	}
 
 	if *script != "" {
 		sh := demoapp.NewShell(strings.NewReader(""), os.Stdout, !*noColor)
+		sh.ClusterFactory = factory
 		for _, cmd := range strings.Split(*script, ";") {
 			cmd = strings.TrimSpace(cmd)
 			if cmd == "" {
@@ -44,6 +64,7 @@ func main() {
 	}
 
 	sh := demoapp.NewShell(os.Stdin, os.Stdout, !*noColor)
+	sh.ClusterFactory = factory
 	sh.PlayDelay = *delay
 	sh.Loop()
 }

@@ -16,13 +16,30 @@ import (
 	"log"
 	"net/http"
 
+	"optiflow/internal/cluster/proc"
 	"optiflow/internal/httpui"
 )
 
 func main() {
+	// When the coordinator re-executes this binary with the worker
+	// environment set, it becomes a worker daemon and never returns
+	// from here. Must run before flag parsing — children carry no args.
+	proc.MaybeChildMode()
+
 	addr := flag.String("addr", "localhost:8080", "listen address")
+	clusterMode := flag.String("cluster", "inproc",
+		"cluster backend for demo runs: inproc (simulation) or proc (real worker processes)")
 	flag.Parse()
 
-	fmt.Printf("optiflow demo at http://%s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpui.NewServer().Handler()))
+	srv := httpui.NewServer()
+	switch *clusterMode {
+	case "", "inproc":
+	case "proc":
+		srv.NewCluster = proc.Provision
+	default:
+		log.Fatalf("unknown -cluster mode %q (want inproc or proc)", *clusterMode)
+	}
+
+	fmt.Printf("optiflow demo at http://%s (cluster=%s)\n", *addr, *clusterMode)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -449,7 +449,7 @@ type Options struct {
 type Result struct {
 	*iterate.Result
 	Model   *ALS
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 }
 
 // Run trains the factorization until MaxIterations or RMSE plateau.

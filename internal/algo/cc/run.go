@@ -38,6 +38,11 @@ type Options struct {
 	// retry/backoff, degraded-mode repartitioning and policy
 	// escalation instead of the always-heals fiction.
 	Supervise *supervise.Config
+	// Cluster, when non-nil, is the cluster backend to run on (e.g. a
+	// multi-process proc.Coordinator). Workers and Supervise cluster
+	// options are then ignored — the caller provisioned the cluster.
+	// When nil an in-process simulation is constructed.
+	Cluster cluster.Interface
 }
 
 func (o Options) withDefaults() Options {
@@ -60,7 +65,7 @@ type Result struct {
 	// connected component.
 	Components map[graph.VertexID]graph.VertexID
 	// Cluster exposes membership events for demo narration.
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 }
 
 // Run executes Connected Components on g until the workset drains,
@@ -73,11 +78,14 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	} else {
 		job = NewColumnar(g, opts.Parallelism)
 	}
-	var clOpts []cluster.Option
-	if opts.Supervise != nil {
-		clOpts = opts.Supervise.ClusterOptions()
+	cl := opts.Cluster
+	if cl == nil {
+		var clOpts []cluster.Option
+		if opts.Supervise != nil {
+			clOpts = opts.Supervise.ClusterOptions()
+		}
+		cl = cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	}
-	cl := cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	loop := &iterate.Loop{
 		Name:     job.Name(),
 		Step:     job.Step,

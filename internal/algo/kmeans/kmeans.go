@@ -389,7 +389,7 @@ type Options struct {
 type Result struct {
 	*iterate.Result
 	Model   *KMeans
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 }
 
 // Run executes Lloyd's algorithm until the centroids stop moving.

@@ -47,6 +47,11 @@ type Options struct {
 	// supervisor (bounded spare pool, retry/backoff, degraded-mode
 	// repartitioning, policy escalation). See internal/supervise.
 	Supervise *supervise.Config
+	// Cluster, when non-nil, is the cluster backend to run on (e.g. a
+	// multi-process proc.Coordinator). Workers and Supervise cluster
+	// options are then ignored — the caller provisioned the cluster.
+	// When nil an in-process simulation is constructed.
+	Cluster cluster.Interface
 }
 
 func (o Options) withDefaults() Options {
@@ -71,7 +76,7 @@ type Result struct {
 	// Ranks is the final rank per vertex (summing to one).
 	Ranks map[graph.VertexID]float64
 	// Cluster exposes membership events for demo narration.
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 }
 
 // Run executes PageRank on g for the configured number of iterations
@@ -86,11 +91,14 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		job = NewColumnar(g, opts.Parallelism, opts.Damping, opts.Compensation)
 	}
 	job.SetLocalCombine(opts.LocalCombine)
-	var clOpts []cluster.Option
-	if opts.Supervise != nil {
-		clOpts = opts.Supervise.ClusterOptions()
+	cl := opts.Cluster
+	if cl == nil {
+		var clOpts []cluster.Option
+		if opts.Supervise != nil {
+			clOpts = opts.Supervise.ClusterOptions()
+		}
+		cl = cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	}
-	cl := cluster.New(opts.Workers, opts.Parallelism, clOpts...)
 	var converged func(int) bool
 	if opts.Epsilon > 0 {
 		converged = func(int) bool { return job.LastL1() < opts.Epsilon }

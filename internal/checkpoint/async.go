@@ -191,6 +191,17 @@ type pendingEpoch struct {
 }
 
 // NewAsyncWriter returns a writer persisting epochs of job into store.
+//
+// Two scoping rules keep shared stores safe. First, a disk-backed store
+// only has the job's own crash-abandoned temp files swept (TempSweeper)
+// — never a concurrent job's in-flight writes. Second, if the store
+// already holds a committed epoch of this job (a previous writer
+// incarnation — e.g. a coordinator restarted after a crash), epoch
+// numbering resumes above it and the incremental baseline is seeded
+// from the committed record; a fresh writer restarting at epoch 1 would
+// re-use key names the committed record still references, and its
+// failed-write discard or superseded-blob GC would reclaim those live
+// blobs, leaving the commit record pointing at nothing.
 func NewAsyncWriter(store Store, job string, opts AsyncOptions) *AsyncWriter {
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
@@ -200,6 +211,14 @@ func NewAsyncWriter(store Store, job string, opts AsyncOptions) *AsyncWriter {
 	}
 	w := &AsyncWriter{store: store, job: job, opts: opts}
 	w.cond = sync.NewCond(&w.mu)
+	if ts, ok := store.(TempSweeper); ok {
+		ts.SweepTemp(job)
+	}
+	if rec, ok, err := LoadCommitRecord(store, job); err == nil && ok {
+		w.epoch = rec.Epoch
+		w.last = rec
+		w.hasLast = true
+	}
 	return w
 }
 

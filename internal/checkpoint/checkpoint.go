@@ -153,21 +153,49 @@ func decodeSnapFile(raw []byte) (data []byte, superstep int, err error) {
 }
 
 // NewDiskStore creates (if needed) and uses dir for snapshot files.
-// Temp files abandoned by a crash mid-Save are swept out.
+//
+// It deliberately does NOT sweep abandoned temp files: a shared
+// directory may hold another job's Save between CreateTemp and Rename,
+// and an unscoped sweep (as this constructor used to do) deletes that
+// in-flight temp out from under it, failing the other job's write.
+// Owners clean up their own leftovers with SweepTemp.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %v", dir, err)
 	}
-	entries, err := os.ReadDir(dir)
+	return &DiskStore{dir: dir}, nil
+}
+
+// TempSweeper is implemented by stores that keep crash-abandoned
+// scratch files around and can sweep them per job. The key prefix
+// passed to SweepTemp scopes the sweep to one job's keys: only its own
+// leftovers are removed, never another job's in-flight writes.
+type TempSweeper interface {
+	SweepTemp(jobPrefix string) error
+}
+
+// SweepTemp removes temp files abandoned by a crash mid-Save, scoped to
+// keys of the owning job: plain snapshots (`job.tmp-*`) and everything
+// under the job's composite keys (`job#epoch-…`, `job#part-…`,
+// `job#commit` — all `job#*.tmp-*`). Files of other jobs sharing the
+// directory are left alone, including their live in-flight temps.
+func (d *DiskStore) SweepTemp(jobPrefix string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: listing %s: %v", dir, err)
+		return fmt.Errorf("checkpoint: listing %s: %v", d.dir, err)
 	}
 	for _, e := range entries {
-		if strings.Contains(e.Name(), ".tmp-") {
-			os.Remove(filepath.Join(dir, e.Name()))
+		name := e.Name()
+		if !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if strings.HasPrefix(name, jobPrefix+"#") || strings.HasPrefix(name, jobPrefix+".tmp-") {
+			os.Remove(filepath.Join(d.dir, name))
 		}
 	}
-	return &DiskStore{dir: dir}, nil
+	return nil
 }
 
 func (d *DiskStore) path(job string) string {

@@ -177,9 +177,14 @@ func TestDiskStoreRejectsTornWrite(t *testing.T) {
 	if _, _, _, err := s2.Load("job"); err == nil {
 		t.Fatal("corrupted snapshot loaded without error")
 	}
-	// And an abandoned temp file (crash before rename) is swept on open
-	// and invisible to Load.
+	// And an abandoned temp file (crash before rename) is invisible to
+	// Load and removed by the owning job's scoped sweep — which must not
+	// touch another job's in-flight temp in the shared directory.
 	if err := os.WriteFile(filepath.Join(dir, "job.tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "otherjob.tmp-456")
+	if err := os.WriteFile(other, []byte("in flight"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Remove(path); err != nil {
@@ -192,7 +197,13 @@ func TestDiskStoreRejectsTornWrite(t *testing.T) {
 	if _, _, ok, err := s3.Load("job"); ok || err != nil {
 		t.Fatalf("abandoned temp file visible: ok=%v err=%v", ok, err)
 	}
+	if err := s3.SweepTemp("job"); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(filepath.Join(dir, "job.tmp-123")); !os.IsNotExist(err) {
 		t.Fatal("temp file not swept")
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Fatal("scoped sweep removed another job's in-flight temp")
 	}
 }

@@ -66,21 +66,34 @@ func Commit(s Store, job string, rec CommitRecord) error {
 	return nil
 }
 
+// LoadCommitRecord returns job's current commit record without touching
+// the partition blobs it references. ok is false if no epoch was ever
+// committed. A resuming AsyncWriter uses this to continue the job's
+// epoch numbering instead of restarting at 1 and reclaiming blobs the
+// committed record still references.
+func LoadCommitRecord(s Store, job string) (CommitRecord, bool, error) {
+	var rec CommitRecord
+	raw, _, ok, err := s.Load(commitKey(job))
+	if err != nil {
+		return rec, false, fmt.Errorf("checkpoint: loading commit record of %s: %v", job, err)
+	}
+	if !ok {
+		return rec, false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
+		return rec, false, fmt.Errorf("checkpoint: decoding commit record of %s: %v", job, err)
+	}
+	return rec, true, nil
+}
+
 // LoadCommitted returns job's current committed checkpoint: the commit
 // record and one ready-to-restore (decompressed) blob per partition.
 // ok is false if no epoch was ever committed. A referenced blob that is
 // missing or torn is an error — never a partial result.
 func LoadCommitted(s Store, job string) (CommitRecord, map[int][]byte, bool, error) {
-	var rec CommitRecord
-	raw, _, ok, err := s.Load(commitKey(job))
-	if err != nil {
-		return rec, nil, false, fmt.Errorf("checkpoint: loading commit record of %s: %v", job, err)
-	}
-	if !ok {
-		return rec, nil, false, nil
-	}
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
-		return rec, nil, false, fmt.Errorf("checkpoint: decoding commit record of %s: %v", job, err)
+	rec, ok, err := LoadCommitRecord(s, job)
+	if err != nil || !ok {
+		return rec, nil, ok, err
 	}
 	blobs := make(map[int][]byte, len(rec.Parts))
 	for part, epoch := range rec.Parts {

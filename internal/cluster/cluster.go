@@ -17,7 +17,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -102,7 +101,8 @@ func WithEventCap(n int) Option {
 // pool.
 type Cluster struct {
 	alive      map[int]bool
-	owner      []int // partition -> worker
+	released   map[int]bool // workers decommissioned via Release
+	owner      []int        // partition -> worker
 	nextWorker int
 
 	events        []Event
@@ -126,6 +126,7 @@ func New(numWorkers, numPartitions int, opts ...Option) *Cluster {
 	}
 	c := &Cluster{
 		alive:      make(map[int]bool),
+		released:   make(map[int]bool),
 		owner:      make([]int, numPartitions),
 		nextWorker: numWorkers,
 		spares:     -1,
@@ -204,10 +205,20 @@ func (c *Cluster) Fail(w int) []int {
 // Release gracefully decommissions live worker w: its partitions are
 // re-assigned round-robin across the other live workers (no state is
 // lost — this is cooperative, unlike Fail) and the machine returns to
-// the spare pool. Releasing the last live worker is an error.
+// the spare pool. Only a currently-live worker can be released; double
+// releases, IDs this cluster never provisioned, crashed workers and the
+// last live worker are rejected with a *ReleaseError so a confused
+// supervisor cannot inflate the spare pool with machines it does not
+// actually hold.
 func (c *Cluster) Release(w int) error {
+	if w < 0 || w >= c.nextWorker {
+		return &ReleaseError{Worker: w, Reason: ErrUnknownWorker}
+	}
+	if c.released[w] {
+		return &ReleaseError{Worker: w, Reason: ErrDoubleRelease}
+	}
 	if !c.alive[w] {
-		return fmt.Errorf("cluster: cannot release worker %d: not alive", w)
+		return &ReleaseError{Worker: w, Reason: ErrDeadWorker}
 	}
 	survivors := make([]int, 0, len(c.alive))
 	for o, ok := range c.alive {
@@ -216,7 +227,7 @@ func (c *Cluster) Release(w int) error {
 		}
 	}
 	if len(survivors) == 0 {
-		return errors.New("cluster: cannot release the last live worker")
+		return &ReleaseError{Worker: w, Reason: ErrLastWorker}
 	}
 	sort.Ints(survivors)
 	moved := c.PartitionsOf(w)
@@ -224,6 +235,7 @@ func (c *Cluster) Release(w int) error {
 		c.owner[p] = survivors[i%len(survivors)]
 	}
 	delete(c.alive, w)
+	c.released[w] = true
 	if c.spares >= 0 {
 		c.spares++
 	}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interface is the contract shared by every cluster backend: the
+// in-process simulation (*Cluster, this package) and the multi-process
+// TCP cluster (*proc.Coordinator, package cluster/proc). iterate.Loop,
+// the recovery supervisor and every experiment are written against this
+// interface so any cluster-facing test can run in both modes.
+//
+// Semantics every implementation must honour:
+//
+//   - Workers returns the sorted IDs of live workers; Owner/PartitionsOf
+//     describe the current partition assignment.
+//   - Fail(w) kills a live worker and returns the partitions it owned
+//     (now lost); failing an unknown or dead worker returns nil. For a
+//     process-backed cluster this is a real SIGKILL.
+//   - Acquire/AcquireN provision replacements bounded by the spare pool
+//     and the AcquireHook, spreading orphaned partitions round-robin.
+//     Callers must check len(workers), not assume the requested count.
+//   - Release decommissions a live worker cooperatively, moving its
+//     partitions to survivors and returning the machine to the spare
+//     pool. Double releases, never-acquired IDs, failed workers and the
+//     last live worker are rejected with a *ReleaseError.
+//   - AssignOrphans is the degraded-mode fallback when the pool is dry:
+//     orphaned partitions are spread across survivors.
+//   - Note/Events/DroppedEvents expose one ordered event history for
+//     narration and tests.
+type Interface interface {
+	NumPartitions() int
+	Workers() []int
+	Owner(p int) int
+	PartitionsOf(w int) []int
+	IsAlive(w int) bool
+
+	Spares() int
+	AddSpares(n int)
+
+	Fail(w int) []int
+	Release(w int) error
+	Acquire() (worker int, adopted []int)
+	AcquireN(n int) (workers []int, adopted [][]int, err error)
+	Orphaned() []int
+	AssignOrphans() (map[int][]int, error)
+
+	Note(kind EventKind, detail string, partitions []int)
+	Events() []Event
+	DroppedEvents() int
+}
+
+var _ Interface = (*Cluster)(nil)
+
+// Release rejection reasons, carried inside *ReleaseError. Releasing is
+// cooperative decommissioning, so only a currently-live worker
+// qualifies; everything else used to be accepted silently (or with an
+// untyped error), letting a buggy supervisor inflate the spare pool by
+// releasing the same machine twice or "returning" a machine it never
+// held.
+var (
+	// ErrUnknownWorker: the ID was never provisioned by this cluster.
+	ErrUnknownWorker = errors.New("worker was never provisioned")
+	// ErrDoubleRelease: the worker was already released; its machine is
+	// back in the spare pool and cannot be returned a second time.
+	ErrDoubleRelease = errors.New("worker already released")
+	// ErrDeadWorker: the worker failed (crashed) rather than being
+	// decommissioned; its machine is gone, not reusable as a spare.
+	ErrDeadWorker = errors.New("worker failed, not released")
+	// ErrLastWorker: releasing the last live worker would leave the
+	// partitions with no host.
+	ErrLastWorker = errors.New("cannot release the last live worker")
+)
+
+// ReleaseError is the typed rejection returned by Release. Match the
+// cause with errors.Is against the Err* sentinels above.
+type ReleaseError struct {
+	Worker int
+	Reason error
+}
+
+func (e *ReleaseError) Error() string {
+	return fmt.Sprintf("cluster: cannot release worker %d: %v", e.Worker, e.Reason)
+}
+
+// Unwrap exposes the sentinel reason to errors.Is.
+func (e *ReleaseError) Unwrap() error { return e.Reason }

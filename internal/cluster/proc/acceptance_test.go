@@ -1,0 +1,227 @@
+package proc
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"optiflow/internal/algo/ref"
+	"optiflow/internal/checkpoint"
+	"optiflow/internal/failure"
+	"optiflow/internal/graph"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
+	"optiflow/internal/supervise"
+)
+
+// recoveryMatrix is the policy matrix of the acceptance suite: each
+// entry must carry a real SIGKILL mid-superstep and still converge to
+// the reference fixpoint.
+var recoveryMatrix = []struct {
+	name   string
+	policy func() recovery.Policy
+}{
+	{"optimistic", func() recovery.Policy { return recovery.Optimistic{} }},
+	{"checkpoint", func() recovery.Policy { return recovery.NewCheckpoint(1, checkpoint.NewMemoryStore()) }},
+	{"restart", func() recovery.Policy { return recovery.Restart{} }},
+}
+
+// TestProcCCSurvivesSIGKILLMidSuperstep is the paper's demo scenario
+// on real processes: Connected Components, one worker SIGKILLed while
+// its superstep-1 compute RPC is in flight, each recovery policy in
+// turn. The converged labels must equal the union-find ground truth
+// exactly — integer labels leave no tolerance to hide behind.
+func TestProcCCSurvivesSIGKILLMidSuperstep(t *testing.T) {
+	g := ccTestGraph()
+	want := ref.ConnectedComponents(g)
+	for _, tc := range recoveryMatrix {
+		t.Run(tc.name, func(t *testing.T) {
+			co := startTestCluster(t, 3, 6, nil)
+			job, err := NewJob(co, Spec{Name: "cc-" + tc.name, Kind: KindCC, Graph: g})
+			if err != nil {
+				t.Fatalf("NewJob: %v", err)
+			}
+			sched := failure.NewScripted(nil).AtMidStep(1, 0, 1)
+			loop := &iterate.Loop{
+				Name:     "cc-" + tc.name,
+				Step:     job.Step,
+				Done:     iterate.DeltaDone(job.WorksetLen),
+				Job:      job,
+				Policy:   tc.policy(),
+				Cluster:  co,
+				Injector: DetectFailures(co, sched),
+			}
+			res, err := loop.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			assertAbortedKill(t, res, 1)
+			got, err := job.Components()
+			if err != nil {
+				t.Fatalf("Components: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("components diverged from ground truth:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestProcPageRankSurvivesSIGKILLMidSuperstep is the bulk-iteration
+// counterpart: PageRank with dangling mass, one real SIGKILL while
+// superstep 2 is in flight, converging to the power-iteration ground
+// truth under every policy.
+func TestProcPageRankSurvivesSIGKILLMidSuperstep(t *testing.T) {
+	g := prTestGraph()
+	want, _ := ref.PageRank(g, ref.PageRankOptions{})
+	for _, tc := range recoveryMatrix {
+		t.Run(tc.name, func(t *testing.T) {
+			co := startTestCluster(t, 3, 6, nil)
+			job, err := NewJob(co, Spec{Name: "pr-" + tc.name, Kind: KindPageRank, Graph: g})
+			if err != nil {
+				t.Fatalf("NewJob: %v", err)
+			}
+			sched := failure.NewScripted(nil).AtMidStep(2, 0, 1)
+			loop := &iterate.Loop{
+				Name: "pr-" + tc.name,
+				Step: job.Step,
+				Done: iterate.BulkDone(200, func(int) bool {
+					return job.LastL1() < 1e-11
+				}),
+				Job:      job,
+				Policy:   tc.policy(),
+				Cluster:  co,
+				Injector: DetectFailures(co, sched),
+			}
+			res, err := loop.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			assertAbortedKill(t, res, 1)
+			got, err := job.Ranks()
+			if err != nil {
+				t.Fatalf("Ranks: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rank map size %d, want %d", len(got), len(want))
+			}
+			for v, w := range want {
+				if d := math.Abs(got[v] - w); d > 1e-6 {
+					t.Errorf("rank[%d] = %.9f, want %.9f (|Δ|=%.2e)", v, got[v], w, d)
+				}
+			}
+		})
+	}
+}
+
+// TestProcNonePolicyFailsClosed: without a recovery mechanism, a real
+// worker death must surface as ErrUnrecoverable, not silent data loss.
+func TestProcNonePolicyFailsClosed(t *testing.T) {
+	co := startTestCluster(t, 3, 6, nil)
+	g := ccTestGraph()
+	job, err := NewJob(co, Spec{Name: "cc-none", Kind: KindCC, Graph: g})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	sched := failure.NewScripted(nil).AtMidStep(1, 0, 1)
+	loop := &iterate.Loop{
+		Name:     "cc-none",
+		Step:     job.Step,
+		Done:     iterate.DeltaDone(job.WorksetLen),
+		Job:      job,
+		Policy:   recovery.None{},
+		Cluster:  co,
+		Injector: DetectFailures(co, sched),
+	}
+	if _, err := loop.Run(); !errors.Is(err, recovery.ErrUnrecoverable) {
+		t.Fatalf("Run err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+// TestProcChaosSoak is the proc-mode soak gate: a supervised CC run
+// under the process chaos injector, asserting that at least one real
+// SIGKILL was delivered and the job still converged to ground truth.
+func TestProcChaosSoak(t *testing.T) {
+	co := startTestCluster(t, 4, 8, nil)
+	g := soakGraph()
+	want := ref.ConnectedComponents(g)
+	job, err := NewJob(co, Spec{Name: "cc-soak", Kind: KindCC, Graph: g})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	chaos := NewChaos(co, 1).WithProbabilities(0.9, 0.1, 0.2).WithMaxFailures(3)
+	inj := DetectFailures(co, chaos)
+	sup := supervise.New(co, recovery.Optimistic{}, inj, supervise.Config{Spares: -1})
+	loop := &iterate.Loop{
+		Name:       "cc-soak",
+		Step:       job.Step,
+		Done:       iterate.DeltaDone(job.WorksetLen),
+		Job:        job,
+		Policy:     recovery.Optimistic{},
+		Cluster:    co,
+		Injector:   inj,
+		Supervisor: sup,
+		MaxTicks:   500,
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if chaos.Killed() < 1 {
+		t.Fatalf("soak delivered %d real SIGKILLs, want >= 1 (failures seen: %d)",
+			chaos.Killed(), res.Failures)
+	}
+	got, err := job.Components()
+	if err != nil {
+		t.Fatalf("Components: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("soak components diverged from ground truth:\n got %v\nwant %v", got, want)
+	}
+	t.Logf("soak: %d ticks, %d supersteps, %d failures, %d real kills",
+		res.Ticks, res.Supersteps, res.Failures, chaos.Killed())
+}
+
+// assertAbortedKill demands the run actually carried a mid-superstep
+// failure of the scripted worker — a matrix entry that silently ran
+// clean proves nothing.
+func assertAbortedKill(t *testing.T, res *iterate.Result, worker int) {
+	t.Helper()
+	for _, s := range res.Samples {
+		if !s.Aborted {
+			continue
+		}
+		for _, w := range s.FailedWorkers {
+			if w == worker {
+				return
+			}
+		}
+	}
+	t.Fatalf("no aborted sample blaming worker %d; the SIGKILL never landed", worker)
+}
+
+// prTestGraph is a small directed graph with a cycle, a chain and a
+// dangling sink, so the dangling-mass protocol is on the hook.
+func prTestGraph() *graph.Graph {
+	b := graph.NewBuilder(true)
+	b.AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 1)
+	b.AddEdge(1, 4).AddEdge(3, 4)
+	b.AddEdge(4, 5).AddEdge(2, 6).AddEdge(5, 6)
+	// 6 is dangling: no out-edges.
+	return b.Build()
+}
+
+// soakGraph is a larger two-component graph for the chaos soak: a ring
+// and a binary-ish tree, enough supersteps for chaos to bite.
+func soakGraph() *graph.Graph {
+	b := graph.NewBuilder(false)
+	const ring = 24
+	for i := 0; i < ring; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%ring))
+	}
+	for i := 1; i <= 15; i++ {
+		b.AddEdge(graph.VertexID(100+i), graph.VertexID(100+2*i))
+	}
+	return b.Build()
+}

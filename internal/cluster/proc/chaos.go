@@ -1,0 +1,106 @@
+package proc
+
+import (
+	"math/rand"
+
+	"optiflow/internal/failure"
+)
+
+// Chaos is the multi-process sibling of failure.Chaos: a seeded random
+// injector whose strikes are DELIVERED — every worker it reports has
+// just been SIGKILLed for real via the coordinator, and the iteration
+// driver's bookkeeping (cluster.Fail) runs against an actually dead
+// process. Boundary strikes kill at the superstep barrier;
+// mid-superstep strikes kill while the compute RPCs are in flight (the
+// proc job translates ctx.Fault into real kills); during-recovery
+// strikes kill replacements while the supervisor is still healing the
+// previous failure.
+type Chaos struct {
+	// BoundaryP, MidP and DuringP are the per-opportunity strike
+	// probabilities of the three surfaces.
+	BoundaryP, MidP, DuringP float64
+
+	co       *Coordinator
+	boundary *rand.Rand
+	mid      *rand.Rand
+	during   *rand.Rand
+
+	max    int // total strike budget; 0 = unlimited
+	n      int
+	killed int // boundary + during strikes delivered as real SIGKILLs
+}
+
+// NewChaos returns a proc chaos injector with moderate default
+// probabilities, deterministic per seed in WHICH workers it strikes
+// and when (the kills themselves are real, so downstream timing is
+// not deterministic — that is the point of the soak).
+func NewChaos(co *Coordinator, seed int64) *Chaos {
+	return &Chaos{
+		BoundaryP: 0.2,
+		MidP:      0.15,
+		DuringP:   0.25,
+		co:        co,
+		boundary:  rand.New(rand.NewSource(seed)),
+		mid:       rand.New(rand.NewSource(seed ^ 0x7f4a7c159e3779b9)),
+		during:    rand.New(rand.NewSource(seed ^ 0x517cc1b727220a95)),
+	}
+}
+
+// WithProbabilities sets the three per-opportunity probabilities.
+func (c *Chaos) WithProbabilities(boundaryP, midP, duringP float64) *Chaos {
+	c.BoundaryP, c.MidP, c.DuringP = boundaryP, midP, duringP
+	return c
+}
+
+// WithMaxFailures bounds the total number of strikes (0 = unlimited).
+func (c *Chaos) WithMaxFailures(n int) *Chaos {
+	c.max = n
+	return c
+}
+
+// Killed returns how many real SIGKILLs this injector delivered.
+func (c *Chaos) Killed() int { return c.killed }
+
+func (c *Chaos) budgetLeft() bool { return c.max == 0 || c.n < c.max }
+
+// strike picks a victim, SIGKILLs its process and reports it.
+func (c *Chaos) strike(rng *rand.Rand, alive []int) []int {
+	w := alive[rng.Intn(len(alive))]
+	c.n++
+	if c.co.Kill(w) {
+		c.killed++
+	}
+	return []int{w}
+}
+
+// FailuresAt implements failure.Injector: a boundary strike is a real
+// SIGKILL delivered at the superstep barrier.
+func (c *Chaos) FailuresAt(_, _ int, alive []int) []int {
+	if len(alive) == 0 || !c.budgetLeft() || c.boundary.Float64() >= c.BoundaryP {
+		return nil
+	}
+	return c.strike(c.boundary, alive)
+}
+
+// MidStepAt implements failure.MidStepInjector. The kill itself is
+// performed by the proc job when it sees ctx.Fault, mid-dispatch — so
+// this surface does not kill here, it schedules.
+func (c *Chaos) MidStepAt(_, _ int, alive []int) (failure.MidStep, bool) {
+	if c.MidP <= 0 || len(alive) == 0 || !c.budgetLeft() || c.mid.Float64() >= c.MidP {
+		return failure.MidStep{}, false
+	}
+	c.n++
+	w := alive[c.mid.Intn(len(alive))]
+	return failure.MidStep{Workers: []int{w}}, true
+}
+
+// FailuresDuringRecovery implements failure.RecoveryInjector: a
+// replacement (or survivor) is SIGKILLed while the recovery round for
+// the previous failure is still in flight.
+func (c *Chaos) FailuresDuringRecovery(_, _, round int, alive []int) []int {
+	if c.DuringP <= 0 || len(alive) <= 1 || round > 2 || !c.budgetLeft() ||
+		c.during.Float64() >= c.DuringP {
+		return nil
+	}
+	return c.strike(c.during, alive)
+}

@@ -1,0 +1,862 @@
+package proc
+
+import (
+	"crypto/rand"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	oexec "os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"optiflow/internal/clock"
+	"optiflow/internal/cluster"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Workers is the initial worker-process count (>= 1).
+	Workers int
+	// Partitions is the state partition count (>= 1), assigned
+	// round-robin like the in-process simulation.
+	Partitions int
+	// Spares bounds the spare pool when SparesBounded is true or Spares
+	// is positive; otherwise the pool is unlimited, mirroring
+	// cluster.New's default.
+	Spares        int
+	SparesBounded bool
+	// AcquireHook observes (and may sabotage) provisioning attempts,
+	// exactly like cluster.WithAcquireHook. It runs before the process
+	// is spawned.
+	AcquireHook cluster.AcquireHook
+	// EventCap bounds the event log like cluster.WithEventCap.
+	EventCap int
+	// Heartbeat is the worker beat interval (100ms if zero).
+	Heartbeat time.Duration
+	// LivenessWindow is how long a worker may go without a heartbeat
+	// before detection reports it dead (2s if zero). Window math runs
+	// on internal/clock so tests can drive it deterministically.
+	LivenessWindow time.Duration
+	// CallTimeout bounds each ctrl RPC (10s if zero).
+	CallTimeout time.Duration
+	// SpawnTimeout bounds process start + handshake (15s if zero).
+	SpawnTimeout time.Duration
+	// Spawn overrides how worker processes are started (tests). The
+	// default re-executes the current binary with the worker
+	// environment set; the entry point must call MaybeChildMode.
+	Spawn func(id int, env []string) (*oexec.Cmd, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.LivenessWindow <= 0 {
+		c.LivenessWindow = 2 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.SpawnTimeout <= 0 {
+		c.SpawnTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// rpcConn is one serialized request/response connection. The mutex
+// admits one in-flight RPC at a time; deadlines bound each exchange so
+// a SIGKILLed peer surfaces as an error, not a hang.
+type rpcConn struct {
+	mu      sync.Mutex
+	nc      net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+func (r *rpcConn) call(req any) (any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nc.SetDeadline(time.Now().Add(r.timeout))
+	if err := writeFrame(r.enc, req); err != nil {
+		return nil, err
+	}
+	m, err := readFrame(r.dec)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := m.(ErrResp); ok {
+		return nil, errors.New("proc: " + e.Msg)
+	}
+	return m, nil
+}
+
+// workerProc is the coordinator's handle on one worker process.
+// reaped and suspect are guarded by the coordinator's mutex.
+type workerProc struct {
+	id   int
+	cmd  *oexec.Cmd
+	ctrl *rpcConn
+	beat net.Conn
+
+	reaped  bool // process exited (observed by the reaper)
+	suspect bool // an RPC or the beat stream failed
+}
+
+// kill SIGKILLs the process and closes our connection ends. Safe to
+// call repeatedly and on already-exited processes.
+func (p *workerProc) kill() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	if p.ctrl != nil {
+		p.ctrl.nc.Close()
+	}
+	if p.beat != nil {
+		p.beat.Close()
+	}
+}
+
+// handshook is a connection that completed its Hello exchange,
+// delivered from the accept loop to the spawner waiting for it.
+type handshook struct {
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+type connKey struct {
+	worker int
+	role   string
+}
+
+// Coordinator is the multi-process cluster backend: it owns partition
+// assignment, spawns worker daemons as real OS processes, detects
+// their deaths (process reap, broken connections, missed-heartbeat
+// windows) and implements cluster.Interface with the exact membership
+// semantics of the in-process simulation — Fail is a SIGKILL,
+// AcquireN spawns replacement processes.
+//
+// Membership-mutating methods (Fail, Acquire*, Release, AssignOrphans,
+// AddSpares, Note) are driven by a single caller — the iteration loop
+// or the recovery supervisor — matching how the simulation is used.
+// Internal goroutines (accept loop, heartbeat readers, reapers) only
+// touch detection state, under the same mutex.
+type Coordinator struct {
+	cfg   Config
+	ln    net.Listener
+	addr  string
+	token string
+
+	mu            sync.Mutex
+	alive         map[int]bool
+	released      map[int]bool
+	owner         []int
+	nextWorker    int
+	spares        int // -1 = unlimited
+	acquireSeq    int
+	events        []cluster.Event
+	eventsDropped int
+	procs         map[int]*workerProc
+	waiters       map[connKey]chan handshook
+	beats         *liveness
+	assign        func(worker int, parts []int) error
+	closed        bool
+}
+
+var _ cluster.Interface = (*Coordinator)(nil)
+
+// Start listens, spawns the initial worker processes and returns the
+// ready Coordinator. On any failure everything spawned so far is torn
+// down.
+func Start(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("proc: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("proc: need at least one partition, got %d", cfg.Partitions)
+	}
+	tok := make([]byte, 16)
+	if _, err := rand.Read(tok); err != nil {
+		return nil, fmt.Errorf("proc: token: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("proc: listen: %v", err)
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		token:    hex.EncodeToString(tok),
+		alive:    make(map[int]bool),
+		released: make(map[int]bool),
+		owner:    make([]int, cfg.Partitions),
+		spares:   -1,
+		procs:    make(map[int]*workerProc),
+		waiters:  make(map[connKey]chan handshook),
+		beats:    newLiveness(cfg.LivenessWindow),
+	}
+	if cfg.SparesBounded || cfg.Spares > 0 {
+		c.spares = cfg.Spares
+		if c.spares < 0 {
+			c.spares = 0
+		}
+	}
+	go c.acceptLoop()
+	for w := 0; w < cfg.Workers; w++ {
+		p, err := c.spawnWorker(w)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("proc: starting worker %d: %v", w, err)
+		}
+		c.admit(w, p)
+	}
+	c.mu.Lock()
+	c.nextWorker = cfg.Workers
+	for p := 0; p < cfg.Partitions; p++ {
+		c.owner[p] = p % cfg.Workers
+	}
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.addr }
+
+// Close tears the deployment down: every worker process is killed and
+// the listener closed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	procs := make([]*workerProc, 0, len(c.procs))
+	for _, p := range c.procs {
+		procs = append(procs, p)
+	}
+	c.mu.Unlock()
+	for _, p := range procs {
+		p.kill()
+	}
+	return c.ln.Close()
+}
+
+// acceptLoop admits handshaking connections until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleConn(nc)
+	}
+}
+
+// handleConn validates one incoming connection's Hello and delivers it
+// to the spawner waiting for that (worker, role) pair.
+func (c *Coordinator) handleConn(nc net.Conn) {
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	enc, dec := gob.NewEncoder(nc), gob.NewDecoder(nc)
+	m, err := readFrame(dec)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	hello, ok := m.(Hello)
+	if !ok || hello.Proto != ProtoVersion || hello.Token != c.token ||
+		(hello.Conn != ConnCtrl && hello.Conn != ConnBeat) {
+		writeFrame(enc, ErrResp{Msg: "handshake rejected"})
+		nc.Close()
+		return
+	}
+	if err := writeFrame(enc, HelloOK{Proto: ProtoVersion}); err != nil {
+		nc.Close()
+		return
+	}
+	nc.SetDeadline(time.Time{})
+	ch := c.takeWaiter(connKey{worker: hello.Worker, role: hello.Conn})
+	if ch == nil {
+		nc.Close()
+		return
+	}
+	ch <- handshook{nc: nc, enc: enc, dec: dec}
+}
+
+func (c *Coordinator) addWaiter(k connKey) chan handshook {
+	ch := make(chan handshook, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.waiters[k] = ch
+	return ch
+}
+
+func (c *Coordinator) takeWaiter(k connKey) chan handshook {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := c.waiters[k]
+	delete(c.waiters, k)
+	return ch
+}
+
+func (c *Coordinator) dropWaiter(k connKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.waiters, k)
+}
+
+// spawnWorker starts worker process w and waits for both of its
+// connections to handshake. It does not touch membership — the caller
+// admits the worker once spawn succeeds.
+func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
+	ctrlCh := c.addWaiter(connKey{worker: w, role: ConnCtrl})
+	beatCh := c.addWaiter(connKey{worker: w, role: ConnBeat})
+	cleanup := func() {
+		c.dropWaiter(connKey{worker: w, role: ConnCtrl})
+		c.dropWaiter(connKey{worker: w, role: ConnBeat})
+	}
+
+	env := workerEnv(c.addr, w, c.token, c.cfg.Heartbeat)
+	var cmd *oexec.Cmd
+	var err error
+	if c.cfg.Spawn != nil {
+		cmd, err = c.cfg.Spawn(w, env)
+	} else {
+		cmd, err = reexecCommand(env)
+	}
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("starting process: %v", err)
+	}
+
+	timer := time.NewTimer(c.cfg.SpawnTimeout)
+	defer timer.Stop()
+	var ctrl, beat handshook
+	for got := 0; got < 2; {
+		select {
+		case ctrl = <-ctrlCh:
+			got++
+		case beat = <-beatCh:
+			got++
+		case <-timer.C:
+			cleanup()
+			cmd.Process.Kill()
+			go cmd.Wait()
+			return nil, fmt.Errorf("worker %d did not handshake within %v", w, c.cfg.SpawnTimeout)
+		}
+	}
+
+	p := &workerProc{
+		id:   w,
+		cmd:  cmd,
+		ctrl: &rpcConn{nc: ctrl.nc, enc: ctrl.enc, dec: ctrl.dec, timeout: c.cfg.CallTimeout},
+		beat: beat.nc,
+	}
+	go c.reap(p)
+	go c.readBeats(p, beat.dec)
+	return p, nil
+}
+
+// reexecCommand builds the default spawn command: the current binary
+// re-executed in worker child mode.
+func reexecCommand(env []string) (*oexec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary: %v", err)
+	}
+	cmd := oexec.Command(self)
+	cmd.Env = env
+	cmd.Stderr = os.Stderr
+	return cmd, nil
+}
+
+// admit installs a freshly spawned worker into membership and starts
+// its liveness window.
+func (c *Coordinator) admit(w int, p *workerProc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alive[w] = true
+	c.procs[w] = p
+	c.beats.track(w, clock.Now())
+}
+
+// reap observes the worker process's exit — the fast detection path
+// for a SIGKILL.
+func (c *Coordinator) reap(p *workerProc) {
+	p.cmd.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p.reaped = true
+}
+
+// readBeats consumes the worker's heartbeat stream; a broken stream
+// marks the worker suspect.
+func (c *Coordinator) readBeats(p *workerProc, dec *gob.Decoder) {
+	for {
+		m, err := readFrame(dec)
+		if err != nil {
+			c.mu.Lock()
+			p.suspect = true
+			c.mu.Unlock()
+			return
+		}
+		if hb, ok := m.(Heartbeat); ok && hb.Worker == p.id {
+			c.mu.Lock()
+			c.beats.beat(p.id, clock.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) markSuspect(w int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.procs[w]; p != nil {
+		p.suspect = true
+	}
+}
+
+// record appends an event honouring the ring-buffer cap. Callers hold
+// c.mu.
+func (c *Coordinator) record(e cluster.Event) {
+	if c.cfg.EventCap > 0 && len(c.events) >= c.cfg.EventCap {
+		drop := len(c.events) - c.cfg.EventCap + 1
+		c.events = c.events[drop:]
+		c.eventsDropped += drop
+	}
+	c.events = append(c.events, e)
+}
+
+func (c *Coordinator) partitionsOfLocked(w int) []int {
+	var ps []int
+	for p, o := range c.owner {
+		if o == w {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// NumPartitions implements cluster.Interface.
+func (c *Coordinator) NumPartitions() int { return len(c.owner) }
+
+// Workers implements cluster.Interface.
+func (c *Coordinator) Workers() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := make([]int, 0, len(c.alive))
+	for w, ok := range c.alive {
+		if ok {
+			ws = append(ws, w)
+		}
+	}
+	sort.Ints(ws)
+	return ws
+}
+
+// Owner implements cluster.Interface.
+func (c *Coordinator) Owner(p int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.owner[p]
+}
+
+// PartitionsOf implements cluster.Interface.
+func (c *Coordinator) PartitionsOf(w int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitionsOfLocked(w)
+}
+
+// IsAlive implements cluster.Interface.
+func (c *Coordinator) IsAlive(w int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[w]
+}
+
+// Spares implements cluster.Interface.
+func (c *Coordinator) Spares() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spares
+}
+
+// AddSpares implements cluster.Interface.
+func (c *Coordinator) AddSpares(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spares < 0 || n <= 0 {
+		return
+	}
+	c.spares += n
+	c.record(cluster.Event{Kind: cluster.EventReplenish, Worker: -1,
+		Detail: fmt.Sprintf("%d spare(s) added, pool now %d", n, c.spares)})
+}
+
+// Fail implements cluster.Interface: it SIGKILLs the worker's process
+// and returns the partitions it owned.
+func (c *Coordinator) Fail(w int) []int {
+	c.mu.Lock()
+	if !c.alive[w] {
+		c.mu.Unlock()
+		return nil
+	}
+	delete(c.alive, w)
+	lost := c.partitionsOfLocked(w)
+	c.beats.forget(w)
+	p := c.procs[w]
+	c.record(cluster.Event{Kind: cluster.EventFail, Worker: w, Partitions: lost})
+	c.mu.Unlock()
+	if p != nil {
+		p.kill()
+	}
+	return lost
+}
+
+// Kill SIGKILLs worker w's process WITHOUT updating membership — the
+// chaos injector's raw crash. The coordinator's detection (reaper,
+// broken connections, missed heartbeats) notices, and the iteration
+// driver's failure path performs the bookkeeping via Fail.
+func (c *Coordinator) Kill(w int) bool {
+	c.mu.Lock()
+	p := c.procs[w]
+	live := c.alive[w]
+	c.mu.Unlock()
+	if p == nil || !live {
+		return false
+	}
+	p.kill()
+	return true
+}
+
+// DetectedFailures returns the subset of the given live workers whose
+// real process the coordinator believes dead: reaped by the OS, a
+// broken connection, or a missed liveness window.
+func (c *Coordinator) DetectedFailures(alive []int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := clock.Now()
+	var out []int
+	for _, w := range alive {
+		if !c.alive[w] {
+			continue
+		}
+		p := c.procs[w]
+		if p == nil {
+			continue
+		}
+		if p.reaped || p.suspect || c.beats.overdue(w, now) {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Acquire implements cluster.Interface.
+func (c *Coordinator) Acquire() (int, []int) {
+	ws, ad, _ := c.AcquireN(1)
+	if len(ws) == 0 {
+		return -1, nil
+	}
+	return ws[0], ad[0]
+}
+
+// AcquireN implements cluster.Interface: it spawns up to n fresh
+// worker processes (spare pool and acquire hook permitting), spreads
+// the orphaned partitions across them round-robin, and hands each new
+// worker its partitions' data via the job's assign hook.
+func (c *Coordinator) AcquireN(n int) (workers []int, adopted [][]int, err error) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	grant := n
+	if c.spares >= 0 && c.spares < grant {
+		grant = c.spares
+		c.record(cluster.Event{Kind: cluster.EventAcquireDenied, Worker: -1,
+			Detail: fmt.Sprintf("%d of %d acquisitions denied: spare pool exhausted", n-grant, n)})
+	}
+	c.mu.Unlock()
+
+	var latencies []time.Duration
+	for i := 0; i < grant; i++ {
+		c.mu.Lock()
+		c.acquireSeq++
+		seq := c.acquireSeq
+		w := c.nextWorker
+		c.mu.Unlock()
+		var lat time.Duration
+		if c.cfg.AcquireHook != nil {
+			var hookErr error
+			lat, hookErr = c.cfg.AcquireHook(seq, w)
+			if hookErr != nil {
+				c.mu.Lock()
+				c.record(cluster.Event{Kind: cluster.EventAcquireFailed, Worker: w, Detail: hookErr.Error()})
+				c.mu.Unlock()
+				err = fmt.Errorf("cluster: acquiring worker %d: %w", w, hookErr)
+				break
+			}
+		}
+		p, spawnErr := c.spawnWorker(w)
+		if spawnErr != nil {
+			c.mu.Lock()
+			c.record(cluster.Event{Kind: cluster.EventAcquireFailed, Worker: w, Detail: spawnErr.Error()})
+			c.mu.Unlock()
+			err = fmt.Errorf("cluster: acquiring worker %d: %w", w, spawnErr)
+			break
+		}
+		c.mu.Lock()
+		c.nextWorker++
+		c.alive[w] = true
+		c.procs[w] = p
+		c.beats.track(w, clock.Now())
+		if c.spares > 0 {
+			c.spares--
+		}
+		c.mu.Unlock()
+		workers = append(workers, w)
+		latencies = append(latencies, lat)
+	}
+
+	c.mu.Lock()
+	adopted = make([][]int, len(workers))
+	if len(workers) > 0 {
+		next := 0
+		for p, o := range c.owner {
+			if !c.alive[o] {
+				i := next % len(workers)
+				c.owner[p] = workers[i]
+				adopted[i] = append(adopted[i], p)
+				next++
+			}
+		}
+	}
+	for i, w := range workers {
+		c.record(cluster.Event{Kind: cluster.EventAcquire, Worker: w, Partitions: adopted[i], Latency: latencies[i]})
+	}
+	hook := c.assign
+	c.mu.Unlock()
+
+	if hook != nil {
+		for i, w := range workers {
+			if len(adopted[i]) == 0 {
+				continue
+			}
+			if hookErr := hook(w, adopted[i]); hookErr != nil && err == nil {
+				err = fmt.Errorf("cluster: loading partitions onto worker %d: %w", w, hookErr)
+			}
+		}
+	}
+	return workers, adopted, err
+}
+
+// Release implements cluster.Interface: cooperative decommissioning
+// with the same typed rejections as the simulation. With a job
+// attached, the leaving worker's partition state is fetched first and
+// restored onto the surviving owners — no state is lost, unlike Fail.
+func (c *Coordinator) Release(w int) error {
+	c.mu.Lock()
+	if w < 0 || w >= c.nextWorker {
+		c.mu.Unlock()
+		return &cluster.ReleaseError{Worker: w, Reason: cluster.ErrUnknownWorker}
+	}
+	if c.released[w] {
+		c.mu.Unlock()
+		return &cluster.ReleaseError{Worker: w, Reason: cluster.ErrDoubleRelease}
+	}
+	if !c.alive[w] {
+		c.mu.Unlock()
+		return &cluster.ReleaseError{Worker: w, Reason: cluster.ErrDeadWorker}
+	}
+	survivors := make([]int, 0, len(c.alive))
+	for o, ok := range c.alive {
+		if ok && o != w {
+			survivors = append(survivors, o)
+		}
+	}
+	if len(survivors) == 0 {
+		c.mu.Unlock()
+		return &cluster.ReleaseError{Worker: w, Reason: cluster.ErrLastWorker}
+	}
+	sort.Ints(survivors)
+	moved := c.partitionsOfLocked(w)
+	hook := c.assign
+	p := c.procs[w]
+	c.mu.Unlock()
+
+	// Migrate state off the leaving worker before it goes away.
+	var fetched map[int]PartState
+	if hook != nil && len(moved) > 0 && p != nil {
+		resp, err := p.ctrl.call(FetchReq{Parts: moved})
+		if err != nil {
+			return &cluster.ReleaseError{Worker: w, Reason: fmt.Errorf("migrating state: %v", err)}
+		}
+		fr := resp.(FetchResp)
+		fetched = make(map[int]PartState, len(fr.Parts))
+		for _, ps := range fr.Parts {
+			fetched[ps.Part] = ps
+		}
+	}
+
+	c.mu.Lock()
+	perOwner := make(map[int][]int)
+	for i, part := range moved {
+		o := survivors[i%len(survivors)]
+		c.owner[part] = o
+		perOwner[o] = append(perOwner[o], part)
+	}
+	delete(c.alive, w)
+	c.released[w] = true
+	delete(c.procs, w)
+	c.beats.forget(w)
+	if c.spares >= 0 {
+		c.spares++
+	}
+	c.record(cluster.Event{Kind: cluster.EventRelease, Worker: w, Partitions: moved})
+	c.mu.Unlock()
+
+	if hook != nil {
+		for _, o := range survivors {
+			parts := perOwner[o]
+			if len(parts) == 0 {
+				continue
+			}
+			if err := hook(o, parts); err != nil {
+				return fmt.Errorf("proc: releasing worker %d: loading partitions onto %d: %v", w, o, err)
+			}
+			restore := RestoreReq{}
+			for _, part := range parts {
+				restore.Parts = append(restore.Parts, fetched[part])
+			}
+			if _, err := c.call(o, restore); err != nil {
+				return fmt.Errorf("proc: releasing worker %d: restoring state onto %d: %v", w, o, err)
+			}
+		}
+	}
+	if p != nil {
+		p.ctrl.call(ShutdownReq{})
+		p.kill()
+	}
+	return nil
+}
+
+// Orphaned implements cluster.Interface.
+func (c *Coordinator) Orphaned() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ps []int
+	for p, o := range c.owner {
+		if !c.alive[o] {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// AssignOrphans implements cluster.Interface: degraded-mode
+// repartitioning across survivors, loading the adopted partitions'
+// data onto their new owners via the job's assign hook (the state
+// itself is lost with the dead owner — recovery restores or
+// compensates it afterwards).
+func (c *Coordinator) AssignOrphans() (map[int][]int, error) {
+	c.mu.Lock()
+	var orphans []int
+	for p, o := range c.owner {
+		if !c.alive[o] {
+			orphans = append(orphans, p)
+		}
+	}
+	if len(orphans) == 0 {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	ws := make([]int, 0, len(c.alive))
+	for w, ok := range c.alive {
+		if ok {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: %d orphaned partitions and no live worker to adopt them", len(orphans))
+	}
+	sort.Ints(ws)
+	moved := make(map[int][]int)
+	for i, p := range orphans {
+		w := ws[i%len(ws)]
+		c.owner[p] = w
+		moved[w] = append(moved[w], p)
+	}
+	c.record(cluster.Event{Kind: cluster.EventRepartition, Worker: -1, Partitions: orphans,
+		Detail: fmt.Sprintf("degraded: %d orphaned partition(s) repartitioned across %d survivor(s)", len(orphans), len(ws))})
+	hook := c.assign
+	c.mu.Unlock()
+
+	if hook != nil {
+		for _, w := range ws {
+			parts := moved[w]
+			if len(parts) == 0 {
+				continue
+			}
+			if err := hook(w, parts); err != nil {
+				return moved, fmt.Errorf("cluster: loading orphaned partitions onto worker %d: %v", w, err)
+			}
+		}
+	}
+	return moved, nil
+}
+
+// Note implements cluster.Interface.
+func (c *Coordinator) Note(kind cluster.EventKind, detail string, partitions []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.record(cluster.Event{Kind: kind, Worker: -1, Partitions: partitions, Detail: detail})
+}
+
+// Events implements cluster.Interface.
+func (c *Coordinator) Events() []cluster.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]cluster.Event(nil), c.events...)
+}
+
+// DroppedEvents implements cluster.Interface.
+func (c *Coordinator) DroppedEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eventsDropped
+}
+
+// setAssignHook registers the job's partition-loading callback,
+// invoked (outside the coordinator's lock) whenever partitions move to
+// a worker that may not host their data yet.
+func (c *Coordinator) setAssignHook(fn func(worker int, parts []int) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.assign = fn
+}
+
+// call performs one ctrl RPC against worker w, marking it suspect on
+// failure so detection replaces it.
+func (c *Coordinator) call(w int, req any) (any, error) {
+	c.mu.Lock()
+	p := c.procs[w]
+	c.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("proc: no process for worker %d", w)
+	}
+	resp, err := p.ctrl.call(req)
+	if err != nil {
+		c.markSuspect(w)
+	}
+	return resp, err
+}

@@ -1,0 +1,438 @@
+package proc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"optiflow/internal/exec"
+	"optiflow/internal/graph"
+	"optiflow/internal/iterate"
+	"optiflow/internal/recovery"
+)
+
+var _ recovery.Job = (*Job)(nil)
+
+// Spec describes one worker-hosted iterative job.
+type Spec struct {
+	// Name identifies the job (checkpoint keys, diagnostics).
+	Name string
+	// Kind is the algorithm: KindCC or KindPageRank.
+	Kind string
+	// Graph is the input graph.
+	Graph *graph.Graph
+	// Damping is PageRank's damping factor (0.85 if zero).
+	Damping float64
+}
+
+// Job runs an iterative algorithm with its state hosted ON the worker
+// processes — unlike the in-process jobs (cc.CC, pagerank.PR), whose
+// state lives in the driver and which use the cluster only for
+// membership. The driver keeps the partition adjacency (to re-load
+// partitions onto replacement workers), the between-superstep message
+// state, and the two-phase superstep protocol: compute on every
+// worker, then commit everywhere or abort everywhere, so an attempt
+// torn by a SIGKILL leaves worker state untouched and replayable.
+//
+// Job implements recovery.Job, so every recovery policy works
+// unchanged: Compensate is the paper's optimistic path (reinitialised
+// lost partitions plus a global rescatter), SnapshotTo/RestoreFrom
+// fetch and push the distributed state for checkpoint rollback, and
+// ResetToInitial serves the restart baseline.
+type Job struct {
+	co   *Coordinator
+	spec Spec
+
+	numParts int
+	totalN   int
+	adj      map[int][]VertexAdj
+
+	inbox     map[int][]Msg
+	dangling  float64
+	rescatter bool
+	lastL1    float64
+}
+
+// NewJob partitions the graph, registers the partition-loading hook on
+// the coordinator and loads every worker's partitions.
+func NewJob(co *Coordinator, spec Spec) (*Job, error) {
+	if spec.Kind != KindCC && spec.Kind != KindPageRank {
+		return nil, fmt.Errorf("proc: unknown job kind %q", spec.Kind)
+	}
+	if spec.Damping == 0 {
+		spec.Damping = 0.85
+	}
+	j := &Job{
+		co:        co,
+		spec:      spec,
+		numParts:  co.NumPartitions(),
+		totalN:    spec.Graph.NumVertices(),
+		adj:       make(map[int][]VertexAdj),
+		inbox:     make(map[int][]Msg),
+		rescatter: true,
+		lastL1:    math.MaxFloat64,
+	}
+	for _, v := range spec.Graph.Vertices() {
+		p := graph.Partition(v, j.numParts)
+		out := spec.Graph.OutNeighbors(v)
+		va := VertexAdj{ID: uint64(v), Out: make([]uint64, len(out))}
+		for i, dst := range out {
+			va.Out[i] = uint64(dst)
+		}
+		j.adj[p] = append(j.adj[p], va)
+	}
+	co.setAssignHook(j.loadPartitions)
+	for _, w := range co.Workers() {
+		parts := co.PartitionsOf(w)
+		if len(parts) == 0 {
+			continue
+		}
+		if err := j.loadPartitions(w, parts); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// loadPartitions ships the listed partitions' adjacency (with
+// superstep-zero state) to worker w — initial placement and every
+// adoption by a replacement or survivor.
+func (j *Job) loadPartitions(w int, parts []int) error {
+	req := LoadReq{
+		Job:           j.spec.Name,
+		Kind:          j.spec.Kind,
+		NumPartitions: j.numParts,
+		TotalVertices: j.totalN,
+		Damping:       j.spec.Damping,
+	}
+	for _, p := range parts {
+		req.Parts = append(req.Parts, PartitionData{Part: p, Vertices: j.adj[p]})
+	}
+	if _, err := j.co.call(w, req); err != nil {
+		return fmt.Errorf("proc: loading partitions %v onto worker %d: %v", parts, w, err)
+	}
+	return nil
+}
+
+// ownersSnapshot groups the current partition assignment by owner.
+func (j *Job) ownersSnapshot() map[int][]int {
+	owners := make(map[int][]int)
+	for _, w := range j.co.Workers() {
+		if parts := j.co.PartitionsOf(w); len(parts) > 0 {
+			owners[w] = parts
+		}
+	}
+	return owners
+}
+
+type stepResult struct {
+	worker int
+	resp   StepResp
+	err    error
+}
+
+// Step executes one superstep attempt across the worker processes: a
+// parallel compute phase (during which a scheduled mid-superstep fault
+// SIGKILLs its victims for real), then commit everywhere on success or
+// abort everywhere on failure. A failed attempt returns a typed
+// *exec.WorkerFailure naming the dead workers, exactly like the
+// in-process engine, so iterate.Loop's recovery path is unchanged.
+func (j *Job) Step(ctx *iterate.Context) (iterate.StepStats, error) {
+	owners := j.ownersSnapshot()
+	results := make(chan stepResult, len(owners))
+	for w, parts := range owners {
+		req := StepReq{Superstep: ctx.Superstep, Rescatter: j.rescatter, Dangling: j.dangling}
+		for _, p := range parts {
+			if msgs := j.inbox[p]; len(msgs) > 0 {
+				req.Inbox = append(req.Inbox, PartMsgs{Part: p, Msgs: msgs})
+			}
+		}
+		go func(w int, req StepReq) {
+			resp, err := j.co.call(w, req)
+			if err != nil {
+				results <- stepResult{worker: w, err: err}
+				return
+			}
+			results <- stepResult{worker: w, resp: resp.(StepResp)}
+		}(w, req)
+	}
+
+	// The mid-superstep fault: SIGKILL the victims while their compute
+	// RPCs are in flight. If a victim's plan outruns the kill, its
+	// commit RPC fails instead — either way the process is dead and the
+	// attempt aborts.
+	if ctx.Fault != nil {
+		for _, w := range ctx.Fault.Workers {
+			j.co.Kill(w)
+		}
+	}
+
+	var failed []int
+	ok := make(map[int]StepResp, len(owners))
+	for range owners {
+		r := <-results
+		if r.err != nil {
+			failed = append(failed, r.worker)
+			continue
+		}
+		ok[r.worker] = r.resp
+	}
+	if len(failed) > 0 {
+		// Abort survivors: pending updates are dropped, committed state
+		// and the driver-side inbox stay as they were, so the attempt
+		// can be replayed after recovery.
+		for w := range ok {
+			j.co.call(w, AbortReq{})
+		}
+		return iterate.StepStats{}, j.workerFailure(failed, owners)
+	}
+
+	var commitFailed []int
+	for w := range ok {
+		if _, err := j.co.call(w, CommitReq{Superstep: ctx.Superstep}); err != nil {
+			commitFailed = append(commitFailed, w)
+		}
+	}
+	if len(commitFailed) > 0 {
+		// A partial commit is safe to abandon: both algorithms' folds
+		// are idempotent (CC: integer min; PR: ranks derived from the
+		// inbox, not the previous rank), and the dead workers' state is
+		// about to be cleared and recovered anyway.
+		return iterate.StepStats{}, j.workerFailure(commitFailed, owners)
+	}
+
+	// Committed everywhere: the attempt's outboxes become the next
+	// superstep's inbox. Messages are merged in worker order and sorted
+	// so float folds downstream are deterministic.
+	stats := iterate.StepStats{Extra: map[string]float64{}}
+	newInbox := make(map[int][]Msg)
+	var dangling, l1 float64
+	folded := false
+	workers := make([]int, 0, len(ok))
+	for w := range ok {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		resp := ok[w]
+		for _, pm := range resp.Outbox {
+			newInbox[pm.Part] = append(newInbox[pm.Part], pm.Msgs...)
+		}
+		dangling += resp.Dangling
+		l1 += resp.L1
+		folded = folded || resp.Folded
+		stats.Messages += resp.Messages
+		stats.Updates += resp.Updates
+	}
+	for p := range newInbox {
+		msgs := newInbox[p]
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].Dst != msgs[b].Dst {
+				return msgs[a].Dst < msgs[b].Dst
+			}
+			if msgs[a].Label != msgs[b].Label {
+				return msgs[a].Label < msgs[b].Label
+			}
+			return msgs[a].Rank < msgs[b].Rank
+		})
+	}
+	j.inbox = newInbox
+	j.dangling = dangling
+	j.rescatter = false
+	if folded {
+		j.lastL1 = l1
+	}
+	stats.Extra["l1"] = j.lastL1
+	return stats, nil
+}
+
+// workerFailure builds the typed mid-superstep failure error.
+func (j *Job) workerFailure(workers []int, owners map[int][]int) error {
+	sort.Ints(workers)
+	var parts []int
+	for _, w := range workers {
+		parts = append(parts, owners[w]...)
+	}
+	sort.Ints(parts)
+	return &exec.WorkerFailure{Workers: workers, Partitions: parts}
+}
+
+// WorksetLen reports pending work for delta-iteration termination:
+// messages awaiting a fold, plus one if a (re)scatter is due.
+func (j *Job) WorksetLen() int {
+	n := 0
+	for _, msgs := range j.inbox {
+		n += len(msgs)
+	}
+	if j.rescatter {
+		n++
+	}
+	return n
+}
+
+// LastL1 returns the last folded superstep's L1 rank delta
+// (math.MaxFloat64 until the first fold).
+func (j *Job) LastL1() float64 { return j.lastL1 }
+
+// Name implements recovery.Job.
+func (j *Job) Name() string { return j.spec.Name }
+
+// SnapshotTo implements recovery.Job: it fetches every partition's
+// committed state from its owner and serialises it together with the
+// driver-side message state. Partitions and messages are sorted, so
+// equal distributed states snapshot to equal bytes.
+func (j *Job) SnapshotTo(w *bytes.Buffer) error {
+	snap := JobSnapshot{
+		Kind:      j.spec.Kind,
+		Dangling:  j.dangling,
+		Rescatter: j.rescatter,
+	}
+	for wk, parts := range j.ownersSnapshot() {
+		resp, err := j.co.call(wk, FetchReq{Parts: parts})
+		if err != nil {
+			return fmt.Errorf("proc: snapshot: fetching from worker %d: %v", wk, err)
+		}
+		snap.Parts = append(snap.Parts, resp.(FetchResp).Parts...)
+	}
+	sort.Slice(snap.Parts, func(a, b int) bool { return snap.Parts[a].Part < snap.Parts[b].Part })
+	partIDs := make([]int, 0, len(j.inbox))
+	for p := range j.inbox {
+		partIDs = append(partIDs, p)
+	}
+	sort.Ints(partIDs)
+	for _, p := range partIDs {
+		if len(j.inbox[p]) > 0 {
+			snap.Inbox = append(snap.Inbox, PartMsgs{Part: p, Msgs: j.inbox[p]})
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("proc: snapshot: encoding: %v", err)
+	}
+	return nil
+}
+
+// RestoreFrom implements recovery.Job: it pushes the snapshot's
+// partition state back to the partitions' current owners and restores
+// the driver-side message state.
+func (j *Job) RestoreFrom(data []byte) error {
+	var snap JobSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("proc: restore: decoding: %v", err)
+	}
+	byPart := make(map[int]PartState, len(snap.Parts))
+	for _, ps := range snap.Parts {
+		byPart[ps.Part] = ps
+	}
+	for w, parts := range j.ownersSnapshot() {
+		req := RestoreReq{}
+		for _, p := range parts {
+			if ps, ok := byPart[p]; ok {
+				req.Parts = append(req.Parts, ps)
+			}
+		}
+		if len(req.Parts) == 0 {
+			continue
+		}
+		if _, err := j.co.call(w, req); err != nil {
+			return fmt.Errorf("proc: restore: pushing to worker %d: %v", w, err)
+		}
+	}
+	j.inbox = make(map[int][]Msg)
+	for _, pm := range snap.Inbox {
+		j.inbox[pm.Part] = pm.Msgs
+	}
+	j.dangling = snap.Dangling
+	j.rescatter = snap.Rescatter
+	j.lastL1 = math.MaxFloat64
+	return nil
+}
+
+// ClearPartitions implements recovery.Job: the listed partitions are
+// reinitialised on their current owners (the replacement workers the
+// cluster just assigned them to). RPC errors are swallowed — a worker
+// dying during recovery is detected and folded into the recovery by
+// the supervisor, not here.
+func (j *Job) ClearPartitions(parts []int) {
+	byOwner := make(map[int][]int)
+	for _, p := range parts {
+		w := j.co.Owner(p)
+		byOwner[w] = append(byOwner[w], p)
+	}
+	for w, ps := range byOwner {
+		j.co.call(w, ClearReq{Parts: ps})
+	}
+}
+
+// Compensate implements recovery.Job — the optimistic compensation
+// function. The lost partitions were already reinitialised by
+// ClearPartitions; dropping the in-flight messages and scheduling a
+// global rescatter transitions the whole computation to a consistent
+// state from which the fixpoint iteration re-converges (CC: every
+// vertex re-announces its label; PR: contributions are re-emitted from
+// current ranks and the rank mass contracts back to one).
+func (j *Job) Compensate([]int) error {
+	j.inbox = make(map[int][]Msg)
+	j.dangling = 0
+	j.rescatter = true
+	j.lastL1 = math.MaxFloat64
+	return nil
+}
+
+// ResetToInitial implements recovery.Job (the restart baseline).
+func (j *Job) ResetToInitial() error {
+	for w := range j.ownersSnapshot() {
+		if _, err := j.co.call(w, ResetReq{}); err != nil {
+			return fmt.Errorf("proc: reset: worker %d: %v", w, err)
+		}
+	}
+	j.inbox = make(map[int][]Msg)
+	j.dangling = 0
+	j.rescatter = true
+	j.lastL1 = math.MaxFloat64
+	return nil
+}
+
+// fetchAll collects every partition's committed state.
+func (j *Job) fetchAll() ([]PartState, error) {
+	var out []PartState
+	for w, parts := range j.ownersSnapshot() {
+		resp, err := j.co.call(w, FetchReq{Parts: parts})
+		if err != nil {
+			return nil, fmt.Errorf("proc: fetching results from worker %d: %v", w, err)
+		}
+		out = append(out, resp.(FetchResp).Parts...)
+	}
+	return out, nil
+}
+
+// Components returns every vertex's component label (CC jobs).
+func (j *Job) Components() (map[graph.VertexID]graph.VertexID, error) {
+	parts, err := j.fetchAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.VertexID]graph.VertexID, j.totalN)
+	for _, ps := range parts {
+		for _, v := range ps.Vertices {
+			out[graph.VertexID(v.ID)] = graph.VertexID(v.Label)
+		}
+	}
+	return out, nil
+}
+
+// Ranks returns every vertex's rank (PageRank jobs).
+func (j *Job) Ranks() (map[graph.VertexID]float64, error) {
+	parts, err := j.fetchAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.VertexID]float64, j.totalN)
+	for _, ps := range parts {
+		for _, v := range ps.Vertices {
+			out[graph.VertexID(v.ID)] = v.Rank
+		}
+	}
+	return out, nil
+}

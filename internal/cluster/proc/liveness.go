@@ -1,0 +1,46 @@
+package proc
+
+import "time"
+
+// liveness is the coordinator's heartbeat bookkeeping: pure data, no
+// goroutines, no clock reads. Callers feed it receipt times (from
+// internal/clock, so tests can drive it with a synthetic source) and
+// ask which workers have missed their window. Detection by heartbeat
+// is the slow path — a SIGKILLed child is usually noticed first by the
+// process reaper or by a failing RPC — but it is the only path that
+// catches a wedged-alive worker whose connections stay open.
+type liveness struct {
+	window time.Duration
+	last   map[int]time.Time
+}
+
+func newLiveness(window time.Duration) *liveness {
+	return &liveness{window: window, last: make(map[int]time.Time)}
+}
+
+// track starts the clock for a worker at its handshake: a worker that
+// never beats at all becomes overdue one window after joining, not
+// immediately.
+func (l *liveness) track(w int, at time.Time) {
+	l.last[w] = at
+}
+
+// beat records a heartbeat receipt.
+func (l *liveness) beat(w int, at time.Time) {
+	l.last[w] = at
+}
+
+// forget drops a worker's bookkeeping (failed, released).
+func (l *liveness) forget(w int) {
+	delete(l.last, w)
+}
+
+// overdue reports whether w has gone a full window without a beat.
+// Untracked workers are never overdue (nothing is known about them).
+func (l *liveness) overdue(w int, now time.Time) bool {
+	at, ok := l.last[w]
+	if !ok {
+		return false
+	}
+	return now.Sub(at) > l.window
+}

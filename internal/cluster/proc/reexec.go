@@ -1,0 +1,109 @@
+package proc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Worker daemons are spawned by re-executing the current binary with
+// these environment variables set — the same pattern whether the
+// binary is optiflow-serve or a test binary whose TestMain calls
+// MaybeChildMode. No separate worker binary needs building or
+// locating.
+const (
+	envWorker = "OPTIFLOW_PROC_WORKER"
+	envAddr   = "OPTIFLOW_PROC_ADDR"
+	envID     = "OPTIFLOW_PROC_ID"
+	envToken  = "OPTIFLOW_PROC_TOKEN"
+	envBeatMS = "OPTIFLOW_PROC_BEAT_MS"
+
+	// envGobCheck switches the child into the wire-compatibility
+	// decoder used by the gob round-trip suite: frames in on stdin,
+	// one decoded-value digest per line on stdout.
+	envGobCheck = "OPTIFLOW_PROC_GOBCHECK"
+)
+
+// MaybeChildMode checks whether this process was spawned as a proc
+// child (worker daemon or gob-check decoder) and, if so, runs that
+// role and exits — it never returns in child mode. Entry points that
+// can host workers (cmd/optiflow-serve, TestMain of proc-mode test
+// packages) must call it first thing in main.
+func MaybeChildMode() {
+	if os.Getenv(envGobCheck) == "1" {
+		if err := runGobCheck(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "optiflow gob-check:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if os.Getenv(envWorker) != "1" {
+		return
+	}
+	cfg, err := workerConfigFromEnv()
+	if err == nil {
+		err = RunWorker(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optiflow worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// workerConfigFromEnv rebuilds the WorkerConfig the coordinator
+// serialised into the child's environment.
+func workerConfigFromEnv() (WorkerConfig, error) {
+	id, err := strconv.Atoi(os.Getenv(envID))
+	if err != nil {
+		return WorkerConfig{}, fmt.Errorf("proc: bad %s: %v", envID, err)
+	}
+	cfg := WorkerConfig{
+		Addr:   os.Getenv(envAddr),
+		Worker: id,
+		Token:  os.Getenv(envToken),
+	}
+	if cfg.Addr == "" {
+		return WorkerConfig{}, fmt.Errorf("proc: %s not set", envAddr)
+	}
+	if ms, err := strconv.Atoi(os.Getenv(envBeatMS)); err == nil && ms > 0 {
+		cfg.Heartbeat = time.Duration(ms) * time.Millisecond
+	}
+	return cfg, nil
+}
+
+// workerEnv serialises a worker's config for the spawned child.
+func workerEnv(addr string, id int, token string, beat time.Duration) []string {
+	return append(os.Environ(),
+		envWorker+"=1",
+		envAddr+"="+addr,
+		envID+"="+strconv.Itoa(id),
+		envToken+"="+token,
+		envBeatMS+"="+strconv.Itoa(int(beat/time.Millisecond)),
+	)
+}
+
+// runGobCheck is the child half of the wire-compatibility suite: a
+// fresh process (fresh gob type registry, no state shared with the
+// encoder beyond this package's init) decodes frames from stdin until
+// EOF and prints one Go-syntax digest per decoded message. The parent
+// compares the digests against its own rendering of what it encoded,
+// proving that every wire type survives a cross-process round trip.
+func runGobCheck(in io.Reader, out io.Writer) error {
+	dec := gob.NewDecoder(in)
+	for {
+		m, err := readFrame(dec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(out, "%#v\n", m); err != nil {
+			return err
+		}
+	}
+}

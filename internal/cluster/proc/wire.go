@@ -1,0 +1,265 @@
+// Package proc is the multi-process deployment of the cluster model: a
+// coordinator process (the driver) and worker daemons that are real
+// operating-system processes, connected over TCP with gob-encoded
+// frames. It is the "in action" counterpart of the in-process
+// simulation in package cluster — same Interface, same membership
+// semantics, but Fail(w) delivers an actual SIGKILL and recovery
+// re-provisions an actual process.
+//
+// The wire protocol is deliberately small: every connection starts with
+// a Hello handshake naming the worker and the connection's role
+// ("ctrl" for serialized request/response RPC, "beat" for the worker's
+// heartbeat push stream), after which each side exchanges frames — a
+// single gob stream of Frame values whose M field carries one of the
+// message types below. All message types are registered with gob in
+// this package's init, and the wire-compatibility test round-trips
+// every one of them through a freshly started subprocess decoder to
+// pin cross-process decodability.
+package proc
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"optiflow/internal/checkpoint"
+)
+
+// ProtoVersion is the wire protocol version. A Hello with a different
+// version is rejected during the handshake, so a stale worker binary
+// cannot silently exchange frames with a newer coordinator.
+const ProtoVersion = 1
+
+// Frame is the unit of transmission: one gob value wrapping one
+// message. Wrapping in an interface-typed field keeps the stream
+// self-describing — the decoder learns the concrete type from the gob
+// type descriptor, so request dispatch is a type switch.
+type Frame struct {
+	M any
+}
+
+// Hello opens every connection. Token authenticates the worker to the
+// coordinator (it is handed to the worker process via its environment,
+// so only processes the coordinator spawned can join). Conn is the
+// connection's role: "ctrl" or "beat".
+type Hello struct {
+	Proto  int
+	Worker int
+	Token  string
+	Conn   string
+}
+
+// Connection roles named in Hello.Conn.
+const (
+	ConnCtrl = "ctrl"
+	ConnBeat = "beat"
+)
+
+// HelloOK acknowledges a Hello.
+type HelloOK struct {
+	Proto int
+}
+
+// Heartbeat is pushed periodically by the worker on its beat
+// connection. Seq increases monotonically per worker.
+type Heartbeat struct {
+	Worker int
+	Seq    uint64
+}
+
+// OKResp acknowledges a request that returns no payload.
+type OKResp struct{}
+
+// ErrResp reports a request failure; the RPC layer surfaces it as an
+// error to the caller.
+type ErrResp struct {
+	Msg string
+}
+
+// PingReq checks liveness over the ctrl connection.
+type PingReq struct{}
+
+// VertexAdj is one vertex's adjacency: its ID and out-neighbors.
+type VertexAdj struct {
+	ID  uint64
+	Out []uint64
+}
+
+// PartitionData is the adjacency payload of one state partition.
+type PartitionData struct {
+	Part     int
+	Vertices []VertexAdj
+}
+
+// LoadReq hands a worker the partitions it hosts: the job identity,
+// the algorithm kind, global graph facts and per-partition adjacency.
+// State is initialised to superstep zero (CC: own ID as label; PR:
+// uniform rank 1/N). LoadReq is also how a replacement worker adopts
+// orphaned partitions mid-job — the driver then Clears or Restores
+// them per the recovery policy.
+type LoadReq struct {
+	Job           string
+	Kind          string
+	NumPartitions int
+	TotalVertices int
+	Damping       float64
+	Parts         []PartitionData
+}
+
+// Algorithm kinds named in LoadReq.Kind.
+const (
+	KindCC       = "cc"
+	KindPageRank = "pagerank"
+)
+
+// Msg is one dataflow record in flight between supersteps. CC uses
+// Label (a candidate component label), PageRank uses Rank (a rank
+// contribution); the unused field stays zero.
+type Msg struct {
+	Dst   uint64
+	Label uint64
+	Rank  float64
+}
+
+// PartMsgs groups the messages destined for one partition.
+type PartMsgs struct {
+	Part int
+	Msgs []Msg
+}
+
+// StepReq runs one superstep attempt over the worker's partitions.
+// Rescatter asks every vertex to re-send its current state to its
+// neighbors (superstep zero, and after an optimistic compensation);
+// Dangling is the dangling-rank mass collected in the previous
+// superstep (PageRank only). The worker computes but does not apply:
+// updates stay pending until CommitReq, and AbortReq drops them — the
+// two-phase protocol that lets an aborted attempt be replayed against
+// unchanged state.
+type StepReq struct {
+	Superstep int
+	Rescatter bool
+	Dangling  float64
+	Inbox     []PartMsgs
+}
+
+// StepResp reports one superstep attempt's outputs: the outgoing
+// messages grouped by destination partition, the dangling mass and L1
+// rank delta (PageRank; Folded reports whether a fold happened, so a
+// pure rescatter step does not fake convergence), and the counters the
+// iteration driver samples.
+type StepResp struct {
+	Outbox   []PartMsgs
+	Dangling float64
+	L1       float64
+	Folded   bool
+	Messages int64
+	Updates  int64
+}
+
+// CommitReq applies the pending updates of the superstep computed by
+// the previous StepReq.
+type CommitReq struct {
+	Superstep int
+}
+
+// AbortReq drops the pending updates of the previous StepReq, leaving
+// state as it was before the attempt.
+type AbortReq struct{}
+
+// VertexVal is one vertex's iteration state.
+type VertexVal struct {
+	ID    uint64
+	Label uint64
+	Rank  float64
+}
+
+// PartState is the full committed state of one partition, vertices in
+// ascending ID order.
+type PartState struct {
+	Part     int
+	Vertices []VertexVal
+}
+
+// FetchReq reads the committed state of the listed partitions
+// (checkpoint capture, final result collection, release migration).
+type FetchReq struct {
+	Parts []int
+}
+
+// FetchResp answers a FetchReq.
+type FetchResp struct {
+	Parts []PartState
+}
+
+// RestoreReq overwrites the listed partitions' state (checkpoint
+// rollback, release migration).
+type RestoreReq struct {
+	Parts []PartState
+}
+
+// ClearReq reinitialises the listed partitions to superstep-zero state
+// — the direct effect of their previous owner crashing.
+type ClearReq struct {
+	Parts []int
+}
+
+// ResetReq reinitialises every hosted partition (restart policy).
+type ResetReq struct{}
+
+// ShutdownReq asks the worker to exit cleanly (cooperative Release —
+// unlike the SIGKILL of Fail).
+type ShutdownReq struct{}
+
+// JobSnapshot is the driver-side serialisation of a proc job's full
+// iteration state: every partition's vertex values plus the in-flight
+// message state the next superstep consumes. recovery.Job's SnapshotTo
+// gob-encodes one of these; RestoreFrom decodes it and pushes the
+// partitions back to their current owners.
+type JobSnapshot struct {
+	Kind      string
+	Parts     []PartState
+	Inbox     []PartMsgs
+	Dangling  float64
+	Rescatter bool
+}
+
+// wireMessages lists every concrete type that may travel inside a
+// Frame, in a fixed order shared by gob registration and the
+// cross-process wire-compatibility check.
+func wireMessages() []any {
+	return []any{
+		Hello{}, HelloOK{}, Heartbeat{},
+		OKResp{}, ErrResp{}, PingReq{},
+		LoadReq{}, StepReq{}, StepResp{},
+		CommitReq{}, AbortReq{},
+		FetchReq{}, FetchResp{}, RestoreReq{}, ClearReq{}, ResetReq{},
+		ShutdownReq{},
+		JobSnapshot{},
+		checkpoint.CommitRecord{},
+	}
+}
+
+func init() {
+	for _, m := range wireMessages() {
+		gob.Register(m)
+	}
+}
+
+// writeFrame encodes one message as a Frame on the stream.
+func writeFrame(enc *gob.Encoder, m any) error {
+	if err := enc.Encode(Frame{M: m}); err != nil {
+		return fmt.Errorf("proc: encoding %T: %v", m, err)
+	}
+	return nil
+}
+
+// readFrame decodes the next Frame and unwraps its message.
+func readFrame(dec *gob.Decoder) (any, error) {
+	var f Frame
+	if err := dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	if f.M == nil {
+		return nil, fmt.Errorf("proc: empty frame")
+	}
+	return f.M, nil
+}

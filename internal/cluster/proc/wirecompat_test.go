@@ -1,0 +1,119 @@
+package proc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	oexec "os/exec"
+	"reflect"
+	"testing"
+
+	"optiflow/internal/checkpoint"
+)
+
+// sampleMessages returns one populated instance per wire type, in
+// wireMessages order. Every field is non-zero where possible so the
+// round trip exercises real payloads, not gob's zero-field elision.
+// Map-typed fields hold a single entry so the %#v digest is stable.
+func sampleMessages() []any {
+	return []any{
+		Hello{Proto: ProtoVersion, Worker: 3, Token: "tok", Conn: ConnCtrl},
+		HelloOK{Proto: ProtoVersion},
+		Heartbeat{Worker: 3, Seq: 41},
+		OKResp{},
+		ErrResp{Msg: "worker 3: boom"},
+		PingReq{},
+		LoadReq{
+			Job: "cc-demo", Kind: KindCC, NumPartitions: 4, TotalVertices: 9, Damping: 0.85,
+			Parts: []PartitionData{{Part: 2, Vertices: []VertexAdj{{ID: 7, Out: []uint64{1, 9}}}}},
+		},
+		StepReq{
+			Superstep: 5, Rescatter: true, Dangling: 0.125,
+			Inbox: []PartMsgs{{Part: 1, Msgs: []Msg{{Dst: 9, Label: 2, Rank: 0.5}}}},
+		},
+		StepResp{
+			Outbox:   []PartMsgs{{Part: 0, Msgs: []Msg{{Dst: 1, Label: 1, Rank: 0.25}}}},
+			Dangling: 0.0625, L1: 1.5, Folded: true, Messages: 12, Updates: 3,
+		},
+		CommitReq{Superstep: 5},
+		AbortReq{},
+		FetchReq{Parts: []int{0, 2}},
+		FetchResp{Parts: []PartState{{Part: 2, Vertices: []VertexVal{{ID: 7, Label: 1, Rank: 0.2}}}}},
+		RestoreReq{Parts: []PartState{{Part: 0, Vertices: []VertexVal{{ID: 1, Label: 1, Rank: 0.3}}}}},
+		ClearReq{Parts: []int{3}},
+		ResetReq{},
+		ShutdownReq{},
+		JobSnapshot{
+			Kind:     KindPageRank,
+			Parts:    []PartState{{Part: 1, Vertices: []VertexVal{{ID: 4, Label: 4, Rank: 0.1}}}},
+			Inbox:    []PartMsgs{{Part: 1, Msgs: []Msg{{Dst: 4, Rank: 0.05}}}},
+			Dangling: 0.25, Rescatter: true,
+		},
+		checkpoint.CommitRecord{Epoch: 9, Superstep: 4, Parts: map[int]uint64{2: 9}, Compressed: true},
+	}
+}
+
+// TestGobWireCompatAcrossProcesses encodes one populated sample of
+// every wire type, pipes the frames into a freshly started subprocess
+// decoder (this test binary re-executed with the gob-check env set —
+// a fresh gob type registry, nothing shared but the package init), and
+// compares the child's decoded digests against the parent's rendering
+// of what it sent. A type that gob cannot carry across processes, or
+// a type missing from the registration list, fails here instead of
+// mid-superstep in production.
+func TestGobWireCompatAcrossProcesses(t *testing.T) {
+	samples := sampleMessages()
+	wire := wireMessages()
+	if len(samples) != len(wire) {
+		t.Fatalf("sampleMessages has %d entries, wireMessages %d — keep the suites in lockstep",
+			len(samples), len(wire))
+	}
+	for i := range samples {
+		if got, want := reflect.TypeOf(samples[i]), reflect.TypeOf(wire[i]); got != want {
+			t.Fatalf("sample %d is %v, wireMessages lists %v", i, got, want)
+		}
+	}
+
+	var frames bytes.Buffer
+	enc := gob.NewEncoder(&frames)
+	for _, m := range samples {
+		if err := writeFrame(enc, m); err != nil {
+			t.Fatalf("encoding %T: %v", m, err)
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cmd := oexec.Command(exe)
+	cmd.Env = append(os.Environ(), envGobCheck+"=1")
+	cmd.Stdin = &frames
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("gob-check child: %v (stderr: %s)", err, stderr.String())
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var got []string
+	for sc.Scan() {
+		got = append(got, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading child output: %v", err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("child decoded %d frames, want %d:\n%s", len(got), len(samples), out)
+	}
+	for i, m := range samples {
+		if want := fmt.Sprintf("%#v", m); got[i] != want {
+			t.Errorf("frame %d (%T) mutated across the process boundary:\n sent %s\n got  %s",
+				i, m, want, got[i])
+		}
+	}
+}

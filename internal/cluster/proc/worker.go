@@ -1,0 +1,475 @@
+package proc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"time"
+
+	"optiflow/internal/graph"
+)
+
+// WorkerConfig parameterises one worker daemon.
+type WorkerConfig struct {
+	// Addr is the coordinator's listen address to dial.
+	Addr string
+	// Worker is the ID the coordinator assigned this process.
+	Worker int
+	// Token authenticates the Hello handshake.
+	Token string
+	// Heartbeat is the beat-push interval (250ms if zero).
+	Heartbeat time.Duration
+}
+
+// RunWorker runs the worker daemon until the coordinator shuts it down
+// (clean exit) or a connection breaks (error exit). It dials two
+// connections — ctrl for serialized RPC, beat for heartbeat pushes —
+// performs the Hello handshake on each, then serves ctrl requests one
+// at a time.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 250 * time.Millisecond
+	}
+	ctrl, err := dialHandshake(cfg, ConnCtrl)
+	if err != nil {
+		return err
+	}
+	defer ctrl.nc.Close()
+	beat, err := dialHandshake(cfg, ConnBeat)
+	if err != nil {
+		return err
+	}
+	defer beat.nc.Close()
+
+	done := make(chan struct{})
+	defer close(done)
+	go pushHeartbeats(beat, cfg, done)
+
+	h := &workerHost{worker: cfg.Worker}
+	// The handshake's encoder/decoder pair must keep serving the
+	// connection: a gob stream's type-descriptor state lives in the
+	// Encoder/Decoder instances, so a fresh pair on a used stream
+	// desynchronises both directions.
+	enc, dec := ctrl.enc, ctrl.dec
+	for {
+		req, err := readFrame(dec)
+		if err != nil {
+			return fmt.Errorf("proc: worker %d ctrl read: %v", cfg.Worker, err)
+		}
+		if _, ok := req.(ShutdownReq); ok {
+			writeFrame(enc, OKResp{})
+			return nil
+		}
+		resp := h.handle(req)
+		if err := writeFrame(enc, resp); err != nil {
+			return fmt.Errorf("proc: worker %d ctrl write: %v", cfg.Worker, err)
+		}
+	}
+}
+
+// workerConn is one handshaken connection with the gob stream pair
+// that must keep serving it.
+type workerConn struct {
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// dialHandshake opens one connection of the given role.
+func dialHandshake(cfg WorkerConfig, role string) (workerConn, error) {
+	c, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return workerConn{}, fmt.Errorf("proc: worker %d dialing %s: %v", cfg.Worker, cfg.Addr, err)
+	}
+	enc, dec := gob.NewEncoder(c), gob.NewDecoder(c)
+	hello := Hello{Proto: ProtoVersion, Worker: cfg.Worker, Token: cfg.Token, Conn: role}
+	if err := writeFrame(enc, hello); err != nil {
+		c.Close()
+		return workerConn{}, err
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, err := readFrame(dec)
+	if err != nil {
+		c.Close()
+		return workerConn{}, fmt.Errorf("proc: worker %d %s handshake: %v", cfg.Worker, role, err)
+	}
+	ok, isOK := m.(HelloOK)
+	if !isOK || ok.Proto != ProtoVersion {
+		c.Close()
+		return workerConn{}, fmt.Errorf("proc: worker %d %s handshake rejected: %T", cfg.Worker, role, m)
+	}
+	c.SetReadDeadline(time.Time{})
+	return workerConn{nc: c, enc: enc, dec: dec}, nil
+}
+
+// pushHeartbeats streams Heartbeat frames until done closes or a write
+// fails (coordinator gone — the serve loop will notice too).
+func pushHeartbeats(c workerConn, cfg WorkerConfig, done <-chan struct{}) {
+	enc := c.enc
+	t := time.NewTicker(cfg.Heartbeat)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			seq++
+			if writeFrame(enc, Heartbeat{Worker: cfg.Worker, Seq: seq}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// vertexState is one vertex's adjacency and committed iteration state.
+type vertexState struct {
+	out   []uint64
+	label uint64
+	rank  float64
+}
+
+// partition holds one hosted state partition. order keeps vertex IDs
+// sorted so every scan is deterministic.
+type partition struct {
+	order []uint64
+	verts map[uint64]*vertexState
+}
+
+// workerHost is the daemon's state machine: hosted partitions plus the
+// pending (computed, uncommitted) updates of the last StepReq. All
+// access is from the single ctrl serve loop, so no locking is needed.
+type workerHost struct {
+	worker int
+
+	job      string
+	kind     string
+	numParts int
+	totalN   int
+	damping  float64
+
+	parts       map[int]*partition
+	pending     map[int]map[uint64]VertexVal
+	pendingStep int
+}
+
+// handle dispatches one ctrl request, always producing a response
+// frame (ErrResp on failure — the daemon itself stays up).
+func (h *workerHost) handle(req any) any {
+	var err error
+	switch r := req.(type) {
+	case PingReq:
+		return OKResp{}
+	case LoadReq:
+		err = h.load(r)
+	case StepReq:
+		var resp *StepResp
+		if resp, err = h.step(r); err == nil {
+			return *resp
+		}
+	case CommitReq:
+		err = h.commit(r)
+	case AbortReq:
+		h.pending = nil
+	case FetchReq:
+		var resp *FetchResp
+		if resp, err = h.fetch(r); err == nil {
+			return *resp
+		}
+	case RestoreReq:
+		err = h.restore(r)
+	case ClearReq:
+		err = h.clear(r.Parts)
+	case ResetReq:
+		h.pending = nil
+		for p := range h.parts {
+			h.clear([]int{p})
+		}
+	default:
+		err = fmt.Errorf("unexpected request %T", req)
+	}
+	if err != nil {
+		return ErrResp{Msg: fmt.Sprintf("worker %d: %v", h.worker, err)}
+	}
+	return OKResp{}
+}
+
+// load installs (or re-installs) partitions with superstep-zero state.
+func (h *workerHost) load(r LoadReq) error {
+	if h.parts == nil {
+		h.job, h.kind = r.Job, r.Kind
+		h.numParts, h.totalN, h.damping = r.NumPartitions, r.TotalVertices, r.Damping
+		h.parts = make(map[int]*partition)
+	} else if h.job != r.Job || h.kind != r.Kind || h.numParts != r.NumPartitions {
+		return fmt.Errorf("load for job %s/%s/%d conflicts with hosted %s/%s/%d",
+			r.Job, r.Kind, r.NumPartitions, h.job, h.kind, h.numParts)
+	}
+	for _, pd := range r.Parts {
+		part := &partition{verts: make(map[uint64]*vertexState, len(pd.Vertices))}
+		for _, va := range pd.Vertices {
+			part.order = append(part.order, va.ID)
+			part.verts[va.ID] = &vertexState{out: va.Out}
+		}
+		sort.Slice(part.order, func(i, j int) bool { return part.order[i] < part.order[j] })
+		h.parts[pd.Part] = part
+		h.initPartition(part)
+	}
+	return nil
+}
+
+// initPartition sets superstep-zero state: CC labels each vertex with
+// its own ID, PageRank starts from the uniform distribution.
+func (h *workerHost) initPartition(part *partition) {
+	for id, v := range part.verts {
+		v.label = id
+		v.rank = 1 / float64(h.totalN)
+	}
+}
+
+// partIDs returns the hosted partition IDs in ascending order.
+func (h *workerHost) partIDs() []int {
+	ids := make([]int, 0, len(h.parts))
+	for p := range h.parts {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// outbox accumulates outgoing messages grouped by destination
+// partition (the same hash routing the state partitioning uses).
+type outbox struct {
+	numParts int
+	byPart   map[int][]Msg
+}
+
+func (o *outbox) add(m Msg) {
+	p := graph.Partition(graph.VertexID(m.Dst), o.numParts)
+	o.byPart[p] = append(o.byPart[p], m)
+}
+
+func (o *outbox) grouped() []PartMsgs {
+	parts := make([]int, 0, len(o.byPart))
+	for p := range o.byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	out := make([]PartMsgs, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, PartMsgs{Part: p, Msgs: o.byPart[p]})
+	}
+	return out
+}
+
+// step computes one superstep attempt without applying it: updates go
+// to h.pending, awaiting CommitReq or AbortReq.
+func (h *workerHost) step(r StepReq) (*StepResp, error) {
+	if h.parts == nil {
+		return nil, fmt.Errorf("step before load")
+	}
+	h.pending = make(map[int]map[uint64]VertexVal)
+	h.pendingStep = r.Superstep
+	out := &outbox{numParts: h.numParts, byPart: make(map[int][]Msg)}
+	resp := &StepResp{}
+	var err error
+	switch h.kind {
+	case KindCC:
+		err = h.stepCC(r, out, resp)
+	case KindPageRank:
+		err = h.stepPR(r, out, resp)
+	default:
+		err = fmt.Errorf("unknown algorithm kind %q", h.kind)
+	}
+	if err != nil {
+		h.pending = nil
+		return nil, err
+	}
+	resp.Outbox = out.grouped()
+	return resp, nil
+}
+
+// inboxVertex resolves one inbox message's target vertex, enforcing
+// that routing and ownership agree.
+func (h *workerHost) inboxVertex(part int, dst uint64) (*vertexState, error) {
+	p := h.parts[part]
+	if p == nil {
+		return nil, fmt.Errorf("inbox for partition %d, which is not hosted here", part)
+	}
+	v := p.verts[dst]
+	if v == nil {
+		return nil, fmt.Errorf("inbox for vertex %d, which partition %d does not hold", dst, part)
+	}
+	return v, nil
+}
+
+// stepCC runs one Connected Components superstep: fold candidate
+// labels from the inbox (integer min — idempotent, so replaying a
+// committed attempt is harmless), optionally rescatter every current
+// label, and propagate improvements.
+func (h *workerHost) stepCC(r StepReq, out *outbox, resp *StepResp) error {
+	cand := make(map[uint64]uint64)
+	for _, pm := range r.Inbox {
+		for _, m := range pm.Msgs {
+			if _, err := h.inboxVertex(pm.Part, m.Dst); err != nil {
+				return err
+			}
+			if cur, ok := cand[m.Dst]; !ok || m.Label < cur {
+				cand[m.Dst] = m.Label
+			}
+		}
+	}
+	for _, p := range h.partIDs() {
+		part := h.parts[p]
+		for _, id := range part.order {
+			v := part.verts[id]
+			if r.Rescatter {
+				for _, dst := range v.out {
+					out.add(Msg{Dst: dst, Label: v.label})
+					resp.Messages++
+				}
+			}
+			if c, ok := cand[id]; ok && c < v.label {
+				h.setPending(p, VertexVal{ID: id, Label: c, Rank: v.rank})
+				resp.Updates++
+				for _, dst := range v.out {
+					out.add(Msg{Dst: dst, Label: c})
+					resp.Messages++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stepPR runs one PageRank superstep. A rescatter step only re-emits
+// contributions from current ranks (superstep zero, compensation); a
+// fold step computes every vertex's new rank from the inbox sums plus
+// the dangling share, then scatters the new contributions. The new
+// rank depends only on the inbox and global constants — not on the
+// vertex's own previous rank — so replaying a committed attempt with
+// the same inbox is idempotent.
+func (h *workerHost) stepPR(r StepReq, out *outbox, resp *StepResp) error {
+	n := float64(h.totalN)
+	if r.Rescatter {
+		for _, p := range h.partIDs() {
+			part := h.parts[p]
+			for _, id := range part.order {
+				v := part.verts[id]
+				h.scatterRank(v, v.rank, out, resp)
+			}
+		}
+		return nil
+	}
+	sum := make(map[uint64]float64)
+	for _, pm := range r.Inbox {
+		for _, m := range pm.Msgs {
+			if _, err := h.inboxVertex(pm.Part, m.Dst); err != nil {
+				return err
+			}
+			sum[m.Dst] += m.Rank
+		}
+	}
+	d := h.damping
+	for _, p := range h.partIDs() {
+		part := h.parts[p]
+		for _, id := range part.order {
+			v := part.verts[id]
+			nv := (1-d)/n + d*(sum[id]+r.Dangling/n)
+			resp.L1 += math.Abs(nv - v.rank)
+			h.setPending(p, VertexVal{ID: id, Label: v.label, Rank: nv})
+			resp.Updates++
+			h.scatterRank(v, nv, out, resp)
+		}
+	}
+	resp.Folded = true
+	return nil
+}
+
+// scatterRank emits rank/outdegree to every out-neighbor, or collects
+// the whole rank as dangling mass for sinks.
+func (h *workerHost) scatterRank(v *vertexState, rank float64, out *outbox, resp *StepResp) {
+	if len(v.out) == 0 {
+		resp.Dangling += rank
+		return
+	}
+	share := rank / float64(len(v.out))
+	for _, dst := range v.out {
+		out.add(Msg{Dst: dst, Rank: share})
+		resp.Messages++
+	}
+}
+
+func (h *workerHost) setPending(part int, val VertexVal) {
+	m := h.pending[part]
+	if m == nil {
+		m = make(map[uint64]VertexVal)
+		h.pending[part] = m
+	}
+	m[val.ID] = val
+}
+
+// commit applies the pending updates of the last StepReq.
+func (h *workerHost) commit(r CommitReq) error {
+	if h.pending != nil && h.pendingStep != r.Superstep {
+		return fmt.Errorf("commit for superstep %d, pending is for %d", r.Superstep, h.pendingStep)
+	}
+	for p, vals := range h.pending {
+		part := h.parts[p]
+		for id, val := range vals {
+			v := part.verts[id]
+			v.label, v.rank = val.Label, val.Rank
+		}
+	}
+	h.pending = nil
+	return nil
+}
+
+// fetch reads committed partition state, vertices in ascending order.
+func (h *workerHost) fetch(r FetchReq) (*FetchResp, error) {
+	resp := &FetchResp{}
+	for _, p := range r.Parts {
+		part := h.parts[p]
+		if part == nil {
+			return nil, fmt.Errorf("fetch of partition %d, which is not hosted here", p)
+		}
+		ps := PartState{Part: p, Vertices: make([]VertexVal, 0, len(part.order))}
+		for _, id := range part.order {
+			v := part.verts[id]
+			ps.Vertices = append(ps.Vertices, VertexVal{ID: id, Label: v.label, Rank: v.rank})
+		}
+		resp.Parts = append(resp.Parts, ps)
+	}
+	return resp, nil
+}
+
+// restore overwrites partition state from a snapshot or migration.
+func (h *workerHost) restore(r RestoreReq) error {
+	for _, ps := range r.Parts {
+		part := h.parts[ps.Part]
+		if part == nil {
+			return fmt.Errorf("restore of partition %d, which is not hosted here", ps.Part)
+		}
+		for _, val := range ps.Vertices {
+			v := part.verts[val.ID]
+			if v == nil {
+				return fmt.Errorf("restore of vertex %d, which partition %d does not hold", val.ID, ps.Part)
+			}
+			v.label, v.rank = val.Label, val.Rank
+		}
+	}
+	return nil
+}
+
+// clear reinitialises the listed hosted partitions.
+func (h *workerHost) clear(parts []int) error {
+	for _, p := range parts {
+		part := h.parts[p]
+		if part == nil {
+			return fmt.Errorf("clear of partition %d, which is not hosted here", p)
+		}
+		h.initPartition(part)
+	}
+	return nil
+}

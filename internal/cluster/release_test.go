@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression: Release used to accept double releases and never-acquired
+// worker IDs (the liveness check alone cannot tell "already released"
+// from "never existed" once degraded-mode repartitioning has shuffled
+// ownership), and each bogus call incremented the bounded spare pool.
+// A supervisor that released the same decommissioned machine twice then
+// "returned" a phantom worker could provision replacements out of thin
+// air. Every rejection must now be a *ReleaseError with a sentinel
+// reason, and the pool must not move.
+func TestReleaseRejectsBogusWorkersTyped(t *testing.T) {
+	c := New(3, 6, WithSpares(0))
+
+	// Exhaust the pool and go degraded: worker 0 dies, no spare exists,
+	// orphans are repartitioned across the survivors.
+	c.Fail(0)
+	if ws, _, _ := c.AcquireN(1); len(ws) != 0 {
+		t.Fatalf("acquired %v from an empty pool", ws)
+	}
+	if _, err := c.AssignOrphans(); err != nil {
+		t.Fatalf("AssignOrphans: %v", err)
+	}
+
+	// One legitimate release: worker 2 is decommissioned, pool = 1.
+	if err := c.Release(2); err != nil {
+		t.Fatalf("Release(2): %v", err)
+	}
+	if c.Spares() != 1 {
+		t.Fatalf("spares after release = %d, want 1", c.Spares())
+	}
+
+	cases := []struct {
+		name   string
+		worker int
+		reason error
+	}{
+		{"double release", 2, ErrDoubleRelease},
+		{"failed worker", 0, ErrDeadWorker},
+		{"never provisioned", 99, ErrUnknownWorker},
+		{"negative ID", -1, ErrUnknownWorker},
+		{"last live worker", 1, ErrLastWorker},
+	}
+	for _, tc := range cases {
+		err := c.Release(tc.worker)
+		if err == nil {
+			t.Fatalf("%s: Release(%d) succeeded", tc.name, tc.worker)
+		}
+		var re *ReleaseError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: error %v is not a *ReleaseError", tc.name, err)
+		}
+		if re.Worker != tc.worker {
+			t.Fatalf("%s: ReleaseError.Worker = %d, want %d", tc.name, re.Worker, tc.worker)
+		}
+		if !errors.Is(err, tc.reason) {
+			t.Fatalf("%s: reason = %v, want %v", tc.name, err, tc.reason)
+		}
+	}
+
+	// The inflated-pool symptom: none of the rejected releases may have
+	// grown the spare pool, so exactly one replacement is provisionable.
+	if c.Spares() != 1 {
+		t.Fatalf("spares after bogus releases = %d, want 1", c.Spares())
+	}
+	if ws, _, err := c.AcquireN(2); err != nil || len(ws) != 1 {
+		t.Fatalf("AcquireN(2) = %v, %v; want exactly the one real spare", ws, err)
+	}
+}

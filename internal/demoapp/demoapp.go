@@ -18,6 +18,7 @@ import (
 	"optiflow/internal/algo/pagerank"
 	"optiflow/internal/algo/ref"
 	"optiflow/internal/checkpoint"
+	"optiflow/internal/cluster"
 	"optiflow/internal/failure"
 	"optiflow/internal/graph"
 	"optiflow/internal/graph/gen"
@@ -93,6 +94,13 @@ type Config struct {
 	Color bool
 	// PRIterations bounds PageRank supersteps (30 if zero).
 	PRIterations int
+	// NewCluster, when set, provisions the cluster backend the run
+	// executes on — e.g. proc.Provision for a real multi-process
+	// cluster whose Fail is a SIGKILL. It receives the worker and
+	// partition counts and the supervision config (nil when not
+	// Supervised), and its teardown runs when the demo run ends. When
+	// nil the algorithms build the in-process simulation.
+	NewCluster supervise.ClusterFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +158,16 @@ func (c Config) supervision(store checkpoint.Store) *supervise.Config {
 		FailureBudget: c.FailureBudget,
 		Store:         store,
 	}
+}
+
+// provisionCluster builds the run's cluster backend via NewCluster. A
+// nil cluster (and no-op teardown) means the algorithm constructs the
+// in-process simulation itself.
+func (c Config) provisionCluster(sup *supervise.Config) (cluster.Interface, func(), error) {
+	if c.NewCluster == nil {
+		return nil, func() {}, nil
+	}
+	return c.NewCluster(c.Parallelism, c.Parallelism, sup)
 }
 
 // injector builds the scripted injector from the boundary, mid-step and
@@ -273,11 +291,18 @@ func runCC(cfg Config) (*RunOutcome, error) {
 	}
 
 	pol, store := cfg.policy()
+	sup := cfg.supervision(store)
+	cl, stop, err := cfg.provisionCluster(sup)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	res, err := cc.Run(g, cc.Options{
 		Parallelism: cfg.Parallelism,
 		Injector:    cfg.injector(),
 		Policy:      pol,
-		Supervise:   cfg.supervision(store),
+		Supervise:   sup,
+		Cluster:     cl,
 		Probe: func(job *cc.CC, s iterate.Sample) {
 			converged := job.ConvergedCount(truth)
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
@@ -380,12 +405,19 @@ func runPR(cfg Config) (*RunOutcome, error) {
 	}
 
 	pol, store := cfg.policy()
+	sup := cfg.supervision(store)
+	cl, stop, err := cfg.provisionCluster(sup)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	res, err := pagerank.Run(g, pagerank.Options{
 		Parallelism:   cfg.Parallelism,
 		MaxIterations: cfg.PRIterations,
 		Injector:      cfg.injector(),
 		Policy:        pol,
-		Supervise:     cfg.supervision(store),
+		Supervise:     sup,
+		Cluster:       cl,
 		Probe: func(job *pagerank.PR, s iterate.Sample) {
 			converged := job.ConvergedCount(truth, eps)
 			l1 := s.Stats.Extra["l1"]

@@ -249,6 +249,7 @@ func TestFaultMatrix(t *testing.T) {
 					Failures:            map[int][]int{0: {0}},
 					MidStepFailures:     map[int][]int{2: {1}},
 					MidStepAfterRecords: 4,
+					NewCluster:          testClusterFactory(t),
 				}
 				out, err := Run(cfg)
 				if policy == "none" {

@@ -11,6 +11,7 @@ import (
 
 	"optiflow/internal/algo/cc"
 	"optiflow/internal/algo/pagerank"
+	"optiflow/internal/supervise"
 )
 
 // Shell is the interactive command loop of the demonstration — the
@@ -25,6 +26,9 @@ type Shell struct {
 	// PlayDelay slows down small-graph playback "so that demo visitors
 	// can easily trace each iteration" (§3.1). Zero in tests.
 	PlayDelay time.Duration
+	// ClusterFactory, when set, provisions the cluster backend for
+	// every run (e.g. proc.Provision for real worker processes).
+	ClusterFactory supervise.ClusterFactory
 }
 
 // NewShell builds a shell reading commands from in and writing to out.
@@ -284,6 +288,7 @@ func (s *Shell) reset(msg string) {
 }
 
 func (s *Shell) run() error {
+	s.cfg.NewCluster = s.ClusterFactory
 	out, err := Run(s.cfg)
 	if err != nil {
 		return err

@@ -96,12 +96,18 @@ func (r *Runner) ChaosSoak() (*Report, error) {
 					detail  string
 					err     error
 				)
+				cl, stopCluster, err := r.provisionCluster(sup)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: chaos %s/%s seed %d: provisioning cluster: %v",
+						workload, policyName, seed, err)
+				}
 				if workload == "cc" {
 					out, runErr := cc.Run(ccGraph, cc.Options{
 						Parallelism: r.cfg.Parallelism,
 						Policy:      pol,
 						Injector:    chaos,
 						Supervise:   sup,
+						Cluster:     cl,
 					})
 					if runErr != nil {
 						err = runErr
@@ -118,6 +124,7 @@ func (r *Runner) ChaosSoak() (*Report, error) {
 						Policy:        pol,
 						Injector:      chaos,
 						Supervise:     sup,
+						Cluster:       cl,
 					})
 					if runErr != nil {
 						err = runErr
@@ -128,6 +135,7 @@ func (r *Runner) ChaosSoak() (*Report, error) {
 						detail = fmt.Sprintf("L1 to truth %.2e", l1)
 					}
 				}
+				stopCluster()
 				if err != nil {
 					return nil, fmt.Errorf("experiments: chaos %s/%s seed %d: %v", workload, policyName, seed, err)
 				}

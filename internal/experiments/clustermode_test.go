@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"optiflow/internal/cluster/proc"
+	"optiflow/internal/supervise"
+)
+
+var clusterMode = flag.String("cluster", "inproc",
+	"cluster backend for cluster-facing experiments: inproc (simulation) or proc (real worker processes)")
+
+// TestMain lets the coordinator re-execute this test binary as a
+// worker daemon when -cluster=proc.
+func TestMain(m *testing.M) {
+	proc.MaybeChildMode()
+	os.Exit(m.Run())
+}
+
+// testClusterFactory maps the -cluster flag onto a Config.NewCluster
+// factory, so the chaos soak runs against both cluster deployments.
+func testClusterFactory(t *testing.T) supervise.ClusterFactory {
+	t.Helper()
+	switch *clusterMode {
+	case "", "inproc":
+		return nil
+	case "proc":
+		return proc.Provision
+	default:
+		t.Fatalf("unknown -cluster mode %q (want inproc or proc)", *clusterMode)
+		return nil
+	}
+}

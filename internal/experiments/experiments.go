@@ -11,7 +11,9 @@ import (
 	"sort"
 	"strings"
 
+	"optiflow/internal/cluster"
 	"optiflow/internal/metrics"
+	"optiflow/internal/supervise"
 )
 
 // Report is the outcome of one experiment.
@@ -99,6 +101,11 @@ type Config struct {
 	Seed int64
 	// Quick shrinks workloads for unit-test budgets.
 	Quick bool
+	// NewCluster, when set, provisions the cluster backend for the
+	// cluster-facing experiments (the chaos soak) — e.g. proc.Provision
+	// to soak against real multi-process worker daemons instead of the
+	// in-process simulation.
+	NewCluster supervise.ClusterFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +131,16 @@ type Runner struct {
 
 // NewRunner returns a Runner with the given configuration.
 func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg.withDefaults()} }
+
+// provisionCluster builds the cluster backend for one cluster-facing
+// run via Config.NewCluster. A nil cluster (and no-op teardown) means
+// the algorithm constructs the in-process simulation itself.
+func (r *Runner) provisionCluster(sup *supervise.Config) (cluster.Interface, func(), error) {
+	if r.cfg.NewCluster == nil {
+		return nil, func() {}, nil
+	}
+	return r.cfg.NewCluster(r.cfg.Parallelism, r.cfg.Parallelism, sup)
+}
 
 // Experiment names in canonical order.
 var order = []string{"fig1a", "fig1b", "fig2", "fig4", "twitter", "overhead", "recovery", "compensation", "bulkdelta", "als", "confined", "kmeans", "chaos"}

@@ -87,7 +87,8 @@ func TestRunnerDispatch(t *testing.T) {
 }
 
 func TestChaosSoak(t *testing.T) {
-	rep, err := quickRunner().ChaosSoak()
+	r := NewRunner(Config{Quick: true, TwitterSize: 2000, NewCluster: testClusterFactory(t)})
+	rep, err := r.ChaosSoak()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,10 +14,16 @@ import (
 	"sync"
 
 	"optiflow/internal/demoapp"
+	"optiflow/internal/supervise"
 )
 
 // Server renders and caches demo runs.
 type Server struct {
+	// NewCluster, when set before serving, provisions the cluster
+	// backend for every run (e.g. proc.Provision for a real
+	// multi-process cluster). Nil runs on the in-process simulation.
+	NewCluster supervise.ClusterFactory
+
 	mu      sync.Mutex
 	outcome *demoapp.RunOutcome
 	lastErr error
@@ -164,6 +170,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Mode: mode, Failures: failures, MidStepFailures: midFailures,
 		DuringRecoveryFailures: recFailures,
 		Policy:                 policy, Color: true,
+		NewCluster: s.NewCluster,
 	}
 	if sparesSpec := strings.TrimSpace(r.URL.Query().Get("spares")); sparesSpec != "" {
 		n, err := strconv.Atoi(sparesSpec)

@@ -172,7 +172,7 @@ type Loop struct {
 	// Policy is the fault-tolerance strategy (defaults to None).
 	Policy recovery.Policy
 	// Cluster models worker/partition placement. Required.
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 	// Injector decides failures (defaults to no failures).
 	Injector failure.Injector
 	// Supervisor, if set, takes over the failure path: worker

@@ -1,0 +1,61 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"optiflow/internal/cluster"
+	"optiflow/internal/recovery"
+)
+
+// Regression: a zero (or near-zero) BackoffBase degenerated the capped
+// exponential backoff to a zero delay on every retry — 0 doubled is
+// still 0 — so a failing provisioner was hammered in a hot spin
+// instead of being backed off. Every recorded delay must now be at
+// least MinBackoffBase, for the exact configurations that used to
+// spin: base 0, and a positive base far below the floor.
+func TestBackoffZeroBaseNeverYieldsZeroDelay(t *testing.T) {
+	for _, base := range []time.Duration{0, time.Nanosecond} {
+		hook := func(seq, worker int) (time.Duration, error) {
+			return 0, errors.New("provisioner busy")
+		}
+		var slept []time.Duration
+		cfg := Config{
+			Spares:            -1,
+			MaxAcquireRetries: 3,
+			AcquireHook:       hook,
+			BackoffBase:       base,
+			Sleep:             func(d time.Duration) { slept = append(slept, d) },
+		}
+		cl := cluster.New(4, 8, cfg.ClusterOptions()...)
+		s := New(cl, recovery.Optimistic{}, nil, cfg)
+		out, err := s.Recover(&fakeJob{}, kill(cl, 0, 0, 2))
+		if err != nil {
+			t.Fatalf("base %v: Recover: %v", base, err)
+		}
+		if out.Retries == 0 || len(slept) == 0 {
+			t.Fatalf("base %v: vacuous — retries %d, %d delays recorded", base, out.Retries, len(slept))
+		}
+		for i, d := range slept {
+			if d < MinBackoffBase {
+				t.Fatalf("base %v: retry %d slept %v, below MinBackoffBase %v (hot spin)", base, i, d, MinBackoffBase)
+			}
+		}
+	}
+}
+
+// The floor only guards against degenerate bases: a deliberate slow
+// backoff configuration passes through untouched.
+func TestBackoffHonoursExplicitBase(t *testing.T) {
+	s := New(cluster.New(2, 4), recovery.Optimistic{}, nil, Config{
+		BackoffBase: 16 * time.Millisecond,
+		BackoffCap:  64 * time.Millisecond,
+	})
+	if d := s.backoff(0); d != 16*time.Millisecond {
+		t.Fatalf("backoff(0) = %v", d)
+	}
+	if d := s.backoff(5); d != 64*time.Millisecond {
+		t.Fatalf("backoff(5) = %v, want cap", d)
+	}
+}

@@ -40,7 +40,7 @@ func scenarioProbe(col *metrics.Collector) func(iterate.Sample) {
 	}
 }
 
-func assertScenario(t *testing.T, cl *cluster.Cluster, res *iterate.Result, col *metrics.Collector) {
+func assertScenario(t *testing.T, cl cluster.Interface, res *iterate.Result, col *metrics.Collector) {
 	t.Helper()
 	if res.Failures < 2 {
 		t.Fatalf("failures = %d, want both scripted failures", res.Failures)

@@ -60,7 +60,9 @@ type Config struct {
 	MaxAcquireRetries int
 	// BackoffBase and BackoffCap shape the capped exponential backoff
 	// between acquire retries: min(BackoffBase << attempt, BackoffCap).
-	// Defaults 5ms and 80ms.
+	// Defaults 5ms and 80ms. Bases below MinBackoffBase are raised to
+	// it — a zero or near-zero base would double to nothing and turn
+	// every acquire failure into a hot spin against the provisioner.
 	BackoffBase, BackoffCap time.Duration
 	// FailureBudget is the maximum number of consecutive discarded
 	// attempts of one superstep before the supervisor stops trusting
@@ -87,6 +89,14 @@ type Config struct {
 	Sleep func(time.Duration)
 }
 
+// MinBackoffBase is the smallest acquire-retry backoff base the
+// supervisor will honour. Exponential backoff degenerates when the base
+// is (effectively) zero — 0 doubled is still 0, so every retry fires
+// immediately and a stuck provisioner gets hammered in a hot spin.
+// Config bases in (0, MinBackoffBase) are raised to this floor;
+// non-positive bases take the 5ms default.
+const MinBackoffBase = time.Millisecond
+
 func (c Config) withDefaults() Config {
 	if c.MaxAcquireRetries == 0 {
 		c.MaxAcquireRetries = 3
@@ -95,6 +105,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffBase <= 0 {
 		c.BackoffBase = 5 * time.Millisecond
+	} else if c.BackoffBase < MinBackoffBase {
+		c.BackoffBase = MinBackoffBase
 	}
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = 80 * time.Millisecond
@@ -128,6 +140,16 @@ func (c Config) ClusterOptions() []cluster.Option {
 	return opts
 }
 
+// ClusterFactory provisions the cluster backend a run executes on:
+// workers and partitions are the initial counts, sup is the
+// supervision config (nil for unsupervised runs — the factory then
+// leaves the spare pool unlimited). The returned func tears the
+// cluster down when the run is over. The two deployments behind the
+// one cluster.Interface each provide a factory: cluster.New wrapped
+// trivially for the in-process simulation, proc.Provision for the
+// multi-process cluster of real worker daemons.
+type ClusterFactory func(workers, partitions int, sup *Config) (cluster.Interface, func(), error)
+
 // Outcome reports what one Recover call did.
 type Outcome struct {
 	// ResumeAt is the superstep at which execution resumes.
@@ -160,7 +182,7 @@ type Outcome struct {
 // and escalation logic for one cluster. It is not safe for concurrent
 // use; the iteration driver calls it sequentially.
 type Supervisor struct {
-	cl       *cluster.Cluster
+	cl       cluster.Interface
 	policy   recovery.Policy
 	injector failure.Injector
 	cfg      Config
@@ -177,7 +199,7 @@ type Supervisor struct {
 // New builds a Supervisor for the given cluster. policy defaults to
 // recovery.None (every failure escalates), injector to failure.None
 // (nothing strikes during recovery).
-func New(cl *cluster.Cluster, policy recovery.Policy, injector failure.Injector, cfg Config) *Supervisor {
+func New(cl cluster.Interface, policy recovery.Policy, injector failure.Injector, cfg Config) *Supervisor {
 	if policy == nil {
 		policy = recovery.None{}
 	}
@@ -302,9 +324,14 @@ func (s *Supervisor) replaceWorkers(n int, out *Outcome) error {
 	return nil
 }
 
-// backoff returns min(BackoffBase << attempt, BackoffCap).
+// backoff returns min(BackoffBase << attempt, BackoffCap), never below
+// MinBackoffBase (belt-and-braces for Supervisors built without
+// withDefaults).
 func (s *Supervisor) backoff(attempt int) time.Duration {
 	d := s.cfg.BackoffBase
+	if d < MinBackoffBase {
+		d = MinBackoffBase
+	}
 	for i := 0; i < attempt && d < s.cfg.BackoffCap; i++ {
 		d *= 2
 	}

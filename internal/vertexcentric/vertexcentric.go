@@ -333,7 +333,7 @@ type Result[S, M any] struct {
 	// States holds the final vertex states.
 	States map[graph.VertexID]S
 	// Cluster exposes membership events.
-	Cluster *cluster.Cluster
+	Cluster cluster.Interface
 }
 
 // Run executes the program until no messages remain.

@@ -50,6 +50,7 @@ import (
 	"optiflow/internal/algo/sssp"
 	"optiflow/internal/checkpoint"
 	"optiflow/internal/cluster"
+	"optiflow/internal/cluster/proc"
 	"optiflow/internal/dataflow"
 	"optiflow/internal/exec"
 	"optiflow/internal/failure"
@@ -92,8 +93,13 @@ type (
 	Overhead = recovery.Overhead
 	// Injector decides which workers fail in which supersteps.
 	Injector = failure.Injector
-	// Cluster models workers owning state partitions.
+	// Cluster models workers owning state partitions (the in-process
+	// simulation; see ClusterBackend for the shared interface).
 	Cluster = cluster.Cluster
+	// ClusterBackend is the interface shared by the in-process
+	// simulation and the multi-process TCP cluster
+	// (internal/cluster/proc), so loops run unchanged in both modes.
+	ClusterBackend = cluster.Interface
 	// CheckpointStore is stable storage for rollback recovery.
 	CheckpointStore = checkpoint.Store
 )
@@ -357,12 +363,17 @@ type (
 	SuperviseConfig = supervise.Config
 	// SuperviseOutcome summarises one supervised recovery.
 	SuperviseOutcome = supervise.Outcome
+
+	// ClusterFactory provisions a cluster backend for a run — wrap
+	// NewCluster with ClusterOptions for the in-process simulation, or
+	// use NewProcCluster for real worker processes.
+	ClusterFactory = supervise.ClusterFactory
 )
 
 // NewSupervisor builds a recovery supervisor for a custom Loop: assign
 // it to the Loop's Supervisor field and construct the cluster with
 // cfg.ClusterOptions() so the spare pool and hooks take effect.
-func NewSupervisor(cl *Cluster, policy Policy, injector Injector, cfg SuperviseConfig) *supervise.Supervisor {
+func NewSupervisor(cl ClusterBackend, policy Policy, injector Injector, cfg SuperviseConfig) *supervise.Supervisor {
 	return supervise.New(cl, policy, injector, cfg)
 }
 
@@ -559,6 +570,23 @@ func WithEventCap(n int) ClusterOption { return cluster.WithEventCap(n) }
 func NewCluster(numWorkers, numPartitions int, opts ...ClusterOption) *Cluster {
 	return cluster.New(numWorkers, numPartitions, opts...)
 }
+
+// NewProcCluster boots the multi-process cluster: numWorkers real
+// worker-daemon processes (this binary re-executed) connected to an
+// in-process coordinator over loopback TCP, behind the same
+// ClusterBackend interface as NewCluster — except Fail delivers an
+// actual SIGKILL. The returned stop func kills any workers still
+// running. The hosting binary must call WorkerProcessMain first thing
+// in main.
+func NewProcCluster(numWorkers, numPartitions int) (ClusterBackend, func(), error) {
+	return proc.Provision(numWorkers, numPartitions, nil)
+}
+
+// WorkerProcessMain checks whether this process was spawned as a
+// worker daemon of a multi-process cluster and, if so, runs the worker
+// and exits — it never returns in that case. Call it first thing in
+// main (before flag parsing) in any binary that uses NewProcCluster.
+func WorkerProcessMain() { proc.MaybeChildMode() }
 
 // BulkTermination returns a Loop termination predicate for bulk
 // iterations (max supersteps, optional convergence test).

@@ -1,0 +1,45 @@
+package optiflow_test
+
+import (
+	"os"
+	"testing"
+
+	"optiflow"
+)
+
+// TestMain routes spawned worker-daemon children into worker mode, the
+// same way a binary using NewProcCluster must call WorkerProcessMain
+// first thing in main.
+func TestMain(m *testing.M) {
+	optiflow.WorkerProcessMain()
+	os.Exit(m.Run())
+}
+
+// TestNewProcCluster boots real worker processes through the facade
+// and checks the backend answers basic membership queries like the
+// in-process simulation would.
+func TestNewProcCluster(t *testing.T) {
+	cl, stop, err := optiflow.NewProcCluster(2, 4)
+	if err != nil {
+		t.Fatalf("NewProcCluster: %v", err)
+	}
+	defer stop()
+
+	if got := cl.NumPartitions(); got != 4 {
+		t.Fatalf("NumPartitions = %d, want 4", got)
+	}
+	if got := len(cl.Workers()); got != 2 {
+		t.Fatalf("Workers = %d, want 2", got)
+	}
+	owned := 0
+	for p := 0; p < cl.NumPartitions(); p++ {
+		w := cl.Owner(p)
+		if !cl.IsAlive(w) {
+			t.Fatalf("Owner(%d) = %d is not alive", p, w)
+		}
+		owned++
+	}
+	if owned != 4 {
+		t.Fatalf("owned partitions = %d, want 4", owned)
+	}
+}
