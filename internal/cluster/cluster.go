@@ -39,6 +39,11 @@ const (
 	EventRepartition   EventKind = "repartition"
 	EventEscalate      EventKind = "escalate"
 	EventRetry         EventKind = "retry"
+	// Suspicion-ladder events (process-backed clusters only): a worker
+	// entered the grace window ("suspect") or was declared failed after
+	// it expired ("condemn").
+	EventSuspect EventKind = "suspect"
+	EventCondemn EventKind = "condemn"
 )
 
 // Event records a membership change or a recovery-supervision note, for

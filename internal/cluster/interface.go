@@ -53,6 +53,35 @@ type Interface interface {
 
 var _ Interface = (*Cluster)(nil)
 
+// NetStats are a cluster backend's gray-failure counters: how often the
+// RPC layer retried, how often a worker connection was re-established,
+// and how far workers climbed the suspicion ladder. The in-process
+// simulation has no network, so only backends that really exchange
+// frames (cluster/proc) report non-zero values.
+type NetStats struct {
+	// RPCRetries counts ctrl-RPC attempts beyond the first.
+	RPCRetries int
+	// Reconnects counts broken ctrl/beat connections a worker
+	// re-established within its grace window.
+	Reconnects int
+	// Suspected counts workers that entered the suspicion ladder
+	// (missed beats or a broken connection).
+	Suspected int
+	// Condemned counts workers the ladder declared failed (grace
+	// expired, retries exhausted, process reaped, or straggling).
+	Condemned int
+	// Fenced counts handshakes rejected because the dialing worker had
+	// already been condemned or replaced — the zombie-write guard.
+	Fenced int
+}
+
+// NetReporter is implemented by cluster backends that expose network
+// fault counters. Probes type-assert for it; absence means the backend
+// has no network to observe.
+type NetReporter interface {
+	NetStats() NetStats
+}
+
 // Release rejection reasons, carried inside *ReleaseError. Releasing is
 // cooperative decommissioning, so only a currently-live worker
 // qualifies; everything else used to be accepted silently (or with an

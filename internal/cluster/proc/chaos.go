@@ -2,7 +2,9 @@ package proc
 
 import (
 	"math/rand"
+	"time"
 
+	"optiflow/internal/cluster/proc/netfault"
 	"optiflow/internal/failure"
 )
 
@@ -15,19 +17,46 @@ import (
 // proc job translates ctx.Fault into real kills); during-recovery
 // strikes kill replacements while the supervisor is still healing the
 // previous failure.
+//
+// With WithNetwork armed, boundary opportunities can also deliver
+// network strikes — severed connections, delay bursts and partitions
+// against the fault-injecting conn layer. Network strikes are not
+// failures: they return nothing to the driver and the suspicion ladder
+// decides whether the struck worker survives (reconnect within grace)
+// or is condemned and recovered.
 type Chaos struct {
 	// BoundaryP, MidP and DuringP are the per-opportunity strike
-	// probabilities of the three surfaces.
+	// probabilities of the three crash surfaces.
 	BoundaryP, MidP, DuringP float64
+	// NetP is the per-boundary probability of a network strike
+	// (requires WithNetwork).
+	NetP float64
+	// NetDelay is the delay-burst magnitude (50ms if zero).
+	NetDelay time.Duration
 
 	co       *Coordinator
 	boundary *rand.Rand
 	mid      *rand.Rand
 	during   *rand.Rand
 
-	max    int // total strike budget; 0 = unlimited
+	max    int // total crash budget; 0 = unlimited
 	n      int
 	killed int // boundary + during strikes delivered as real SIGKILLs
+
+	nw      *netfault.Network
+	netRng  *rand.Rand
+	netMax  int // network strike budget; 0 = unlimited
+	netN    int
+	strikes NetStrikes
+	healDue map[int]int // partitioned worker -> boundaries until heal
+	clear   []int       // delay-burst victims to clear at the next boundary
+}
+
+// NetStrikes counts delivered network strikes per kind.
+type NetStrikes struct {
+	Severed     int
+	Delayed     int
+	Partitioned int
 }
 
 // NewChaos returns a proc chaos injector with moderate default
@@ -39,29 +68,48 @@ func NewChaos(co *Coordinator, seed int64) *Chaos {
 		BoundaryP: 0.2,
 		MidP:      0.15,
 		DuringP:   0.25,
+		NetDelay:  50 * time.Millisecond,
 		co:        co,
 		boundary:  rand.New(rand.NewSource(seed)),
 		mid:       rand.New(rand.NewSource(seed ^ 0x7f4a7c159e3779b9)),
 		during:    rand.New(rand.NewSource(seed ^ 0x517cc1b727220a95)),
+		netRng:    rand.New(rand.NewSource(seed ^ 0x2545f4914f6cdd1d)),
+		healDue:   make(map[int]int),
 	}
 }
 
-// WithProbabilities sets the three per-opportunity probabilities.
+// WithProbabilities sets the three per-opportunity crash probabilities.
 func (c *Chaos) WithProbabilities(boundaryP, midP, duringP float64) *Chaos {
 	c.BoundaryP, c.MidP, c.DuringP = boundaryP, midP, duringP
 	return c
 }
 
-// WithMaxFailures bounds the total number of strikes (0 = unlimited).
+// WithMaxFailures bounds the total number of crash strikes (0 =
+// unlimited).
 func (c *Chaos) WithMaxFailures(n int) *Chaos {
 	c.max = n
+	return c
+}
+
+// WithNetwork arms network strikes against the given fault layer (which
+// must be the coordinator's Config.NetFault) with per-boundary
+// probability p and a total budget (0 = unlimited).
+func (c *Chaos) WithNetwork(nw *netfault.Network, p float64, budget int) *Chaos {
+	c.nw = nw
+	c.NetP = p
+	c.netMax = budget
 	return c
 }
 
 // Killed returns how many real SIGKILLs this injector delivered.
 func (c *Chaos) Killed() int { return c.killed }
 
+// NetDelivered returns the per-kind network strike counts.
+func (c *Chaos) NetDelivered() NetStrikes { return c.strikes }
+
 func (c *Chaos) budgetLeft() bool { return c.max == 0 || c.n < c.max }
+
+func (c *Chaos) netBudgetLeft() bool { return c.netMax == 0 || c.netN < c.netMax }
 
 // strike picks a victim, SIGKILLs its process and reports it.
 func (c *Chaos) strike(rng *rand.Rand, alive []int) []int {
@@ -73,9 +121,58 @@ func (c *Chaos) strike(rng *rand.Rand, alive []int) []int {
 	return []int{w}
 }
 
+// netBoundary runs the network surface at one superstep barrier: heal
+// or clear strikes whose tenure expired, then maybe deliver a new one.
+func (c *Chaos) netBoundary(alive []int) {
+	if c.nw == nil {
+		return
+	}
+	for _, w := range c.clear {
+		c.nw.SetFaults(w, netfault.Inbound, netfault.Faults{})
+		c.nw.SetFaults(w, netfault.Outbound, netfault.Faults{})
+	}
+	c.clear = nil
+	for w, left := range c.healDue {
+		if left <= 1 {
+			c.nw.Heal(w)
+			delete(c.healDue, w)
+		} else {
+			c.healDue[w] = left - 1
+		}
+	}
+	if len(alive) == 0 || !c.netBudgetLeft() || c.netRng.Float64() >= c.NetP {
+		return
+	}
+	w := alive[c.netRng.Intn(len(alive))]
+	c.netN++
+	switch c.netRng.Intn(3) {
+	case 0:
+		c.nw.Sever(w)
+		c.strikes.Severed++
+	case 1:
+		// A delay burst on both directions, cleared at the next
+		// boundary: every frame to and from w is held for NetDelay.
+		f := netfault.Faults{DelayP: 1, Delay: c.NetDelay}
+		c.nw.SetFaults(w, netfault.Inbound, f)
+		c.nw.SetFaults(w, netfault.Outbound, f)
+		c.clear = append(c.clear, w)
+		c.strikes.Delayed++
+	case 2:
+		// A symmetric partition that heals after one or two boundaries
+		// — long enough to climb the ladder when supersteps are slow,
+		// short enough to usually rejoin within grace.
+		c.nw.Partition(w)
+		c.healDue[w] = 1 + c.netRng.Intn(2)
+		c.strikes.Partitioned++
+	}
+}
+
 // FailuresAt implements failure.Injector: a boundary strike is a real
-// SIGKILL delivered at the superstep barrier.
+// SIGKILL delivered at the superstep barrier. The network surface also
+// runs here (strikes and heals), but its victims are NOT reported —
+// whether they fail is the suspicion ladder's call.
 func (c *Chaos) FailuresAt(_, _ int, alive []int) []int {
+	c.netBoundary(alive)
 	if len(alive) == 0 || !c.budgetLeft() || c.boundary.Float64() >= c.BoundaryP {
 		return nil
 	}

@@ -2,7 +2,6 @@ package proc
 
 import (
 	"crypto/rand"
-	"encoding/gob"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -15,6 +14,7 @@ import (
 
 	"optiflow/internal/clock"
 	"optiflow/internal/cluster"
+	"optiflow/internal/cluster/proc/netfault"
 )
 
 // Config parameterises a Coordinator.
@@ -38,13 +38,45 @@ type Config struct {
 	// Heartbeat is the worker beat interval (100ms if zero).
 	Heartbeat time.Duration
 	// LivenessWindow is how long a worker may go without a heartbeat
-	// before detection reports it dead (2s if zero). Window math runs
-	// on internal/clock so tests can drive it deterministically.
+	// before it becomes suspect (2s if zero). Window math runs on
+	// internal/clock so tests can drive it deterministically.
 	LivenessWindow time.Duration
-	// CallTimeout bounds each ctrl RPC (10s if zero).
+	// CallTimeout bounds each ctrl RPC attempt (10s if zero). A timed
+	// out attempt is retried — see SuspicionGrace for the total budget.
 	CallTimeout time.Duration
+	// HandshakeTimeout bounds a connection's Hello exchange on both
+	// ends (CallTimeout if zero).
+	HandshakeTimeout time.Duration
+	// SuspicionGrace is how long a suspect worker may stay on the
+	// ladder — retrying RPCs, reconnecting broken connections, missing
+	// beats — before it is condemned (2s if zero). It is also the total
+	// retry budget of one ctrl RPC.
+	SuspicionGrace time.Duration
+	// RetryBackoff is the initial ctrl-RPC retry backoff, doubled per
+	// attempt and capped at 8x (25ms if zero).
+	RetryBackoff time.Duration
+	// ReconnectGrace is how long a worker keeps redialing a broken
+	// connection before giving up and exiting (4x SuspicionGrace if
+	// zero — the worker must outlast the coordinator's ladder, so a
+	// healed partition can rejoin right up to the condemn verdict).
+	ReconnectGrace time.Duration
+	// StragglerFactor condemns a worker whose superstep RPC runs this
+	// many times longer than the majority's (6 if zero; negative
+	// disables straggler detection).
+	StragglerFactor float64
+	// StragglerMin is the floor on any straggler deadline, so fast
+	// supersteps do not condemn on scheduling jitter (2s if zero).
+	StragglerMin time.Duration
 	// SpawnTimeout bounds process start + handshake (15s if zero).
 	SpawnTimeout time.Duration
+	// NetFault, when set, routes every worker connection through the
+	// fault-injecting network layer.
+	NetFault *netfault.Network
+	// LeaveZombies makes Fail skip the SIGKILL: membership is updated
+	// and our connection ends are closed, but the worker process stays
+	// alive — modelling a partitioned node the coordinator cannot
+	// reach, whose later reappearance must be fenced.
+	LeaveZombies bool
 	// Spawn overrides how worker processes are started (tests). The
 	// default re-executes the current binary with the worker
 	// environment set; the entry point must call MaybeChildMode.
@@ -61,72 +93,236 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 10 * time.Second
 	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = c.CallTimeout
+	}
+	if c.SuspicionGrace <= 0 {
+		c.SuspicionGrace = 2 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.ReconnectGrace <= 0 {
+		c.ReconnectGrace = 4 * c.SuspicionGrace
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 6
+	}
+	if c.StragglerMin <= 0 {
+		c.StragglerMin = 2 * time.Second
+	}
 	if c.SpawnTimeout <= 0 {
 		c.SpawnTimeout = 15 * time.Second
 	}
 	return c
 }
 
-// rpcConn is one serialized request/response connection. The mutex
-// admits one in-flight RPC at a time; deadlines bound each exchange so
-// a SIGKILLed peer surfaces as an error, not a hang.
+// transportError marks an RPC failure of the transport itself —
+// timeouts and broken connections that outlived the retry budget — as
+// opposed to an ErrResp the worker answered. Only transport failures
+// feed the suspicion ladder; an application rejection proves the worker
+// is alive.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransportError reports whether err came from the transport layer.
+func isTransportError(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// rpcConn is one serialized request/response connection. A one-slot
+// semaphore admits one in-flight RPC at a time (a semaphore rather
+// than a mutex, because a call legitimately blocks — waiting out a
+// retry backoff or a worker redial — while holding its turn). Every
+// call gets a fresh idempotence token; a timed-out attempt is retried
+// with the SAME token and capped backoff (safe: the worker answers
+// duplicates from its idempotence cache, and stale responses are
+// discarded by token), while a broken connection waits for the worker
+// to redial and resume — the swap installed by the coordinator's
+// accept path.
 type rpcConn struct {
-	mu      sync.Mutex
+	sem chan struct{} // one-slot: serializes RPCs; holder owns nextID
+
+	cmu     sync.Mutex // guards nc and swapped
 	nc      net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	timeout time.Duration
+	swapped chan struct{} // closed when nc is replaced by a reconnect
+
+	timeout time.Duration   // per-attempt deadline
+	backoff time.Duration   // initial retry backoff
+	grace   time.Duration   // total retry budget
+	gone    <-chan struct{} // closed when the worker is condemned/reaped
+	onRetry func()          // observability hook, called per extra attempt
+
+	nextID uint64
+}
+
+// conn snapshots the current connection and its swap signal.
+func (r *rpcConn) conn() (net.Conn, chan struct{}) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	return r.nc, r.swapped
+}
+
+// swap installs a reconnected connection, waking any call waiting for
+// one. The old connection is closed.
+func (r *rpcConn) swap(nc net.Conn) {
+	r.cmu.Lock()
+	old := r.nc
+	r.nc = nc
+	close(r.swapped)
+	r.swapped = make(chan struct{})
+	r.cmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// close closes the current connection (condemn, teardown).
+func (r *rpcConn) close() {
+	r.cmu.Lock()
+	nc := r.nc
+	r.cmu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// attempt performs one request/response exchange for token id. Frames
+// with a different token are stale responses from earlier attempts (or
+// network duplicates) and are discarded.
+func (r *rpcConn) attempt(nc net.Conn, id uint64, req any) (any, error) {
+	nc.SetDeadline(time.Now().Add(r.timeout))
+	if err := writeFrameID(nc, id, req); err != nil {
+		return nil, err
+	}
+	for {
+		rid, m, err := readFrameID(nc)
+		if err != nil {
+			return nil, err
+		}
+		if rid != id {
+			continue
+		}
+		return m, nil
+	}
 }
 
 func (r *rpcConn) call(req any) (any, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nc.SetDeadline(time.Now().Add(r.timeout))
-	if err := writeFrame(r.enc, req); err != nil {
-		return nil, err
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.gone:
+		return nil, &transportError{err: errors.New("proc: worker gone")}
 	}
-	m, err := readFrame(r.dec)
-	if err != nil {
-		return nil, err
+	defer func() { <-r.sem }()
+	r.nextID++
+	id := r.nextID
+	deadline := time.Now().Add(r.grace)
+	backoff := r.backoff
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && r.onRetry != nil {
+			r.onRetry()
+		}
+		nc, swapped := r.conn()
+		resp, err := r.attempt(nc, id, req)
+		if err == nil {
+			if e, ok := resp.(ErrResp); ok {
+				return nil, errors.New("proc: " + e.Msg)
+			}
+			return resp, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, &transportError{err: fmt.Errorf("proc: %T retries exhausted after %v: %w", req, r.grace, err)}
+		}
+		if isTimeout(err) {
+			// The request or its response may have been lost in flight;
+			// the framed protocol keeps the stream aligned, so retry the
+			// same token on the same connection after a backoff.
+			if !r.wait(backoff, swapped) {
+				return nil, &transportError{err: fmt.Errorf("proc: worker gone: %w", err)}
+			}
+			if backoff < 8*r.backoff {
+				backoff *= 2
+			}
+			continue
+		}
+		// Hard transport error: the connection is dead. Close our end
+		// and wait for the worker to redial within the grace budget.
+		nc.Close()
+		select {
+		case <-swapped:
+		case <-r.gone:
+			return nil, &transportError{err: fmt.Errorf("proc: worker gone: %w", err)}
+		case <-time.After(time.Until(deadline)):
+			return nil, &transportError{err: fmt.Errorf("proc: no reconnect within %v: %w", r.grace, err)}
+		}
 	}
-	if e, ok := m.(ErrResp); ok {
-		return nil, errors.New("proc: " + e.Msg)
-	}
-	return m, nil
 }
 
-// workerProc is the coordinator's handle on one worker process.
-// reaped and suspect are guarded by the coordinator's mutex.
+// wait sleeps for the backoff, returning early (true) on a reconnect
+// swap and aborting (false) when the worker is gone.
+func (r *rpcConn) wait(d time.Duration, swapped chan struct{}) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-swapped:
+		return true
+	case <-r.gone:
+		return false
+	}
+}
+
+// workerProc is the coordinator's handle on one worker process. All
+// fields below cmd are guarded by the coordinator's mutex.
 type workerProc struct {
 	id   int
 	cmd  *oexec.Cmd
 	ctrl *rpcConn
 	beat net.Conn
 
-	reaped  bool // process exited (observed by the reaper)
-	suspect bool // an RPC or the beat stream failed
+	gone      chan struct{} // closed when the worker leaves (condemn/fail/reap)
+	reaped    bool          // process exited (observed by the reaper)
+	condemned bool          // the suspicion ladder's final verdict; sticky
+	suspectAt time.Time     // when the worker became suspect; zero = trusted
 }
 
-// kill SIGKILLs the process and closes our connection ends. Safe to
-// call repeatedly and on already-exited processes.
-func (p *workerProc) kill() {
-	if p.cmd != nil && p.cmd.Process != nil {
-		p.cmd.Process.Kill()
+// markGoneLocked closes the gone channel once, aborting any RPC waiting
+// on a reconnect. Callers hold the coordinator's mutex.
+func (p *workerProc) markGoneLocked() {
+	select {
+	case <-p.gone:
+	default:
+		close(p.gone)
 	}
+}
+
+// closeConns closes our ends of the worker's connections. Callers hold
+// the coordinator's mutex (conn fields are swapped under it).
+func (p *workerProc) closeConns() {
 	if p.ctrl != nil {
-		p.ctrl.nc.Close()
+		p.ctrl.close()
 	}
 	if p.beat != nil {
 		p.beat.Close()
 	}
 }
 
+// kill SIGKILLs the process and closes our connection ends. Callers
+// hold the coordinator's mutex. Safe to call repeatedly and on
+// already-exited processes.
+func (p *workerProc) kill() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.closeConns()
+}
+
 // handshook is a connection that completed its Hello exchange,
 // delivered from the accept loop to the spawner waiting for it.
 type handshook struct {
-	nc  net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	nc net.Conn
 }
 
 type connKey struct {
@@ -136,10 +332,20 @@ type connKey struct {
 
 // Coordinator is the multi-process cluster backend: it owns partition
 // assignment, spawns worker daemons as real OS processes, detects
-// their deaths (process reap, broken connections, missed-heartbeat
-// windows) and implements cluster.Interface with the exact membership
-// semantics of the in-process simulation — Fail is a SIGKILL,
-// AcquireN spawns replacement processes.
+// their failures and implements cluster.Interface with the exact
+// membership semantics of the in-process simulation — Fail is a
+// SIGKILL, AcquireN spawns replacement processes.
+//
+// Failure detection is a suspicion ladder, not a binary verdict: a
+// broken connection or missed liveness window makes a worker suspect,
+// opening a grace window in which the worker may redial and resume
+// (ctrl RPCs retry with idempotence tokens, the beat stream
+// re-attaches); only when the grace expires — or the process is reaped,
+// or RPC retries are exhausted, or the worker straggles a superstep —
+// is it condemned. Condemnation is sticky and fences the worker: its
+// connections are closed and any later handshake from the zombie is
+// rejected, so a partition that heals after recovery cannot double-
+// apply state.
 //
 // Membership-mutating methods (Fail, Acquire*, Release, AssignOrphans,
 // AddSpares, Note) are driven by a single caller — the iteration loop
@@ -166,9 +372,18 @@ type Coordinator struct {
 	beats         *liveness
 	assign        func(worker int, parts []int) error
 	closed        bool
+
+	statRetries    int
+	statReconnects int
+	statSuspected  int
+	statCondemned  int
+	statFenced     int
 }
 
-var _ cluster.Interface = (*Coordinator)(nil)
+var (
+	_ cluster.Interface   = (*Coordinator)(nil)
+	_ cluster.NetReporter = (*Coordinator)(nil)
+)
 
 // Start listens, spawns the initial worker processes and returns the
 // ready Coordinator. On any failure everything spawned so far is torn
@@ -234,14 +449,11 @@ func (c *Coordinator) Addr() string { return c.addr }
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	c.closed = true
-	procs := make([]*workerProc, 0, len(c.procs))
 	for _, p := range c.procs {
-		procs = append(procs, p)
-	}
-	c.mu.Unlock()
-	for _, p := range procs {
+		p.markGoneLocked()
 		p.kill()
 	}
+	c.mu.Unlock()
 	return c.ln.Close()
 }
 
@@ -256,12 +468,23 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
-// handleConn validates one incoming connection's Hello and delivers it
-// to the spawner waiting for that (worker, role) pair.
+// wrapConn routes a handshaken connection through the fault-injecting
+// network layer, when one is configured.
+func (c *Coordinator) wrapConn(w int, nc net.Conn) net.Conn {
+	if c.cfg.NetFault == nil {
+		return nc
+	}
+	return c.cfg.NetFault.Wrap(w, nc)
+}
+
+// handleConn disposes of one incoming connection: validate its Hello,
+// then either deliver it to the spawner waiting for that (worker, role)
+// pair, re-attach it to a live worker (reconnect), or fence it — a
+// handshake from a condemned or replaced worker is rejected so a zombie
+// cannot write into the job.
 func (c *Coordinator) handleConn(nc net.Conn) {
-	nc.SetDeadline(time.Now().Add(10 * time.Second))
-	enc, dec := gob.NewEncoder(nc), gob.NewDecoder(nc)
-	m, err := readFrame(dec)
+	nc.SetDeadline(time.Now().Add(c.cfg.HandshakeTimeout))
+	m, err := readFrame(nc)
 	if err != nil {
 		nc.Close()
 		return
@@ -269,21 +492,81 @@ func (c *Coordinator) handleConn(nc net.Conn) {
 	hello, ok := m.(Hello)
 	if !ok || hello.Proto != ProtoVersion || hello.Token != c.token ||
 		(hello.Conn != ConnCtrl && hello.Conn != ConnBeat) {
-		writeFrame(enc, ErrResp{Msg: "handshake rejected"})
+		writeFrame(nc, ErrResp{Msg: "handshake rejected"})
 		nc.Close()
 		return
 	}
-	if err := writeFrame(enc, HelloOK{Proto: ProtoVersion}); err != nil {
+	if c.cfg.NetFault != nil && !c.cfg.NetFault.AdmitDial(hello.Worker) {
+		// A partitioned worker's dial never reaches us; model that by
+		// dropping the connection with no acknowledgement.
+		nc.Close()
+		return
+	}
+
+	if ch := c.takeWaiter(connKey{worker: hello.Worker, role: hello.Conn}); ch != nil {
+		// A spawner is waiting for this connection: first contact.
+		if err := writeFrame(nc, HelloOK{Proto: ProtoVersion}); err != nil {
+			nc.Close()
+			return
+		}
+		nc.SetDeadline(time.Time{})
+		wrapped := c.wrapConn(hello.Worker, nc)
+		select {
+		case ch <- handshook{nc: wrapped}:
+		default:
+			wrapped.Close()
+		}
+		return
+	}
+
+	// No spawner: a reconnect from a live worker, or a zombie.
+	c.mu.Lock()
+	p := c.procs[hello.Worker]
+	admit := p != nil && c.alive[hello.Worker] && !p.condemned && !c.closed
+	if !admit {
+		c.statFenced++
+	}
+	c.mu.Unlock()
+	if !admit {
+		writeFrame(nc, ErrResp{Msg: "fenced: worker is no longer a member"})
+		nc.Close()
+		return
+	}
+	if err := writeFrame(nc, HelloOK{Proto: ProtoVersion}); err != nil {
 		nc.Close()
 		return
 	}
 	nc.SetDeadline(time.Time{})
-	ch := c.takeWaiter(connKey{worker: hello.Worker, role: hello.Conn})
-	if ch == nil {
+	c.attach(p, hello.Conn, c.wrapConn(hello.Worker, nc))
+}
+
+// attach installs a reconnected connection on a live worker, clearing
+// its suspicion: the worker proved it is reachable again. Rechecks the
+// fencing condition under the lock — the verdict may have landed since
+// handleConn's admission check.
+func (c *Coordinator) attach(p *workerProc, role string, nc net.Conn) {
+	c.mu.Lock()
+	if p.condemned || !c.alive[p.id] || c.closed {
+		c.statFenced++
+		c.mu.Unlock()
 		nc.Close()
 		return
 	}
-	ch <- handshook{nc: nc, enc: enc, dec: dec}
+	switch role {
+	case ConnCtrl:
+		p.ctrl.swap(nc)
+	case ConnBeat:
+		old := p.beat
+		p.beat = nc
+		go c.readBeats(p, nc)
+		if old != nil {
+			old.Close()
+		}
+	}
+	p.suspectAt = time.Time{}
+	c.beats.beat(p.id, clock.Now())
+	c.statReconnects++
+	c.mu.Unlock()
 }
 
 func (c *Coordinator) addWaiter(k connKey) chan handshook {
@@ -319,7 +602,7 @@ func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
 		c.dropWaiter(connKey{worker: w, role: ConnBeat})
 	}
 
-	env := workerEnv(c.addr, w, c.token, c.cfg.Heartbeat)
+	env := workerEnv(c.addr, w, c.token, c.cfg)
 	var cmd *oexec.Cmd
 	var err error
 	if c.cfg.Spawn != nil {
@@ -356,11 +639,25 @@ func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
 	p := &workerProc{
 		id:   w,
 		cmd:  cmd,
-		ctrl: &rpcConn{nc: ctrl.nc, enc: ctrl.enc, dec: ctrl.dec, timeout: c.cfg.CallTimeout},
 		beat: beat.nc,
+		gone: make(chan struct{}),
+	}
+	p.ctrl = &rpcConn{
+		sem:     make(chan struct{}, 1),
+		nc:      ctrl.nc,
+		swapped: make(chan struct{}),
+		timeout: c.cfg.CallTimeout,
+		backoff: c.cfg.RetryBackoff,
+		grace:   c.cfg.SuspicionGrace,
+		gone:    p.gone,
+		onRetry: func() {
+			c.mu.Lock()
+			c.statRetries++
+			c.mu.Unlock()
+		},
 	}
 	go c.reap(p)
-	go c.readBeats(p, beat.dec)
+	go c.readBeats(p, beat.nc)
 	return p, nil
 }
 
@@ -387,39 +684,89 @@ func (c *Coordinator) admit(w int, p *workerProc) {
 	c.beats.track(w, clock.Now())
 }
 
-// reap observes the worker process's exit — the fast detection path
-// for a SIGKILL.
+// reap observes the worker process's exit — the fast detection path for
+// a SIGKILL, which skips the suspicion grace entirely: a reaped process
+// cannot come back.
 func (c *Coordinator) reap(p *workerProc) {
 	p.cmd.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p.reaped = true
+	p.markGoneLocked()
+	if c.alive[p.id] && !c.closed {
+		c.condemnLocked(p, "process exited")
+	}
 }
 
-// readBeats consumes the worker's heartbeat stream; a broken stream
-// marks the worker suspect.
-func (c *Coordinator) readBeats(p *workerProc, dec *gob.Decoder) {
+// readBeats consumes the worker's heartbeat stream. A broken stream
+// only makes the worker suspect (it may redial); a fresh beat clears
+// suspicion.
+func (c *Coordinator) readBeats(p *workerProc, nc net.Conn) {
 	for {
-		m, err := readFrame(dec)
+		m, err := readFrame(nc)
 		if err != nil {
 			c.mu.Lock()
-			p.suspect = true
+			// Only suspect if this stream is still the worker's current
+			// one — a reconnect swap closes the old stream on purpose.
+			if p.beat == nc && !p.condemned && c.alive[p.id] && !c.closed {
+				c.suspectLocked(p, clock.Now(), "beat stream broken")
+			}
 			c.mu.Unlock()
 			return
 		}
 		if hb, ok := m.(Heartbeat); ok && hb.Worker == p.id {
 			c.mu.Lock()
-			c.beats.beat(p.id, clock.Now())
+			if p.beat == nc {
+				c.beats.beat(p.id, clock.Now())
+				if !p.condemned {
+					p.suspectAt = time.Time{}
+				}
+			}
 			c.mu.Unlock()
 		}
 	}
 }
 
-func (c *Coordinator) markSuspect(w int) {
+// suspectLocked puts a worker on the first rung of the ladder: a grace
+// window starting at `since` in which it may prove itself alive again.
+// Callers hold c.mu.
+func (c *Coordinator) suspectLocked(p *workerProc, since time.Time, why string) {
+	if p.condemned || !p.suspectAt.IsZero() {
+		return
+	}
+	p.suspectAt = since
+	c.statSuspected++
+	c.record(cluster.Event{Kind: cluster.EventSuspect, Worker: p.id, Detail: why})
+}
+
+// condemnLocked is the ladder's final verdict: the worker is declared
+// failed, its connections are closed, pending RPCs abort, and any later
+// handshake from it is fenced. Sticky. Callers hold c.mu.
+func (c *Coordinator) condemnLocked(p *workerProc, why string) {
+	if p.condemned {
+		return
+	}
+	if p.suspectAt.IsZero() {
+		// Condemning implies suspicion; count the rung it skipped.
+		c.statSuspected++
+	}
+	p.condemned = true
+	c.statCondemned++
+	p.markGoneLocked()
+	p.closeConns()
+	c.record(cluster.Event{Kind: cluster.EventCondemn, Worker: p.id, Detail: why})
+}
+
+// condemn is the unlocked form, used by the RPC layer (retry budget
+// exhausted) and the straggler watchdog.
+func (c *Coordinator) condemn(w int, why string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed || !c.alive[w] {
+		return
+	}
 	if p := c.procs[w]; p != nil {
-		p.suspect = true
+		c.condemnLocked(p, why)
 	}
 }
 
@@ -501,8 +848,23 @@ func (c *Coordinator) AddSpares(n int) {
 		Detail: fmt.Sprintf("%d spare(s) added, pool now %d", n, c.spares)})
 }
 
-// Fail implements cluster.Interface: it SIGKILLs the worker's process
-// and returns the partitions it owned.
+// NetStats implements cluster.NetReporter.
+func (c *Coordinator) NetStats() cluster.NetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cluster.NetStats{
+		RPCRetries: c.statRetries,
+		Reconnects: c.statReconnects,
+		Suspected:  c.statSuspected,
+		Condemned:  c.statCondemned,
+		Fenced:     c.statFenced,
+	}
+}
+
+// Fail implements cluster.Interface: it removes the worker from
+// membership and SIGKILLs its process, returning the partitions it
+// owned. Under LeaveZombies the SIGKILL is skipped — the process stays
+// alive but fenced, modelling a node the coordinator cannot reach.
 func (c *Coordinator) Fail(w int) []int {
 	c.mu.Lock()
 	if !c.alive[w] {
@@ -513,33 +875,41 @@ func (c *Coordinator) Fail(w int) []int {
 	lost := c.partitionsOfLocked(w)
 	c.beats.forget(w)
 	p := c.procs[w]
+	if p != nil {
+		// Fence before any teardown: a redial from this worker must be
+		// rejected even if the process outlives us.
+		p.condemned = true
+		p.markGoneLocked()
+		if c.cfg.LeaveZombies {
+			p.closeConns()
+		} else {
+			p.kill()
+		}
+	}
 	c.record(cluster.Event{Kind: cluster.EventFail, Worker: w, Partitions: lost})
 	c.mu.Unlock()
-	if p != nil {
-		p.kill()
-	}
 	return lost
 }
 
 // Kill SIGKILLs worker w's process WITHOUT updating membership — the
 // chaos injector's raw crash. The coordinator's detection (reaper,
-// broken connections, missed heartbeats) notices, and the iteration
-// driver's failure path performs the bookkeeping via Fail.
+// suspicion ladder) notices, and the iteration driver's failure path
+// performs the bookkeeping via Fail.
 func (c *Coordinator) Kill(w int) bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	p := c.procs[w]
-	live := c.alive[w]
-	c.mu.Unlock()
-	if p == nil || !live {
+	if p == nil || !c.alive[w] {
 		return false
 	}
 	p.kill()
 	return true
 }
 
-// DetectedFailures returns the subset of the given live workers whose
-// real process the coordinator believes dead: reaped by the OS, a
-// broken connection, or a missed liveness window.
+// DetectedFailures returns the subset of the given live workers the
+// suspicion ladder has condemned. It also advances the ladder: workers
+// whose liveness window lapsed become suspect, and suspects whose grace
+// expired are condemned here.
 func (c *Coordinator) DetectedFailures(alive []int) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -553,7 +923,15 @@ func (c *Coordinator) DetectedFailures(alive []int) []int {
 		if p == nil {
 			continue
 		}
-		if p.reaped || p.suspect || c.beats.overdue(w, now) {
+		if !p.condemned {
+			if since, over := c.beats.overdueSince(w, now); over {
+				c.suspectLocked(p, since, "heartbeats overdue")
+			}
+		}
+		if !p.condemned && !p.suspectAt.IsZero() && now.Sub(p.suspectAt) > c.cfg.SuspicionGrace {
+			c.condemnLocked(p, fmt.Sprintf("suspicion grace %v expired", c.cfg.SuspicionGrace))
+		}
+		if p.condemned {
 			out = append(out, w)
 		}
 	}
@@ -744,7 +1122,10 @@ func (c *Coordinator) Release(w int) error {
 	}
 	if p != nil {
 		p.ctrl.call(ShutdownReq{})
+		c.mu.Lock()
+		p.markGoneLocked()
 		p.kill()
+		c.mu.Unlock()
 	}
 	return nil
 }
@@ -845,8 +1226,12 @@ func (c *Coordinator) setAssignHook(fn func(worker int, parts []int) error) {
 	c.assign = fn
 }
 
-// call performs one ctrl RPC against worker w, marking it suspect on
-// failure so detection replaces it.
+// call performs one ctrl RPC against worker w. The rpcConn absorbs
+// transient faults (timeouts retry with the same idempotence token,
+// broken connections wait for the worker's redial); only when the
+// whole retry budget is exhausted does the failure reach here, and the
+// worker is condemned. An application-level ErrResp proves the worker
+// alive and is passed through untouched.
 func (c *Coordinator) call(w int, req any) (any, error) {
 	c.mu.Lock()
 	p := c.procs[w]
@@ -855,8 +1240,8 @@ func (c *Coordinator) call(w int, req any) (any, error) {
 		return nil, fmt.Errorf("proc: no process for worker %d", w)
 	}
 	resp, err := p.ctrl.call(req)
-	if err != nil {
-		c.markSuspect(w)
+	if err != nil && isTransportError(err) {
+		c.condemn(w, fmt.Sprintf("rpc failed: %v", err))
 	}
 	return resp, err
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"optiflow/internal/exec"
 	"optiflow/internal/graph"
@@ -169,15 +170,51 @@ func (j *Job) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 		}
 	}
 
+	// Collect, with a straggler watchdog: once a majority of workers
+	// has answered, the rest get a deadline relative to the majority's
+	// elapsed time. A worker that blows it — partitioned inbound so it
+	// computes forever unaware, or just wedged — is condemned, which
+	// closes its connections and aborts its in-flight call, so the
+	// attempt fails over to the normal recovery path instead of
+	// stalling the whole job at the barrier.
 	var failed []int
 	ok := make(map[int]StepResp, len(owners))
-	for range owners {
-		r := <-results
-		if r.err != nil {
-			failed = append(failed, r.worker)
-			continue
+	pending := len(owners)
+	start := time.Now()
+	var straggle <-chan time.Time
+	var watchdog *time.Timer
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.err != nil {
+				failed = append(failed, r.worker)
+			} else {
+				ok[r.worker] = r.resp
+			}
+			if straggle == nil && j.co.cfg.StragglerFactor > 0 && pending > 0 &&
+				(len(ok)+len(failed))*2 >= len(owners) {
+				d := time.Duration(float64(time.Since(start)) * j.co.cfg.StragglerFactor)
+				if d < j.co.cfg.StragglerMin {
+					d = j.co.cfg.StragglerMin
+				}
+				watchdog = time.NewTimer(d)
+				straggle = watchdog.C
+			}
+		case <-straggle:
+			straggle = nil
+			for w := range owners {
+				if _, done := ok[w]; done {
+					continue
+				}
+				if !answered(failed, w) {
+					j.co.condemn(w, fmt.Sprintf("straggling superstep %d beyond the majority deadline", ctx.Superstep))
+				}
+			}
 		}
-		ok[r.worker] = r.resp
+	}
+	if watchdog != nil {
+		watchdog.Stop()
 	}
 	if len(failed) > 0 {
 		// Abort survivors: pending updates are dropped, committed state
@@ -248,6 +285,16 @@ func (j *Job) Step(ctx *iterate.Context) (iterate.StepStats, error) {
 	return stats, nil
 }
 
+// answered reports whether w already delivered a (failed) result.
+func answered(failed []int, w int) bool {
+	for _, f := range failed {
+		if f == w {
+			return true
+		}
+	}
+	return false
+}
+
 // workerFailure builds the typed mid-superstep failure error.
 func (j *Job) workerFailure(workers []int, owners map[int][]int) error {
 	sort.Ints(workers)
@@ -292,6 +339,13 @@ func (j *Job) SnapshotTo(w *bytes.Buffer) error {
 	for wk, parts := range j.ownersSnapshot() {
 		resp, err := j.co.call(wk, FetchReq{Parts: parts})
 		if err != nil {
+			if isTransportError(err) {
+				// The owner died (or was condemned) under the snapshot:
+				// surface it as a typed worker failure so the iteration
+				// loop enters recovery instead of aborting the run.
+				return fmt.Errorf("proc: snapshot: fetching from worker %d: %w",
+					wk, &exec.WorkerFailure{Workers: []int{wk}, Partitions: parts})
+			}
 			return fmt.Errorf("proc: snapshot: fetching from worker %d: %v", wk, err)
 		}
 		snap.Parts = append(snap.Parts, resp.(FetchResp).Parts...)

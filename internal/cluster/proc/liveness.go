@@ -38,9 +38,22 @@ func (l *liveness) forget(w int) {
 // overdue reports whether w has gone a full window without a beat.
 // Untracked workers are never overdue (nothing is known about them).
 func (l *liveness) overdue(w int, now time.Time) bool {
+	_, over := l.overdueSince(w, now)
+	return over
+}
+
+// overdueSince reports whether w has gone a full window without a beat
+// and, if so, when its window expired — the moment the suspicion ladder
+// starts counting from, so detection does not depend on how often it is
+// polled. Untracked workers are never overdue.
+func (l *liveness) overdueSince(w int, now time.Time) (time.Time, bool) {
 	at, ok := l.last[w]
 	if !ok {
-		return false
+		return time.Time{}, false
 	}
-	return now.Sub(at) > l.window
+	expiry := at.Add(l.window)
+	if now.Sub(at) > l.window {
+		return expiry, true
+	}
+	return time.Time{}, false
 }

@@ -1,0 +1,418 @@
+// Package netfault is the fault-injecting network layer of the
+// multi-process cluster: a net.Conn wrapper that delays, drops,
+// duplicates and throttles traffic at frame granularity, plus a
+// controller for scriptable link severing and symmetric or asymmetric
+// partitions that heal or persist. Every stochastic decision comes from
+// a per-(worker, direction) rng derived from one seed, so a fault
+// schedule is reproducible run to run — which frames are struck depends
+// only on the seed and the frame sequence, not on wall-clock timing.
+//
+// The package also owns the byte-level frame format of the proc wire
+// protocol (a 4-byte big-endian payload length followed by the
+// payload), because frame-granularity faults are only well defined when
+// the wrapper can see frame boundaries: the writer side emits exactly
+// one frame per Write call, and the reader side reassembles frames from
+// the byte stream before deciding each frame's fate.
+package netfault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// HeaderLen is the size of the frame header: a big-endian uint32
+// payload length.
+const HeaderLen = 4
+
+// MaxFrame bounds a single frame's payload, protecting both ends from
+// a corrupted or hostile length prefix.
+const MaxFrame = 64 << 20
+
+// PutHeader writes the frame header for a payload of n bytes into
+// b[:HeaderLen].
+func PutHeader(b []byte, n int) {
+	binary.BigEndian.PutUint32(b, uint32(n))
+}
+
+// ParseHeader reads a frame header, rejecting lengths the protocol
+// never produces.
+func ParseHeader(b []byte) (int, error) {
+	n := int(binary.BigEndian.Uint32(b))
+	if n <= 0 || n > MaxFrame {
+		return 0, fmt.Errorf("netfault: invalid frame length %d", n)
+	}
+	return n, nil
+}
+
+// Direction distinguishes the two halves of a coordinator-side link.
+type Direction int
+
+const (
+	// Outbound is coordinator-to-worker traffic (requests, HelloOKs).
+	Outbound Direction = iota
+	// Inbound is worker-to-coordinator traffic (responses, heartbeats).
+	Inbound
+)
+
+func (d Direction) String() string {
+	if d == Outbound {
+		return "outbound"
+	}
+	return "inbound"
+}
+
+// AllWorkers targets a fault rule at every worker without a more
+// specific rule of its own.
+const AllWorkers = -1
+
+// Faults describes one direction's stochastic per-frame faults.
+type Faults struct {
+	// DropP is the probability a frame silently vanishes.
+	DropP float64
+	// DupP is the probability a frame is delivered twice back to back.
+	DupP float64
+	// DelayP is the probability a frame is held for Delay before
+	// delivery (the connection stays ordered: later frames queue behind
+	// the held one, like a congested link).
+	DelayP float64
+	Delay  time.Duration
+	// Bandwidth throttles the link to roughly this many bytes per
+	// second (0 = unlimited).
+	Bandwidth int
+}
+
+func (f Faults) zero() bool {
+	return f.DropP == 0 && f.DupP == 0 && f.DelayP == 0 && f.Bandwidth == 0
+}
+
+// Stats counts delivered faults.
+type Stats struct {
+	Dropped      int // frames blackholed (stochastic, scripted, or partitioned)
+	Duplicated   int
+	Delayed      int
+	Throttled    int
+	Severed      int // connections closed by Sever
+	DialsBlocked int // handshakes refused because the worker was partitioned
+}
+
+type ruleKey struct {
+	worker int
+	dir    Direction
+}
+
+type partState struct{ in, out bool }
+
+// Network is the fault controller for one proc cluster: the coordinator
+// wraps every worker connection through it, and tests or the chaos
+// injector script faults against it. All methods are safe for
+// concurrent use.
+type Network struct {
+	mu          sync.Mutex
+	seed        int64
+	faults      map[ruleKey]Faults
+	rngs        map[ruleKey]*rand.Rand
+	dropNext    map[ruleKey]int
+	partitioned map[int]partState
+	conns       map[*Conn]bool
+	stats       Stats
+}
+
+// New returns a fault-free network controller; script faults onto it
+// with SetFaults, Partition and Sever.
+func New(seed int64) *Network {
+	return &Network{
+		seed:        seed,
+		faults:      make(map[ruleKey]Faults),
+		rngs:        make(map[ruleKey]*rand.Rand),
+		dropNext:    make(map[ruleKey]int),
+		partitioned: make(map[int]partState),
+		conns:       make(map[*Conn]bool),
+	}
+}
+
+// SetFaults installs the stochastic fault rule for one worker and
+// direction. Use AllWorkers to set the default rule; a worker-specific
+// rule overrides it. A zero Faults clears the rule.
+func (nw *Network) SetFaults(worker int, dir Direction, f Faults) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	k := ruleKey{worker: worker, dir: dir}
+	if f.zero() {
+		delete(nw.faults, k)
+		return
+	}
+	nw.faults[k] = f
+}
+
+// DropNext scripts a deterministic blackhole: the next n frames in the
+// given direction of the given worker are dropped, regardless of the
+// stochastic rules.
+func (nw *Network) DropNext(worker int, dir Direction, n int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.dropNext[ruleKey{worker: worker, dir: dir}] += n
+}
+
+// Partition blackholes both directions of the listed workers' links —
+// the symmetric partition. Established streams go dark (frames vanish)
+// and new handshakes are refused until Heal.
+func (nw *Network) Partition(workers ...int) {
+	nw.setPartition(partState{in: true, out: true}, workers)
+}
+
+// PartitionInbound blackholes only worker-to-coordinator traffic — the
+// asymmetric partition where the coordinator's requests arrive but
+// every response and heartbeat is lost.
+func (nw *Network) PartitionInbound(workers ...int) {
+	nw.setPartition(partState{in: true}, workers)
+}
+
+// PartitionOutbound blackholes only coordinator-to-worker traffic.
+func (nw *Network) PartitionOutbound(workers ...int) {
+	nw.setPartition(partState{out: true}, workers)
+}
+
+func (nw *Network) setPartition(ps partState, workers []int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, w := range workers {
+		nw.partitioned[w] = ps
+	}
+}
+
+// Heal removes the listed workers' partitions; frames flow again and
+// new handshakes are admitted.
+func (nw *Network) Heal(workers ...int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, w := range workers {
+		delete(nw.partitioned, w)
+	}
+}
+
+// HealAll removes every partition.
+func (nw *Network) HealAll() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.partitioned = make(map[int]partState)
+}
+
+// Partitioned reports whether any direction of worker w is blackholed.
+func (nw *Network) Partitioned(w int) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ps := nw.partitioned[w]
+	return ps.in || ps.out
+}
+
+// AdmitDial decides whether a fresh handshake from worker w may
+// proceed: a partitioned worker's dial is refused (and counted), since
+// a real partition severs new connections exactly like established
+// ones.
+func (nw *Network) AdmitDial(w int) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ps := nw.partitioned[w]
+	if ps.in || ps.out {
+		nw.stats.DialsBlocked++
+		return false
+	}
+	return true
+}
+
+// Sever closes every live wrapped connection of worker w (both ends see
+// a hard connection error, like a mid-flight RST) and returns how many
+// it closed. The worker's reconnect logic decides what happens next.
+func (nw *Network) Sever(w int) int {
+	nw.mu.Lock()
+	var targets []*Conn
+	for c := range nw.conns {
+		if c.worker == w {
+			targets = append(targets, c)
+		}
+	}
+	nw.stats.Severed += len(targets)
+	nw.mu.Unlock()
+	for _, c := range targets {
+		c.Close()
+	}
+	return len(targets)
+}
+
+// Stats returns a snapshot of the delivered-fault counters.
+func (nw *Network) Stats() Stats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stats
+}
+
+// Wrap returns nc wrapped with this network's fault rules for worker w
+// and registers it for Sever. The caller must route all traffic through
+// the returned conn; writes must carry exactly one frame per call.
+func (nw *Network) Wrap(w int, nc net.Conn) net.Conn {
+	c := &Conn{Conn: nc, nw: nw, worker: w}
+	nw.mu.Lock()
+	nw.conns[c] = true
+	nw.mu.Unlock()
+	return c
+}
+
+// verdict is one frame's fate.
+type verdict struct {
+	drop     bool
+	dup      bool
+	delay    time.Duration
+	throttle time.Duration
+}
+
+// rng returns the deterministic stream for one (worker, direction)
+// link. Callers hold nw.mu.
+func (nw *Network) rng(k ruleKey) *rand.Rand {
+	r := nw.rngs[k]
+	if r == nil {
+		r = rand.New(rand.NewSource(nw.seed ^ int64(k.worker+1)*0x7f4a7c159e3779b9 ^ int64(k.dir)*0x517cc1b727220a95))
+		nw.rngs[k] = r
+	}
+	return r
+}
+
+// decide seals one frame's fate in the given direction of worker w's
+// link, updating the fault counters.
+func (nw *Network) decide(w int, dir Direction, frameLen int) verdict {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ps := nw.partitioned[w]
+	if (dir == Inbound && ps.in) || (dir == Outbound && ps.out) {
+		nw.stats.Dropped++
+		return verdict{drop: true}
+	}
+	k := ruleKey{worker: w, dir: dir}
+	if nw.dropNext[k] > 0 {
+		nw.dropNext[k]--
+		nw.stats.Dropped++
+		return verdict{drop: true}
+	}
+	f, ok := nw.faults[k]
+	if !ok {
+		f, ok = nw.faults[ruleKey{worker: AllWorkers, dir: dir}]
+	}
+	if !ok {
+		return verdict{}
+	}
+	rng := nw.rng(k)
+	var v verdict
+	if f.DropP > 0 && rng.Float64() < f.DropP {
+		nw.stats.Dropped++
+		return verdict{drop: true}
+	}
+	if f.DupP > 0 && rng.Float64() < f.DupP {
+		v.dup = true
+		nw.stats.Duplicated++
+	}
+	if f.DelayP > 0 && rng.Float64() < f.DelayP {
+		v.delay = f.Delay
+		nw.stats.Delayed++
+	}
+	if f.Bandwidth > 0 {
+		v.throttle = time.Duration(float64(frameLen) / float64(f.Bandwidth) * float64(time.Second))
+		nw.stats.Throttled++
+	}
+	return v
+}
+
+// Conn is one fault-injected connection. The outbound direction strikes
+// in Write (one frame per call, by the wire-layer contract); the
+// inbound direction reassembles frames from the underlying byte stream
+// in Read and strikes per frame. Deadlines pass through to the
+// underlying connection, so a dropped or partitioned frame surfaces as
+// the caller's own timeout — indistinguishable from a slow network,
+// which is the point.
+type Conn struct {
+	net.Conn
+	nw     *Network
+	worker int
+
+	rmu  sync.Mutex
+	rbuf []byte // reassembled inbound bytes awaiting delivery
+}
+
+// Write delivers one outbound frame, subject to the link's fault rules.
+// A dropped frame still reports success — the sender cannot tell, just
+// like a real blackhole.
+func (c *Conn) Write(b []byte) (int, error) {
+	v := c.nw.decide(c.worker, Outbound, len(b))
+	if v.drop {
+		return len(b), nil
+	}
+	if d := v.delay + v.throttle; d > 0 {
+		time.Sleep(d)
+	}
+	if _, err := c.Conn.Write(b); err != nil {
+		return 0, err
+	}
+	if v.dup {
+		c.Conn.Write(b)
+	}
+	return len(b), nil
+}
+
+// Read delivers inbound bytes, reassembling the underlying stream into
+// frames and striking each according to the link's fault rules. Dropped
+// frames are consumed and discarded, so a fully partitioned link blocks
+// until the caller's deadline fires.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rbuf) == 0 {
+		frame, err := c.readFrame()
+		if err != nil {
+			return 0, err
+		}
+		v := c.nw.decide(c.worker, Inbound, len(frame))
+		if v.drop {
+			continue
+		}
+		if d := v.delay + v.throttle; d > 0 {
+			time.Sleep(d)
+		}
+		c.rbuf = append(c.rbuf, frame...)
+		if v.dup {
+			c.rbuf = append(c.rbuf, frame...)
+		}
+	}
+	n := copy(b, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// readFrame reads one complete length-prefixed frame (header included)
+// from the underlying connection.
+func (c *Conn) readFrame() ([]byte, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.Conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n, err := ParseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, HeaderLen+n)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(c.Conn, frame[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// Close unregisters the connection and closes the underlying one.
+func (c *Conn) Close() error {
+	c.nw.mu.Lock()
+	delete(c.nw.conns, c)
+	c.nw.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,460 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns both ends of a loopback TCP connection. Real TCP
+// rather than net.Pipe, because the wrapper's Write must not block on
+// an unread peer (net.Pipe is fully synchronous and would deadlock the
+// single-goroutine tests below).
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- accepted{nc, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		dial.Close()
+		t.Fatalf("accept: %v", acc.err)
+	}
+	t.Cleanup(func() {
+		dial.Close()
+		acc.nc.Close()
+	})
+	return dial, acc.nc
+}
+
+// frame builds one length-prefixed frame around the payload.
+func frame(payload []byte) []byte {
+	b := make([]byte, HeaderLen+len(payload))
+	PutHeader(b, len(payload))
+	copy(b[HeaderLen:], payload)
+	return b
+}
+
+// readPayload reads one full frame from r and returns its payload.
+func readPayload(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		t.Fatalf("read header: %v", err)
+	}
+	n, err := ParseHeader(hdr[:])
+	if err != nil {
+		t.Fatalf("parse header: %v", err)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		t.Fatalf("read payload: %v", err)
+	}
+	return payload
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var b [HeaderLen]byte
+	PutHeader(b[:], 12345)
+	n, err := ParseHeader(b[:])
+	if err != nil || n != 12345 {
+		t.Fatalf("round trip: got %d, %v", n, err)
+	}
+	PutHeader(b[:], 0)
+	if _, err := ParseHeader(b[:]); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	PutHeader(b[:], MaxFrame+1)
+	if _, err := ParseHeader(b[:]); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestOutboundDropIsSilent(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	nw.SetFaults(0, Outbound, Faults{DropP: 1})
+	w := nw.Wrap(0, a)
+
+	f := frame([]byte("doomed"))
+	n, err := w.Write(f)
+	if err != nil || n != len(f) {
+		t.Fatalf("dropped write must still report success, got n=%d err=%v", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("dropped frame reached the peer")
+	}
+	if st := nw.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+
+	// Clearing the rule restores delivery.
+	b.SetReadDeadline(time.Time{})
+	nw.SetFaults(0, Outbound, Faults{})
+	if _, err := w.Write(frame([]byte("ok"))); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+	if got := readPayload(t, b); string(got) != "ok" {
+		t.Fatalf("payload = %q, want ok", got)
+	}
+}
+
+func TestInboundDuplicate(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	nw.SetFaults(4, Inbound, Faults{DupP: 1})
+	w := nw.Wrap(4, a)
+
+	if _, err := b.Write(frame([]byte("twice"))); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := readPayload(t, w); string(got) != "twice" {
+			t.Fatalf("copy %d payload = %q, want twice", i, got)
+		}
+	}
+	if st := nw.Stats(); st.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestDelayHoldsFrame(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	const delay = 60 * time.Millisecond
+	nw.SetFaults(0, Inbound, Faults{DelayP: 1, Delay: delay})
+	w := nw.Wrap(0, a)
+
+	if _, err := b.Write(frame([]byte("late"))); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	start := time.Now()
+	if got := readPayload(t, w); string(got) != "late" {
+		t.Fatalf("payload = %q, want late", got)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("frame arrived after %v, want >= %v", elapsed, delay)
+	}
+	if st := nw.Stats(); st.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", st.Delayed)
+	}
+}
+
+func TestBandwidthThrottle(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	// 1 KiB/s against a ~100-byte frame: ~100ms per frame.
+	nw.SetFaults(0, Outbound, Faults{Bandwidth: 1024})
+	w := nw.Wrap(0, a)
+
+	f := frame(bytes.Repeat([]byte("x"), 100))
+	start := time.Now()
+	if _, err := w.Write(f); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("throttled write finished in %v, want >= 50ms", elapsed)
+	}
+	if got := readPayload(t, b); len(got) != 100 {
+		t.Fatalf("payload length = %d, want 100", len(got))
+	}
+	if st := nw.Stats(); st.Throttled != 1 {
+		t.Fatalf("Throttled = %d, want 1", st.Throttled)
+	}
+}
+
+func TestDropNextIsExact(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	nw.DropNext(0, Inbound, 2)
+	w := nw.Wrap(0, a)
+
+	for _, p := range []string{"one", "two", "three"} {
+		if _, err := b.Write(frame([]byte(p))); err != nil {
+			t.Fatalf("peer write %s: %v", p, err)
+		}
+	}
+	if got := readPayload(t, w); string(got) != "three" {
+		t.Fatalf("first delivered payload = %q, want three", got)
+	}
+	if st := nw.Stats(); st.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestSymmetricPartitionAndHeal(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	w := nw.Wrap(7, a)
+
+	nw.Partition(7)
+	if !nw.Partitioned(7) {
+		t.Fatal("Partitioned(7) = false after Partition")
+	}
+	if nw.AdmitDial(7) {
+		t.Fatal("partitioned worker's dial admitted")
+	}
+	if nw.AdmitDial(3) != true {
+		t.Fatal("unpartitioned worker's dial refused")
+	}
+
+	// Outbound frames vanish silently.
+	if _, err := w.Write(frame([]byte("lost"))); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+	// Inbound frames are consumed and discarded: the read blocks until
+	// its deadline, exactly like a dark link.
+	if _, err := b.Write(frame([]byte("lost too"))); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	w.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := w.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read during symmetric partition delivered data")
+	}
+	w.SetReadDeadline(time.Time{})
+
+	nw.Heal(7)
+	if nw.Partitioned(7) {
+		t.Fatal("Partitioned(7) = true after Heal")
+	}
+	if !nw.AdmitDial(7) {
+		t.Fatal("healed worker's dial refused")
+	}
+	if _, err := b.Write(frame([]byte("back"))); err != nil {
+		t.Fatalf("peer write after heal: %v", err)
+	}
+	if got := readPayload(t, w); string(got) != "back" {
+		t.Fatalf("payload after heal = %q, want back", got)
+	}
+	if st := nw.Stats(); st.DialsBlocked != 1 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v, want DialsBlocked 1 Dropped 2", st)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(2)
+	w := nw.Wrap(5, a)
+
+	// Inbound-only: our writes still arrive, the peer's do not.
+	nw.PartitionInbound(5)
+	if _, err := w.Write(frame([]byte("req"))); err != nil {
+		t.Fatalf("outbound write during inbound partition: %v", err)
+	}
+	if got := readPayload(t, b); string(got) != "req" {
+		t.Fatalf("outbound payload = %q, want req", got)
+	}
+	if _, err := b.Write(frame([]byte("resp"))); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	w.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := w.Read(make([]byte, 1)); err == nil {
+		t.Fatal("inbound partition delivered a frame")
+	}
+	w.SetReadDeadline(time.Time{})
+	nw.HealAll()
+
+	// Outbound-only: the peer hears nothing, but its frames arrive.
+	nw.PartitionOutbound(5)
+	if _, err := w.Write(frame([]byte("gone"))); err != nil {
+		t.Fatalf("write during outbound partition: %v", err)
+	}
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("outbound partition delivered a frame")
+	}
+	if _, err := b.Write(frame([]byte("heard"))); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	if got := readPayload(t, w); string(got) != "heard" {
+		t.Fatalf("inbound payload = %q, want heard", got)
+	}
+}
+
+func TestSeverClosesConnections(t *testing.T) {
+	a1, _ := tcpPair(t)
+	a2, _ := tcpPair(t)
+	a3, _ := tcpPair(t)
+	nw := New(1)
+	w1 := nw.Wrap(2, a1)
+	w2 := nw.Wrap(2, a2)
+	other := nw.Wrap(3, a3)
+
+	if n := nw.Sever(2); n != 2 {
+		t.Fatalf("Sever closed %d conns, want 2", n)
+	}
+	for i, c := range []net.Conn{w1, w2} {
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("severed conn %d still readable", i)
+		}
+	}
+	// The other worker's conn is untouched and a re-sever finds nothing.
+	if _, err := other.Write(frame([]byte("alive"))); err != nil {
+		t.Fatalf("unrelated conn write: %v", err)
+	}
+	if n := nw.Sever(2); n != 0 {
+		t.Fatalf("second Sever closed %d conns, want 0", n)
+	}
+	if st := nw.Stats(); st.Severed != 2 {
+		t.Fatalf("Severed = %d, want 2", st.Severed)
+	}
+}
+
+// TestStochasticDropIsSeedDeterministic replays the same frame sequence
+// through two networks built from the same seed and requires identical
+// per-frame verdicts — the property that makes a chaos schedule
+// reproducible.
+func TestStochasticDropIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		a, b := tcpPair(t)
+		nw := New(seed)
+		nw.SetFaults(0, Outbound, Faults{DropP: 0.5})
+		w := nw.Wrap(0, a)
+		go io.Copy(io.Discard, b)
+		var got []bool
+		for i := 0; i < 32; i++ {
+			before := nw.Stats().Dropped
+			if _, err := w.Write(frame([]byte{byte(i)})); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			got = append(got, nw.Stats().Dropped > before)
+		}
+		return got
+	}
+
+	first, second := pattern(42), pattern(42)
+	if len(first) != len(second) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(first), len(second))
+	}
+	var dropped int
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("frame %d verdict differs across identical seeds", i)
+		}
+		if first[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(first) {
+		t.Fatalf("degenerate drop pattern (%d/%d) — DropP 0.5 should mix", dropped, len(first))
+	}
+	if diff := pattern(43); equalBools(first, diff) {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDefaultRuleFallback checks AllWorkers rules apply to any worker
+// without a specific rule, and specific rules win.
+func TestDefaultRuleFallback(t *testing.T) {
+	a, _ := tcpPair(t)
+	nw := New(1)
+	nw.SetFaults(AllWorkers, Outbound, Faults{DropP: 1})
+	nw.SetFaults(9, Outbound, Faults{DupP: 1}) // specific rule: dup, not drop
+
+	w0 := nw.Wrap(0, a)
+	if _, err := w0.Write(frame([]byte("x"))); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if st := nw.Stats(); st.Dropped != 1 {
+		t.Fatalf("default rule did not apply: %+v", st)
+	}
+
+	a2, b2 := tcpPair(t)
+	w9 := nw.Wrap(9, a2)
+	if _, err := w9.Write(frame([]byte("y"))); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := readPayload(t, b2); string(got) != "y" {
+			t.Fatalf("copy %d = %q, want y", i, got)
+		}
+	}
+	if st := nw.Stats(); st.Duplicated != 1 || st.Dropped != 1 {
+		t.Fatalf("specific rule did not override default: %+v", st)
+	}
+}
+
+// TestReadSurvivesPartialDelivery checks the reader's reassembly: a
+// frame split across many small reads on the wire still comes out as
+// one intact frame, and callers reading in small chunks drain rbuf.
+func TestReadSurvivesPartialDelivery(t *testing.T) {
+	a, b := tcpPair(t)
+	nw := New(1)
+	w := nw.Wrap(0, a)
+
+	payload := bytes.Repeat([]byte("abc"), 100)
+	f := frame(payload)
+	go func() {
+		for _, c := range f {
+			b.Write([]byte{c})
+			time.Sleep(time.Microsecond)
+		}
+	}()
+
+	got := make([]byte, 0, len(f))
+	buf := make([]byte, 7)
+	for len(got) < len(f) {
+		n, err := w.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, f) {
+		t.Fatal("reassembled frame differs from sent frame")
+	}
+}
+
+func TestSeveredConnUnregisters(t *testing.T) {
+	a, _ := tcpPair(t)
+	nw := New(1)
+	w := nw.Wrap(6, a)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := nw.Sever(6); n != 0 {
+		t.Fatalf("closed conn still registered: Sever found %d", n)
+	}
+	if !errors.Is(closeErr(a), net.ErrClosed) {
+		t.Fatal("underlying conn not closed")
+	}
+}
+
+func closeErr(nc net.Conn) error {
+	_, err := nc.Read(make([]byte, 1))
+	if err == nil {
+		return nil
+	}
+	return err
+}

@@ -1,7 +1,6 @@
 package proc
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
@@ -15,11 +14,14 @@ import (
 // MaybeChildMode. No separate worker binary needs building or
 // locating.
 const (
-	envWorker = "OPTIFLOW_PROC_WORKER"
-	envAddr   = "OPTIFLOW_PROC_ADDR"
-	envID     = "OPTIFLOW_PROC_ID"
-	envToken  = "OPTIFLOW_PROC_TOKEN"
-	envBeatMS = "OPTIFLOW_PROC_BEAT_MS"
+	envWorker      = "OPTIFLOW_PROC_WORKER"
+	envAddr        = "OPTIFLOW_PROC_ADDR"
+	envID          = "OPTIFLOW_PROC_ID"
+	envToken       = "OPTIFLOW_PROC_TOKEN"
+	envBeatMS      = "OPTIFLOW_PROC_BEAT_MS"
+	envHandshakeMS = "OPTIFLOW_PROC_HANDSHAKE_MS"
+	envReconnectMS = "OPTIFLOW_PROC_RECONNECT_MS"
+	envBackoffMS   = "OPTIFLOW_PROC_BACKOFF_MS"
 
 	// envGobCheck switches the child into the wire-compatibility
 	// decoder used by the gob round-trip suite: frames in on stdin,
@@ -54,6 +56,14 @@ func MaybeChildMode() {
 	os.Exit(0)
 }
 
+// envDuration reads an optional millisecond-valued knob.
+func envDuration(key string) time.Duration {
+	if ms, err := strconv.Atoi(os.Getenv(key)); err == nil && ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return 0
+}
+
 // workerConfigFromEnv rebuilds the WorkerConfig the coordinator
 // serialised into the child's environment.
 func workerConfigFromEnv() (WorkerConfig, error) {
@@ -62,40 +72,47 @@ func workerConfigFromEnv() (WorkerConfig, error) {
 		return WorkerConfig{}, fmt.Errorf("proc: bad %s: %v", envID, err)
 	}
 	cfg := WorkerConfig{
-		Addr:   os.Getenv(envAddr),
-		Worker: id,
-		Token:  os.Getenv(envToken),
+		Addr:             os.Getenv(envAddr),
+		Worker:           id,
+		Token:            os.Getenv(envToken),
+		Heartbeat:        envDuration(envBeatMS),
+		HandshakeTimeout: envDuration(envHandshakeMS),
+		ReconnectGrace:   envDuration(envReconnectMS),
+		RetryBackoff:     envDuration(envBackoffMS),
 	}
 	if cfg.Addr == "" {
 		return WorkerConfig{}, fmt.Errorf("proc: %s not set", envAddr)
 	}
-	if ms, err := strconv.Atoi(os.Getenv(envBeatMS)); err == nil && ms > 0 {
-		cfg.Heartbeat = time.Duration(ms) * time.Millisecond
-	}
 	return cfg, nil
 }
 
-// workerEnv serialises a worker's config for the spawned child.
-func workerEnv(addr string, id int, token string, beat time.Duration) []string {
+// workerEnv serialises a worker's config for the spawned child. The
+// timing knobs mirror the coordinator's: the same handshake deadline on
+// both ends, and a reconnect grace that outlasts the suspicion ladder.
+func workerEnv(addr string, id int, token string, cfg Config) []string {
+	ms := func(d time.Duration) string { return strconv.Itoa(int(d / time.Millisecond)) }
 	return append(os.Environ(),
 		envWorker+"=1",
 		envAddr+"="+addr,
 		envID+"="+strconv.Itoa(id),
 		envToken+"="+token,
-		envBeatMS+"="+strconv.Itoa(int(beat/time.Millisecond)),
+		envBeatMS+"="+ms(cfg.Heartbeat),
+		envHandshakeMS+"="+ms(cfg.HandshakeTimeout),
+		envReconnectMS+"="+ms(cfg.ReconnectGrace),
+		envBackoffMS+"="+ms(cfg.RetryBackoff),
 	)
 }
 
 // runGobCheck is the child half of the wire-compatibility suite: a
 // fresh process (fresh gob type registry, no state shared with the
-// encoder beyond this package's init) decodes frames from stdin until
-// EOF and prints one Go-syntax digest per decoded message. The parent
-// compares the digests against its own rendering of what it encoded,
-// proving that every wire type survives a cross-process round trip.
+// encoder beyond this package's init) decodes length-prefixed frames
+// from stdin until EOF and prints one Go-syntax digest per decoded
+// message. The parent compares the digests against its own rendering
+// of what it encoded, proving that every wire type survives a
+// cross-process round trip.
 func runGobCheck(in io.Reader, out io.Writer) error {
-	dec := gob.NewDecoder(in)
 	for {
-		m, err := readFrame(dec)
+		m, err := readFrame(in)
 		if err == io.EOF {
 			return nil
 		}

@@ -9,32 +9,49 @@
 // The wire protocol is deliberately small: every connection starts with
 // a Hello handshake naming the worker and the connection's role
 // ("ctrl" for serialized request/response RPC, "beat" for the worker's
-// heartbeat push stream), after which each side exchanges frames — a
-// single gob stream of Frame values whose M field carries one of the
-// message types below. All message types are registered with gob in
-// this package's init, and the wire-compatibility test round-trips
-// every one of them through a freshly started subprocess decoder to
-// pin cross-process decodability.
+// heartbeat push stream), after which each side exchanges frames. Since
+// protocol v2 each frame is length-prefixed (netfault.HeaderLen bytes
+// of big-endian payload length) and gob-encoded with a fresh
+// encoder/decoder pair, so frames are self-contained: a dropped,
+// duplicated or delayed frame cannot desynchronise the stream the way
+// shared-codec gob state would (the PR 8 desync lesson), and a
+// reconnected connection resumes mid-job with no carried codec state.
+// Frames carry an ID used as an idempotence token on ctrl RPCs —
+// responses echo their request's ID, so the coordinator can discard
+// stale responses after a retry and the worker can answer a duplicate
+// request from cache instead of re-applying it. All message types are
+// registered with gob in this package's init, and the
+// wire-compatibility test round-trips every one of them through a
+// freshly started subprocess decoder to pin cross-process decodability.
 package proc
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 
 	"optiflow/internal/checkpoint"
+	"optiflow/internal/cluster/proc/netfault"
 )
 
 // ProtoVersion is the wire protocol version. A Hello with a different
 // version is rejected during the handshake, so a stale worker binary
-// cannot silently exchange frames with a newer coordinator.
-const ProtoVersion = 1
+// cannot silently exchange frames with a newer coordinator. Version 2
+// introduced length-prefixed self-contained frames and idempotence IDs.
+const ProtoVersion = 2
 
 // Frame is the unit of transmission: one gob value wrapping one
-// message. Wrapping in an interface-typed field keeps the stream
+// message. Wrapping in an interface-typed field keeps each frame
 // self-describing — the decoder learns the concrete type from the gob
-// type descriptor, so request dispatch is a type switch.
+// type descriptor, so request dispatch is a type switch. ID is the
+// ctrl-RPC idempotence token (responses echo their request's ID); it is
+// zero on handshake and heartbeat frames.
 type Frame struct {
-	M any
+	ID uint64
+	M  any
 }
 
 // Hello opens every connection. Token authenticates the worker to the
@@ -209,6 +226,19 @@ type ResetReq struct{}
 // unlike the SIGKILL of Fail).
 type ShutdownReq struct{}
 
+// StatsReq asks a worker for its request-handling counters — the
+// observability hook the idempotence regression tests use to prove a
+// retried RPC was answered from cache rather than re-applied.
+type StatsReq struct{}
+
+// WorkerStats answers a StatsReq. Handled counts requests whose effect
+// was applied exactly once; Replayed counts duplicate deliveries that
+// were answered from the idempotence cache without re-applying.
+type WorkerStats struct {
+	Handled  uint64
+	Replayed uint64
+}
+
 // JobSnapshot is the driver-side serialisation of a proc job's full
 // iteration state: every partition's vertex values plus the in-flight
 // message state the next superstep consumes. recovery.Job's SnapshotTo
@@ -233,6 +263,7 @@ func wireMessages() []any {
 		CommitReq{}, AbortReq{},
 		FetchReq{}, FetchResp{}, RestoreReq{}, ClearReq{}, ResetReq{},
 		ShutdownReq{},
+		StatsReq{}, WorkerStats{},
 		JobSnapshot{},
 		checkpoint.CommitRecord{},
 	}
@@ -244,22 +275,83 @@ func init() {
 	}
 }
 
-// writeFrame encodes one message as a Frame on the stream.
-func writeFrame(enc *gob.Encoder, m any) error {
-	if err := enc.Encode(Frame{M: m}); err != nil {
-		return fmt.Errorf("proc: encoding %T: %v", m, err)
+// encodeFrame renders one frame as a complete length-prefixed byte
+// block using a fresh encoder, so the block is self-contained (carries
+// its own gob type descriptors and no shared stream state).
+func encodeFrame(id uint64, m any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, netfault.HeaderLen))
+	if err := gob.NewEncoder(&buf).Encode(Frame{ID: id, M: m}); err != nil {
+		return nil, fmt.Errorf("proc: encoding %T: %v", m, err)
+	}
+	b := buf.Bytes()
+	if len(b)-netfault.HeaderLen > netfault.MaxFrame {
+		return nil, fmt.Errorf("proc: frame %T exceeds %d bytes", m, netfault.MaxFrame)
+	}
+	netfault.PutHeader(b, len(b)-netfault.HeaderLen)
+	return b, nil
+}
+
+// writeFrameID writes one message as a single self-contained frame. The
+// frame reaches the connection in exactly one Write call — the contract
+// the netfault wrapper relies on to see frame boundaries.
+func writeFrameID(w io.Writer, id uint64, m any) error {
+	b, err := encodeFrame(id, m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("proc: writing %T: %w", m, err)
 	}
 	return nil
 }
 
-// readFrame decodes the next Frame and unwraps its message.
-func readFrame(dec *gob.Decoder) (any, error) {
+// writeFrame writes a message with no idempotence token (handshake,
+// heartbeat and push frames).
+func writeFrame(w io.Writer, m any) error {
+	return writeFrameID(w, 0, m)
+}
+
+// readFrameID reads the next complete frame, returning its idempotence
+// token alongside the message. Read errors from the connection are
+// returned wrapped (%w) so deadline expiry stays detectable via
+// net.Error.
+func readFrameID(r io.Reader) (uint64, any, error) {
+	var hdr [netfault.HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n, err := netfault.ParseHeader(hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("proc: reading frame body: %w", err)
+	}
 	var f Frame
-	if err := dec.Decode(&f); err != nil {
-		return nil, err
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return 0, nil, fmt.Errorf("proc: decoding frame: %v", err)
 	}
 	if f.M == nil {
-		return nil, fmt.Errorf("proc: empty frame")
+		return 0, nil, errors.New("proc: empty frame")
 	}
-	return f.M, nil
+	return f.ID, f.M, nil
+}
+
+// readFrame reads the next frame's message, discarding the token.
+func readFrame(r io.Reader) (any, error) {
+	_, m, err := readFrameID(r)
+	return m, err
+}
+
+// isTimeout reports whether err is (or wraps) a network timeout — the
+// signal that a frame may have been lost in flight, as opposed to the
+// connection being broken.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -3,7 +3,6 @@ package proc
 import (
 	"bufio"
 	"bytes"
-	"encoding/gob"
 	"fmt"
 	"os"
 	oexec "os/exec"
@@ -45,6 +44,8 @@ func sampleMessages() []any {
 		ClearReq{Parts: []int{3}},
 		ResetReq{},
 		ShutdownReq{},
+		StatsReq{},
+		WorkerStats{Handled: 17, Replayed: 2},
 		JobSnapshot{
 			Kind:     KindPageRank,
 			Parts:    []PartState{{Part: 1, Vertices: []VertexVal{{ID: 4, Label: 4, Rank: 0.1}}}},
@@ -76,10 +77,11 @@ func TestGobWireCompatAcrossProcesses(t *testing.T) {
 		}
 	}
 
+	// Each frame is length-prefixed and self-contained (fresh encoder
+	// per frame) — exactly what travels the TCP stream in production.
 	var frames bytes.Buffer
-	enc := gob.NewEncoder(&frames)
 	for _, m := range samples {
-		if err := writeFrame(enc, m); err != nil {
+		if err := writeFrame(&frames, m); err != nil {
 			t.Fatalf("encoding %T: %v", m, err)
 		}
 	}

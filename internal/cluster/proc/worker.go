@@ -1,11 +1,12 @@
 package proc
 
 import (
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sort"
+	"strings"
 	"time"
 
 	"optiflow/internal/graph"
@@ -21,95 +22,172 @@ type WorkerConfig struct {
 	Token string
 	// Heartbeat is the beat-push interval (250ms if zero).
 	Heartbeat time.Duration
+	// HandshakeTimeout bounds each Hello exchange (10s if zero); the
+	// coordinator passes its own configured value down via the
+	// environment.
+	HandshakeTimeout time.Duration
+	// ReconnectGrace is how long a broken connection is redialed before
+	// the worker gives up and exits (8s if zero). The coordinator sets
+	// it to outlast its own suspicion grace, so a healed link can
+	// rejoin right up to the condemn verdict.
+	ReconnectGrace time.Duration
+	// RetryBackoff is the initial redial backoff, doubled per attempt
+	// and capped at 8x (25ms if zero).
+	RetryBackoff time.Duration
 }
 
-// RunWorker runs the worker daemon until the coordinator shuts it down
-// (clean exit) or a connection breaks (error exit). It dials two
-// connections — ctrl for serialized RPC, beat for heartbeat pushes —
-// performs the Hello handshake on each, then serves ctrl requests one
-// at a time.
-func RunWorker(cfg WorkerConfig) error {
+func (cfg WorkerConfig) withDefaults() WorkerConfig {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 250 * time.Millisecond
 	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.ReconnectGrace <= 0 {
+		cfg.ReconnectGrace = 8 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	return cfg
+}
+
+// errFenced is the permanent handshake rejection: the coordinator has
+// condemned (or replaced) this worker, so redialing is pointless — and
+// a fenced worker must NOT keep trying to write state into the job.
+var errFenced = errors.New("proc: fenced by coordinator")
+
+// RunWorker runs the worker daemon until the coordinator shuts it down
+// (clean exit), fences it, or a broken connection outlives the
+// reconnect grace (error exit). It dials two connections — ctrl for
+// serialized RPC, beat for heartbeat pushes — performs the Hello
+// handshake on each, then serves ctrl requests one at a time. Broken
+// connections are redialed with capped backoff; since protocol v2 every
+// frame is self-contained, so a reconnected stream resumes with no
+// carried codec state, and the idempotence cache answers a retried
+// request without re-applying it.
+func RunWorker(cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
 	ctrl, err := dialHandshake(cfg, ConnCtrl)
 	if err != nil {
 		return err
 	}
-	defer ctrl.nc.Close()
+	defer func() {
+		if ctrl != nil {
+			ctrl.Close()
+		}
+	}()
 	beat, err := dialHandshake(cfg, ConnBeat)
 	if err != nil {
 		return err
 	}
-	defer beat.nc.Close()
 
 	done := make(chan struct{})
 	defer close(done)
 	go pushHeartbeats(beat, cfg, done)
 
 	h := &workerHost{worker: cfg.Worker}
-	// The handshake's encoder/decoder pair must keep serving the
-	// connection: a gob stream's type-descriptor state lives in the
-	// Encoder/Decoder instances, so a fresh pair on a used stream
-	// desynchronises both directions.
-	enc, dec := ctrl.enc, ctrl.dec
 	for {
-		req, err := readFrame(dec)
+		id, req, err := readFrameID(ctrl)
 		if err != nil {
-			return fmt.Errorf("proc: worker %d ctrl read: %v", cfg.Worker, err)
+			ctrl.Close()
+			if ctrl, err = redial(cfg, ConnCtrl, err); err != nil {
+				return err
+			}
+			continue
 		}
 		if _, ok := req.(ShutdownReq); ok {
-			writeFrame(enc, OKResp{})
+			writeFrameID(ctrl, id, OKResp{})
 			return nil
 		}
-		resp := h.handle(req)
-		if err := writeFrame(enc, resp); err != nil {
-			return fmt.Errorf("proc: worker %d ctrl write: %v", cfg.Worker, err)
+		resp := h.dispatch(id, req)
+		if err := writeFrameID(ctrl, id, resp); err != nil {
+			// The response is lost with the connection, but its effect
+			// is cached: the coordinator retries the same token and is
+			// answered from the cache, not re-applied.
+			ctrl.Close()
+			if ctrl, err = redial(cfg, ConnCtrl, err); err != nil {
+				return err
+			}
 		}
 	}
 }
 
-// workerConn is one handshaken connection with the gob stream pair
-// that must keep serving it.
-type workerConn struct {
-	nc  net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+// redial re-establishes one connection after a break, with capped
+// backoff, until the reconnect grace expires. A fencing rejection is
+// permanent and aborts immediately.
+func redial(cfg WorkerConfig, role string, cause error) (net.Conn, error) {
+	deadline := time.Now().Add(cfg.ReconnectGrace)
+	backoff := cfg.RetryBackoff
+	for {
+		nc, err := dialHandshake(cfg, role)
+		if err == nil {
+			return nc, nil
+		}
+		if errors.Is(err, errFenced) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("proc: worker %d %s broken (%v); reconnect grace %v expired: %v",
+				cfg.Worker, role, cause, cfg.ReconnectGrace, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 8*cfg.RetryBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // dialHandshake opens one connection of the given role.
-func dialHandshake(cfg WorkerConfig, role string) (workerConn, error) {
+func dialHandshake(cfg WorkerConfig, role string) (net.Conn, error) {
 	c, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
-		return workerConn{}, fmt.Errorf("proc: worker %d dialing %s: %v", cfg.Worker, cfg.Addr, err)
+		return nil, fmt.Errorf("proc: worker %d dialing %s: %v", cfg.Worker, cfg.Addr, err)
 	}
-	enc, dec := gob.NewEncoder(c), gob.NewDecoder(c)
 	hello := Hello{Proto: ProtoVersion, Worker: cfg.Worker, Token: cfg.Token, Conn: role}
-	if err := writeFrame(enc, hello); err != nil {
+	if err := writeFrame(c, hello); err != nil {
 		c.Close()
-		return workerConn{}, err
+		return nil, err
 	}
-	c.SetReadDeadline(time.Now().Add(10 * time.Second))
-	m, err := readFrame(dec)
+	c.SetReadDeadline(time.Now().Add(cfg.HandshakeTimeout))
+	m, err := readFrame(c)
 	if err != nil {
 		c.Close()
-		return workerConn{}, fmt.Errorf("proc: worker %d %s handshake: %v", cfg.Worker, role, err)
+		return nil, fmt.Errorf("proc: worker %d %s handshake: %v", cfg.Worker, role, err)
 	}
-	ok, isOK := m.(HelloOK)
-	if !isOK || ok.Proto != ProtoVersion {
+	switch resp := m.(type) {
+	case HelloOK:
+		if resp.Proto != ProtoVersion {
+			c.Close()
+			return nil, fmt.Errorf("proc: worker %d %s handshake: coordinator speaks proto %d, want %d",
+				cfg.Worker, role, resp.Proto, ProtoVersion)
+		}
+	case ErrResp:
 		c.Close()
-		return workerConn{}, fmt.Errorf("proc: worker %d %s handshake rejected: %T", cfg.Worker, role, m)
+		if strings.HasPrefix(resp.Msg, "fenced") {
+			return nil, fmt.Errorf("proc: worker %d %s handshake: %s: %w", cfg.Worker, role, resp.Msg, errFenced)
+		}
+		return nil, fmt.Errorf("proc: worker %d %s handshake rejected: %s", cfg.Worker, role, resp.Msg)
+	default:
+		c.Close()
+		return nil, fmt.Errorf("proc: worker %d %s handshake rejected: %T", cfg.Worker, role, m)
 	}
 	c.SetReadDeadline(time.Time{})
-	return workerConn{nc: c, enc: enc, dec: dec}, nil
+	return c, nil
 }
 
-// pushHeartbeats streams Heartbeat frames until done closes or a write
-// fails (coordinator gone — the serve loop will notice too).
-func pushHeartbeats(c workerConn, cfg WorkerConfig, done <-chan struct{}) {
-	enc := c.enc
+// pushHeartbeats streams Heartbeat frames until done closes. A failed
+// write breaks the stream; subsequent ticks redial the beat connection
+// (one handshake attempt per tick — the tick interval is the backoff)
+// until it is re-established or the worker is fenced.
+func pushHeartbeats(nc net.Conn, cfg WorkerConfig, done <-chan struct{}) {
 	t := time.NewTicker(cfg.Heartbeat)
 	defer t.Stop()
+	defer func() {
+		if nc != nil {
+			nc.Close()
+		}
+	}()
 	var seq uint64
 	for {
 		select {
@@ -117,7 +195,17 @@ func pushHeartbeats(c workerConn, cfg WorkerConfig, done <-chan struct{}) {
 			return
 		case <-t.C:
 			seq++
-			if writeFrame(enc, Heartbeat{Worker: cfg.Worker, Seq: seq}) != nil {
+			if nc != nil && writeFrame(nc, Heartbeat{Worker: cfg.Worker, Seq: seq}) == nil {
+				continue
+			}
+			if nc != nil {
+				nc.Close()
+				nc = nil
+			}
+			fresh, err := dialHandshake(cfg, ConnBeat)
+			if err == nil {
+				nc = fresh
+			} else if errors.Is(err, errFenced) {
 				return
 			}
 		}
@@ -153,15 +241,43 @@ type workerHost struct {
 	parts       map[int]*partition
 	pending     map[int]map[uint64]VertexVal
 	pendingStep int
+
+	// Idempotence cache: the last applied request token and its
+	// response. Ctrl RPCs are serialized, so depth one is exact — a
+	// duplicate delivery (network dup, or a retry whose original did
+	// arrive) carries the current token and is answered from here
+	// without re-applying.
+	lastID   uint64
+	lastResp any
+	handled  uint64
+	replayed uint64
 }
 
-// handle dispatches one ctrl request, always producing a response
-// frame (ErrResp on failure — the daemon itself stays up).
+// dispatch resolves one ctrl request against the idempotence cache:
+// a token already applied is answered from the cache, anything else is
+// handled and its response cached.
+func (h *workerHost) dispatch(id uint64, req any) any {
+	if id != 0 && id == h.lastID {
+		h.replayed++
+		return h.lastResp
+	}
+	resp := h.handle(req)
+	h.handled++
+	if id != 0 {
+		h.lastID, h.lastResp = id, resp
+	}
+	return resp
+}
+
+// handle applies one ctrl request, always producing a response frame
+// (ErrResp on failure — the daemon itself stays up).
 func (h *workerHost) handle(req any) any {
 	var err error
 	switch r := req.(type) {
 	case PingReq:
 		return OKResp{}
+	case StatsReq:
+		return WorkerStats{Handled: h.handled, Replayed: h.replayed}
 	case LoadReq:
 		err = h.load(r)
 	case StepReq:

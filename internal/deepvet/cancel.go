@@ -13,8 +13,9 @@ import (
 // it blocked forever on a channel (the classic goroutine leak that
 // turns one worker failure into an engine-wide hang).
 //
-// For each `go` statement in internal/exec, internal/checkpoint and
-// internal/supervise, the analysis walks the spawned body plus every
+// For each `go` statement in internal/exec, internal/checkpoint,
+// internal/supervise and internal/cluster/proc (including its netfault
+// subpackage), the analysis walks the spawned body plus every
 // same-package function it (transitively) calls, and demands a
 // justification for each blocking channel operation it finds:
 //
@@ -37,7 +38,7 @@ import (
 // callbacks), and sync primitives (Cond.Wait, WaitGroup.Wait) are out
 // of scope — lockorder covers the mutex side.
 func cancellationAnalysis() *Analysis {
-	pkgs := []string{"internal/exec", "internal/checkpoint", "internal/supervise"}
+	pkgs := []string{"internal/exec", "internal/checkpoint", "internal/supervise", "internal/cluster/proc"}
 	return &Analysis{
 		Name: "cancellation",
 		Doc:  "every spawned goroutine is drainable: blocking channel ops have a cancel arm, buffer, or closed channel",
@@ -392,16 +393,35 @@ func (c *cancelChecker) chanJustified(ch ast.Expr, body *ast.BlockStmt, receive 
 	return false
 }
 
-// buffered reports whether ch is bound, within the enclosing body, from
-// make(chan T, n) with constant n > 0.
+// buffered reports whether ch is bound from make(chan T, n) with
+// constant n > 0 — first within the enclosing body, then anywhere in
+// the package under the same identity object. The fallback covers the
+// fan-in idiom where the spawning function allocates the buffered
+// channel and the goroutine literal only captures it: the capture and
+// the make resolve to the same *types.Var, so the match stays exact.
 func (c *cancelChecker) buffered(ch ast.Expr, body *ast.BlockStmt) bool {
 	info := c.pkg.Info
 	obj := chanIdentity(info, ch)
 	if obj == nil {
 		return false
 	}
+	if c.bufferedIn(obj, body) {
+		return true
+	}
+	for _, file := range c.pkg.Files {
+		if c.bufferedIn(obj, file) {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferedIn reports whether root contains an assignment binding obj
+// from a buffered make.
+func (c *cancelChecker) bufferedIn(obj types.Object, root ast.Node) bool {
+	info := c.pkg.Info
 	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		st, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true

@@ -182,6 +182,26 @@ func TestCancellationFixture(t *testing.T) {
 	}
 }
 
+func TestCancellationNetFixture(t *testing.T) {
+	fs := runFixture(t, "cancellation", "cancellation_net", "internal/cluster/proc")
+	if len(fs) != 3 {
+		t.Fatalf("cancellation_net findings = %d, want 3:\n%s", len(fs), dumpFindings(fs))
+	}
+	for _, want := range []string{"channel receive", "range over channel", "unbuffered channel send"} {
+		if got := countContaining(fs, want); got != 1 {
+			t.Fatalf("%q findings = %d, want 1:\n%s", want, got, dumpFindings(fs))
+		}
+	}
+	// fanInClean's results channel is made buffered in the spawning
+	// function, not the goroutine literal — the enclosing-scope fallback
+	// must accept it.
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "fanIn") {
+			t.Fatalf("fan-in buffered capture flagged:\n%s", dumpFindings(fs))
+		}
+	}
+}
+
 func TestSnapshotWriteFixture(t *testing.T) {
 	fs := runFixture(t, "snapshotwrite", "snapshotwrite", "internal/state")
 	if len(fs) != 5 {

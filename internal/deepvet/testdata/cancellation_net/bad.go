@@ -1,0 +1,88 @@
+// Package fixture seeds cancellation violations in the shapes the
+// multi-process cluster's network layer spawns: reconnect loops,
+// heartbeat pushers and fan-in collectors. Three undrainable goroutines
+// next to the justified shapes the rule must accept — notably the
+// fan-in idiom where the spawning function allocates the buffered
+// channel and the goroutine literal only captures it.
+package fixture
+
+type frame struct{ id uint64 }
+
+func use(f frame) { _ = f }
+
+// reconnectBad waits for a replacement connection on a channel nothing
+// ever closes: if the dialer dies first the goroutine is stranded.
+// 1 finding (channel receive).
+func reconnectBad(swapped chan frame) {
+	go func() {
+		use(<-swapped) // no close, no select, no buffer
+	}()
+}
+
+// beatBad pushes heartbeats through a same-package helper that ranges
+// over a channel with no closer. 1 finding (range over channel).
+func beatBad(beats chan frame) {
+	go pushBeats(beats)
+}
+
+func pushBeats(beats chan frame) {
+	for f := range beats {
+		use(f)
+	}
+}
+
+// redialBad reports the redial result on an unbuffered channel: if the
+// caller gave up waiting, the send wedges forever. 1 finding
+// (unbuffered channel send).
+func redialBad(result chan frame) {
+	go func() {
+		result <- frame{id: 1}
+	}()
+}
+
+// fanInClean is the coordinator's superstep idiom: the spawner
+// allocates a buffered results channel sized to its producers and each
+// worker goroutine captures it. The make sits in the enclosing body,
+// not the literal's own — the rule must still see the buffer. Clean.
+func fanInClean(n int) {
+	results := make(chan frame, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			results <- frame{id: 2}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		use(<-results)
+	}
+}
+
+// watchdogClean is the suspicion ladder's shutdown idiom: every
+// blocking op selects against the gone channel the coordinator closes
+// on condemn. Clean.
+func watchdogClean(beats chan frame, gone chan struct{}) {
+	go func() {
+		for {
+			select {
+			case f := <-beats:
+				use(f)
+			case <-gone:
+				return
+			}
+		}
+	}()
+}
+
+// severClean drains a connection the spawner provably closes: the range
+// terminates when the registry shuts the channel. Clean.
+func severClean(frames []frame) {
+	inbox := make(chan frame)
+	go func() {
+		for f := range inbox {
+			use(f)
+		}
+	}()
+	for _, f := range frames {
+		inbox <- f
+	}
+	close(inbox)
+}

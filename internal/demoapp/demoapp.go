@@ -183,6 +183,40 @@ func (c Config) injector() failure.Injector {
 	return inj
 }
 
+// netProbe returns a per-tick sampler that copies the cluster backend's
+// cumulative network-fault counters into the collector — a no-op when
+// the backend does not report them (the in-process simulation).
+func netProbe(cl cluster.Interface, collector *metrics.Collector) func(tick int) {
+	nr, ok := cl.(cluster.NetReporter)
+	if !ok {
+		return func(int) {}
+	}
+	return func(tick int) {
+		st := nr.NetStats()
+		collector.MarkNet(tick, metrics.Net{
+			RPCRetries: st.RPCRetries,
+			Reconnects: st.Reconnects,
+			Suspected:  st.Suspected,
+			Condemned:  st.Condemned,
+		})
+	}
+}
+
+// netSummary renders the backend's network-fault counters for run
+// summaries ("" when the backend reports none or nothing happened).
+func netSummary(cl cluster.Interface) string {
+	nr, ok := cl.(cluster.NetReporter)
+	if !ok {
+		return ""
+	}
+	st := nr.NetStats()
+	if st == (cluster.NetStats{}) {
+		return ""
+	}
+	return fmt.Sprintf("  [network: %d rpc retries, %d reconnects, %d suspected, %d condemned, %d fenced]",
+		st.RPCRetries, st.Reconnects, st.Suspected, st.Condemned, st.Fenced)
+}
+
 // recoverySuffix renders the supervisor's effort for status lines
 // ("" for unsupervised or effortless recoveries).
 func recoverySuffix(s iterate.Sample) string {
@@ -297,6 +331,7 @@ func runCC(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	defer stop()
+	sampleNet := netProbe(cl, collector)
 	res, err := cc.Run(g, cc.Options{
 		Parallelism: cfg.Parallelism,
 		Injector:    cfg.injector(),
@@ -307,6 +342,7 @@ func runCC(cfg Config) (*RunOutcome, error) {
 			converged := job.ConvergedCount(truth)
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "messages", float64(s.Stats.Messages))
+			sampleNet(s.Tick)
 			if o := pol.Overhead(); o.Checkpoints > 0 {
 				collector.MarkCheckpoint(s.Tick, o.BarrierTime, o.CommitTime)
 			}
@@ -338,9 +374,10 @@ func runCC(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	outcome.Summary = fmt.Sprintf(
-		"connected components converged after %d iterations (%d attempts, %d failures%s): %d components — result %s",
+		"connected components converged after %d iterations (%d attempts, %d failures%s): %d components — result %s%s",
 		res.Supersteps, res.Ticks, res.Failures, supervisionSummary(res.Result),
-		ref.NumComponents(res.Components), verdict(componentsEqual(res.Components, truth)))
+		ref.NumComponents(res.Components), verdict(componentsEqual(res.Components, truth)),
+		netSummary(cl))
 	return outcome, nil
 }
 
@@ -411,6 +448,7 @@ func runPR(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	defer stop()
+	sampleNet := netProbe(cl, collector)
 	res, err := pagerank.Run(g, pagerank.Options{
 		Parallelism:   cfg.Parallelism,
 		MaxIterations: cfg.PRIterations,
@@ -423,6 +461,7 @@ func runPR(cfg Config) (*RunOutcome, error) {
 			l1 := s.Stats.Extra["l1"]
 			collector.Record(s.Tick, "converged-vertices", float64(converged))
 			collector.Record(s.Tick, "l1-delta", l1)
+			sampleNet(s.Tick)
 			if o := pol.Overhead(); o.Checkpoints > 0 {
 				collector.MarkCheckpoint(s.Tick, o.BarrierTime, o.CommitTime)
 			}
@@ -456,9 +495,10 @@ func runPR(cfg Config) (*RunOutcome, error) {
 		return nil, err
 	}
 	outcome.Summary = fmt.Sprintf(
-		"pagerank finished after %d iterations (%d attempts, %d failures%s): L1 distance to ground truth %.2e — result %s",
+		"pagerank finished after %d iterations (%d attempts, %d failures%s): L1 distance to ground truth %.2e — result %s%s",
 		res.Supersteps, res.Ticks, res.Failures, supervisionSummary(res.Result),
-		ref.L1(res.Ranks, truth), verdict(ref.L1(res.Ranks, truth) < 1e-3))
+		ref.L1(res.Ranks, truth), verdict(ref.L1(res.Ranks, truth) < 1e-3),
+		netSummary(cl))
 	return outcome, nil
 }
 

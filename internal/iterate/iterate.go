@@ -288,6 +288,31 @@ func (l *Loop) Run() (*Result, error) {
 			died = append(died, w)
 			lost = append(lost, l.Cluster.Fail(w)...)
 		}
+
+		// With the attempt committed and nobody dead, run the policy's
+		// superstep epilogue (e.g. the periodic checkpoint snapshot). A
+		// worker dying inside the epilogue joins the recovery path below
+		// — the superstep itself committed, but the dead worker's state
+		// is gone, and the policy decides where to resume exactly as for
+		// a failure inside the attempt.
+		epilogueFailed := false
+		if len(died) == 0 && !sample.Aborted {
+			if err := policy.AfterSuperstep(l.Job, superstep); err != nil {
+				var pwf *exec.WorkerFailure
+				if !errors.As(err, &pwf) {
+					return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
+				}
+				epilogueFailed = true
+				for _, w := range pwf.Workers {
+					if !l.Cluster.IsAlive(w) {
+						continue
+					}
+					died = append(died, w)
+					lost = append(lost, l.Cluster.Fail(w)...)
+				}
+			}
+		}
+
 		switch {
 		case len(died) > 0 && l.Supervisor != nil:
 			res.Failures++
@@ -324,13 +349,11 @@ func (l *Loop) Run() (*Result, error) {
 			sample.LostPartitions = lost
 			sample.Recovery = describeRecovery(policy.PolicyName(), superstep, resumeAt)
 			superstep = resumeAt
-		case sample.Aborted:
-			// Aborted attempt whose scheduled victims were already dead:
-			// nothing was lost, nothing committed — retry the superstep.
+		case sample.Aborted || epilogueFailed:
+			// Aborted attempt whose scheduled victims were already dead,
+			// or an epilogue failure naming only already-dead workers:
+			// nothing further was lost — retry the superstep.
 		default:
-			if err := policy.AfterSuperstep(l.Job, superstep); err != nil {
-				return nil, fmt.Errorf("iterate: loop %q superstep %d: %w", l.Name, superstep, err)
-			}
 			superstep++
 			if l.Supervisor != nil {
 				l.Supervisor.NoteCommitted(superstep)

@@ -30,6 +30,16 @@ type Checkpoint struct {
 	CommitTime  time.Duration
 }
 
+// Net summarises the cluster's cumulative network-fault counters as of
+// one tick: ctrl-RPC retries, connection re-establishments and the
+// suspicion ladder's suspect/condemn verdicts.
+type Net struct {
+	RPCRetries int
+	Reconnects int
+	Suspected  int
+	Condemned  int
+}
+
 // Collector accumulates aligned per-tick series.
 type Collector struct {
 	order       []string
@@ -38,6 +48,7 @@ type Collector struct {
 	aborted     map[int]bool
 	recoveries  map[int]Recovery
 	checkpoints map[int]Checkpoint
+	nets        map[int]Net
 	maxTick     int
 }
 
@@ -49,6 +60,7 @@ func NewCollector() *Collector {
 		aborted:     make(map[int]bool),
 		recoveries:  make(map[int]Recovery),
 		checkpoints: make(map[int]Checkpoint),
+		nets:        make(map[int]Net),
 	}
 }
 
@@ -120,6 +132,18 @@ func (c *Collector) MarkCheckpoint(tick int, barrier, commit time.Duration) {
 // if none).
 func (c *Collector) CheckpointAt(tick int) Checkpoint { return c.checkpoints[tick] }
 
+// MarkNet records the cumulative network-fault counters as of a tick.
+func (c *Collector) MarkNet(tick int, n Net) {
+	c.nets[tick] = n
+	if tick > c.maxTick {
+		c.maxTick = tick
+	}
+}
+
+// NetAt returns the network-fault annotation of a tick (zero value if
+// none).
+func (c *Collector) NetAt(tick int) Net { return c.nets[tick] }
+
 // RecoveryTotals sums the recorded recovery effort across all ticks.
 func (c *Collector) RecoveryTotals() Recovery {
 	var total Recovery
@@ -167,7 +191,7 @@ func (c *Collector) FailureAt(tick int) string { return c.failures[tick] }
 // Ticks returns the number of ticks recorded (max tick + 1).
 func (c *Collector) Ticks() int {
 	if len(c.series) == 0 && len(c.failures) == 0 && len(c.aborted) == 0 &&
-		len(c.recoveries) == 0 && len(c.checkpoints) == 0 {
+		len(c.recoveries) == 0 && len(c.checkpoints) == 0 && len(c.nets) == 0 {
 		return 0
 	}
 	return c.maxTick + 1
@@ -175,12 +199,14 @@ func (c *Collector) Ticks() int {
 
 // WriteCSV exports all series as CSV: one row per tick, one column per
 // series, plus trailing "failure" (annotation), "aborted" (0/1),
-// "recovery_ms", "retries", "escalations", "ckpt_barrier_ms" and
-// "ckpt_commit_ms" columns.
+// "recovery_ms", "retries", "escalations", "ckpt_barrier_ms",
+// "ckpt_commit_ms", "rpc_retries", "reconnects", "suspected" and
+// "condemned" columns.
 func (c *Collector) WriteCSV(w io.Writer) error {
 	headers := append([]string{"tick"}, c.order...)
 	headers = append(headers, "failure", "aborted", "recovery_ms", "retries", "escalations",
-		"ckpt_barrier_ms", "ckpt_commit_ms")
+		"ckpt_barrier_ms", "ckpt_commit_ms",
+		"rpc_retries", "reconnects", "suspected", "condemned")
 	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
 		return err
 	}
@@ -210,6 +236,12 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 		row = append(row,
 			formatFloat(float64(ck.BarrierTime)/float64(time.Millisecond)),
 			formatFloat(float64(ck.CommitTime)/float64(time.Millisecond)))
+		nt := c.nets[t]
+		row = append(row,
+			fmt.Sprintf("%d", nt.RPCRetries),
+			fmt.Sprintf("%d", nt.Reconnects),
+			fmt.Sprintf("%d", nt.Suspected),
+			fmt.Sprintf("%d", nt.Condemned))
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err
 		}

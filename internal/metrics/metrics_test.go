@@ -74,7 +74,7 @@ func TestEmptyCollector(t *testing.T) {
 	if err := c.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(buf.String()) != "tick,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms" {
+	if strings.TrimSpace(buf.String()) != "tick,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms,rpc_retries,reconnects,suspected,condemned" {
 		t.Fatalf("empty CSV = %q", buf.String())
 	}
 }
@@ -89,6 +89,7 @@ func TestWriteCSV(t *testing.T) {
 	c.MarkAborted(1)
 	c.MarkRecovery(1, 1500*time.Microsecond, 2, 1)
 	c.MarkCheckpoint(1, 250*time.Microsecond, 4*time.Millisecond)
+	c.MarkNet(1, Net{RPCRetries: 3, Reconnects: 2, Suspected: 1, Condemned: 1})
 
 	var buf bytes.Buffer
 	if err := c.WriteCSV(&buf); err != nil {
@@ -98,17 +99,31 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV lines: %v", lines)
 	}
-	if lines[0] != "tick,messages,converged,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms" {
+	if lines[0] != "tick,messages,converged,failure,aborted,recovery_ms,retries,escalations,ckpt_barrier_ms,ckpt_commit_ms,rpc_retries,reconnects,suspected,condemned" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,34,10,,0,0,0,0,0,0" {
+	if lines[1] != "0,34,10,,0,0,0,0,0,0,0,0,0,0" {
 		t.Fatalf("row 0 = %q", lines[1])
 	}
 	if !strings.HasPrefix(lines[2], "1,27.5,14,") || !strings.Contains(lines[2], `""node-a""`) {
 		t.Fatalf("row 1 = %q (quoting broken?)", lines[2])
 	}
-	if !strings.HasSuffix(lines[2], ",1,1.5,2,1,0.25,4") {
-		t.Fatalf("row 1 = %q (aborted/recovery/checkpoint columns wrong)", lines[2])
+	if !strings.HasSuffix(lines[2], ",1,1.5,2,1,0.25,4,3,2,1,1") {
+		t.Fatalf("row 1 = %q (aborted/recovery/checkpoint/net columns wrong)", lines[2])
+	}
+}
+
+func TestNetAnnotations(t *testing.T) {
+	c := NewCollector()
+	c.MarkNet(2, Net{RPCRetries: 5, Reconnects: 1, Suspected: 2, Condemned: 1})
+	if got := c.NetAt(2); got != (Net{RPCRetries: 5, Reconnects: 1, Suspected: 2, Condemned: 1}) {
+		t.Fatalf("net at 2 = %+v", got)
+	}
+	if got := c.NetAt(1); got != (Net{}) {
+		t.Fatalf("net at 1 = %+v", got)
+	}
+	if c.Ticks() != 3 {
+		t.Fatalf("ticks = %d", c.Ticks())
 	}
 }
 

@@ -215,7 +215,7 @@ func (c *Checkpoint) snapshot(job Job, superstep int) error {
 	start := clock.Now()
 	var buf bytes.Buffer
 	if err := job.SnapshotTo(&buf); err != nil {
-		return fmt.Errorf("recovery: snapshotting %s after superstep %d: %v", job.Name(), superstep, err)
+		return fmt.Errorf("recovery: snapshotting %s after superstep %d: %w", job.Name(), superstep, err)
 	}
 	if err := c.Store.Save(job.Name(), superstep, buf.Bytes()); err != nil {
 		return fmt.Errorf("recovery: saving checkpoint of %s: %v", job.Name(), err)
