@@ -1,0 +1,83 @@
+package checkpoint
+
+// opacity_test.go pins the blob-opacity contract the raw wire path
+// leans on (PR 10, DESIGN.md §2.9): checkpoint stores treat snapshot
+// blobs as opaque bytes. The proc runtime now saves raw columnar
+// snapshot blobs (magic 0x00 'O' 'F' 'S') through the same Store
+// plumbing that used to carry gob streams, and restores sniff the
+// codec from the first blob byte — so any store or decorator that
+// inspects, trims, re-encodes, or otherwise perturbs blob bytes would
+// silently corrupt codec sniffing. Every blob below must come back
+// byte-identical through every store.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// opaqueBlobs are adversarial payloads for a store that wrongly
+// interprets content: the raw snapshot magic (leading NUL), a gzip
+// magic prefix (must not be mistaken for the decorator's own framing),
+// text, and high-entropy binary.
+func opaqueBlobs() map[string][]byte {
+	lcg := uint64(0x9E3779B97F4A7C15)
+	noise := make([]byte, 4096)
+	for i := range noise {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		noise[i] = byte(lcg >> 56)
+	}
+	return map[string][]byte{
+		"raw-snapshot-magic": append([]byte{0x00, 'O', 'F', 'S', 0x01, 0x02}, noise[:256]...),
+		"gzip-magic-prefix":  append([]byte{0x1f, 0x8b, 0x08, 0x00}, noise[:256]...),
+		"all-zero":           make([]byte, 512),
+		"single-nul":         {0x00},
+		"text":               []byte("not a snapshot at all\n"),
+		"high-entropy":       noise,
+	}
+}
+
+func testStoreOpacity(t *testing.T, store Store) {
+	t.Helper()
+	for name, blob := range opaqueBlobs() {
+		t.Run(name, func(t *testing.T) {
+			job := "opaque-" + name
+			if err := store.Save(job, 3, blob); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			got, superstep, ok, err := store.Load(job)
+			if err != nil || !ok {
+				t.Fatalf("load: ok=%v err=%v", ok, err)
+			}
+			if superstep != 3 {
+				t.Errorf("superstep = %d, want 3", superstep)
+			}
+			if !bytes.Equal(got, blob) {
+				t.Errorf("blob came back perturbed: %d bytes, want %d", len(got), len(blob))
+			}
+		})
+	}
+}
+
+func TestMemoryStoreOpacity(t *testing.T) {
+	testStoreOpacity(t, NewMemoryStore())
+}
+
+func TestDiskStoreOpacity(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreOpacity(t, d)
+}
+
+func TestCompressedStoreOpacity(t *testing.T) {
+	testStoreOpacity(t, Compressed(NewMemoryStore()))
+}
+
+func TestCompressedDiskStoreOpacity(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreOpacity(t, Compressed(d))
+}

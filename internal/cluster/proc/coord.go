@@ -69,6 +69,24 @@ type Config struct {
 	StragglerMin time.Duration
 	// SpawnTimeout bounds process start + handshake (15s if zero).
 	SpawnTimeout time.Duration
+	// DataConns is the per-worker data-plane connection pool size used
+	// for chunked state transfer (2 if zero; negative disables the data
+	// plane — bulk state then moves over monolithic ctrl RPCs).
+	DataConns int
+	// ChunkVertices bounds one data-plane chunk (4096 vertices if
+	// zero): the pipelining grain of a state stream.
+	ChunkVertices int
+	// MaxFrameBytes caps any frame payload on both the encode and
+	// decode path (netfault.MaxFrame if zero; values above the hard
+	// ceiling clamp to it). Oversized frames fail with a typed
+	// *wire.SizeError instead of an unbounded allocation.
+	MaxFrameBytes int
+	// GobPayloads forces the listed payload kinds ("step", "state",
+	// "load", "snapshot") onto the gob fallback codec instead of the
+	// raw columnar encoding — the comparison and escape hatch;
+	// everything raw-capable defaults to raw. "state" also routes bulk
+	// state over the legacy ctrl path instead of the data plane.
+	GobPayloads []string
 	// NetFault, when set, routes every worker connection through the
 	// fault-injecting network layer.
 	NetFault *netfault.Network
@@ -114,6 +132,15 @@ func (c Config) withDefaults() Config {
 	if c.SpawnTimeout <= 0 {
 		c.SpawnTimeout = 15 * time.Second
 	}
+	if c.DataConns == 0 {
+		c.DataConns = 2
+	}
+	if c.DataConns < 0 {
+		c.DataConns = 0
+	}
+	if c.ChunkVertices <= 0 {
+		c.ChunkVertices = 4096
+	}
 	return c
 }
 
@@ -155,6 +182,7 @@ type rpcConn struct {
 	grace   time.Duration   // total retry budget
 	gone    <-chan struct{} // closed when the worker is condemned/reaped
 	onRetry func()          // observability hook, called per extra attempt
+	wc      *wireCfg        // codec policy and frame cap
 
 	nextID uint64
 }
@@ -195,11 +223,11 @@ func (r *rpcConn) close() {
 // network duplicates) and are discarded.
 func (r *rpcConn) attempt(nc net.Conn, id uint64, req any) (any, error) {
 	nc.SetDeadline(time.Now().Add(r.timeout))
-	if err := writeFrameID(nc, id, req); err != nil {
+	if err := writeFrameCfg(nc, id, req, r.wc); err != nil {
 		return nil, err
 	}
 	for {
-		rid, m, err := readFrameID(nc)
+		rid, m, err := readFrameCfg(nc, r.wc)
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +309,7 @@ type workerProc struct {
 	cmd  *oexec.Cmd
 	ctrl *rpcConn
 	beat net.Conn
+	data *dataPlane
 
 	gone      chan struct{} // closed when the worker leaves (condemn/fail/reap)
 	reaped    bool          // process exited (observed by the reaper)
@@ -306,6 +335,9 @@ func (p *workerProc) closeConns() {
 	}
 	if p.beat != nil {
 		p.beat.Close()
+	}
+	if p.data != nil {
+		p.data.closeAll()
 	}
 }
 
@@ -357,6 +389,7 @@ type Coordinator struct {
 	ln    net.Listener
 	addr  string
 	token string
+	wc    *wireCfg
 
 	mu            sync.Mutex
 	alive         map[int]bool
@@ -396,6 +429,10 @@ func Start(cfg Config) (*Coordinator, error) {
 	if cfg.Partitions < 1 {
 		return nil, fmt.Errorf("proc: need at least one partition, got %d", cfg.Partitions)
 	}
+	gobKinds, err := parseGobPayloads(cfg.GobPayloads)
+	if err != nil {
+		return nil, err
+	}
 	tok := make([]byte, 16)
 	if _, err := rand.Read(tok); err != nil {
 		return nil, fmt.Errorf("proc: token: %v", err)
@@ -409,6 +446,7 @@ func Start(cfg Config) (*Coordinator, error) {
 		ln:       ln,
 		addr:     ln.Addr().String(),
 		token:    hex.EncodeToString(tok),
+		wc:       &wireCfg{maxFrame: cfg.MaxFrameBytes, gobKinds: gobKinds},
 		alive:    make(map[int]bool),
 		released: make(map[int]bool),
 		owner:    make([]int, cfg.Partitions),
@@ -490,8 +528,15 @@ func (c *Coordinator) handleConn(nc net.Conn) {
 		return
 	}
 	hello, ok := m.(Hello)
-	if !ok || hello.Proto != ProtoVersion || hello.Token != c.token ||
-		(hello.Conn != ConnCtrl && hello.Conn != ConnBeat) {
+	validRole := false
+	if ok {
+		if hello.Conn == ConnCtrl || hello.Conn == ConnBeat {
+			validRole = true
+		} else if slot, isData := parseDataRole(hello.Conn); isData {
+			validRole = slot < c.cfg.DataConns
+		}
+	}
+	if !ok || hello.Proto != ProtoVersion || hello.Token != c.token || !validRole {
 		writeFrame(nc, ErrResp{Msg: "handshake rejected"})
 		nc.Close()
 		return
@@ -562,6 +607,12 @@ func (c *Coordinator) attach(p *workerProc, role string, nc net.Conn) {
 		if old != nil {
 			old.Close()
 		}
+	default:
+		if slot, isData := parseDataRole(role); isData && p.data != nil {
+			p.data.attach(slot, nc)
+		} else {
+			nc.Close()
+		}
 	}
 	p.suspectAt = time.Time{}
 	c.beats.beat(p.id, clock.Now())
@@ -585,21 +636,35 @@ func (c *Coordinator) takeWaiter(k connKey) chan handshook {
 	return ch
 }
 
+// dropWaiter abandons a pending waiter. Closing the channel releases
+// the spawner's forwarder goroutine; it is safe because only a channel
+// still in the map can be closed here — once takeWaiter hands a
+// channel to the accept path it is out of the map and stays open.
 func (c *Coordinator) dropWaiter(k connKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.waiters, k)
+	if ch, ok := c.waiters[k]; ok {
+		delete(c.waiters, k)
+		close(ch)
+	}
 }
 
 // spawnWorker starts worker process w and waits for both of its
 // connections to handshake. It does not touch membership — the caller
 // admits the worker once spawn succeeds.
 func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
-	ctrlCh := c.addWaiter(connKey{worker: w, role: ConnCtrl})
-	beatCh := c.addWaiter(connKey{worker: w, role: ConnBeat})
+	roles := []string{ConnCtrl, ConnBeat}
+	for i := 0; i < c.cfg.DataConns; i++ {
+		roles = append(roles, dataRole(i))
+	}
+	chans := make(map[string]chan handshook, len(roles))
+	for _, role := range roles {
+		chans[role] = c.addWaiter(connKey{worker: w, role: role})
+	}
 	cleanup := func() {
-		c.dropWaiter(connKey{worker: w, role: ConnCtrl})
-		c.dropWaiter(connKey{worker: w, role: ConnBeat})
+		for _, role := range roles {
+			c.dropWaiter(connKey{worker: w, role: role})
+		}
 	}
 
 	env := workerEnv(c.addr, w, c.token, c.cfg)
@@ -619,17 +684,41 @@ func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
 		return nil, fmt.Errorf("starting process: %v", err)
 	}
 
+	// Merge the per-role waiter channels so the wait loop handles any
+	// number of data-plane slots alongside ctrl and beat. The stop arm
+	// is belt-and-braces: on the failure paths cleanup()'s dropWaiter
+	// already closes every pending waiter channel, but closing stop
+	// makes the forwarders' termination locally provable.
+	type arrival struct {
+		role string
+		hs   handshook
+	}
+	arrivals := make(chan arrival, len(roles))
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, role := range roles {
+		go func(role string, ch chan handshook) {
+			select {
+			case hs, ok := <-ch:
+				if ok {
+					arrivals <- arrival{role: role, hs: hs}
+				}
+			case <-stop:
+			}
+		}(role, chans[role])
+	}
 	timer := time.NewTimer(c.cfg.SpawnTimeout)
 	defer timer.Stop()
-	var ctrl, beat handshook
-	for got := 0; got < 2; {
+	conns := make(map[string]net.Conn, len(roles))
+	for len(conns) < len(roles) {
 		select {
-		case ctrl = <-ctrlCh:
-			got++
-		case beat = <-beatCh:
-			got++
+		case a := <-arrivals:
+			conns[a.role] = a.hs.nc
 		case <-timer.C:
 			cleanup()
+			for _, nc := range conns {
+				nc.Close()
+			}
 			cmd.Process.Kill()
 			go cmd.Wait()
 			return nil, fmt.Errorf("worker %d did not handshake within %v", w, c.cfg.SpawnTimeout)
@@ -639,17 +728,25 @@ func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
 	p := &workerProc{
 		id:   w,
 		cmd:  cmd,
-		beat: beat.nc,
+		beat: conns[ConnBeat],
 		gone: make(chan struct{}),
+	}
+	if c.cfg.DataConns > 0 {
+		dataConns := make([]net.Conn, c.cfg.DataConns)
+		for i := range dataConns {
+			dataConns[i] = conns[dataRole(i)]
+		}
+		p.data = newDataPlane(dataConns)
 	}
 	p.ctrl = &rpcConn{
 		sem:     make(chan struct{}, 1),
-		nc:      ctrl.nc,
+		nc:      conns[ConnCtrl],
 		swapped: make(chan struct{}),
 		timeout: c.cfg.CallTimeout,
 		backoff: c.cfg.RetryBackoff,
 		grace:   c.cfg.SuspicionGrace,
 		gone:    p.gone,
+		wc:      c.wc,
 		onRetry: func() {
 			c.mu.Lock()
 			c.statRetries++
@@ -657,7 +754,7 @@ func (c *Coordinator) spawnWorker(w int) (*workerProc, error) {
 		},
 	}
 	go c.reap(p)
-	go c.readBeats(p, beat.nc)
+	go c.readBeats(p, p.beat)
 	return p, nil
 }
 
@@ -1071,16 +1168,17 @@ func (c *Coordinator) Release(w int) error {
 	p := c.procs[w]
 	c.mu.Unlock()
 
-	// Migrate state off the leaving worker before it goes away.
+	// Migrate state off the leaving worker before it goes away — over
+	// the chunked data plane when enabled, so a big migration streams
+	// and pipelines instead of marshalling one monolithic RPC blob.
 	var fetched map[int]PartState
 	if hook != nil && len(moved) > 0 && p != nil {
-		resp, err := p.ctrl.call(FetchReq{Parts: moved})
+		parts, err := c.fetchState(w, moved)
 		if err != nil {
 			return &cluster.ReleaseError{Worker: w, Reason: fmt.Errorf("migrating state: %v", err)}
 		}
-		fr := resp.(FetchResp)
-		fetched = make(map[int]PartState, len(fr.Parts))
-		for _, ps := range fr.Parts {
+		fetched = make(map[int]PartState, len(parts))
+		for _, ps := range parts {
 			fetched[ps.Part] = ps
 		}
 	}
@@ -1103,20 +1201,36 @@ func (c *Coordinator) Release(w int) error {
 	c.mu.Unlock()
 
 	if hook != nil {
-		for _, o := range survivors {
+		// Push the migrated state to each adopting survivor concurrently:
+		// every destination streams its own chunks over its own data
+		// plane, so a multi-survivor migration overlaps end to end.
+		var wg sync.WaitGroup
+		errs := make([]error, len(survivors))
+		for i, o := range survivors {
 			parts := perOwner[o]
 			if len(parts) == 0 {
 				continue
 			}
-			if err := hook(o, parts); err != nil {
-				return fmt.Errorf("proc: releasing worker %d: loading partitions onto %d: %v", w, o, err)
-			}
-			restore := RestoreReq{}
-			for _, part := range parts {
-				restore.Parts = append(restore.Parts, fetched[part])
-			}
-			if _, err := c.call(o, restore); err != nil {
-				return fmt.Errorf("proc: releasing worker %d: restoring state onto %d: %v", w, o, err)
+			wg.Add(1)
+			go func(i, o int, parts []int) {
+				defer wg.Done()
+				if err := hook(o, parts); err != nil {
+					errs[i] = fmt.Errorf("proc: releasing worker %d: loading partitions onto %d: %v", w, o, err)
+					return
+				}
+				restore := make([]PartState, 0, len(parts))
+				for _, part := range parts {
+					restore = append(restore, fetched[part])
+				}
+				if err := c.restoreState(o, restore); err != nil {
+					errs[i] = fmt.Errorf("proc: releasing worker %d: restoring state onto %d: %v", w, o, err)
+				}
+			}(i, o, parts)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"optiflow/internal/cluster/proc/wire"
 	"optiflow/internal/exec"
 	"optiflow/internal/graph"
 	"optiflow/internal/iterate"
@@ -327,9 +328,11 @@ func (j *Job) LastL1() float64 { return j.lastL1 }
 func (j *Job) Name() string { return j.spec.Name }
 
 // SnapshotTo implements recovery.Job: it fetches every partition's
-// committed state from its owner and serialises it together with the
-// driver-side message state. Partitions and messages are sorted, so
-// equal distributed states snapshot to equal bytes.
+// committed state from its owner — over the chunked data plane when
+// enabled — and serialises it together with the driver-side message
+// state, raw columnar by default (gob via Config.GobPayloads
+// "snapshot"). Partitions and messages are sorted, so equal
+// distributed states snapshot to equal bytes.
 func (j *Job) SnapshotTo(w *bytes.Buffer) error {
 	snap := JobSnapshot{
 		Kind:      j.spec.Kind,
@@ -337,7 +340,7 @@ func (j *Job) SnapshotTo(w *bytes.Buffer) error {
 		Rescatter: j.rescatter,
 	}
 	for wk, parts := range j.ownersSnapshot() {
-		resp, err := j.co.call(wk, FetchReq{Parts: parts})
+		fetched, err := j.co.fetchState(wk, parts)
 		if err != nil {
 			if isTransportError(err) {
 				// The owner died (or was condemned) under the snapshot:
@@ -348,7 +351,7 @@ func (j *Job) SnapshotTo(w *bytes.Buffer) error {
 			}
 			return fmt.Errorf("proc: snapshot: fetching from worker %d: %v", wk, err)
 		}
-		snap.Parts = append(snap.Parts, resp.(FetchResp).Parts...)
+		snap.Parts = append(snap.Parts, fetched...)
 	}
 	sort.Slice(snap.Parts, func(a, b int) bool { return snap.Parts[a].Part < snap.Parts[b].Part })
 	partIDs := make([]int, 0, len(j.inbox))
@@ -361,18 +364,29 @@ func (j *Job) SnapshotTo(w *bytes.Buffer) error {
 			snap.Inbox = append(snap.Inbox, PartMsgs{Part: p, Msgs: j.inbox[p]})
 		}
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("proc: snapshot: encoding: %v", err)
+	if j.co.wc.forceGob(wire.KSnapshot) {
+		if err := gob.NewEncoder(w).Encode(snap); err != nil {
+			return fmt.Errorf("proc: snapshot: encoding: %v", err)
+		}
+		return nil
 	}
+	w.Write(appendSnapshot(nil, snap))
 	return nil
 }
 
 // RestoreFrom implements recovery.Job: it pushes the snapshot's
-// partition state back to the partitions' current owners and restores
-// the driver-side message state.
+// partition state back to the partitions' current owners — over the
+// chunked data plane when enabled — and restores the driver-side
+// message state. The blob's codec is sniffed from its magic, so
+// checkpoints written by either codec restore under any policy.
 func (j *Job) RestoreFrom(data []byte) error {
 	var snap JobSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+	if isRawSnapshot(data) {
+		var err error
+		if snap, err = decodeSnapshot(data); err != nil {
+			return fmt.Errorf("proc: restore: %v", err)
+		}
+	} else if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("proc: restore: decoding: %v", err)
 	}
 	byPart := make(map[int]PartState, len(snap.Parts))
@@ -380,16 +394,16 @@ func (j *Job) RestoreFrom(data []byte) error {
 		byPart[ps.Part] = ps
 	}
 	for w, parts := range j.ownersSnapshot() {
-		req := RestoreReq{}
+		var push []PartState
 		for _, p := range parts {
 			if ps, ok := byPart[p]; ok {
-				req.Parts = append(req.Parts, ps)
+				push = append(push, ps)
 			}
 		}
-		if len(req.Parts) == 0 {
+		if len(push) == 0 {
 			continue
 		}
-		if _, err := j.co.call(w, req); err != nil {
+		if err := j.co.restoreState(w, push); err != nil {
 			return fmt.Errorf("proc: restore: pushing to worker %d: %v", w, err)
 		}
 	}
@@ -448,15 +462,16 @@ func (j *Job) ResetToInitial() error {
 	return nil
 }
 
-// fetchAll collects every partition's committed state.
+// fetchAll collects every partition's committed state, over the data
+// plane when enabled.
 func (j *Job) fetchAll() ([]PartState, error) {
 	var out []PartState
 	for w, parts := range j.ownersSnapshot() {
-		resp, err := j.co.call(w, FetchReq{Parts: parts})
+		fetched, err := j.co.fetchState(w, parts)
 		if err != nil {
 			return nil, fmt.Errorf("proc: fetching results from worker %d: %v", w, err)
 		}
-		out = append(out, resp.(FetchResp).Parts...)
+		out = append(out, fetched...)
 	}
 	return out, nil
 }

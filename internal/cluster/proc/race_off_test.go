@@ -1,0 +1,7 @@
+//go:build !race
+
+package proc
+
+// raceEnabled reports whether the race detector instrumented this
+// build. See race_on_test.go.
+const raceEnabled = false

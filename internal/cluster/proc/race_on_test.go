@@ -1,0 +1,8 @@
+//go:build race
+
+package proc
+
+// raceEnabled reports whether the race detector instrumented this
+// build. Allocation-ceiling tests skip under -race: the detector's
+// shadow allocations inflate allocs/op past any meaningful bound.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -22,6 +23,9 @@ const (
 	envHandshakeMS = "OPTIFLOW_PROC_HANDSHAKE_MS"
 	envReconnectMS = "OPTIFLOW_PROC_RECONNECT_MS"
 	envBackoffMS   = "OPTIFLOW_PROC_BACKOFF_MS"
+	envDataConns   = "OPTIFLOW_PROC_DATA_CONNS"
+	envMaxFrame    = "OPTIFLOW_PROC_MAX_FRAME"
+	envGobPayloads = "OPTIFLOW_PROC_GOB_PAYLOADS"
 
 	// envGobCheck switches the child into the wire-compatibility
 	// decoder used by the gob round-trip suite: frames in on stdin,
@@ -64,6 +68,14 @@ func envDuration(key string) time.Duration {
 	return 0
 }
 
+// envInt reads an optional positive integer knob.
+func envInt(key string) int {
+	if n, err := strconv.Atoi(os.Getenv(key)); err == nil && n > 0 {
+		return n
+	}
+	return 0
+}
+
 // workerConfigFromEnv rebuilds the WorkerConfig the coordinator
 // serialised into the child's environment.
 func workerConfigFromEnv() (WorkerConfig, error) {
@@ -79,6 +91,11 @@ func workerConfigFromEnv() (WorkerConfig, error) {
 		HandshakeTimeout: envDuration(envHandshakeMS),
 		ReconnectGrace:   envDuration(envReconnectMS),
 		RetryBackoff:     envDuration(envBackoffMS),
+		DataConns:        envInt(envDataConns),
+		MaxFrameBytes:    envInt(envMaxFrame),
+	}
+	if gp := os.Getenv(envGobPayloads); gp != "" {
+		cfg.GobPayloads = strings.Split(gp, ",")
 	}
 	if cfg.Addr == "" {
 		return WorkerConfig{}, fmt.Errorf("proc: %s not set", envAddr)
@@ -100,6 +117,9 @@ func workerEnv(addr string, id int, token string, cfg Config) []string {
 		envHandshakeMS+"="+ms(cfg.HandshakeTimeout),
 		envReconnectMS+"="+ms(cfg.ReconnectGrace),
 		envBackoffMS+"="+ms(cfg.RetryBackoff),
+		envDataConns+"="+strconv.Itoa(cfg.DataConns),
+		envMaxFrame+"="+strconv.Itoa(cfg.MaxFrameBytes),
+		envGobPayloads+"="+strings.Join(cfg.GobPayloads, ","),
 	)
 }
 

@@ -9,20 +9,26 @@
 // The wire protocol is deliberately small: every connection starts with
 // a Hello handshake naming the worker and the connection's role
 // ("ctrl" for serialized request/response RPC, "beat" for the worker's
-// heartbeat push stream), after which each side exchanges frames. Since
-// protocol v2 each frame is length-prefixed (netfault.HeaderLen bytes
-// of big-endian payload length) and gob-encoded with a fresh
-// encoder/decoder pair, so frames are self-contained: a dropped,
-// duplicated or delayed frame cannot desynchronise the stream the way
+// heartbeat push stream, "data/N" for the chunked state-transfer data
+// plane), after which each side exchanges frames. Since protocol v2
+// each frame is length-prefixed (netfault.HeaderLen bytes of
+// big-endian payload length) and self-contained: a dropped, duplicated
+// or delayed frame cannot desynchronise the stream the way
 // shared-codec gob state would (the PR 8 desync lesson), and a
 // reconnected connection resumes mid-job with no carried codec state.
-// Frames carry an ID used as an idempotence token on ctrl RPCs —
-// responses echo their request's ID, so the coordinator can discard
-// stale responses after a retry and the worker can answer a duplicate
-// request from cache instead of re-applying it. All message types are
-// registered with gob in this package's init, and the
-// wire-compatibility test round-trips every one of them through a
-// freshly started subprocess decoder to pin cross-process decodability.
+// Since protocol v3 the payload's first byte selects its codec (see
+// internal/cluster/proc/wire): low-rate control frames stay gob with a
+// fresh encoder/decoder pair per frame, while hot-path payloads —
+// superstep data, partition state, data-plane chunks — default to the
+// raw columnar encoding of raw.go, with gob selectable per payload
+// kind as a fallback (Config.GobPayloads). Frames carry an ID used as
+// an idempotence token on ctrl RPCs — responses echo their request's
+// ID, so the coordinator can discard stale responses after a retry and
+// the worker can answer a duplicate request from cache instead of
+// re-applying it. All message types are registered with gob in this
+// package's init, and the wire-compatibility test round-trips every
+// one of them — in both codecs — through a freshly started subprocess
+// decoder to pin cross-process decodability.
 package proc
 
 import (
@@ -32,16 +38,22 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
+	"strings"
+	"sync"
 
 	"optiflow/internal/checkpoint"
 	"optiflow/internal/cluster/proc/netfault"
+	"optiflow/internal/cluster/proc/wire"
 )
 
 // ProtoVersion is the wire protocol version. A Hello with a different
 // version is rejected during the handshake, so a stale worker binary
 // cannot silently exchange frames with a newer coordinator. Version 2
-// introduced length-prefixed self-contained frames and idempotence IDs.
-const ProtoVersion = 2
+// introduced length-prefixed self-contained frames and idempotence
+// IDs; version 3 added the per-payload codec tag (gob or raw
+// columnar) and the data-plane connection role.
+const ProtoVersion = 3
 
 // Frame is the unit of transmission: one gob value wrapping one
 // message. Wrapping in an interface-typed field keeps each frame
@@ -65,11 +77,30 @@ type Hello struct {
 	Conn   string
 }
 
-// Connection roles named in Hello.Conn.
+// Connection roles named in Hello.Conn. Data-plane connections are
+// numbered — "data/0", "data/1", … — so each slot of a worker's pool
+// handshakes (and reconnects) independently; see dataRole.
 const (
 	ConnCtrl = "ctrl"
 	ConnBeat = "beat"
+	connData = "data"
 )
+
+// dataRole names data-plane connection slot i.
+func dataRole(i int) string { return connData + "/" + strconv.Itoa(i) }
+
+// parseDataRole recognises a data-plane role, returning its slot.
+func parseDataRole(role string) (int, bool) {
+	rest, ok := strings.CutPrefix(role, connData+"/")
+	if !ok {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
 
 // HelloOK acknowledges a Hello.
 type HelloOK struct {
@@ -252,6 +283,46 @@ type JobSnapshot struct {
 	Rescatter bool
 }
 
+// DataFetchReq opens a fetch stream on a data-plane connection: the
+// worker answers with DataChunk frames carrying the listed partitions'
+// committed state, at most ChunkVerts vertices per chunk, the last
+// chunk marked Done. Stream tags the transfer so a late frame from an
+// abandoned stream cannot be mistaken for the current one.
+type DataFetchReq struct {
+	Stream     uint64
+	ChunkVerts int
+	Parts      []int
+}
+
+// DataRestoreReq opens a restore stream: the coordinator follows it
+// with DataChunk frames whose state fragments the worker applies as
+// they arrive, answering DataAck (or DataErr) after the Done chunk.
+type DataRestoreReq struct {
+	Stream uint64
+}
+
+// DataChunk is one bounded fragment of a state stream. Parts carries
+// partition state fragments — a partition larger than the chunk budget
+// spans several chunks, each listing the vertices it covers.
+type DataChunk struct {
+	Stream uint64
+	Seq    uint32
+	Done   bool
+	Parts  []PartState
+}
+
+// DataAck completes a restore stream.
+type DataAck struct {
+	Stream uint64
+}
+
+// DataErr reports a stream-level application error (unknown partition,
+// say). Transport failures don't get a frame — the connection breaks.
+type DataErr struct {
+	Stream uint64
+	Msg    string
+}
+
 // wireMessages lists every concrete type that may travel inside a
 // Frame, in a fixed order shared by gob registration and the
 // cross-process wire-compatibility check.
@@ -266,6 +337,7 @@ func wireMessages() []any {
 		StatsReq{}, WorkerStats{},
 		JobSnapshot{},
 		checkpoint.CommitRecord{},
+		DataFetchReq{}, DataRestoreReq{}, DataChunk{}, DataAck{}, DataErr{},
 	}
 }
 
@@ -275,35 +347,134 @@ func init() {
 	}
 }
 
-// encodeFrame renders one frame as a complete length-prefixed byte
-// block using a fresh encoder, so the block is self-contained (carries
-// its own gob type descriptors and no shared stream state).
-func encodeFrame(id uint64, m any) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, netfault.HeaderLen))
-	if err := gob.NewEncoder(&buf).Encode(Frame{ID: id, M: m}); err != nil {
-		return nil, fmt.Errorf("proc: encoding %T: %v", m, err)
-	}
-	b := buf.Bytes()
-	if len(b)-netfault.HeaderLen > netfault.MaxFrame {
-		return nil, fmt.Errorf("proc: frame %T exceeds %d bytes", m, netfault.MaxFrame)
-	}
-	netfault.PutHeader(b, len(b)-netfault.HeaderLen)
-	return b, nil
+// wireCfg is the encoder-local wire policy: the (configurable) frame
+// size cap and the payload kinds forced onto the gob fallback. Decoders
+// accept both codecs regardless, so the policy needs no negotiation —
+// each end just encodes by its own.
+type wireCfg struct {
+	maxFrame int           // payload cap; 0 = netfault.MaxFrame
+	gobKinds map[byte]bool // raw-capable kinds forced to gob
 }
 
-// writeFrameID writes one message as a single self-contained frame. The
-// frame reaches the connection in exactly one Write call — the contract
-// the netfault wrapper relies on to see frame boundaries.
-func writeFrameID(w io.Writer, id uint64, m any) error {
-	b, err := encodeFrame(id, m)
+// defaultWire is the policy of plain writeFrame/readFrame callers
+// (handshakes, heartbeats, the gob-check child): everything raw-capable
+// goes raw, frames capped at the hard ceiling.
+var defaultWire = &wireCfg{}
+
+// max returns the effective payload cap.
+func (wc *wireCfg) max() int {
+	if wc == nil || wc.maxFrame <= 0 || wc.maxFrame > netfault.MaxFrame {
+		return netfault.MaxFrame
+	}
+	return wc.maxFrame
+}
+
+// forceGob reports whether the kind is on the gob fallback list.
+func (wc *wireCfg) forceGob(kind byte) bool { return wc != nil && wc.gobKinds[kind] }
+
+// Payload-kind names accepted by Config.GobPayloads.
+const (
+	PayloadStep     = "step"     // StepReq / StepResp
+	PayloadState    = "state"    // FetchResp / RestoreReq (disables the data plane)
+	PayloadLoad     = "load"     // LoadReq
+	PayloadSnapshot = "snapshot" // the JobSnapshot checkpoint blob
+)
+
+// parseGobPayloads resolves payload-kind names to the raw kinds they
+// cover.
+func parseGobPayloads(names []string) (map[byte]bool, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make(map[byte]bool)
+	for _, n := range names {
+		switch strings.TrimSpace(n) {
+		case "":
+		case PayloadStep:
+			out[wire.KStepReq] = true
+			out[wire.KStepResp] = true
+		case PayloadState:
+			out[wire.KFetchResp] = true
+			out[wire.KRestoreReq] = true
+		case PayloadLoad:
+			out[wire.KLoadReq] = true
+		case PayloadSnapshot:
+			out[wire.KSnapshot] = true
+		default:
+			return nil, fmt.Errorf("proc: unknown gob payload kind %q", n)
+		}
+	}
+	return out, nil
+}
+
+// sliceWriter adapts an append-grown []byte to io.Writer for the gob
+// encoder, so gob frames assemble in the same pooled buffer raw frames
+// do.
+type sliceWriter struct{ b []byte }
+
+func (sw *sliceWriter) Write(p []byte) (int, error) {
+	sw.b = append(sw.b, p...)
+	return len(p), nil
+}
+
+// appendFrame appends one complete length-prefixed frame for m to dst:
+// raw codec for hot-path payloads (unless the policy forces gob), gob
+// for everything else. The returned slice is dst possibly regrown.
+func appendFrame(dst []byte, id uint64, m any, wc *wireCfg) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, netfault.HeaderLen)...)
+	if kind, ok := rawKindOf(m); ok && !wc.forceGob(kind) {
+		dst = appendRawPayload(dst, kind, id, m)
+	} else {
+		sw := sliceWriter{b: append(dst, wire.CodecGob)}
+		if err := gob.NewEncoder(&sw).Encode(Frame{ID: id, M: m}); err != nil {
+			return dst[:start], fmt.Errorf("proc: encoding %T: %v", m, err)
+		}
+		dst = sw.b
+	}
+	payload := len(dst) - start - netfault.HeaderLen
+	if err := wire.CheckSize(payload, wc.max()); err != nil {
+		return dst[:start], fmt.Errorf("proc: encoding %T: %w", m, err)
+	}
+	netfault.PutHeader(dst[start:], payload)
+	return dst, nil
+}
+
+// encodeFrame renders one frame as a self-contained byte block the
+// caller owns (tests, the compatibility suite). The hot path is
+// writeFrameCfg, which assembles into a pooled buffer instead.
+func encodeFrame(id uint64, m any) ([]byte, error) {
+	return appendFrame(nil, id, m, defaultWire)
+}
+
+// framePool recycles frame-assembly and frame-receive buffers across
+// the send and receive loops — the PR 10 fix for the per-frame
+// allocations that dominated the proc hot path.
+var framePool = sync.Pool{New: func() any { return &wire.Buf{} }}
+
+// writeFrameCfg writes one message as a single self-contained frame
+// under the given policy. The frame reaches the connection in exactly
+// one Write call — the contract the netfault wrapper relies on to see
+// frame boundaries — and its buffer returns to the pool afterwards.
+func writeFrameCfg(w io.Writer, id uint64, m any, wc *wireCfg) error {
+	buf := framePool.Get().(*wire.Buf)
+	b, err := appendFrame(buf.B[:0], id, m, wc)
+	buf.B = b[:0]
 	if err != nil {
+		framePool.Put(buf)
 		return err
 	}
-	if _, err := w.Write(b); err != nil {
+	_, err = w.Write(b)
+	framePool.Put(buf)
+	if err != nil {
 		return fmt.Errorf("proc: writing %T: %w", m, err)
 	}
 	return nil
+}
+
+// writeFrameID writes one message under the default policy.
+func writeFrameID(w io.Writer, id uint64, m any) error {
+	return writeFrameCfg(w, id, m, defaultWire)
 }
 
 // writeFrame writes a message with no idempotence token (handshake,
@@ -312,11 +483,13 @@ func writeFrame(w io.Writer, m any) error {
 	return writeFrameID(w, 0, m)
 }
 
-// readFrameID reads the next complete frame, returning its idempotence
-// token alongside the message. Read errors from the connection are
-// returned wrapped (%w) so deadline expiry stays detectable via
-// net.Error.
-func readFrameID(r io.Reader) (uint64, any, error) {
+// readFrameCfg reads the next complete frame under the given policy,
+// returning its idempotence token alongside the message. The payload is
+// read into a pooled buffer; both codecs' decoders copy everything out
+// (gob by construction, raw by the arena rule), so the buffer recycles
+// immediately. Read errors from the connection are returned wrapped
+// (%w) so deadline expiry stays detectable via net.Error.
+func readFrameCfg(r io.Reader, wc *wireCfg) (uint64, any, error) {
 	var hdr [netfault.HeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -325,21 +498,44 @@ func readFrameID(r io.Reader) (uint64, any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	payload := make([]byte, n)
+	if err := wire.CheckSize(n, wc.max()); err != nil {
+		return 0, nil, fmt.Errorf("proc: reading frame: %w", err)
+	}
+	buf := framePool.Get().(*wire.Buf)
+	defer framePool.Put(buf)
+	if cap(buf.B) < n {
+		buf.B = make([]byte, n)
+	}
+	payload := buf.B[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return 0, nil, fmt.Errorf("proc: reading frame body: %w", err)
 	}
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
-		return 0, nil, fmt.Errorf("proc: decoding frame: %v", err)
-	}
-	if f.M == nil {
+	if n == 0 {
 		return 0, nil, errors.New("proc: empty frame")
 	}
-	return f.ID, f.M, nil
+	switch payload[0] {
+	case wire.CodecRaw:
+		return decodeRawPayload(payload[1:])
+	case wire.CodecGob:
+		var f Frame
+		if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&f); err != nil {
+			return 0, nil, fmt.Errorf("proc: decoding frame: %v", err)
+		}
+		if f.M == nil {
+			return 0, nil, errors.New("proc: empty frame")
+		}
+		return f.ID, f.M, nil
+	default:
+		return 0, nil, fmt.Errorf("proc: unknown frame codec %#x", payload[0])
+	}
+}
+
+// readFrameID reads the next frame under the default policy.
+func readFrameID(r io.Reader) (uint64, any, error) {
+	return readFrameCfg(r, defaultWire)
 }
 
 // readFrame reads the next frame's message, discarding the token.

@@ -1,0 +1,133 @@
+package proc
+
+// wirebench_test.go measures the PR 10 headline: raw columnar frame
+// encode/decode versus the gob fallback, on the two bulk payload
+// shapes the cluster actually ships — partition state (flat
+// id/label/rank records, the checkpoint and migration payload) and
+// partition adjacency (per-vertex out-edge lists, the load payload,
+// where gob allocates one slice per vertex and the raw format uses a
+// single edge arena). The BENCH_PR10.json artifact derives the
+// speedup and allocs/op ratios from these benchmarks, and CI pins the
+// raw encode allocation count with -maxallocs.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// wireStatePayload is a bulk state payload shaped like a checkpoint
+// fetch: 4 partitions x 4096 vertices of (id, label, rank).
+func wireStatePayload() FetchResp {
+	resp := FetchResp{}
+	id := uint64(0)
+	for p := 0; p < 4; p++ {
+		vs := make([]VertexVal, 4096)
+		for i := range vs {
+			vs[i] = VertexVal{ID: id, Label: id % 97, Rank: 1 / float64(id+1)}
+			id++
+		}
+		resp.Parts = append(resp.Parts, PartState{Part: p, Vertices: vs})
+	}
+	return resp
+}
+
+// wireAdjPayload is a partition-load payload: 4 partitions x 4096
+// vertices with 8 out-edges each.
+func wireAdjPayload() LoadReq {
+	const parts, perPart, deg = 4, 4096, 8
+	req := LoadReq{
+		Job: "bench", Kind: KindCC,
+		NumPartitions: parts, TotalVertices: parts * perPart, Damping: 0.85,
+	}
+	id := uint64(0)
+	for p := 0; p < parts; p++ {
+		vs := make([]VertexAdj, perPart)
+		for i := range vs {
+			out := make([]uint64, deg)
+			for j := range out {
+				out[j] = (id + uint64(j)*7) % uint64(parts*perPart)
+			}
+			vs[i] = VertexAdj{ID: id, Out: out}
+			id++
+		}
+		req.Parts = append(req.Parts, PartitionData{Part: p, Vertices: vs})
+	}
+	return req
+}
+
+// gobWire forces the given payload kinds onto the gob fallback, so the
+// same writeFrameCfg path runs the gob codec.
+func gobWire(b *testing.B, kinds ...string) *wireCfg {
+	b.Helper()
+	gk, err := parseGobPayloads(kinds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &wireCfg{gobKinds: gk}
+}
+
+func benchWireEncode(b *testing.B, msg any, wc *wireCfg) {
+	var sink bytes.Buffer
+	if err := writeFrameCfg(&sink, 1, msg, wc); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(sink.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := writeFrameCfg(&sink, 1, msg, wc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireDecode(b *testing.B, msg any, wc *wireCfg) {
+	var frames bytes.Buffer
+	if err := writeFrameCfg(&frames, 1, msg, wc); err != nil {
+		b.Fatal(err)
+	}
+	frame := frames.Bytes()
+	r := bytes.NewReader(frame)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := readFrameCfg(r, wc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeState_Raw(b *testing.B) {
+	benchWireEncode(b, wireStatePayload(), defaultWire)
+}
+
+func BenchmarkWireEncodeState_Gob(b *testing.B) {
+	benchWireEncode(b, wireStatePayload(), gobWire(b, PayloadState))
+}
+
+func BenchmarkWireDecodeState_Raw(b *testing.B) {
+	benchWireDecode(b, wireStatePayload(), defaultWire)
+}
+
+func BenchmarkWireDecodeState_Gob(b *testing.B) {
+	benchWireDecode(b, wireStatePayload(), gobWire(b, PayloadState))
+}
+
+func BenchmarkWireEncodeAdj_Raw(b *testing.B) {
+	benchWireEncode(b, wireAdjPayload(), defaultWire)
+}
+
+func BenchmarkWireEncodeAdj_Gob(b *testing.B) {
+	benchWireEncode(b, wireAdjPayload(), gobWire(b, PayloadLoad))
+}
+
+func BenchmarkWireDecodeAdj_Raw(b *testing.B) {
+	benchWireDecode(b, wireAdjPayload(), defaultWire)
+}
+
+func BenchmarkWireDecodeAdj_Gob(b *testing.B) {
+	benchWireDecode(b, wireAdjPayload(), gobWire(b, PayloadLoad))
+}

@@ -53,16 +53,77 @@ func sampleMessages() []any {
 			Dangling: 0.25, Rescatter: true,
 		},
 		checkpoint.CommitRecord{Epoch: 9, Superstep: 4, Parts: map[int]uint64{2: 9}, Compressed: true},
+		DataFetchReq{Stream: 11, ChunkVerts: 4096, Parts: []int{0, 3}},
+		DataRestoreReq{Stream: 12},
+		DataChunk{
+			Stream: 12, Seq: 2, Done: true,
+			Parts: []PartState{{Part: 3, Vertices: []VertexVal{{ID: 8, Label: 2, Rank: 0.4}}}},
+		},
+		DataAck{Stream: 12},
+		DataErr{Stream: 13, Msg: "worker 3: partition 9 not hosted"},
 	}
 }
 
-// TestGobWireCompatAcrossProcesses encodes one populated sample of
-// every wire type, pipes the frames into a freshly started subprocess
-// decoder (this test binary re-executed with the gob-check env set —
-// a fresh gob type registry, nothing shared but the package init), and
-// compares the child's decoded digests against the parent's rendering
-// of what it sent. A type that gob cannot carry across processes, or
-// a type missing from the registration list, fails here instead of
+// decodeInChild pipes the frame bytes into a freshly started
+// subprocess decoder (this test binary re-executed with the gob-check
+// env set — a fresh gob type registry and nothing shared with the
+// encoder beyond the package init) and returns the child's per-frame
+// %#v digests.
+func decodeInChild(t *testing.T, frames []byte) []string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cmd := oexec.Command(exe)
+	cmd.Env = append(os.Environ(), envGobCheck+"=1")
+	cmd.Stdin = bytes.NewReader(frames)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("gob-check child: %v (stderr: %s)", err, stderr.String())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var got []string
+	for sc.Scan() {
+		got = append(got, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading child output: %v", err)
+	}
+	return got
+}
+
+// checkChildRoundTrip encodes every sample under the given wire policy
+// and compares the subprocess decoder's digests against the parent's
+// rendering of what it sent.
+func checkChildRoundTrip(t *testing.T, samples []any, wc *wireCfg) {
+	t.Helper()
+	var frames bytes.Buffer
+	for _, m := range samples {
+		if err := writeFrameCfg(&frames, 0, m, wc); err != nil {
+			t.Fatalf("encoding %T: %v", m, err)
+		}
+	}
+	got := decodeInChild(t, frames.Bytes())
+	if len(got) != len(samples) {
+		t.Fatalf("child decoded %d frames, want %d:\n%s", len(got), len(samples), got)
+	}
+	for i, m := range samples {
+		if want := fmt.Sprintf("%#v", m); got[i] != want {
+			t.Errorf("frame %d (%T) mutated across the process boundary:\n sent %s\n got  %s",
+				i, m, want, got[i])
+		}
+	}
+}
+
+// TestGobWireCompatAcrossProcesses round-trips one populated sample of
+// every wire type through a fresh subprocess decoder under the default
+// policy — raw columnar for the hot-path kinds, gob for control frames.
+// A type gob cannot carry across processes, a type missing from the
+// registration list, or a raw codec asymmetry fails here instead of
 // mid-superstep in production.
 func TestGobWireCompatAcrossProcesses(t *testing.T) {
 	samples := sampleMessages()
@@ -76,46 +137,17 @@ func TestGobWireCompatAcrossProcesses(t *testing.T) {
 			t.Fatalf("sample %d is %v, wireMessages lists %v", i, got, want)
 		}
 	}
+	checkChildRoundTrip(t, samples, defaultWire)
+}
 
-	// Each frame is length-prefixed and self-contained (fresh encoder
-	// per frame) — exactly what travels the TCP stream in production.
-	var frames bytes.Buffer
-	for _, m := range samples {
-		if err := writeFrame(&frames, m); err != nil {
-			t.Fatalf("encoding %T: %v", m, err)
-		}
-	}
-
-	exe, err := os.Executable()
+// TestGobFallbackWireCompatAcrossProcesses repeats the round trip with
+// every payload kind forced onto the gob fallback, pinning that the
+// fallback selectable via Config.GobPayloads stays cross-process
+// decodable too.
+func TestGobFallbackWireCompatAcrossProcesses(t *testing.T) {
+	gobKinds, err := parseGobPayloads([]string{PayloadStep, PayloadState, PayloadLoad, PayloadSnapshot})
 	if err != nil {
-		t.Fatalf("os.Executable: %v", err)
+		t.Fatal(err)
 	}
-	cmd := oexec.Command(exe)
-	cmd.Env = append(os.Environ(), envGobCheck+"=1")
-	cmd.Stdin = &frames
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
-	if err != nil {
-		t.Fatalf("gob-check child: %v (stderr: %s)", err, stderr.String())
-	}
-
-	sc := bufio.NewScanner(bytes.NewReader(out))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var got []string
-	for sc.Scan() {
-		got = append(got, sc.Text())
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatalf("reading child output: %v", err)
-	}
-	if len(got) != len(samples) {
-		t.Fatalf("child decoded %d frames, want %d:\n%s", len(got), len(samples), out)
-	}
-	for i, m := range samples {
-		if want := fmt.Sprintf("%#v", m); got[i] != want {
-			t.Errorf("frame %d (%T) mutated across the process boundary:\n sent %s\n got  %s",
-				i, m, want, got[i])
-		}
-	}
+	checkChildRoundTrip(t, sampleMessages(), &wireCfg{gobKinds: gobKinds})
 }
